@@ -1,0 +1,70 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench prints a self-contained table of *simulated* time. The paper's
+// numbers came from real LANai 4.3/7.2 hardware; we reproduce the shape
+// (ordering, approximate factors, crossovers) rather than exact values —
+// see EXPERIMENTS.md for paper-vs-measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "coll/runner.hpp"
+#include "host/cluster.hpp"
+#include "nic/config.hpp"
+
+namespace nicbar::bench {
+
+inline coll::ExperimentParams base_params(const nic::NicConfig& nic_cfg, std::size_t nodes,
+                                          int reps = 500) {
+  coll::ExperimentParams p;
+  p.nodes = nodes;
+  p.reps = reps;
+  p.cluster.nic = nic_cfg;
+  return p;
+}
+
+inline coll::BarrierSpec make_spec(coll::Location loc, nic::BarrierAlgorithm alg,
+                                   std::size_t dim = 2) {
+  coll::BarrierSpec s;
+  s.location = loc;
+  s.algorithm = alg;
+  s.gb_dimension = dim;
+  return s;
+}
+
+/// Mean barrier latency (us) for the given variant; GB runs at its best
+/// dimension (the paper's methodology: sweep 1..N-1, take the minimum).
+inline double measure(const nic::NicConfig& nic_cfg, std::size_t nodes, coll::Location loc,
+                      nic::BarrierAlgorithm alg, int reps = 500) {
+  coll::ExperimentParams p = base_params(nic_cfg, nodes, reps);
+  p.spec = make_spec(loc, alg);
+  if (alg == nic::BarrierAlgorithm::kGatherBroadcast && nodes > 2) {
+    return coll::best_gb_dimension(p).second;
+  }
+  if (alg == nic::BarrierAlgorithm::kGatherBroadcast) p.spec.gb_dimension = 1;
+  return coll::run_barrier_experiment(p).mean_us;
+}
+
+struct FourWay {
+  double nic_pe, nic_gb, host_pe, host_gb;
+};
+
+inline FourWay measure_all(const nic::NicConfig& nic_cfg, std::size_t nodes, int reps = 500) {
+  using coll::Location;
+  using nic::BarrierAlgorithm;
+  FourWay f{};
+  f.nic_pe = measure(nic_cfg, nodes, Location::kNic, BarrierAlgorithm::kPairwiseExchange, reps);
+  f.nic_gb = measure(nic_cfg, nodes, Location::kNic, BarrierAlgorithm::kGatherBroadcast, reps);
+  f.host_pe =
+      measure(nic_cfg, nodes, Location::kHost, BarrierAlgorithm::kPairwiseExchange, reps);
+  f.host_gb =
+      measure(nic_cfg, nodes, Location::kHost, BarrierAlgorithm::kGatherBroadcast, reps);
+  return f;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace nicbar::bench

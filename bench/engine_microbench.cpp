@@ -1,0 +1,74 @@
+// Wall-clock performance of the simulation engine itself (google-benchmark):
+// event throughput, coroutine switching, and end-to-end barrier simulation
+// rate. These are the only benches that measure real time, not simulated.
+#include <benchmark/benchmark.h>
+
+#include "coll/runner.hpp"
+#include "host/cluster.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace nicbar;
+
+void BM_EventScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const auto n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_in(sim::nanoseconds(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventScheduling)->Arg(1000)->Arg(100000);
+
+sim::Task ping(sim::Simulator& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(sim::nanoseconds(1));
+}
+
+void BM_CoroutineSwitches(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn(ping(sim, static_cast<int>(state.range(0))));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineSwitches)->Arg(1000)->Arg(100000);
+
+void BM_MailboxThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Mailbox<int> mb(sim);
+    const int n = static_cast<int>(state.range(0));
+    sim.spawn([](sim::Mailbox<int>& box, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) benchmark::DoNotOptimize(co_await box.recv());
+    }(mb, n));
+    for (int i = 0; i < n; ++i) mb.send(i);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MailboxThroughput)->Arg(10000);
+
+void BM_BarrierSimulation(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    coll::ExperimentParams p;
+    p.nodes = nodes;
+    p.reps = 10;
+    p.spec.location = coll::Location::kNic;
+    p.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+    benchmark::DoNotOptimize(coll::run_barrier_experiment(p).mean_us);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // barriers per iteration
+}
+BENCHMARK(BM_BarrierSimulation)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Figure 5(b): factor of improvement (host/NIC) vs nodes, LANai 4.3.
+// Paper anchors: PE 1.78x and GB 1.46x at 16 nodes; PE 1.66x at 8 nodes;
+// GB < 1 at 2 nodes (NIC-GB loses there).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace nicbar;
+  bench::print_header("Figure 5(b): factor of improvement, LANai 4.3");
+  std::printf("%6s %12s %12s\n", "nodes", "PE", "GB");
+  const nic::NicConfig cfg = nic::lanai43();
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    const bench::FourWay f = bench::measure_all(cfg, n);
+    std::printf("%6zu %12.2f %12.2f\n", n, f.host_pe / f.nic_pe, f.host_gb / f.nic_gb);
+  }
+  std::printf("\npaper: PE 1.78 / GB 1.46 at 16 nodes; PE 1.66 at 8; GB < 1 at 2 nodes\n");
+  return 0;
+}

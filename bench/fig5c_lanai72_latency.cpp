@@ -1,0 +1,19 @@
+// Figure 5(c): barrier latency vs nodes, LANai 7.2 (66 MHz), 8-port switch.
+// Paper anchors: 8-node NIC-PE = 49.25us vs host-PE = 90.24us.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace nicbar;
+  bench::print_header("Figure 5(c): barrier latency, LANai 7.2 (us)");
+  std::printf("%6s %10s %10s %10s %10s\n", "nodes", "NIC-PE", "NIC-GB", "host-PE", "host-GB");
+  const nic::NicConfig cfg = nic::lanai72();
+  for (std::size_t n : {2u, 4u, 8u}) {
+    const bench::FourWay f = bench::measure_all(cfg, n);
+    std::printf("%6zu %10.2f %10.2f %10.2f %10.2f\n", n, f.nic_pe, f.nic_gb, f.host_pe,
+                f.host_gb);
+  }
+  std::printf("\npaper (8 nodes): NIC-PE 49.25, host-PE 90.24\n");
+  return 0;
+}

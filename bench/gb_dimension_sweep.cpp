@@ -1,0 +1,33 @@
+// §6 methodology: GB tree-dimension sweep. The paper ran every dimension
+// from 1 to N-1 and reported the minimum; this bench prints the whole curve
+// for NIC-based and host-based GB so the optimum is visible.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace nicbar;
+  using coll::Location;
+  using nic::BarrierAlgorithm;
+
+  const nic::NicConfig cfg = nic::lanai43();
+  for (std::size_t n : {8u, 16u}) {
+    bench::print_header("GB dimension sweep, LANai 4.3, " + std::to_string(n) + " nodes (us)");
+    std::printf("%6s %12s %12s\n", "dim", "NIC-GB", "host-GB");
+    std::size_t best_nic_dim = 1, best_host_dim = 1;
+    double best_nic = 1e18, best_host = 1e18;
+    for (std::size_t dim = 1; dim < n; ++dim) {
+      coll::ExperimentParams p = bench::base_params(cfg, n);
+      p.spec = bench::make_spec(Location::kNic, BarrierAlgorithm::kGatherBroadcast, dim);
+      const double nic_us = coll::run_barrier_experiment(p).mean_us;
+      p.spec.location = Location::kHost;
+      const double host_us = coll::run_barrier_experiment(p).mean_us;
+      std::printf("%6zu %12.2f %12.2f\n", dim, nic_us, host_us);
+      if (nic_us < best_nic) { best_nic = nic_us; best_nic_dim = dim; }
+      if (host_us < best_host) { best_host = host_us; best_host_dim = dim; }
+    }
+    std::printf("best: NIC-GB dim=%zu (%.2fus), host-GB dim=%zu (%.2fus)\n", best_nic_dim,
+                best_nic, best_host_dim, best_host);
+  }
+  return 0;
+}

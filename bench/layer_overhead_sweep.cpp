@@ -1,0 +1,38 @@
+// Eq. 3 ablation: "as the host send overhead increases, say from the
+// addition of another programming layer such as MPI, the factor of
+// improvement will increase" (§2.2). Sweeps the per-call layer overhead
+// (0 = raw GM, a few us = an MPI-like layer) and reports the measured
+// improvement factor for the 8- and 16-node PE barrier.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace nicbar;
+  using coll::Location;
+  using nic::BarrierAlgorithm;
+
+  bench::print_header("Layer-overhead sweep (MPI-like layering), LANai 4.3, PE");
+  std::printf("%14s %12s %12s %12s %12s\n", "layer_us/call", "host16(us)", "NIC16(us)",
+              "improve16", "improve8");
+  for (double layer : {0.0, 2.0, 5.0, 10.0, 15.0, 20.0}) {
+    coll::ExperimentParams p = bench::base_params(nic::lanai43(), 16);
+    p.cluster.gm.layer_overhead = sim::microseconds(layer);
+
+    p.spec = bench::make_spec(Location::kHost, BarrierAlgorithm::kPairwiseExchange);
+    const double host16 = coll::run_barrier_experiment(p).mean_us;
+    p.spec.location = Location::kNic;
+    const double nic16 = coll::run_barrier_experiment(p).mean_us;
+
+    p.nodes = 8;
+    p.spec.location = Location::kHost;
+    const double host8 = coll::run_barrier_experiment(p).mean_us;
+    p.spec.location = Location::kNic;
+    const double nic8 = coll::run_barrier_experiment(p).mean_us;
+
+    std::printf("%14.1f %12.2f %12.2f %12.2f %12.2f\n", layer, host16, nic16, host16 / nic16,
+                host8 / nic8);
+  }
+  std::printf("\nexpected: improvement rises monotonically with layer overhead (Eq. 3)\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// §1/§8 ablation: "This factor of improvement is expected to increase ...
+// with the speed of the NIC processor." Sweeps the NIC clock from the
+// paper's 33 MHz LANai 4.3 through 66 MHz LANai 7.2 up to a hypothetical
+// 200 MHz part (the real LANai 9 reached 132 MHz).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace nicbar;
+  using coll::Location;
+  using nic::BarrierAlgorithm;
+
+  bench::print_header("NIC clock sweep, 8-node PE barrier");
+  std::printf("%10s %12s %12s %12s\n", "clock_mhz", "host(us)", "NIC(us)", "improvement");
+  for (double mhz : {33.0, 50.0, 66.0, 100.0, 132.0, 200.0}) {
+    nic::NicConfig cfg = nic::lanai43();
+    cfg.clock_mhz = mhz;
+    coll::ExperimentParams p = bench::base_params(cfg, 8);
+    p.spec = bench::make_spec(Location::kHost, BarrierAlgorithm::kPairwiseExchange);
+    const double host_us = coll::run_barrier_experiment(p).mean_us;
+    p.spec.location = Location::kNic;
+    const double nic_us = coll::run_barrier_experiment(p).mean_us;
+    std::printf("%10.0f %12.2f %12.2f %12.2f\n", mhz, host_us, nic_us, host_us / nic_us);
+  }
+  std::printf("\nexpected: improvement rises with NIC clock (paper: 1.66 @33 -> 1.83 @66)\n");
+  return 0;
+}

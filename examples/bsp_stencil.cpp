@@ -1,0 +1,103 @@
+// BSP-style 1-D stencil (the paper's motivation: low-latency barriers enable
+// *finer-grained* parallel computation).
+//
+// Each of 16 nodes owns a strip of a 1-D array. Every superstep it exchanges
+// halo cells with its neighbours (ordinary GM messages), computes, and joins
+// a barrier. We sweep the computation grain and report parallel efficiency
+// with the host-based vs the NIC-based barrier: as grain shrinks, the
+// barrier dominates and the NIC-based version sustains efficiency at grains
+// where the host-based one collapses — the paper's §1 argument made
+// concrete.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+using namespace nicbar;
+
+namespace {
+
+constexpr std::size_t kNodes = 16;
+constexpr int kSupersteps = 12;
+
+sim::Task stencil_proc(coll::BarrierMember& member, gm::Port& port, net::NodeId me,
+                       sim::Duration grain, sim::SimTime* done, sim::Simulator& sim) {
+  const gm::Endpoint left{static_cast<net::NodeId>((me + kNodes - 1) % kNodes), 2};
+  const gm::Endpoint right{static_cast<net::NodeId>((me + 1) % kNodes), 2};
+  const std::int64_t halo_bytes = 256;
+
+  // Pinned halo buffers for both neighbours, double-buffered.
+  for (int i = 0; i < 4; ++i) co_await port.provide_receive_buffer(halo_bytes);
+
+  int halos_pending = 0;
+  for (int step = 0; step < kSupersteps; ++step) {
+    // Exchange halos with both neighbours.
+    co_await port.send(left, halo_bytes, 1);
+    co_await port.send(right, halo_bytes, 1);
+    halos_pending += 2;
+    while (halos_pending > 0) {
+      const gm::GmEvent ev = co_await port.receive();
+      if (ev.type == gm::GmEventType::kRecv) {
+        --halos_pending;
+        co_await port.provide_receive_buffer(halo_bytes);
+      }
+    }
+    // Local stencil update.
+    co_await port.compute(grain);
+    // Superstep barrier.
+    co_await member.run();
+  }
+  *done = sim.now();
+}
+
+double run(coll::Location loc, sim::Duration grain) {
+  host::ClusterParams params;
+  params.nodes = kNodes;
+  params.nic = nic::lanai43();
+  host::Cluster cluster(params);
+
+  std::vector<gm::Endpoint> group;
+  for (net::NodeId i = 0; i < kNodes; ++i) group.push_back(gm::Endpoint{i, 2});
+  coll::BarrierSpec spec;
+  spec.location = loc;
+  spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<coll::BarrierMember>> members;
+  std::vector<sim::SimTime> done(kNodes);
+  for (net::NodeId i = 0; i < kNodes; ++i) {
+    ports.push_back(cluster.open_port(i, 2));
+    members.push_back(std::make_unique<coll::BarrierMember>(*ports.back(), group, spec));
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    cluster.sim().spawn(stencil_proc(*members[i], *ports[i], static_cast<net::NodeId>(i),
+                                     grain, &done[i], cluster.sim()));
+  }
+  cluster.sim().run();
+  sim::SimTime last{0};
+  for (const sim::SimTime& t : done) {
+    if (t > last) last = t;
+  }
+  return last.us();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("BSP 1-D stencil, %zu nodes, %d supersteps, LANai 4.3\n", kNodes, kSupersteps);
+  std::printf("%12s %12s %12s %10s %10s %10s\n", "grain(us)", "host(us)", "NIC(us)",
+              "eff.host", "eff.NIC", "speedup");
+  for (double grain_us : {1000.0, 300.0, 100.0, 50.0, 20.0}) {
+    const sim::Duration grain = sim::microseconds(grain_us);
+    const double host_us = run(coll::Location::kHost, grain);
+    const double nic_us = run(coll::Location::kNic, grain);
+    const double compute = kSupersteps * grain_us;  // ideal: compute only
+    std::printf("%12.0f %12.1f %12.1f %9.0f%% %9.0f%% %9.2fx\n", grain_us, host_us, nic_us,
+                100.0 * compute / host_us, 100.0 * compute / nic_us, host_us / nic_us);
+  }
+  std::printf("\nexpected: at coarse grain both barriers are negligible; at fine grain\n"
+              "the NIC-based barrier sustains much higher parallel efficiency (§1)\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// An MPI-style mini-application: iterative distributed dot product.
+//
+// Each of 16 ranks owns a slice of two vectors. Every iteration it computes
+// its partial dot product (host compute) and calls MPI_Allreduce to combine;
+// a convergence flag is then broadcast from rank 0. Run twice — with the
+// collectives executing on the host and on the NIC — this shows the paper's
+// bottom line at application level: NIC-resident collectives raise the
+// sustainable iteration rate of a communication-bound solver.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "host/cluster.hpp"
+#include "mpi/communicator.hpp"
+
+using namespace nicbar;
+
+namespace {
+
+constexpr std::size_t kRanks = 16;
+constexpr int kIterations = 20;
+constexpr double kComputeUsPerIter = 60.0;  // partial-dot kernel time
+
+sim::Task solver(mpi::Communicator& comm, std::int64_t my_partial, sim::SimTime* done,
+                 std::int64_t* final_dot, sim::Simulator& sim) {
+  std::int64_t dot = 0;
+  for (int it = 0; it < kIterations; ++it) {
+    co_await comm.compute(sim::microseconds(kComputeUsPerIter));       // local kernel
+    dot = co_await comm.allreduce(my_partial + it, nic::ReduceOp::kSum);  // global dot
+    const std::int64_t converged = co_await comm.bcast(dot > 0 ? 1 : 0);  // rank 0 decides
+    (void)converged;
+  }
+  *final_dot = dot;
+  *done = sim.now();
+}
+
+double run(coll::Location loc, std::int64_t* dot_out) {
+  host::ClusterParams params;
+  params.nodes = kRanks;
+  params.nic = nic::lanai43();
+  host::Cluster cluster(params);
+
+  std::vector<gm::Endpoint> group;
+  for (net::NodeId i = 0; i < kRanks; ++i) group.push_back(gm::Endpoint{i, 2});
+  mpi::CommConfig cfg;
+  cfg.collective_location = loc;
+  cfg.per_call_overhead = sim::microseconds(6.0);  // MPI matching/progress cost
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<mpi::Communicator>> comms;
+  std::vector<sim::SimTime> done(kRanks);
+  std::vector<std::int64_t> dots(kRanks);
+  for (net::NodeId i = 0; i < kRanks; ++i) {
+    ports.push_back(cluster.open_port(i, 2));
+    comms.push_back(std::make_unique<mpi::Communicator>(*ports.back(), group, cfg));
+  }
+  for (std::size_t i = 0; i < kRanks; ++i) {
+    cluster.sim().spawn(solver(*comms[i], static_cast<std::int64_t>(i * i), &done[i],
+                               &dots[i], cluster.sim()));
+  }
+  cluster.sim().run();
+  *dot_out = dots[0];
+  sim::SimTime last{0};
+  for (auto t : done) {
+    if (t > last) last = t;
+  }
+  return last.us();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MPI dot-product solver: %zu ranks, %d iterations, %.0fus kernel, LANai 4.3\n\n",
+              kRanks, kIterations, kComputeUsPerIter);
+  std::int64_t dot_host = 0, dot_nic = 0;
+  const double host_us = run(coll::Location::kHost, &dot_host);
+  const double nic_us = run(coll::Location::kNic, &dot_nic);
+  const double ideal = kIterations * kComputeUsPerIter;
+
+  std::printf("host-based collectives : %9.1f us  (%.1f us/iter)\n", host_us,
+              host_us / kIterations);
+  std::printf("NIC-based collectives  : %9.1f us  (%.1f us/iter)\n", nic_us,
+              nic_us / kIterations);
+  std::printf("compute-only bound     : %9.1f us\n\n", ideal);
+  std::printf("same numerical result either way: %lld == %lld\n",
+              static_cast<long long>(dot_host), static_cast<long long>(dot_nic));
+  std::printf("NIC collectives speed the solver up %.2fx\n", host_us / nic_us);
+  return dot_host == dot_nic ? 0 : 1;
+}

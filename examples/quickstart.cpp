@@ -1,0 +1,68 @@
+// Quickstart: build a 4-node simulated Myrinet cluster, run one NIC-based
+// barrier, and print what happened.
+//
+//   $ ./build/examples/quickstart
+//
+// The flow mirrors the paper's API: each process computes its schedule slice
+// on the host, calls gm_provide_barrier_buffer + gm_barrier_send_with_
+// callback (Port::provide_barrier_buffer / Port::barrier_send via
+// BarrierMember), and polls gm_receive for GM_BARRIER_COMPLETED_EVENT.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+using namespace nicbar;
+
+namespace {
+
+sim::Task one_barrier(sim::Simulator& sim, coll::BarrierMember& member, int rank) {
+  // Stagger entry so the synchronization is visible.
+  co_await sim.delay(sim::microseconds(25.0 * rank));
+  std::printf("[%8.2f us] rank %d enters the barrier\n", sim.now().us(), rank);
+  co_await member.run();
+  std::printf("[%8.2f us] rank %d leaves the barrier\n", sim.now().us(), rank);
+}
+
+}  // namespace
+
+int main() {
+  // 1. A cluster: 4 nodes, LANai 4.3 NICs, one 16-port switch.
+  host::ClusterParams params;
+  params.nodes = 4;
+  params.nic = nic::lanai43();
+  host::Cluster cluster(params);
+
+  // 2. One GM port per node; the barrier group is (node i, port 2) for all i.
+  std::vector<gm::Endpoint> group;
+  for (net::NodeId i = 0; i < 4; ++i) group.push_back(gm::Endpoint{i, 2});
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<coll::BarrierMember>> members;
+  coll::BarrierSpec spec;
+  spec.location = coll::Location::kNic;  // the paper's contribution
+  spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  for (net::NodeId i = 0; i < 4; ++i) {
+    ports.push_back(cluster.open_port(i, 2));
+    members.push_back(std::make_unique<coll::BarrierMember>(*ports.back(), group, spec));
+  }
+
+  // 3. One process per node.
+  for (int i = 0; i < 4; ++i) {
+    cluster.sim().spawn(one_barrier(cluster.sim(), *members[static_cast<std::size_t>(i)], i));
+  }
+  cluster.sim().run();
+
+  // 4. No rank may leave before the last one (rank 3 at 75us) entered —
+  //    check the timestamps above. The NIC counters show the firmware work:
+  std::printf("\nNIC counters (node 0): barrier packets sent=%llu received=%llu, "
+              "unexpected recorded=%llu\n",
+              static_cast<unsigned long long>(cluster.nic(0).stats().barrier_packets_sent),
+              static_cast<unsigned long long>(cluster.nic(0).stats().barrier_packets_received),
+              static_cast<unsigned long long>(cluster.nic(0).stats().unexpected_recorded));
+  std::printf("simulated time: %.2f us, events executed: %llu\n", cluster.sim().now().us(),
+              static_cast<unsigned long long>(cluster.sim().events_executed()));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Concurrent sub-group barriers (paper §3.4): one NIC serves up to eight GM
+// ports, and each port can run an independent barrier because the barrier
+// state lives in the per-port send token.
+//
+// Scenario: an 8-node cluster runs two independent parallel applications.
+// App A uses port 2 on all 8 nodes (global barrier); app B uses port 3 on
+// nodes 0-3 (sub-group barrier). Both iterate concurrently; neither blocks
+// the other, and a third actor streams ordinary data messages across the
+// same NICs to show barriers and data coexist.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+using namespace nicbar;
+
+namespace {
+
+sim::Task app_proc(sim::Simulator& sim, coll::BarrierMember& member, const char* app,
+                   int rank, int iterations, sim::Duration work) {
+  for (int it = 0; it < iterations; ++it) {
+    co_await member.run();
+    if (rank == 0) {
+      std::printf("[%9.2f us] app %s finished barrier %d\n", sim.now().us(), app, it + 1);
+    }
+    co_await sim.delay(work);
+  }
+}
+
+sim::Task data_stream(gm::Port& src, gm::Endpoint dst, int messages) {
+  for (int i = 0; i < messages; ++i) {
+    co_await src.send(dst, 1024, static_cast<std::uint64_t>(i));
+  }
+}
+
+sim::Task data_sink(gm::Port& port, int messages) {
+  for (int i = 0; i < messages; ++i) co_await port.provide_receive_buffer(1024);
+  for (int i = 0; i < messages; ++i) {
+    (void)co_await port.receive();
+  }
+}
+
+}  // namespace
+
+int main() {
+  host::ClusterParams params;
+  params.nodes = 8;
+  params.nic = nic::lanai43();
+  host::Cluster cluster(params);
+
+  // App A: global 8-node barrier on port 2.
+  std::vector<gm::Endpoint> group_a;
+  for (net::NodeId i = 0; i < 8; ++i) group_a.push_back(gm::Endpoint{i, 2});
+  // App B: 4-node sub-group barrier on port 3 (GB tree, dimension 3).
+  std::vector<gm::Endpoint> group_b;
+  for (net::NodeId i = 0; i < 4; ++i) group_b.push_back(gm::Endpoint{i, 3});
+
+  coll::BarrierSpec spec_a;
+  spec_a.location = coll::Location::kNic;
+  spec_a.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  coll::BarrierSpec spec_b;
+  spec_b.location = coll::Location::kNic;
+  spec_b.algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
+  spec_b.gb_dimension = 3;
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<coll::BarrierMember>> members;
+  for (net::NodeId i = 0; i < 8; ++i) {
+    ports.push_back(cluster.open_port(i, 2));
+    members.push_back(std::make_unique<coll::BarrierMember>(*ports.back(), group_a, spec_a));
+    cluster.sim().spawn(app_proc(cluster.sim(), *members.back(), "A(8 nodes, PE)", i, 4,
+                                 sim::microseconds(40.0)));
+  }
+  for (net::NodeId i = 0; i < 4; ++i) {
+    ports.push_back(cluster.open_port(i, 3));
+    members.push_back(std::make_unique<coll::BarrierMember>(*ports.back(), group_b, spec_b));
+    cluster.sim().spawn(app_proc(cluster.sim(), *members.back(), "B(4 nodes, GB)", i, 6,
+                                 sim::microseconds(15.0)));
+  }
+  // Background data traffic between ports 4 on nodes 6 and 7.
+  auto src = cluster.open_port(6, 4);
+  auto dst = cluster.open_port(7, 4);
+  cluster.sim().spawn(data_sink(*dst, 40));
+  cluster.sim().spawn(data_stream(*src, gm::Endpoint{7, 4}, 40));
+
+  cluster.sim().run();
+
+  std::printf("\nall apps finished at %.2f us\n", cluster.sim().now().us());
+  std::printf("node 0 ran %llu barriers across 2 ports; node 6 NIC also moved %llu data "
+              "packets\n",
+              static_cast<unsigned long long>(cluster.nic(0).stats().barriers_completed),
+              static_cast<unsigned long long>(cluster.nic(6).stats().data_sent));
+  return 0;
+}

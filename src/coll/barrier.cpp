@@ -1,0 +1,201 @@
+#include "coll/barrier.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nicbar::coll {
+
+using nic::BarrierAlgorithm;
+using nic::GmEvent;
+using nic::GmEventType;
+
+BarrierMember::BarrierMember(gm::Port& port, std::vector<Endpoint> group, BarrierSpec spec)
+    : port_(port), group_(std::move(group)), spec_(spec) {
+  bool found = false;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == port_.endpoint()) {
+      my_index_ = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw std::invalid_argument("port's endpoint is not in the barrier group");
+  if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
+    pe_peers_ = pe_schedule(group_, my_index_);
+  } else {
+    gb_ = gb_tree(group_, my_index_, spec_.gb_dimension);
+  }
+}
+
+sim::Task BarrierMember::run() {
+  if (spec_.location == Location::kHost) {
+    if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
+      co_await run_host_pe();
+    } else {
+      co_await run_host_gb();
+    }
+    co_return;
+  }
+  co_await start_nic_barrier();
+  co_await wait_barrier_complete();
+}
+
+// --- Host-based barriers ------------------------------------------------------
+
+sim::Task BarrierMember::ensure_provisioned() {
+  if (provisioned_) co_return;
+  provisioned_ = true;
+  // Enough pinned buffers for every message of this barrier plus early
+  // arrivals from the next one (each peer can be at most one barrier ahead).
+  std::size_t expected = 0;
+  if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
+    expected = pe_peers_.size();
+  } else {
+    expected = gb_.children.size() + (gb_.is_root() ? 0 : 1);
+  }
+  for (std::size_t i = 0; i < 2 * expected + 2; ++i) {
+    co_await port_.provide_receive_buffer(msg_bytes_);
+  }
+}
+
+sim::Task BarrierMember::wait_msg_from(Endpoint peer) {
+  auto it = pending_msgs_.find(peer);
+  if (it != pending_msgs_.end() && it->second > 0) {
+    if (--it->second == 0) pending_msgs_.erase(it);
+    co_return;
+  }
+  for (;;) {
+    GmEvent ev = co_await port_.receive();
+    switch (ev.type) {
+      case GmEventType::kRecv:
+        if (ev.tag != nic::kBarrierMsgTag) {
+          // Application traffic sharing the port: hand it to the higher
+          // layer (which owns the buffer pool), or drop it if nobody cares.
+          if (sink_) {
+            sink_(ev);
+          } else {
+            co_await port_.provide_receive_buffer(msg_bytes_);
+          }
+          break;
+        }
+        co_await port_.provide_receive_buffer(msg_bytes_);  // replenish the pool
+        if (ev.peer == peer) co_return;
+        ++pending_msgs_[ev.peer];
+        break;
+      case GmEventType::kBarrierComplete:
+        ++pending_completions_;
+        break;
+      default:
+        if (sink_) sink_(ev);
+        break;
+    }
+  }
+}
+
+sim::Task BarrierMember::run_host_pe() {
+  co_await ensure_provisioned();
+  for (const Endpoint& peer : pe_peers_) {
+    co_await port_.send(peer, msg_bytes_, nic::kBarrierMsgTag);
+    co_await wait_msg_from(peer);
+  }
+}
+
+sim::Task BarrierMember::run_host_gb() {
+  co_await ensure_provisioned();
+  // Gather phase: wait for every child, then report to the parent.
+  for (const Endpoint& child : gb_.children) {
+    co_await wait_msg_from(child);
+  }
+  if (!gb_.is_root()) {
+    co_await port_.send(gb_.parent, msg_bytes_, nic::kBarrierMsgTag);
+    co_await wait_msg_from(gb_.parent);  // broadcast release
+  }
+  // Broadcast phase: release the subtree. The host pipelines these sends —
+  // the NIC is still processing one while the host posts the next (the
+  // pipelining the paper credits for host-GB's relative strength, §6).
+  for (const Endpoint& child : gb_.children) {
+    co_await port_.send(child, msg_bytes_, nic::kBarrierMsgTag);
+  }
+}
+
+// --- NIC-based barriers -----------------------------------------------------------
+
+sim::Task BarrierMember::start_nic_barrier() {
+  nic::BarrierToken token;
+  token.algorithm = spec_.algorithm;
+  if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
+    token.peers = pe_peers_;
+  } else {
+    token.parent = gb_.parent;
+    token.children = gb_.children;
+  }
+  co_await port_.provide_barrier_buffer();
+  (void)co_await port_.barrier_send(std::move(token));
+}
+
+sim::Task BarrierMember::wait_barrier_complete() {
+  if (pending_completions_ > 0) {
+    --pending_completions_;
+    co_return;
+  }
+  for (;;) {
+    GmEvent ev = co_await port_.receive();
+    switch (ev.type) {
+      case GmEventType::kBarrierComplete:
+        co_return;
+      case GmEventType::kRecv:
+        if (sink_) {
+          sink_(ev);  // a higher layer owns data traffic and its buffers
+          break;
+        }
+        co_await port_.provide_receive_buffer(msg_bytes_);
+        ++pending_msgs_[ev.peer];
+        break;
+      default:
+        if (sink_) sink_(ev);
+        break;
+    }
+  }
+}
+
+sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy(sim::Duration chunk) {
+  // Validate eagerly: a lazy coroutine would defer the throw until awaited.
+  if (spec_.location != Location::kNic) {
+    throw std::logic_error("fuzzy barrier requires the NIC-based implementation");
+  }
+  return run_fuzzy_impl(chunk);
+}
+
+sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy_impl(sim::Duration chunk) {
+  co_await start_nic_barrier();
+  std::uint64_t chunks = 0;
+  if (pending_completions_ > 0) {
+    --pending_completions_;
+    co_return chunks;
+  }
+  for (;;) {
+    std::optional<GmEvent> ev = co_await port_.poll();
+    if (!ev.has_value()) {
+      co_await port_.compute(chunk);
+      ++chunks;
+      continue;
+    }
+    switch (ev->type) {
+      case GmEventType::kBarrierComplete:
+        co_return chunks;
+      case GmEventType::kRecv:
+        if (sink_) {
+          sink_(*ev);
+          break;
+        }
+        co_await port_.provide_receive_buffer(msg_bytes_);
+        if (ev->tag == nic::kBarrierMsgTag) ++pending_msgs_[ev->peer];
+        break;
+      default:
+        if (sink_) sink_(*ev);
+        break;
+    }
+  }
+}
+
+}  // namespace nicbar::coll

@@ -1,0 +1,92 @@
+// Barrier implementations over GM: the four variants the paper evaluates.
+//
+//   Location::kHost  +  PE/GB — classic host-based software barriers built
+//                               from ordinary GM send/receive.
+//   Location::kNic   +  PE/GB — the paper's contribution: the host computes
+//                               its schedule slice, posts one barrier token,
+//                               and polls for GM_BARRIER_COMPLETED_EVENT
+//                               while the NIC firmware runs the algorithm.
+//
+// A BarrierMember is one participant's per-process state. It owns the
+// buffered-event bookkeeping a host-based barrier needs (messages from
+// future rounds or the next barrier can arrive early and must be stashed,
+// mirroring the unexpected-message discussion of §3.1 at host level).
+#pragma once
+
+#include <functional>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "coll/schedule.hpp"
+#include "gm/port.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace nicbar::coll {
+
+enum class Location : std::uint8_t { kHost, kNic };
+
+struct BarrierSpec {
+  Location location = Location::kNic;
+  nic::BarrierAlgorithm algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  /// GB only: tree dimension (fanout). The paper sweeps 1..N-1 and reports
+  /// the best.
+  std::size_t gb_dimension = 2;
+};
+
+class BarrierMember {
+ public:
+  /// `group` lists every participating endpoint; this member is the entry
+  /// whose endpoint equals port.endpoint().
+  BarrierMember(gm::Port& port, std::vector<Endpoint> group, BarrierSpec spec);
+
+  /// Runs one barrier to completion.
+  [[nodiscard]] sim::Task run();
+
+  /// NIC-based only: initiates the barrier, then performs `chunk`-sized
+  /// pieces of host computation while polling (the fuzzy barrier of §2.1).
+  /// Returns the number of chunks completed before the barrier finished.
+  [[nodiscard]] sim::ValueTask<std::uint64_t> run_fuzzy(sim::Duration chunk);
+
+  [[nodiscard]] const std::vector<Endpoint>& pe_peers() const { return pe_peers_; }
+  [[nodiscard]] const GbTreeSlice& gb_slice() const { return gb_; }
+  [[nodiscard]] std::size_t my_index() const { return my_index_; }
+  [[nodiscard]] const BarrierSpec& spec() const { return spec_; }
+
+  /// When a higher layer (e.g. mpi::Communicator) shares the port's event
+  /// stream, it installs a sink here: events that are not this barrier's
+  /// business (kRecv, kSent, foreign completions) are handed to the sink
+  /// instead of being stashed, and buffer replenishment is left to the
+  /// layer. Conversely the layer calls note_completion() when it drains a
+  /// kBarrierComplete meant for us.
+  void set_event_sink(std::function<void(const nic::GmEvent&)> sink) {
+    sink_ = std::move(sink);
+  }
+  void note_completion() { ++pending_completions_; }
+
+ private:
+  sim::ValueTask<std::uint64_t> run_fuzzy_impl(sim::Duration chunk);
+  sim::Task run_host_pe();
+  sim::Task run_host_gb();
+  sim::Task start_nic_barrier();
+  sim::Task wait_barrier_complete();
+  sim::Task wait_msg_from(Endpoint peer);
+  sim::Task ensure_provisioned();
+
+  gm::Port& port_;
+  std::vector<Endpoint> group_;
+  BarrierSpec spec_;
+  std::size_t my_index_ = 0;
+  std::vector<Endpoint> pe_peers_;
+  GbTreeSlice gb_;
+
+  // Early-arrival bookkeeping (host-based path).
+  std::map<Endpoint, int> pending_msgs_;
+  int pending_completions_ = 0;
+  bool provisioned_ = false;
+  std::int64_t msg_bytes_ = 8;
+  std::function<void(const nic::GmEvent&)> sink_;
+};
+
+}  // namespace nicbar::coll

@@ -1,0 +1,103 @@
+#include "coll/runner.hpp"
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace nicbar::coll {
+
+namespace {
+
+sim::Task member_proc(sim::Simulator& sim, BarrierMember& member, int reps,
+                      sim::Duration skew, sim::SimTime* t_start, sim::SimTime* t_end) {
+  if (!skew.is_zero()) co_await sim.delay(skew);
+  if (t_start != nullptr) *t_start = sim.now();
+  for (int r = 0; r < reps; ++r) {
+    co_await member.run();
+  }
+  if (t_end != nullptr) *t_end = sim.now();
+}
+
+}  // namespace
+
+ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
+  if (params.nodes == 0) throw std::invalid_argument("need at least one node");
+  host::ClusterParams cp = params.cluster;
+  cp.nodes = params.nodes;
+  host::Cluster cluster(cp);
+
+  std::vector<Endpoint> group;
+  group.reserve(params.nodes);
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    group.push_back(Endpoint{static_cast<net::NodeId>(i), params.port});
+  }
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<BarrierMember>> members;
+  ports.reserve(params.nodes);
+  members.reserve(params.nodes);
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    ports.push_back(cluster.open_port(static_cast<net::NodeId>(i), params.port));
+    members.push_back(std::make_unique<BarrierMember>(*ports.back(), group, params.spec));
+  }
+
+  sim::Rng rng(params.seed);
+  std::vector<sim::SimTime> starts(params.nodes), ends(params.nodes);
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    sim::Duration skew{0};
+    if (!params.max_start_skew.is_zero()) {
+      skew = sim::Duration{static_cast<std::int64_t>(
+          rng.uniform() * static_cast<double>(params.max_start_skew.ps()))};
+    }
+    cluster.sim().spawn(member_proc(cluster.sim(), *members[i], params.reps, skew,
+                                    &starts[i], &ends[i]));
+  }
+  cluster.sim().run();
+
+  // The barrier loop is over when the *last* member finishes its last
+  // barrier; it began when the last member started (all members must be in
+  // before any barrier can complete).
+  sim::SimTime begin{0}, end{0};
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    if (starts[i] > begin) begin = starts[i];
+    if (ends[i] > end) end = ends[i];
+  }
+
+  ExperimentResult res;
+  res.reps = params.reps;
+  res.nodes = params.nodes;
+  res.total_us = (end - begin).us();
+  res.mean_us = res.total_us / params.reps;
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    const nic::NicStats& s = cluster.nic(static_cast<net::NodeId>(i)).stats();
+    res.barrier_packets_sent += s.barrier_packets_sent;
+    res.retransmissions += s.retransmissions;
+    res.unexpected_recorded += s.unexpected_recorded;
+    res.bit_collisions += s.bit_collisions;
+    res.barriers_completed += s.barriers_completed;
+  }
+  return res;
+}
+
+std::pair<std::size_t, double> best_gb_dimension(ExperimentParams params) {
+  if (params.spec.algorithm != nic::BarrierAlgorithm::kGatherBroadcast) {
+    throw std::invalid_argument("dimension sweep requires the GB algorithm");
+  }
+  std::size_t best_dim = 1;
+  double best_us = std::numeric_limits<double>::infinity();
+  const std::size_t max_dim = params.nodes > 1 ? params.nodes - 1 : 1;
+  for (std::size_t dim = 1; dim <= max_dim; ++dim) {
+    params.spec.gb_dimension = dim;
+    const ExperimentResult r = run_barrier_experiment(params);
+    if (r.mean_us < best_us) {
+      best_us = r.mean_us;
+      best_dim = dim;
+    }
+  }
+  return {best_dim, best_us};
+}
+
+}  // namespace nicbar::coll

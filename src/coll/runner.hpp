@@ -1,0 +1,52 @@
+// Experiment driver: the paper's measurement loop.
+//
+// Builds a cluster, opens one GM port per node, spawns one process per node,
+// and runs `reps` consecutive barriers (the paper ran 100 000 and averaged;
+// our simulator is deterministic so a few hundred repetitions give the same
+// mean). Reports the mean per-barrier latency in simulated microseconds plus
+// aggregate NIC counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar::coll {
+
+struct ExperimentParams {
+  std::size_t nodes = 8;
+  int reps = 200;
+  BarrierSpec spec;
+  host::ClusterParams cluster;  // cluster.nodes is overridden by `nodes`
+  nic::PortId port = 2;         // GM reserves low ports; user traffic uses 2+
+  /// Random per-node delay before the first barrier (models asynchronous
+  /// arrival; 0 = all nodes start together as in the paper's benchmark).
+  sim::Duration max_start_skew{0};
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  double mean_us = 0.0;   // mean latency of one barrier
+  double total_us = 0.0;  // wall (simulated) time of the whole loop
+  int reps = 0;
+  std::size_t nodes = 0;
+  // Aggregated over all NICs:
+  std::uint64_t barrier_packets_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t unexpected_recorded = 0;
+  std::uint64_t bit_collisions = 0;
+  std::uint64_t barriers_completed = 0;
+};
+
+/// Runs the measurement loop; deterministic for fixed params.
+[[nodiscard]] ExperimentResult run_barrier_experiment(const ExperimentParams& params);
+
+/// Sweeps the GB tree dimension 1..N-1 (the paper's methodology) and returns
+/// {best dimension, its mean latency in us}. `params.spec.algorithm` must be
+/// kGatherBroadcast.
+[[nodiscard]] std::pair<std::size_t, double> best_gb_dimension(ExperimentParams params);
+
+}  // namespace nicbar::coll

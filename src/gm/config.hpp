@@ -1,0 +1,32 @@
+// Host-side software costs of the GM library.
+//
+// These model the "Send" and "HRecv" components of the paper's timing
+// diagrams (Fig. 2): CPU time spent inside the user-level library before a
+// token reaches the NIC and after an event is polled. `layer_overhead` is
+// the knob behind the paper's Eq. 3 prediction — adding a programming layer
+// such as MPI adds a fixed cost to every host-level send and receive, which
+// *raises* the NIC-based barrier's factor of improvement.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace nicbar::gm {
+
+struct GmConfig {
+  /// CPU time inside gm_send_with_callback (token fill + queue + doorbell).
+  sim::Duration host_send_overhead = sim::microseconds(4.5);
+  /// CPU time to process one polled receive event (HRecv).
+  sim::Duration host_recv_overhead = sim::microseconds(6.0);
+  /// CPU time of one empty gm_receive() poll.
+  sim::Duration host_poll_overhead = sim::nanoseconds(200);
+  /// CPU time inside gm_barrier_send_with_callback (the peer/tree slice is
+  /// already computed; this is token fill + post).
+  sim::Duration host_barrier_overhead = sim::microseconds(2.0);
+  /// CPU time to post a receive token / barrier buffer.
+  sim::Duration host_provide_overhead = sim::nanoseconds(300);
+  /// Extra cost added to every send/recv/barrier call by a software layer
+  /// stacked on GM (e.g. MPI). Zero = raw GM, the paper's measured setup.
+  sim::Duration layer_overhead = sim::Duration{0};
+};
+
+}  // namespace nicbar::gm

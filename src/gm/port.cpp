@@ -1,0 +1,96 @@
+#include "gm/port.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nicbar::gm {
+
+Port::Port(sim::Simulator& sim, sim::Resource& host_cpu, nic::Nic& nic, nic::PortId id,
+           GmConfig config)
+    : sim_(sim), cpu_(host_cpu), nic_(nic), id_(id), config_(config), events_(sim) {}
+
+Port::~Port() {
+  if (open_) close();
+}
+
+void Port::open() {
+  if (open_) throw std::logic_error("port already open");
+  nic_.open_port(id_, &events_);
+  open_ = true;
+}
+
+void Port::close() {
+  if (!open_) return;
+  nic_.close_port(id_);
+  open_ = false;
+}
+
+sim::Task Port::send(Endpoint dst, std::int64_t bytes, std::uint64_t tag, std::int64_t value) {
+  co_await cpu_.use(config_.host_send_overhead + config_.layer_overhead);
+  nic::SendToken token;
+  token.src_port = id_;
+  token.dst = dst;
+  token.bytes = bytes;
+  token.tag = tag;
+  token.value = value;
+  nic_.post_send_token(std::move(token));
+}
+
+sim::Task Port::provide_receive_buffer(std::int64_t bytes) {
+  co_await cpu_.use(config_.host_provide_overhead);
+  nic_.post_receive_token(id_, nic::RecvToken{bytes});
+}
+
+sim::Task Port::multicast(std::vector<Endpoint> destinations, std::int64_t bytes,
+                          std::uint64_t tag, std::int64_t value) {
+  co_await cpu_.use(config_.host_send_overhead + config_.layer_overhead);
+  nic::MulticastToken token;
+  token.src_port = id_;
+  token.destinations = std::move(destinations);
+  token.bytes = bytes;
+  token.tag = tag;
+  token.value = value;
+  nic_.post_multicast_token(std::move(token));
+}
+
+sim::ValueTask<GmEvent> Port::receive() {
+  GmEvent ev = co_await events_.recv();
+  co_await cpu_.use(config_.host_recv_overhead + config_.layer_overhead);
+  co_return ev;
+}
+
+sim::ValueTask<std::optional<GmEvent>> Port::poll() {
+  co_await cpu_.use(config_.host_poll_overhead);
+  std::optional<GmEvent> ev = events_.try_recv();
+  if (ev.has_value()) {
+    co_await cpu_.use(config_.host_recv_overhead + config_.layer_overhead);
+  }
+  co_return ev;
+}
+
+sim::Task Port::provide_barrier_buffer() {
+  co_await cpu_.use(config_.host_provide_overhead);
+  nic_.provide_barrier_buffer(id_);
+}
+
+sim::Task Port::compute(sim::Duration d) { co_await cpu_.use(d); }
+
+sim::ValueTask<std::uint32_t> Port::reduce_send(nic::ReduceToken token) {
+  co_await cpu_.use(config_.host_barrier_overhead + config_.layer_overhead);
+  token.src_port = id_;
+  token.epoch = next_epoch_++;
+  const std::uint32_t epoch = token.epoch;
+  nic_.post_reduce_token(std::move(token));
+  co_return epoch;
+}
+
+sim::ValueTask<std::uint32_t> Port::barrier_send(nic::BarrierToken token) {
+  co_await cpu_.use(config_.host_barrier_overhead + config_.layer_overhead);
+  token.src_port = id_;
+  token.epoch = next_epoch_++;
+  const std::uint32_t epoch = token.epoch;
+  nic_.post_barrier_token(std::move(token));
+  co_return epoch;
+}
+
+}  // namespace nicbar::gm

@@ -1,0 +1,42 @@
+#include "host/cluster.hpp"
+
+#include <utility>
+
+namespace nicbar::host {
+
+Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
+  net_ = std::make_unique<net::Network>(sim_, params_.link, params_.sw);
+  switch (params_.topology) {
+    case Topology::kSingleSwitch:
+      net::build_single_switch(*net_, params_.nodes);
+      break;
+    case Topology::kSwitchChain:
+      net::build_switch_chain(*net_, params_.nodes, params_.chain_per_switch);
+      break;
+    case Topology::kSwitchTree:
+      net::build_switch_tree(*net_, params_.nodes, params_.tree_radix);
+      break;
+  }
+  nodes_.reserve(params_.nodes);
+  for (std::size_t i = 0; i < params_.nodes; ++i) {
+    const auto id = static_cast<net::NodeId>(i);
+    auto n = std::make_unique<Node>(sim_, params_.host_cpus, id);
+    n->nic = std::make_unique<nic::Nic>(sim_, *net_, id, params_.nic, n->pci);
+    nic::Nic* nic_ptr = n->nic.get();
+    net_->set_deliver(id, [nic_ptr](net::Packet p) { nic_ptr->rx_packet(std::move(p)); });
+    nodes_.push_back(std::move(n));
+  }
+}
+
+std::unique_ptr<gm::Port> Cluster::make_port(net::NodeId node_id, nic::PortId port) {
+  Node& n = *nodes_.at(node_id);
+  return std::make_unique<gm::Port>(sim_, n.host_cpu, *n.nic, port, params_.gm);
+}
+
+std::unique_ptr<gm::Port> Cluster::open_port(net::NodeId node_id, nic::PortId port) {
+  auto p = make_port(node_id, port);
+  p->open();
+  return p;
+}
+
+}  // namespace nicbar::host

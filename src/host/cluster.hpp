@@ -1,0 +1,75 @@
+// Cluster assembly: simulator + fabric + per-node (host CPU, PCI bus, NIC),
+// mirroring the paper's testbed of N hosts on one Myrinet switch.
+//
+// A Cluster owns everything; user code opens gm::Ports on nodes and spawns
+// host processes (sim::Task coroutines) that use them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "gm/config.hpp"
+#include "gm/port.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "nic/config.hpp"
+#include "nic/nic.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace nicbar::host {
+
+enum class Topology {
+  kSingleSwitch,  // the paper's testbeds (8/16-port switch)
+  kSwitchChain,
+  kSwitchTree,
+};
+
+struct ClusterParams {
+  std::size_t nodes = 2;
+  nic::NicConfig nic = nic::lanai43();
+  gm::GmConfig gm;
+  net::LinkParams link;
+  net::SwitchParams sw;
+  Topology topology = Topology::kSingleSwitch;
+  std::size_t tree_radix = 16;       // kSwitchTree
+  std::size_t chain_per_switch = 8;  // kSwitchChain
+  /// The paper's hosts were dual-processor Pentium II machines.
+  std::size_t host_cpus = 2;
+};
+
+/// One machine: host CPU(s), a PCI bus, and a programmable NIC.
+struct Node {
+  explicit Node(sim::Simulator& sim, std::size_t cpus, net::NodeId id)
+      : host_cpu(sim, cpus), pci(sim, "pci" + std::to_string(id)) {}
+  sim::Resource host_cpu;
+  sim::BusyServer pci;
+  std::unique_ptr<nic::Nic> nic;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *net_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(net::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] nic::Nic& nic(net::NodeId id) { return *nodes_.at(id)->nic; }
+  [[nodiscard]] const ClusterParams& params() const { return params_; }
+
+  /// Creates and opens a GM port on `node`.
+  [[nodiscard]] std::unique_ptr<gm::Port> open_port(net::NodeId node, nic::PortId port);
+
+  /// Creates a port without opening it (for closed-port policy tests).
+  [[nodiscard]] std::unique_ptr<gm::Port> make_port(net::NodeId node, nic::PortId port);
+
+ private:
+  ClusterParams params_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace nicbar::host

@@ -1,0 +1,60 @@
+#include "model/timing.hpp"
+
+namespace nicbar::model {
+
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t r = 0;
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+    ++r;
+  }
+  return r;
+}
+
+PhaseTimes derive_phases(const nic::NicConfig& nic, const gm::GmConfig& gm,
+                         const net::LinkParams& link, const net::SwitchParams& sw,
+                         std::int64_t payload_bytes, std::size_t switch_hops) {
+  PhaseTimes t;
+  const double layer = gm.layer_overhead.us();
+
+  t.send_us = (gm.host_send_overhead).us() + layer + nic.cycles(nic.sdma_detect_cycles).us();
+
+  const double pci_xfer =
+      nic.pci_setup.us() +
+      sim::transfer_time(payload_bytes, nic.pci_bandwidth_mbps).us();
+  t.sdma_us = nic.cycles(nic.sdma_setup_cycles + nic.sdma_prepare_cycles).us() + pci_xfer;
+
+  // Wire time on the terminal uplink and downlink plus per-switch latency;
+  // source-route bytes ride in the header.
+  const std::int64_t wire_bytes =
+      link.header_bytes + static_cast<std::int64_t>(switch_hops) + payload_bytes;
+  const double wire = sim::transfer_time(wire_bytes, link.bandwidth_mbps).us();
+  t.network_us = 2.0 * (wire + link.propagation.us()) +
+                 static_cast<double>(switch_hops) * sw.routing_latency.us() +
+                 nic.cycles(nic.send_cycles).us();
+
+  t.recv_us = nic.cycles(nic.recv_cycles).us();
+  t.recv_nic_pe_us = nic.cycles(nic.recv_cycles + nic.barrier_pe_cycles).us();
+  t.recv_nic_gb_us = nic.cycles(nic.recv_cycles + nic.barrier_gb_cycles).us();
+
+  t.rdma_us = nic.cycles(nic.rdma_setup_cycles).us() + pci_xfer;
+  t.hrecv_us = gm.host_recv_overhead.us() + layer;
+  return t;
+}
+
+double host_barrier_us(const PhaseTimes& t, std::size_t n) {
+  return static_cast<double>(log2_ceil(n)) * t.host_message_us();
+}
+
+double nic_barrier_us(const PhaseTimes& t, std::size_t n) {
+  return t.send_us +
+         static_cast<double>(log2_ceil(n)) * (t.network_us + t.recv_nic_pe_us) +
+         t.rdma_us + t.hrecv_us;
+}
+
+double improvement_factor(const PhaseTimes& t, std::size_t n) {
+  return host_barrier_us(t, n) / nic_barrier_us(t, n);
+}
+
+}  // namespace nicbar::model

@@ -1,0 +1,60 @@
+// The paper's analytic timing model (§2.2, Fig. 2, Equations 1-3).
+//
+// One message passes through seven phases: Send (host initiates until the
+// NIC detects the token), SDMA (host->NIC payload DMA + packet prep), Xmit/
+// Network (wire + switch), Recv (NIC receive processing), RDMA (NIC->host
+// DMA), HRecv (host event processing). The paper derives:
+//
+//   Eq.1:  T_host = log2(N) * (Send + SDMA + Network + Recv + RDMA + HRecv)
+//   Eq.2:  T_nic  = Send + log2(N) * (Network + Recv_nic) + RDMA + HRecv
+//   Eq.3:  improvement = T_host / T_nic
+//
+// derive_phases() extracts the phase times from a simulator configuration so
+// the benches can print predicted-vs-simulated side by side.
+#pragma once
+
+#include <cstddef>
+
+#include "gm/config.hpp"
+#include "net/link.hpp"
+#include "net/xswitch.hpp"
+#include "nic/config.hpp"
+
+namespace nicbar::model {
+
+struct PhaseTimes {
+  double send_us = 0;      // host call + NIC token detect
+  double sdma_us = 0;      // DMA setup/transfer + packet prep
+  double network_us = 0;   // wire (both hops) + switch latency
+  double recv_us = 0;      // NIC receive processing (data path)
+  double recv_nic_pe_us = 0;  // NIC receive + PE barrier firmware handling
+  double recv_nic_gb_us = 0;  // NIC receive + GB barrier firmware handling
+  double rdma_us = 0;      // NIC->host DMA + token return
+  double hrecv_us = 0;     // host event processing
+
+  [[nodiscard]] double host_message_us() const {
+    return send_us + sdma_us + network_us + recv_us + rdma_us + hrecv_us;
+  }
+};
+
+/// Phase times implied by a simulator configuration, for a message of
+/// `payload_bytes` through one switch.
+[[nodiscard]] PhaseTimes derive_phases(const nic::NicConfig& nic, const gm::GmConfig& gm,
+                                       const net::LinkParams& link,
+                                       const net::SwitchParams& sw,
+                                       std::int64_t payload_bytes = 8,
+                                       std::size_t switch_hops = 1);
+
+/// log2(N) rounded up (the paper's round count for PE).
+[[nodiscard]] std::size_t log2_ceil(std::size_t n);
+
+/// Eq. 1: host-based PE barrier latency for N processes.
+[[nodiscard]] double host_barrier_us(const PhaseTimes& t, std::size_t n);
+
+/// Eq. 2: NIC-based PE barrier latency for N processes.
+[[nodiscard]] double nic_barrier_us(const PhaseTimes& t, std::size_t n);
+
+/// Eq. 3: predicted factor of improvement.
+[[nodiscard]] double improvement_factor(const PhaseTimes& t, std::size_t n);
+
+}  // namespace nicbar::model

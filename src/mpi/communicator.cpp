@@ -1,0 +1,148 @@
+#include "mpi/communicator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nicbar::mpi {
+
+using nic::GmEvent;
+using nic::GmEventType;
+
+Communicator::Communicator(gm::Port& port, std::vector<gm::Endpoint> group, CommConfig config)
+    : port_(port), group_(std::move(group)), config_(config) {
+  rank_ = rank_of(port_.endpoint());
+  if (rank_ < 0) throw std::invalid_argument("port's endpoint is not in the communicator");
+  // The MPI layer's matching/progress cost applies to every GM call made
+  // through this port — that is what makes host-based collectives pay
+  // log2(N) times the overhead while NIC-based ones pay it ~once (Eq. 3).
+  port_.set_layer_overhead(config_.per_call_overhead);
+
+  coll::BarrierSpec bspec;
+  bspec.location = config_.collective_location;
+  bspec.algorithm = config_.barrier_algorithm;
+  bspec.gb_dimension = config_.gb_dimension;
+  barrier_ = std::make_unique<coll::BarrierMember>(port_, group_, bspec);
+  reducer_ = std::make_unique<coll::ReduceMember>(port_, group_, config_.collective_location,
+                                                  nic::ReduceOp::kSum, config_.gb_dimension);
+
+  // The collectives and this layer share one event stream: anything a
+  // collective drains that is not its own gets funnelled back here, and
+  // vice versa (recv() forwards completions into the members).
+  auto sink = [this](const GmEvent& ev) {
+    switch (ev.type) {
+      case GmEventType::kRecv: {
+        const int src = rank_of(ev.peer);
+        if (src >= 0) pending_[src].push_back(Message{src, ev.bytes, ev.tag});
+        break;
+      }
+      case GmEventType::kBarrierComplete:
+        barrier_->note_completion();
+        break;
+      case GmEventType::kReduceComplete:
+        reducer_->note_result(ev.value);
+        break;
+      case GmEventType::kSent:
+        break;
+    }
+  };
+  barrier_->set_event_sink(sink);
+  reducer_->set_event_sink(sink);
+}
+
+int Communicator::rank_of(gm::Endpoint e) const {
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == e) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+sim::Task Communicator::ensure_provisioned() {
+  if (provisioned_) co_return;
+  provisioned_ = true;
+  for (int i = 0; i < 2 * size() + 2; ++i) {
+    co_await port_.provide_receive_buffer(recv_buffer_bytes_);
+  }
+}
+
+sim::Task Communicator::send(int dst_rank, std::int64_t bytes, std::uint64_t tag) {
+  // Validate eagerly: a lazy coroutine would defer the throw until awaited.
+  if (dst_rank < 0 || dst_rank >= size()) throw std::out_of_range("bad destination rank");
+  return send_impl(dst_rank, bytes, tag);
+}
+
+sim::Task Communicator::send_impl(int dst_rank, std::int64_t bytes, std::uint64_t tag) {
+  // per-GM-call layer cost is charged by the port itself
+  co_await port_.send(group_[static_cast<std::size_t>(dst_rank)], bytes, tag);
+}
+
+sim::ValueTask<Message> Communicator::recv(int src_rank) {
+  if (src_rank < 0 || src_rank >= size()) throw std::out_of_range("bad source rank");
+  return recv_impl(src_rank);
+}
+
+sim::ValueTask<Message> Communicator::recv_impl(int src_rank) {
+  co_await ensure_provisioned();
+  // per-GM-call layer cost is charged by the port itself
+  auto it = pending_.find(src_rank);
+  if (it != pending_.end() && !it->second.empty()) {
+    Message m = it->second.front();
+    it->second.pop_front();
+    co_return m;
+  }
+  for (;;) {
+    const GmEvent ev = co_await port_.receive();
+    switch (ev.type) {
+      case GmEventType::kRecv: {
+        co_await port_.provide_receive_buffer(recv_buffer_bytes_);
+        const int src = rank_of(ev.peer);
+        if (src < 0) break;  // not a member of this communicator
+        Message m{src, ev.bytes, ev.tag};
+        if (src == src_rank) co_return m;
+        pending_[src].push_back(m);
+        break;
+      }
+      case GmEventType::kBarrierComplete:
+        barrier_->note_completion();
+        break;
+      case GmEventType::kReduceComplete:
+        reducer_->note_result(ev.value);
+        break;
+      case GmEventType::kSent:
+        break;
+    }
+  }
+}
+
+sim::Task Communicator::barrier() {
+  co_await ensure_provisioned();
+  // per-GM-call layer cost is charged by the port itself
+  co_await barrier_->run();
+}
+
+sim::ValueTask<std::int64_t> Communicator::allreduce(std::int64_t value, nic::ReduceOp op) {
+  co_await ensure_provisioned();
+  // per-GM-call layer cost is charged by the port itself
+  if (op == nic::ReduceOp::kSum) {
+    co_return co_await reducer_->allreduce(value);
+  }
+  // Non-sum operators get a dedicated member (cheap: schedules only).
+  coll::ReduceMember red(port_, group_, config_.collective_location, op,
+                         config_.gb_dimension);
+  red.set_event_sink([this](const GmEvent& ev) {
+    if (ev.type == GmEventType::kRecv) {
+      const int src = rank_of(ev.peer);
+      if (src >= 0) pending_[src].push_back(Message{src, ev.bytes, ev.tag});
+    } else if (ev.type == GmEventType::kBarrierComplete) {
+      barrier_->note_completion();
+    }
+  });
+  co_return co_await red.allreduce(value);
+}
+
+sim::ValueTask<std::int64_t> Communicator::bcast(std::int64_t value) {
+  // OR-reduction with identity 0 everywhere except the root delivers the
+  // root's value to every rank over the same combining tree.
+  co_return co_await allreduce(rank_ == 0 ? value : 0, nic::ReduceOp::kBitOr);
+}
+
+}  // namespace nicbar::mpi

@@ -1,0 +1,88 @@
+// A thin MPI-like layer over GM (the paper's §8 future work #1: "study the
+// effects of our NIC-based barrier operation on higher communication layers,
+// such as MPI" — pursued by the authors in their CAC'01 follow-up).
+//
+// Every call pays a fixed software overhead on top of GM (matching, queue
+// walks, datatype handling), which is exactly the `Send`/`HRecv` inflation
+// the paper's Eq. 3 says *raises* the NIC barrier's factor of improvement.
+// Collectives dispatch either to the host-based or the NIC-based
+// implementations, so an application can be re-run with one flag flipped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "coll/reduce.hpp"
+#include "gm/port.hpp"
+#include "sim/task.hpp"
+
+namespace nicbar::mpi {
+
+struct Message {
+  int source = -1;
+  std::int64_t bytes = 0;
+  std::uint64_t tag = 0;
+};
+
+struct CommConfig {
+  /// Software cost the MPI layer adds to every call (progress engine,
+  /// matching, argument checking). The knob of the paper's Eq. 3 argument.
+  sim::Duration per_call_overhead = sim::microseconds(8.0);
+  /// Where collectives run: the host-based algorithms, or the NIC firmware.
+  coll::Location collective_location = coll::Location::kNic;
+  nic::BarrierAlgorithm barrier_algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  std::size_t gb_dimension = 2;
+};
+
+/// One rank's communicator; wraps a GM port whose endpoint must appear in
+/// `group` (rank = its index there).
+class Communicator {
+ public:
+  Communicator(gm::Port& port, std::vector<gm::Endpoint> group, CommConfig config = {});
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(group_.size()); }
+  [[nodiscard]] const CommConfig& config() const { return config_; }
+
+  /// MPI_Send (eager, asynchronous completion as in GM).
+  [[nodiscard]] sim::Task send(int dst_rank, std::int64_t bytes, std::uint64_t tag = 0);
+
+  /// MPI_Recv: blocks until a message from `src_rank` arrives (messages from
+  /// other ranks are queued for their own receives).
+  [[nodiscard]] sim::ValueTask<Message> recv(int src_rank);
+
+  /// MPI_Barrier.
+  [[nodiscard]] sim::Task barrier();
+
+  /// MPI_Allreduce on a single int64.
+  [[nodiscard]] sim::ValueTask<std::int64_t> allreduce(std::int64_t value, nic::ReduceOp op);
+
+  /// MPI_Bcast of a single int64 from rank 0. Built on the reduction tree:
+  /// non-roots contribute the operator identity (bitwise OR with 0).
+  [[nodiscard]] sim::ValueTask<std::int64_t> bcast(std::int64_t value);
+
+  /// Pure computation on the host CPU (for application kernels).
+  [[nodiscard]] sim::Task compute(sim::Duration d) { return port_.compute(d); }
+
+ private:
+  sim::Task ensure_provisioned();
+  sim::Task send_impl(int dst_rank, std::int64_t bytes, std::uint64_t tag);
+  sim::ValueTask<Message> recv_impl(int src_rank);
+  int rank_of(gm::Endpoint e) const;
+
+  gm::Port& port_;
+  std::vector<gm::Endpoint> group_;
+  CommConfig config_;
+  int rank_ = -1;
+  std::unique_ptr<coll::BarrierMember> barrier_;
+  std::unique_ptr<coll::ReduceMember> reducer_;
+  std::map<int, std::deque<Message>> pending_;
+  bool provisioned_ = false;
+  std::int64_t recv_buffer_bytes_ = 64 * 1024;
+};
+
+}  // namespace nicbar::mpi

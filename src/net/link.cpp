@@ -1,0 +1,27 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace nicbar::net {
+
+sim::SimTime Link::transmit(Packet p) {
+  assert(deliver_ && "link has no receiver attached");
+  ++sent_;
+  const bool drop =
+      (drop_prob_ > 0.0 && rng_.chance(drop_prob_)) || (drop_pred_ && drop_pred_(p));
+  const sim::Duration occupy = wire_time(p);
+  if (drop) {
+    ++dropped_;
+    // The wire is still burned for the packet's duration; nothing arrives.
+    return wire_.submit(occupy);
+  }
+  const sim::Duration prop = params_.propagation;
+  // Capture by shared copy: the closure outlives this stack frame.
+  auto packet = std::make_shared<Packet>(std::move(p));
+  const sim::SimTime done = wire_.submit(occupy);
+  sim_.schedule_at(done + prop, [this, packet]() mutable { deliver_(std::move(*packet)); });
+  return done;
+}
+
+}  // namespace nicbar::net

@@ -1,0 +1,79 @@
+// Directed point-to-point link.
+//
+// Models one direction of a full-duplex Myrinet cable: packets occupy the
+// wire for wire_bytes/bandwidth (serialisation), then arrive after the
+// propagation delay. Serialisation is a FIFO BusyServer, so back-to-back
+// packets queue — this is where output-port contention at a switch shows up.
+//
+// Fault injection: a drop probability and/or an arbitrary drop predicate can
+// be set per link; dropped packets consume wire time but are not delivered
+// (as on real hardware, where a corrupted packet still burned the slot).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+
+namespace nicbar::net {
+
+struct LinkParams {
+  double bandwidth_mbps = 160.0;               // 1.28 Gb/s Myrinet LAN
+  sim::Duration propagation = sim::nanoseconds(100);
+  std::int64_t header_bytes = 16;              // GM header + CRC
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  Link(sim::Simulator& sim, LinkParams params, std::string name)
+      : sim_(sim), params_(params), wire_(sim, std::move(name)) {}
+
+  /// Sets the receiver; must be called before any transmit.
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Queues `p` for transmission. Returns the time serialisation finishes
+  /// (the sender's transmit channel frees up); delivery happens one
+  /// propagation delay later.
+  sim::SimTime transmit(Packet p);
+
+  /// Fault injection: drop each packet with probability `prob`.
+  void set_drop_probability(double prob, std::uint64_t seed = 1) {
+    drop_prob_ = prob;
+    rng_.reseed(seed);
+  }
+
+  /// Fault injection: drop packets for which `pred` returns true (applied
+  /// in addition to the probabilistic drop).
+  void set_drop_predicate(std::function<bool(const Packet&)> pred) {
+    drop_pred_ = std::move(pred);
+  }
+
+  [[nodiscard]] sim::Duration wire_time(const Packet& p) const {
+    return sim::transfer_time(p.wire_bytes(params_.header_bytes), params_.bandwidth_mbps);
+  }
+
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+  [[nodiscard]] const sim::BusyServer& wire() const { return wire_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  LinkParams params_;
+  sim::BusyServer wire_;
+  DeliverFn deliver_;
+  double drop_prob_ = 0.0;
+  std::function<bool(const Packet&)> drop_pred_;
+  sim::Rng rng_{12345};
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace nicbar::net

@@ -1,0 +1,146 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace nicbar::net {
+
+Link* Network::new_link(std::string name) {
+  links_.push_back(std::make_unique<Link>(sim_, link_params_, std::move(name)));
+  return links_.back().get();
+}
+
+NodeId Network::add_terminal() {
+  assert(!finalized_);
+  terminals_.push_back(Terminal{});
+  return static_cast<NodeId>(terminals_.size() - 1);
+}
+
+int Network::add_switch(std::size_t num_ports) {
+  assert(!finalized_);
+  const int id = static_cast<int>(switches_.size());
+  switches_.push_back(std::make_unique<Switch>(sim_, id, num_ports, switch_params_));
+  switch_adj_.emplace_back();
+  return id;
+}
+
+void Network::connect_terminal(NodeId terminal, int switch_id, std::size_t port) {
+  assert(!finalized_);
+  Terminal& t = terminals_.at(terminal);
+  Switch& sw = *switches_.at(static_cast<std::size_t>(switch_id));
+  if (t.up != nullptr) throw std::logic_error("terminal already connected");
+
+  t.attached_switch = switch_id;
+  t.attached_port = port;
+  t.up = new_link("t" + std::to_string(terminal) + "->sw" + std::to_string(switch_id));
+  t.down = new_link("sw" + std::to_string(switch_id) + "->t" + std::to_string(terminal));
+
+  // Uplink delivers into the switch; downlink hangs off the switch port.
+  Switch* swp = &sw;
+  t.up->set_deliver([swp](Packet p) { swp->accept(std::move(p)); });
+  sw.attach_out(port, t.down);
+  NodeId tid = terminal;
+  Network* self = this;
+  t.down->set_deliver([self, tid](Packet p) {
+    Terminal& dst = self->terminals_.at(tid);
+    if (dst.deliver) dst.deliver(std::move(p));
+  });
+}
+
+void Network::connect_switches(int switch_a, std::size_t port_a, int switch_b,
+                               std::size_t port_b) {
+  assert(!finalized_);
+  Switch& a = *switches_.at(static_cast<std::size_t>(switch_a));
+  Switch& b = *switches_.at(static_cast<std::size_t>(switch_b));
+
+  Link* ab = new_link("sw" + std::to_string(switch_a) + "->sw" + std::to_string(switch_b));
+  Link* ba = new_link("sw" + std::to_string(switch_b) + "->sw" + std::to_string(switch_a));
+  a.attach_out(port_a, ab);
+  b.attach_out(port_b, ba);
+  Switch* bp = &b;
+  Switch* ap = &a;
+  ab->set_deliver([bp](Packet p) { bp->accept(std::move(p)); });
+  ba->set_deliver([ap](Packet p) { ap->accept(std::move(p)); });
+
+  switch_adj_[static_cast<std::size_t>(switch_a)].push_back(
+      SwitchEdge{switch_b, static_cast<std::uint8_t>(port_a)});
+  switch_adj_[static_cast<std::size_t>(switch_b)].push_back(
+      SwitchEdge{switch_a, static_cast<std::uint8_t>(port_b)});
+}
+
+void Network::finalize() {
+  const std::size_t n = terminals_.size();
+  const std::size_t s = switches_.size();
+  routes_.assign(n * n, {});
+
+  // BFS over the switch graph from every switch: parent pointers give the
+  // first switch-hop and the output port used to reach each switch.
+  for (std::size_t src_sw = 0; src_sw < s; ++src_sw) {
+    std::vector<int> parent(s, -1);
+    std::vector<std::uint8_t> via_port(s, 0);
+    std::vector<bool> seen(s, false);
+    std::deque<int> frontier;
+    frontier.push_back(static_cast<int>(src_sw));
+    seen[src_sw] = true;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop_front();
+      for (const SwitchEdge& e : switch_adj_[static_cast<std::size_t>(u)]) {
+        if (seen[static_cast<std::size_t>(e.to_switch)]) continue;
+        seen[static_cast<std::size_t>(e.to_switch)] = true;
+        parent[static_cast<std::size_t>(e.to_switch)] = u;
+        via_port[static_cast<std::size_t>(e.to_switch)] = e.out_port;
+        frontier.push_back(e.to_switch);
+      }
+    }
+
+    // Build routes for all terminal pairs whose source hangs off src_sw.
+    for (NodeId a = 0; a < n; ++a) {
+      if (terminals_[a].attached_switch != static_cast<int>(src_sw)) continue;
+      for (NodeId b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const Terminal& tb = terminals_[b];
+        if (tb.attached_switch < 0) continue;
+        if (!seen[static_cast<std::size_t>(tb.attached_switch)]) continue;  // unreachable
+
+        // Walk dst_switch -> src_switch via parents, collecting the output
+        // port taken *leaving* each switch on the forward path.
+        std::vector<std::uint8_t> rev;
+        int cur = tb.attached_switch;
+        while (cur != static_cast<int>(src_sw)) {
+          rev.push_back(via_port[static_cast<std::size_t>(cur)]);
+          cur = parent[static_cast<std::size_t>(cur)];
+        }
+        std::vector<std::uint8_t>& r = routes_[a * n + b];
+        r.assign(rev.rbegin(), rev.rend());
+        r.push_back(static_cast<std::uint8_t>(tb.attached_port));  // exit to terminal
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+void Network::set_deliver(NodeId terminal, DeliverFn fn) {
+  terminals_.at(terminal).deliver = std::move(fn);
+}
+
+const std::vector<std::uint8_t>& Network::route(NodeId src, NodeId dst) const {
+  assert(finalized_);
+  const std::vector<std::uint8_t>& r = routes_.at(src * terminals_.size() + dst);
+  if (r.empty() && src != dst) throw std::logic_error("no route between terminals");
+  return r;
+}
+
+sim::SimTime Network::inject(Packet p) {
+  assert(finalized_);
+  Terminal& t = terminals_.at(p.src_node);
+  p.route = route(p.src_node, p.dst_node);
+  p.hop = 0;
+  p.injected_at = sim_.now();
+  p.id = next_packet_id_++;
+  ++injected_;
+  return t.up->transmit(std::move(p));
+}
+
+}  // namespace nicbar::net

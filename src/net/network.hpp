@@ -1,0 +1,111 @@
+// The network fabric: terminals (NIC attachment points), switches, cables,
+// and source-route computation.
+//
+// Construction protocol:
+//   1. add_terminal() for every NIC, add_switch() for every switch
+//   2. connect_terminal() / connect_switches() to cable everything up
+//   3. finalize() — computes shortest source routes for all terminal pairs
+//   4. set_deliver() on each terminal, then inject() packets
+//
+// Every cable is full duplex and is modelled as two directed Links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/xswitch.hpp"
+#include "sim/simulator.hpp"
+
+namespace nicbar::net {
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  explicit Network(sim::Simulator& sim, LinkParams link_params = {},
+                   SwitchParams switch_params = {})
+      : sim_(sim), link_params_(link_params), switch_params_(switch_params) {}
+
+  // --- Construction ----------------------------------------------------------
+
+  NodeId add_terminal();
+  int add_switch(std::size_t num_ports);
+  void connect_terminal(NodeId terminal, int switch_id, std::size_t port);
+  void connect_switches(int switch_a, std::size_t port_a, int switch_b, std::size_t port_b);
+
+  /// Computes all-pairs source routes. Must follow all connect_* calls.
+  void finalize();
+
+  // --- Use -------------------------------------------------------------------
+
+  void set_deliver(NodeId terminal, DeliverFn fn);
+
+  /// Injects `p` from its src_node terminal: stamps the route and id, then
+  /// transmits on the terminal's uplink. Returns the time the sender's
+  /// transmit channel frees up.
+  sim::SimTime inject(Packet p);
+
+  /// The precomputed route (switch output ports) from src to dst.
+  [[nodiscard]] const std::vector<std::uint8_t>& route(NodeId src, NodeId dst) const;
+
+  /// Number of switch hops between two terminals.
+  [[nodiscard]] std::size_t hop_count(NodeId src, NodeId dst) const {
+    return route(src, dst).size();
+  }
+
+  // --- Introspection / fault injection ----------------------------------------
+
+  [[nodiscard]] std::size_t terminal_count() const { return terminals_.size(); }
+  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
+  [[nodiscard]] const LinkParams& link_params() const { return link_params_; }
+
+  /// The directed link a terminal transmits on / receives from.
+  [[nodiscard]] Link& uplink(NodeId terminal) { return *terminals_.at(terminal).up; }
+  [[nodiscard]] Link& downlink(NodeId terminal) { return *terminals_.at(terminal).down; }
+
+  [[nodiscard]] Switch& switch_at(int id) { return *switches_.at(static_cast<std::size_t>(id)); }
+
+  /// Applies `fn` to every directed link in the fabric.
+  void for_each_link(const std::function<void(Link&)>& fn) {
+    for (auto& l : links_) fn(*l);
+  }
+
+  [[nodiscard]] std::uint64_t packets_injected() const { return injected_; }
+
+ private:
+  struct Terminal {
+    Link* up = nullptr;    // terminal -> first switch
+    Link* down = nullptr;  // last switch -> terminal
+    int attached_switch = -1;
+    std::size_t attached_port = 0;
+    DeliverFn deliver;
+  };
+
+  Link* new_link(std::string name);
+
+  sim::Simulator& sim_;
+  LinkParams link_params_;
+  SwitchParams switch_params_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Terminal> terminals_;
+  // routes_[src * terminals + dst]
+  std::vector<std::vector<std::uint8_t>> routes_;
+  bool finalized_ = false;
+  std::uint64_t injected_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+
+  // Switch-level adjacency: for each switch, (port -> peer switch) entries.
+  struct SwitchEdge {
+    int to_switch;
+    std::uint8_t out_port;
+  };
+  std::vector<std::vector<SwitchEdge>> switch_adj_;
+};
+
+}  // namespace nicbar::net

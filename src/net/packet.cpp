@@ -1,0 +1,32 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace nicbar::net {
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kAck: return "ACK";
+    case PacketType::kNack: return "NACK";
+    case PacketType::kBarrierPe: return "BAR_PE";
+    case PacketType::kBarrierGather: return "BAR_GATHER";
+    case PacketType::kBarrierBcast: return "BAR_BCAST";
+    case PacketType::kBarrierAck: return "BAR_ACK";
+    case PacketType::kBarrierNack: return "BAR_NACK";
+    case PacketType::kReduceUp: return "RED_UP";
+    case PacketType::kReduceDown: return "RED_DOWN";
+  }
+  return "?";
+}
+
+std::string Packet::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s #%llu %u.%u -> %u.%u seq=%u bseq=%u epoch=%u %lldB",
+                to_string(type), static_cast<unsigned long long>(id), src_node, src_port,
+                dst_node, dst_port, seq, barrier_seq, barrier_epoch,
+                static_cast<long long>(payload_bytes));
+  return buf;
+}
+
+}  // namespace nicbar::net

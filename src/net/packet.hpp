@@ -1,0 +1,101 @@
+// Wire packet model.
+//
+// Myrinet is source-routed: the sending NIC prepends one routing byte per
+// switch hop and each switch strips its byte and forwards. We keep the route
+// as an explicit vector of output-port indices plus a hop cursor. Packets are
+// small value objects passed by move through the fabric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nicbar::net {
+
+using NodeId = std::uint16_t;
+using PortId = std::uint8_t;  // GM communication endpoint index on a NIC (0..7)
+
+constexpr NodeId kInvalidNode = 0xffff;
+
+enum class PacketType : std::uint8_t {
+  kData,           // ordinary GM message payload
+  kAck,            // cumulative acknowledgment for the connection stream
+  kNack,           // negative ack: receiver expected a lower sequence number
+  kBarrierPe,      // pairwise-exchange barrier message
+  kBarrierGather,  // gather-and-broadcast barrier: gather phase
+  kBarrierBcast,   // gather-and-broadcast barrier: broadcast phase
+  kBarrierAck,     // ack for the separate barrier-reliability mechanism
+  kBarrierNack,    // reject: barrier message arrived for a closed port
+  kReduceUp,       // NIC-based reduction: partial value toward the root
+  kReduceDown,     // NIC-based reduction: result broadcast down the tree
+};
+
+[[nodiscard]] constexpr bool is_barrier_payload(PacketType t) {
+  return t == PacketType::kBarrierPe || t == PacketType::kBarrierGather ||
+         t == PacketType::kBarrierBcast;
+}
+
+/// NIC-resident collective payloads (barrier + reduction): handled entirely
+/// by the firmware, never DMAed to a host receive buffer.
+[[nodiscard]] constexpr bool is_collective_payload(PacketType t) {
+  return is_barrier_payload(t) || t == PacketType::kReduceUp || t == PacketType::kReduceDown;
+}
+
+[[nodiscard]] constexpr bool is_control(PacketType t) {
+  return t == PacketType::kAck || t == PacketType::kNack || t == PacketType::kBarrierAck ||
+         t == PacketType::kBarrierNack;
+}
+
+[[nodiscard]] const char* to_string(PacketType t);
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  NodeId src_node = kInvalidNode;
+  NodeId dst_node = kInvalidNode;
+  PortId src_port = 0;
+  PortId dst_port = 0;
+
+  /// Connection-stream sequence number (kData, and barrier packets when the
+  /// shared-stream reliability mode is on). 0 = unsequenced.
+  std::uint32_t seq = 0;
+  /// Cumulative ack value carried by kAck/kNack.
+  std::uint32_t ack = 0;
+  /// Separate barrier-mechanism sequence number (kBarrierAck et al.).
+  std::uint32_t barrier_seq = 0;
+  /// Identifies the barrier instance (epoch) a barrier packet belongs to.
+  std::uint32_t barrier_epoch = 0;
+  /// kBarrierNack: the type of the rejected barrier packet, so the sender
+  /// knows what to resend.
+  PacketType nacked_type = PacketType::kData;
+
+  std::int64_t payload_bytes = 0;
+  /// Opaque tag delivered with the message (tests use this for matching).
+  std::uint64_t tag = 0;
+  /// kReduceUp/kReduceDown: the (partial) reduction value.
+  std::int64_t value = 0;
+  /// Segmentation (kData): fragment index and count of the carried message.
+  /// GM fragments messages larger than the MTU; the in-order connection
+  /// stream guarantees fragments arrive consecutively per sender.
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 1;
+  std::int64_t message_bytes = 0;  // total size of the original message
+
+  // Source route: output port to take at each switch, plus the hop cursor.
+  std::vector<std::uint8_t> route;
+  std::size_t hop = 0;
+
+  sim::SimTime injected_at{0};  // set by the fabric when the packet enters
+  std::uint64_t id = 0;         // unique per fabric, for tracing
+
+  /// Bytes occupying the wire: header + one route byte per remaining hop +
+  /// payload. `header_bytes` models the GM packet header + CRC.
+  [[nodiscard]] std::int64_t wire_bytes(std::int64_t header_bytes) const {
+    return header_bytes + static_cast<std::int64_t>(route.size()) + payload_bytes;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace nicbar::net

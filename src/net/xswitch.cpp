@@ -1,0 +1,24 @@
+#include "net/xswitch.hpp"
+
+#include <memory>
+
+namespace nicbar::net {
+
+void Switch::accept(Packet p) {
+  if (p.hop >= p.route.size()) {
+    ++misrouted_;  // ran out of route bytes: drop (would be a CRC error on hw)
+    return;
+  }
+  const std::uint8_t port = p.route[p.hop++];
+  if (port >= out_.size() || out_[port] == nullptr) {
+    ++misrouted_;
+    return;
+  }
+  ++forwarded_;
+  Link* link = out_[port];
+  auto packet = std::make_shared<Packet>(std::move(p));
+  sim_.schedule_in(params_.routing_latency,
+                   [link, packet]() mutable { link->transmit(std::move(*packet)); });
+}
+
+}  // namespace nicbar::net

@@ -1,0 +1,111 @@
+// NIC hardware/firmware cost model.
+//
+// All firmware handler costs are in *NIC processor cycles*, charged on the
+// single CycleServer that models the LANai processor shared by the four MCP
+// engines (SDMA, SEND, RECV, RDMA). Expressing costs in cycles — rather than
+// time — is what makes the paper's LANai 4.3 (33 MHz) vs LANai 7.2 (66 MHz)
+// comparison a one-knob experiment: doubling clock_mhz halves exactly the
+// NIC-resident share of every latency.
+//
+// The default cycle counts are calibrated (see DESIGN.md §4) so that the
+// derived message-phase times land in the paper's measured regime for
+// LANai 4.3: Send ≈ 5.5 µs, SDMA ≈ 8.5 µs, Network ≈ 1 µs, Recv ≈ 17-20 µs,
+// RDMA ≈ 6 µs, HRecv ≈ 4 µs, giving the paper's ≈ 182 µs host-based /
+// ≈ 102 µs NIC-based 16-node pairwise-exchange barrier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace nicbar::nic {
+
+/// How barrier packets are made reliable (paper §3.3 / §4.4).
+enum class BarrierReliability : std::uint8_t {
+  /// The paper's *measured* configuration: barrier packets carry no sequence
+  /// number and are never retransmitted (fabric assumed lossless).
+  kUnreliable,
+  /// Barrier packets ride the connection's ordinary seq/ack stream, which
+  /// preserves their order relative to data messages (§3.3 option 1).
+  kSharedStream,
+  /// A separate ack/seq/retransmit mechanism just for barrier messages
+  /// (§3.3 option 2 — the mechanism the paper says it intends to complete).
+  kSeparateAcks,
+};
+
+/// What the NIC does with a barrier message addressed to a closed port
+/// (paper §3.2).
+enum class ClosedPortPolicy : std::uint8_t {
+  /// Naive: record normally; wipe records for a port when it opens. Loses
+  /// legitimately-early messages (documented drawback in the paper).
+  kClearOnOpen,
+  /// Reject (NACK) messages for closed ports; the sender resends, possibly
+  /// an unbounded number of times.
+  kRejectClosed,
+  /// The paper's adopted policy: record messages for closed ports, but on
+  /// open flush those records with a NACK so each sender resends exactly
+  /// once (if its initiating endpoint is still in that barrier).
+  kRecordThenRejectOnOpen,
+};
+
+struct NicConfig {
+  std::string model = "LANai-4.3";
+  double clock_mhz = 33.0;
+
+  // --- Firmware handler costs, in NIC processor cycles ---------------------
+  std::int64_t sdma_detect_cycles = 100;    // poll loop notices a new send token
+  std::int64_t sdma_setup_cycles = 185;     // program the host->NIC DMA
+  std::int64_t sdma_prepare_cycles = 100;   // build the packet after the DMA
+  std::int64_t send_cycles = 30;            // hand a prepared packet to the wire
+  std::int64_t recv_cycles = 480;           // receive + verify an incoming packet
+  std::int64_t recv_ack_cycles = 60;        // process an ack/nack
+  std::int64_t rdma_setup_cycles = 170;     // program NIC->host DMA, token mgmt
+  std::int64_t barrier_init_cycles = 150;   // accept a barrier send token
+  std::int64_t barrier_pe_cycles = 90;      // PE bookkeeping per barrier message
+  std::int64_t barrier_gb_cycles = 200;     // GB bookkeeping per barrier message
+  /// Extra initiation cost for a GB barrier: the firmware walks the child
+  /// list and builds its gather bookkeeping. This fixed cost is why the
+  /// paper's NIC-GB loses to host-GB at N=2 but wins at N>=4.
+  std::int64_t barrier_gb_init_cycles = 800;
+  std::int64_t barrier_send_cycles = 60;    // prepare one outgoing barrier packet
+
+  /// Maximum payload per wire packet; larger messages are segmented by the
+  /// SDMA engine and reassembled by RDMA (GM's MTU is 4 KB on Myrinet LAN).
+  std::int64_t mtu_bytes = 4096;
+
+  // --- Host interconnect (PCI) ----------------------------------------------
+  double pci_bandwidth_mbps = 132.0;        // 32-bit/33 MHz PCI
+  sim::Duration pci_setup = sim::nanoseconds(300);
+
+  // --- Ports & buffers --------------------------------------------------------
+  int max_ports = 8;                        // GM 1.2.3: eight ports per NIC
+
+  // --- Reliability -------------------------------------------------------------
+  sim::Duration retransmit_timeout = sim::milliseconds(1.0);
+  sim::Duration barrier_resend_delay = sim::microseconds(50.0);
+  int max_retransmissions = 64;             // give-up threshold (connection error)
+
+  // --- Barrier policy knobs ------------------------------------------------------
+  BarrierReliability barrier_reliability = BarrierReliability::kUnreliable;
+  ClosedPortPolicy closed_port_policy = ClosedPortPolicy::kRecordThenRejectOnOpen;
+  /// §3.4 optimisation (future work in the paper): barrier messages between
+  /// two ports of the *same* NIC skip the wire and just set the flag.
+  bool barrier_loopback = false;
+
+  /// Payload size of a barrier packet (identifies barrier id + epoch).
+  std::int64_t barrier_payload_bytes = 8;
+
+  [[nodiscard]] sim::Duration cycles(std::int64_t n) const {
+    return sim::cycles_at_mhz(n, clock_mhz);
+  }
+};
+
+/// The paper's 33 MHz LANai 4.3 testbed card.
+[[nodiscard]] NicConfig lanai43();
+
+/// The paper's 66 MHz LANai 7.2 card: identical firmware, double the clock,
+/// and a 64-bit PCI interface.
+[[nodiscard]] NicConfig lanai72();
+
+}  // namespace nicbar::nic

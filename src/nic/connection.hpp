@@ -1,0 +1,73 @@
+// Per-remote-node connection state (paper §4.1: "The NIC also has data
+// structures each corresponding to a connection to one node in the system").
+//
+// Carries the reliability stream (sequence numbers, the sent list awaiting
+// acknowledgment, the retransmission timer) and the unexpected-barrier-
+// message record of §3.1/§4.3: one bit per remote port — GM 1.2.3 allows
+// eight ports per NIC, so the record is exactly one byte per connection, as
+// the paper points out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "nic/tokens.hpp"
+#include "sim/event_queue.hpp"
+
+namespace nicbar::nic {
+
+constexpr int kMaxPorts = 8;
+
+/// Diagnostic sidecar for each unexpected-record bit. Real firmware keeps
+/// only the bit; we additionally remember what set it so that the closed-
+/// port policies (§3.2) and the tests can reason about it.
+struct BarrierBitInfo {
+  net::PacketType type = net::PacketType::kBarrierPe;
+  std::uint32_t epoch = 0;
+  PortId dst_port = 0;       // local port the message was addressed to
+  bool for_closed_port = false;
+  std::int64_t value = 0;    // kReduceUp/kReduceDown: the carried partial value
+};
+
+/// A reliably-sent packet awaiting acknowledgment.
+struct SentRecord {
+  net::Packet packet;  // full copy, so retransmission can re-inject it
+  std::function<void()> on_sent;  // host notification when acked (may be null)
+};
+
+struct Connection {
+  // --- Reliability stream (data + shared-stream barrier packets) -----------
+  std::uint32_t next_send_seq = 1;
+  std::uint32_t next_expected_seq = 1;
+  std::deque<SentRecord> sent_list;
+  sim::EventId retransmit_timer;
+  int retransmissions = 0;
+  bool nack_outstanding = false;  // one NACK per out-of-order episode
+
+  // --- Separate barrier-reliability stream (BarrierReliability::kSeparateAcks)
+  std::uint32_t next_barrier_send_seq = 1;
+  std::uint32_t next_expected_barrier_seq = 1;
+  std::deque<SentRecord> barrier_sent_list;
+  sim::EventId barrier_retransmit_timer;
+  bool barrier_nack_outstanding = false;
+
+  // --- Unexpected barrier message record (§3.1) ------------------------------
+  std::uint8_t barrier_bits = 0;  // bit i = message from remote port i recorded
+  std::array<BarrierBitInfo, kMaxPorts> bit_info{};
+
+  [[nodiscard]] bool bit(PortId remote_port) const {
+    return (barrier_bits & (1u << remote_port)) != 0;
+  }
+  void set_bit(PortId remote_port, BarrierBitInfo info) {
+    barrier_bits |= static_cast<std::uint8_t>(1u << remote_port);
+    bit_info[remote_port] = info;
+  }
+  void clear_bit(PortId remote_port) {
+    barrier_bits &= static_cast<std::uint8_t>(~(1u << remote_port));
+  }
+};
+
+}  // namespace nicbar::nic

@@ -1,0 +1,416 @@
+// Core MCP: port management, the SDMA/SEND ordinary-message path, the
+// RECV/RDMA receive path, and connection-level reliability (seq/ack/nack +
+// go-back-N retransmission). The barrier firmware lives in nic_barrier.cpp.
+#include "nic/nic.hpp"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace nicbar::nic {
+
+using net::Packet;
+using net::PacketType;
+
+const char* to_string(BarrierAlgorithm a) {
+  switch (a) {
+    case BarrierAlgorithm::kPairwiseExchange: return "PE";
+    case BarrierAlgorithm::kGatherBroadcast: return "GB";
+  }
+  return "?";
+}
+
+Nic::Nic(sim::Simulator& sim, net::Network& net, NodeId node, NicConfig config,
+         sim::BusyServer& pci)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      config_(std::move(config)),
+      proc_(sim, config_.clock_mhz, "nic" + std::to_string(node)),
+      pci_(pci),
+      ports_(static_cast<std::size_t>(config_.max_ports)) {}
+
+void Nic::trace(sim::TraceCategory cat, const char* fmt, ...) {
+  if (tracer_ == nullptr || !tracer_->on(cat)) return;
+  char body[400];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof body, fmt, ap);
+  va_end(ap);
+  tracer_->log(cat, sim_.now(), "nic%u: %s", node_, body);
+}
+
+Connection& Nic::conn(NodeId remote) {
+  if (remote >= conns_.size()) conns_.resize(remote + 1u);
+  if (!conns_[remote]) conns_[remote] = std::make_unique<Connection>();
+  return *conns_[remote];
+}
+
+const Connection& Nic::connection(NodeId remote) const {
+  return *conns_.at(remote);
+}
+
+bool Nic::barrier_active(PortId p) const {
+  const PortState& ps = port(p);
+  return ps.active_barrier != nullptr && !ps.active_barrier->completed;
+}
+
+// --- Ports ---------------------------------------------------------------------
+
+void Nic::open_port(PortId p, sim::Mailbox<GmEvent>* events) {
+  PortState& ps = port(p);
+  if (ps.open) throw std::logic_error("port already open");
+  ps.open = true;
+  ps.events = events;
+  ps.recv_tokens.clear();
+  ps.barrier_buffers = 0;
+  ps.active_barrier.reset();
+  ps.last_barrier.reset();
+  ps.active_reduce.reset();
+  ps.last_reduce.reset();
+  flush_closed_port_records(p);
+}
+
+void Nic::close_port(PortId p) {
+  PortState& ps = port(p);
+  ps.open = false;
+  ps.events = nullptr;
+  ps.recv_tokens.clear();
+  ps.barrier_buffers = 0;
+  // An active barrier is abandoned (the §3.2 pathological case); the record
+  // of the last completed barrier dies with the endpoint, so later barrier
+  // NACKs will correctly find "endpoint closed since" and not resend.
+  ps.active_barrier.reset();
+  ps.last_barrier.reset();
+  ps.active_reduce.reset();
+  ps.last_reduce.reset();
+}
+
+bool Nic::is_port_open(PortId p) const { return port(p).open; }
+
+void Nic::post_receive_token(PortId p, RecvToken token) {
+  port(p).recv_tokens.push_back(token);
+}
+
+void Nic::provide_barrier_buffer(PortId p) { ++port(p).barrier_buffers; }
+
+// --- SDMA / SEND: ordinary messages ------------------------------------------------
+
+void Nic::post_send_token(SendToken token) {
+  // SDMA notices the token (poll loop) and programs the host->NIC DMA.
+  proc_.submit_cycles(
+      config_.sdma_detect_cycles + config_.sdma_setup_cycles,
+      [this, token = std::move(token)]() mutable { sdma_start(std::move(token)); });
+}
+
+void Nic::sdma_start(SendToken token) {
+  // Messages above the MTU are segmented; fragments pipeline through the
+  // PCI DMA, packet preparation, and the wire (each stage FIFO).
+  const std::int64_t mtu = config_.mtu_bytes;
+  const auto frag_count = static_cast<std::uint16_t>(
+      token.bytes <= mtu ? 1 : (token.bytes + mtu - 1) / mtu);
+  sdma_fragment(std::move(token), 0, frag_count);
+}
+
+void Nic::sdma_fragment(SendToken token, std::uint16_t index, std::uint16_t frag_count) {
+  const std::int64_t offset = static_cast<std::int64_t>(index) * config_.mtu_bytes;
+  const std::int64_t len =
+      frag_count == 1 ? token.bytes : std::min(config_.mtu_bytes, token.bytes - offset);
+  const sim::Duration dma =
+      config_.pci_setup + sim::transfer_time(len, config_.pci_bandwidth_mbps);
+  pci_.submit(dma, [this, token = std::move(token), index, frag_count, len]() mutable {
+    proc_.submit_cycles(
+        config_.sdma_prepare_cycles,
+        [this, token = std::move(token), index, frag_count, len]() mutable {
+          Packet p;
+          p.type = PacketType::kData;
+          p.src_node = node_;
+          p.src_port = token.src_port;
+          p.dst_node = token.dst.node;
+          p.dst_port = token.dst.port;
+          p.payload_bytes = len;
+          p.message_bytes = token.bytes;
+          p.tag = token.tag;
+          p.value = token.value;
+          p.frag_index = index;
+          p.frag_count = frag_count;
+          trace(sim::TraceCategory::kSdma, "prepared %s frag %u/%u", p.describe().c_str(),
+                index + 1, frag_count);
+          const bool last = index + 1 == frag_count;
+          enqueue_reliable(std::move(p), last ? std::move(token.on_sent) : nullptr);
+          if (!last) sdma_fragment(std::move(token), static_cast<std::uint16_t>(index + 1),
+                                   frag_count);
+        });
+  });
+}
+
+void Nic::post_multicast_token(MulticastToken token) {
+  if (token.bytes > config_.mtu_bytes) {
+    throw std::invalid_argument("multicast payload exceeds the MTU");
+  }
+  proc_.submit_cycles(
+      config_.sdma_detect_cycles + config_.sdma_setup_cycles,
+      [this, token = std::move(token)]() mutable {
+        // The decisive difference from a host-side send loop: ONE PCI
+        // crossing regardless of the destination count.
+        const sim::Duration dma =
+            config_.pci_setup + sim::transfer_time(token.bytes, config_.pci_bandwidth_mbps);
+        pci_.submit(dma, [this, token = std::move(token)]() mutable {
+          ++stats_.multicasts_sent;
+          for (const Endpoint& dst : token.destinations) {
+            // Per-destination packet preparation, pipelined on the processor.
+            auto tok = std::make_shared<MulticastToken>(token);
+            proc_.submit_cycles(config_.sdma_prepare_cycles, [this, tok, dst] {
+              Packet p;
+              p.type = PacketType::kData;
+              p.src_node = node_;
+              p.src_port = tok->src_port;
+              p.dst_node = dst.node;
+              p.dst_port = dst.port;
+              p.payload_bytes = tok->bytes;
+              p.tag = tok->tag;
+              p.value = tok->value;
+              enqueue_reliable(std::move(p), nullptr);
+            });
+          }
+        });
+      });
+}
+
+void Nic::enqueue_reliable(Packet p, std::function<void()> on_sent) {
+  Connection& c = conn(p.dst_node);
+  p.seq = c.next_send_seq++;
+  c.sent_list.push_back(SentRecord{p, std::move(on_sent)});
+  arm_retransmit(p.dst_node);
+  ++stats_.data_sent;
+  transmit(std::move(p));
+}
+
+void Nic::transmit(Packet p) {
+  const std::int64_t cost =
+      net::is_barrier_payload(p.type) ? config_.barrier_send_cycles : config_.send_cycles;
+  auto packet = std::make_shared<Packet>(std::move(p));
+  proc_.submit_cycles(cost, [this, packet]() mutable {
+    if (packet->dst_node == node_) {
+      // Same-NIC delivery: skip the fabric, model a short internal turnaround.
+      Packet copy = *packet;
+      sim_.schedule_in(proc_.cycles(config_.send_cycles),
+                       [this, pkt = std::move(copy)]() mutable { rx_packet(std::move(pkt)); });
+      return;
+    }
+    trace(sim::TraceCategory::kSend, "tx %s", packet->describe().c_str());
+    net_.inject(std::move(*packet));
+  });
+}
+
+void Nic::send_control(Packet p) {
+  // Acks/nacks are small unsequenced control packets prepared by RDMA/SEND.
+  transmit(std::move(p));
+}
+
+// --- RECV dispatch --------------------------------------------------------------------
+
+void Nic::rx_packet(Packet p) {
+  auto packet = std::make_shared<Packet>(std::move(p));
+  switch (packet->type) {
+    case PacketType::kData:
+      proc_.submit_cycles(config_.recv_cycles,
+                          [this, packet]() mutable { recv_data(std::move(*packet)); });
+      break;
+    case PacketType::kAck:
+      proc_.submit_cycles(config_.recv_ack_cycles, [this, packet] { recv_ack(*packet); });
+      break;
+    case PacketType::kNack:
+      proc_.submit_cycles(config_.recv_ack_cycles, [this, packet] { recv_nack(*packet); });
+      break;
+    case PacketType::kBarrierPe:
+    case PacketType::kBarrierGather:
+    case PacketType::kBarrierBcast:
+    case PacketType::kReduceUp:
+    case PacketType::kReduceDown:
+      proc_.submit_cycles(config_.recv_cycles,
+                          [this, packet]() mutable { barrier_rx(std::move(*packet)); });
+      break;
+    case PacketType::kBarrierAck:
+      proc_.submit_cycles(config_.recv_ack_cycles,
+                          [this, packet] { barrier_recv_barrier_ack(*packet); });
+      break;
+    case PacketType::kBarrierNack:
+      proc_.submit_cycles(config_.recv_ack_cycles,
+                          [this, packet] { barrier_handle_nack(*packet); });
+      break;
+  }
+}
+
+void Nic::recv_data(Packet p) {
+  Connection& c = conn(p.src_node);
+  trace(sim::TraceCategory::kRecv, "rx %s (expect seq=%u)", p.describe().c_str(),
+        c.next_expected_seq);
+  if (p.seq == c.next_expected_seq) {
+    // In-order. GM receive-side flow control: without a host buffer the
+    // packet cannot be accepted; leave the stream position unchanged so the
+    // sender's retransmission redelivers it later. Collective payloads
+    // (shared-stream mode) are consumed by the NIC itself, no host buffer;
+    // non-leading fragments use the buffer claimed by fragment 0.
+    if (!net::is_collective_payload(p.type) && p.frag_index == 0 &&
+        port(p.dst_port).open && port(p.dst_port).recv_tokens.empty()) {
+      ++stats_.no_token_drops;
+      send_nack(p.src_node);
+      return;
+    }
+    ++c.next_expected_seq;
+    c.nack_outstanding = false;
+    send_ack(p.src_node);
+    accept_in_order(std::move(p));
+  } else if (p.seq < c.next_expected_seq) {
+    ++stats_.duplicates_dropped;
+    send_ack(p.src_node);  // re-ack so the sender can retire it
+  } else {
+    ++stats_.out_of_order_dropped;
+    if (!c.nack_outstanding) {
+      c.nack_outstanding = true;
+      send_nack(p.src_node);
+    }
+  }
+}
+
+void Nic::accept_in_order(Packet p) {
+  if (net::is_collective_payload(p.type)) {
+    // Shared-stream mode: the barrier message passed the ordinary stream
+    // check; now run the barrier firmware on it.
+    const std::int64_t cost = p.type == PacketType::kBarrierPe
+                                  ? config_.barrier_pe_cycles
+                                  : config_.barrier_gb_cycles;
+    auto packet = std::make_shared<Packet>(std::move(p));
+    proc_.submit_cycles(cost,
+                        [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    return;
+  }
+  ++stats_.data_received;
+  if (!port(p.dst_port).open) {
+    ++stats_.closed_port_drops;
+    return;
+  }
+  deliver_to_host(std::move(p));
+}
+
+void Nic::recv_ack(const Packet& p) {
+  ++stats_.acks_received;
+  Connection& c = conn(p.src_node);
+  bool retired = false;
+  while (!c.sent_list.empty() && c.sent_list.front().packet.seq <= p.ack) {
+    SentRecord rec = std::move(c.sent_list.front());
+    c.sent_list.pop_front();
+    retired = true;
+    if (rec.on_sent) sim_.schedule_now(std::move(rec.on_sent));
+  }
+  if (retired) {
+    c.retransmissions = 0;
+    sim_.cancel(c.retransmit_timer);
+    if (!c.sent_list.empty()) arm_retransmit(p.src_node);
+  }
+}
+
+void Nic::recv_nack(const Packet& p) {
+  ++stats_.nacks_received;
+  Connection& c = conn(p.src_node);
+  // NACK(n): receiver has everything below n; retire those, resend the rest.
+  while (!c.sent_list.empty() && c.sent_list.front().packet.seq < p.ack) {
+    SentRecord rec = std::move(c.sent_list.front());
+    c.sent_list.pop_front();
+    if (rec.on_sent) sim_.schedule_now(std::move(rec.on_sent));
+  }
+  retransmit_all(p.src_node);
+}
+
+// --- Reliability timers -------------------------------------------------------------------
+
+void Nic::arm_retransmit(NodeId remote) {
+  Connection& c = conn(remote);
+  sim_.cancel(c.retransmit_timer);
+  c.retransmit_timer = sim_.schedule_in(config_.retransmit_timeout, [this, remote] {
+    Connection& cc = conn(remote);
+    if (cc.sent_list.empty()) return;
+    if (++cc.retransmissions > config_.max_retransmissions) {
+      trace(sim::TraceCategory::kReliab, "connection to %u failed (retries exhausted)", remote);
+      return;  // connection declared dead; counters expose it
+    }
+    retransmit_all(remote);
+  });
+}
+
+void Nic::retransmit_all(NodeId remote) {
+  Connection& c = conn(remote);
+  for (const SentRecord& rec : c.sent_list) {
+    ++stats_.retransmissions;
+    trace(sim::TraceCategory::kReliab, "retransmit %s", rec.packet.describe().c_str());
+    transmit(rec.packet);
+  }
+  if (!c.sent_list.empty()) arm_retransmit(remote);
+}
+
+void Nic::send_ack(NodeId remote) {
+  Connection& c = conn(remote);
+  Packet a;
+  a.type = PacketType::kAck;
+  a.src_node = node_;
+  a.dst_node = remote;
+  a.ack = c.next_expected_seq - 1;  // cumulative: highest accepted
+  ++stats_.acks_sent;
+  send_control(std::move(a));
+}
+
+void Nic::send_nack(NodeId remote) {
+  Connection& c = conn(remote);
+  Packet a;
+  a.type = PacketType::kNack;
+  a.src_node = node_;
+  a.dst_node = remote;
+  a.ack = c.next_expected_seq;  // the sequence number we want next
+  ++stats_.nacks_sent;
+  send_control(std::move(a));
+}
+
+// --- RDMA ----------------------------------------------------------------------------------------
+
+void Nic::deliver_to_host(Packet p) {
+  PortState& ps = port(p.dst_port);
+  if (p.frag_index == 0) {
+    // Fragment 0 (or a whole unfragmented message) claims the host buffer;
+    // later fragments stream into the same buffer.
+    assert(!ps.recv_tokens.empty());  // guaranteed by the recv_data token check
+    ps.recv_tokens.pop_front();
+  }
+  auto packet = std::make_shared<Packet>(std::move(p));
+  proc_.submit_cycles(config_.rdma_setup_cycles, [this, packet] {
+    const sim::Duration dma =
+        config_.pci_setup +
+        sim::transfer_time(packet->payload_bytes, config_.pci_bandwidth_mbps);
+    pci_.submit(dma, [this, packet] {
+      // The host sees one event per *message*, on the final fragment.
+      if (packet->frag_index + 1 != packet->frag_count) return;
+      GmEvent ev;
+      ev.type = GmEventType::kRecv;
+      ev.peer = Endpoint{packet->src_node, packet->src_port};
+      ev.bytes = packet->frag_count == 1 ? packet->payload_bytes : packet->message_bytes;
+      ev.tag = packet->tag;
+      ev.value = packet->value;
+      trace(sim::TraceCategory::kRdma, "deliver %s", packet->describe().c_str());
+      push_event(packet->dst_port, ev);
+    });
+  });
+}
+
+void Nic::push_event(PortId p, GmEvent ev) {
+  PortState& ps = port(p);
+  if (!ps.open || ps.events == nullptr) {
+    ++stats_.closed_port_drops;
+    return;
+  }
+  ++stats_.events_delivered;
+  ps.events->send(ev);
+}
+
+}  // namespace nicbar::nic

@@ -1,0 +1,211 @@
+// The programmable NIC: GM's Myrinet Control Program (MCP) plus our barrier
+// firmware extension.
+//
+// The real MCP is four cooperating state machines — SDMA, SEND, RECV, RDMA —
+// time-sliced on the single LANai processor (paper Fig. 4). We model that
+// processor as one FIFO CycleServer: every firmware action is a job with a
+// cycle cost from NicConfig, so the engines automatically serialise exactly
+// as they do on hardware, and NIC processor speed scales all of it together.
+//
+//   SDMA: notices host send tokens, programs host->NIC DMA over the PCI bus,
+//         prepares packets, and (for barrier tokens) runs barrier initiation.
+//   SEND: pays per-packet transmit cycles and injects into the fabric.
+//   RECV: pays per-packet receive cycles, runs the reliability checks
+//         (sequence/ack/nack, go-back-N retransmission), and dispatches.
+//   RDMA: programs NIC->host DMA for accepted payloads and completion
+//         events, and runs the barrier advance logic of §4.2-4.4.
+//
+// Barrier state lives in the barrier send token, pointed to by the port
+// structure (paper §4.2), so the eight ports can run independent concurrent
+// barriers. Unexpected barrier messages are recorded in the per-connection
+// one-byte bit array of §4.3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "nic/config.hpp"
+#include "nic/connection.hpp"
+#include "nic/tokens.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/trace.hpp"
+
+namespace nicbar::nic {
+
+struct NicStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_received = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t out_of_order_dropped = 0;
+  std::uint64_t no_token_drops = 0;
+  std::uint64_t closed_port_drops = 0;
+  std::uint64_t barrier_packets_sent = 0;
+  std::uint64_t barrier_packets_received = 0;
+  std::uint64_t barriers_started = 0;
+  std::uint64_t barriers_completed = 0;
+  std::uint64_t reduces_started = 0;
+  std::uint64_t reduces_completed = 0;
+  std::uint64_t multicasts_sent = 0;
+  std::uint64_t unexpected_recorded = 0;
+  std::uint64_t bit_collisions = 0;
+  std::uint64_t barrier_nacks_sent = 0;
+  std::uint64_t barrier_resends = 0;
+  std::uint64_t barrier_loopback_msgs = 0;
+  std::uint64_t events_delivered = 0;
+};
+
+class Nic {
+ public:
+  /// `pci` is the node's shared PCI bus (SDMA and RDMA arbitrate for it).
+  Nic(sim::Simulator& sim, net::Network& net, NodeId node, NicConfig config,
+      sim::BusyServer& pci);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  // --- Host-facing interface (called by the gm layer) ------------------------
+
+  /// Opens a communication endpoint; `events` is the host-side event queue
+  /// the NIC will push receive/sent/barrier-complete events into.
+  void open_port(PortId port, sim::Mailbox<GmEvent>* events);
+  void close_port(PortId port);
+  [[nodiscard]] bool is_port_open(PortId port) const;
+
+  /// Queues an ordinary send token (gm_send_with_callback).
+  void post_send_token(SendToken token);
+
+  /// Provides a pinned receive buffer (gm_provide_receive_buffer).
+  void post_receive_token(PortId port, RecvToken token);
+
+  /// Queues a barrier send token (gm_barrier_send_with_callback).
+  void post_barrier_token(BarrierToken token);
+
+  /// Provides a barrier-completion buffer (gm_provide_barrier_buffer).
+  void provide_barrier_buffer(PortId port);
+
+  /// Queues a reduction send token (the §8 collectives extension): the NIC
+  /// combines child contributions, forwards the partial up the tree, and —
+  /// for an allreduce — distributes the root's result back down.
+  void post_reduce_token(ReduceToken token);
+
+  /// Queues a NIC-assisted multicast (§7 related work): one host->NIC DMA,
+  /// then the NIC replicates the packet to every destination. Throws
+  /// std::invalid_argument if the payload exceeds the MTU.
+  void post_multicast_token(MulticastToken token);
+
+  // --- Network-facing interface -------------------------------------------------
+
+  /// A packet head has fully arrived from the fabric (RECV engine entry).
+  void rx_packet(net::Packet p);
+
+  // --- Introspection ---------------------------------------------------------------
+
+  [[nodiscard]] NodeId node_id() const { return node_; }
+  [[nodiscard]] const NicConfig& config() const { return config_; }
+  [[nodiscard]] const NicStats& stats() const { return stats_; }
+  [[nodiscard]] sim::CycleServer& processor() { return proc_; }
+  [[nodiscard]] const Connection& connection(NodeId remote) const;
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+  /// True if the port currently has an active (incomplete) barrier.
+  [[nodiscard]] bool barrier_active(PortId port) const;
+
+ private:
+  struct PortState {
+    bool open = false;
+    sim::Mailbox<GmEvent>* events = nullptr;
+    std::deque<RecvToken> recv_tokens;
+    int barrier_buffers = 0;
+    std::unique_ptr<BarrierToken> active_barrier;
+    /// Most recently completed barrier, kept so §3.2 closed-port NACKs can
+    /// still be answered after completion.
+    std::unique_ptr<BarrierToken> last_barrier;
+    std::unique_ptr<ReduceToken> active_reduce;
+    std::unique_ptr<ReduceToken> last_reduce;
+  };
+
+  Connection& conn(NodeId remote);
+  PortState& port(PortId p) { return ports_.at(p); }
+  const PortState& port(PortId p) const { return ports_.at(p); }
+
+  // --- SDMA / SEND ------------------------------------------------------------
+  void sdma_start(SendToken token);
+  void sdma_fragment(SendToken token, std::uint16_t index, std::uint16_t frag_count);
+  void enqueue_reliable(net::Packet p, std::function<void()> on_sent);
+  void transmit(net::Packet p);      // SEND engine: cycles, then wire/loopback
+  void send_control(net::Packet p);  // acks and nacks (unsequenced)
+
+  // --- RECV dispatch -------------------------------------------------------------
+  void recv_data(net::Packet p);
+  void recv_ack(const net::Packet& p);
+  void recv_nack(const net::Packet& p);
+  void accept_in_order(net::Packet p);  // passed seq check (data or barrier)
+
+  // --- RDMA ---------------------------------------------------------------------------
+  void deliver_to_host(net::Packet p);
+  void push_event(PortId port, GmEvent ev);
+
+  // --- Reliability -------------------------------------------------------------------
+  void arm_retransmit(NodeId remote);
+  void retransmit_all(NodeId remote);
+  void send_ack(NodeId remote);
+  void send_nack(NodeId remote);
+
+  // --- Barrier firmware (nic_barrier.cpp) ------------------------------------------
+  void barrier_start(BarrierToken token);                 // SDMA side
+  void barrier_rx(net::Packet p);                         // RDMA side
+  void barrier_rx_in_order(net::Packet p);                // after stream check
+  void barrier_record(const net::Packet& p, bool for_closed_port);
+  void barrier_try_advance_pe(PortId local_port);
+  void barrier_check_gather(PortId local_port);
+  void barrier_enter_broadcast(PortId local_port);
+  void barrier_send(PortId local_port, Endpoint dst, net::PacketType type,
+                    std::uint32_t epoch);
+  void barrier_complete(PortId local_port);
+  void barrier_closed_port_arrival(net::Packet p);
+  void barrier_send_nack(const net::Packet& original);
+  void barrier_handle_nack(const net::Packet& p);
+  void flush_closed_port_records(PortId opened_port);
+  // Separate-ack barrier reliability:
+  void barrier_enqueue_separate(net::Packet p);
+  void barrier_recv_separate(net::Packet p);
+  void barrier_recv_barrier_ack(const net::Packet& p);
+  void arm_barrier_retransmit(NodeId remote);
+  void barrier_retransmit_all(NodeId remote);
+
+  // --- Reduction firmware (nic_reduce.cpp) ------------------------------------------
+  void reduce_start(ReduceToken token);
+  void reduce_rx_in_order(net::Packet p);               // dispatched by barrier_rx paths
+  void reduce_check_children(PortId local_port);
+  void reduce_send(PortId local_port, Endpoint dst, net::PacketType type,
+                   std::uint32_t epoch, std::int64_t value);
+  void reduce_complete(PortId local_port, std::int64_t result);
+  bool reduce_answer_nack(const net::Packet& p);        // §3.2 resend for reduce types
+
+  void trace(sim::TraceCategory cat, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeId node_;
+  NicConfig config_;
+  sim::CycleServer proc_;
+  sim::BusyServer& pci_;
+  std::vector<PortState> ports_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  NicStats stats_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace nicbar::nic

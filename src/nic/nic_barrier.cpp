@@ -1,0 +1,478 @@
+// The NIC-based barrier firmware (paper §4.2-§4.4, §5.2).
+//
+// Barrier state lives in the barrier send token; the port structure points
+// at the active token so the RDMA engine can find it when a barrier packet
+// arrives. Unexpected arrivals set one bit per (connection, remote port) in
+// the per-connection record; the advance logic tests-and-clears those bits.
+//
+// Three reliability modes (§3.3/§4.4) and three closed-port policies (§3.2)
+// are implemented; see NicConfig for which combination the paper measured.
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "nic/nic.hpp"
+
+namespace nicbar::nic {
+
+using net::Packet;
+using net::PacketType;
+
+namespace {
+
+bool contains(const std::vector<Endpoint>& v, Endpoint e) {
+  for (const Endpoint& x : v) {
+    if (x == e) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- Initiation (SDMA side) ------------------------------------------------------
+
+void Nic::post_barrier_token(BarrierToken token) {
+  std::int64_t cycles = config_.sdma_detect_cycles + config_.barrier_init_cycles;
+  if (token.algorithm == BarrierAlgorithm::kGatherBroadcast) {
+    cycles += config_.barrier_gb_init_cycles;
+  }
+  proc_.submit_cycles(cycles, [this, token = std::move(token)]() mutable {
+    barrier_start(std::move(token));
+  });
+}
+
+void Nic::barrier_start(BarrierToken token) {
+  PortState& ps = port(token.src_port);
+  if (!ps.open) return;  // endpoint closed while the token was in flight
+  if (ps.active_barrier && !ps.active_barrier->completed) {
+    throw std::logic_error("barrier already active on this port");
+  }
+  ++stats_.barriers_started;
+  const PortId p = token.src_port;
+  trace(sim::TraceCategory::kBarrier, "port %u: start %s barrier epoch=%u", p,
+        to_string(token.algorithm), token.epoch);
+  ps.active_barrier = std::make_unique<BarrierToken>(std::move(token));
+  if (ps.active_barrier->algorithm == BarrierAlgorithm::kPairwiseExchange) {
+    barrier_try_advance_pe(p);
+  } else {
+    barrier_check_gather(p);
+  }
+}
+
+// --- Receive path ------------------------------------------------------------------
+
+void Nic::barrier_rx(Packet p) {
+  // Runs after the RECV engine's per-packet cycles. Route by the configured
+  // reliability mode, then pay the algorithm's bookkeeping cycles.
+  switch (config_.barrier_reliability) {
+    case BarrierReliability::kUnreliable: {
+      const std::int64_t cost = p.type == PacketType::kBarrierPe ? config_.barrier_pe_cycles
+                                                                 : config_.barrier_gb_cycles;
+      auto packet = std::make_shared<Packet>(std::move(p));
+      proc_.submit_cycles(cost, [this, packet]() mutable {
+        barrier_rx_in_order(std::move(*packet));
+      });
+      break;
+    }
+    case BarrierReliability::kSharedStream:
+      // Same seq/ack stream as data: recv_data runs the stream check and
+      // dispatches in-order barrier payloads back to barrier_rx_in_order.
+      recv_data(std::move(p));
+      break;
+    case BarrierReliability::kSeparateAcks:
+      barrier_recv_separate(std::move(p));
+      break;
+  }
+}
+
+void Nic::barrier_rx_in_order(Packet p) {
+  ++stats_.barrier_packets_received;
+  PortState& ps = port(p.dst_port);
+  if (!ps.open) {
+    barrier_closed_port_arrival(std::move(p));
+    return;
+  }
+  if (p.type == PacketType::kReduceUp || p.type == PacketType::kReduceDown) {
+    reduce_rx_in_order(std::move(p));
+    return;
+  }
+  BarrierToken* tok = ps.active_barrier.get();
+  const Endpoint src{p.src_node, p.src_port};
+  trace(sim::TraceCategory::kBarrier, "port %u: rx %s", p.dst_port, p.describe().c_str());
+
+  switch (p.type) {
+    case PacketType::kBarrierPe:
+      if (tok != nullptr && !tok->completed &&
+          tok->algorithm == BarrierAlgorithm::kPairwiseExchange && tok->awaiting_recv &&
+          tok->node_index < tok->peers.size() && tok->peers[tok->node_index] == src) {
+        // The expected message: advance to the next destination (§5.2).
+        ++tok->node_index;
+        tok->awaiting_recv = false;
+        barrier_try_advance_pe(p.dst_port);
+      } else {
+        barrier_record(p, false);
+      }
+      break;
+
+    case PacketType::kBarrierGather:
+      // Gather messages are always recorded first, then the children scan
+      // runs (§5.2: "the packet is recorded, then ... checks to see if
+      // gather packets have been received from all the children").
+      barrier_record(p, false);
+      if (tok != nullptr && !tok->completed &&
+          tok->algorithm == BarrierAlgorithm::kGatherBroadcast && !tok->gather_sent) {
+        barrier_check_gather(p.dst_port);
+      }
+      break;
+
+    case PacketType::kBarrierBcast:
+      if (tok != nullptr && !tok->completed &&
+          tok->algorithm == BarrierAlgorithm::kGatherBroadcast && tok->gather_sent &&
+          tok->parent == src) {
+        barrier_complete(p.dst_port);
+        barrier_enter_broadcast(p.dst_port);
+      } else {
+        barrier_record(p, false);
+      }
+      break;
+
+    default:
+      assert(false && "non-barrier packet in barrier_rx_in_order");
+  }
+}
+
+void Nic::barrier_record(const Packet& p, bool for_closed_port) {
+  Connection& c = conn(p.src_node);
+  if (c.bit(p.src_port)) {
+    // §3.1 argues at most one unexpected message per remote endpoint can be
+    // outstanding; a collision here means duplicate delivery (packet loss +
+    // retransmission) — count it, keep the newer record.
+    ++stats_.bit_collisions;
+  } else {
+    ++stats_.unexpected_recorded;
+  }
+  c.set_bit(p.src_port,
+            BarrierBitInfo{p.type, p.barrier_epoch, p.dst_port, for_closed_port, p.value});
+  trace(sim::TraceCategory::kBarrier, "record unexpected %s%s", p.describe().c_str(),
+        for_closed_port ? " (closed port)" : "");
+}
+
+// --- Pairwise exchange (§5.2) ----------------------------------------------------------
+
+void Nic::barrier_try_advance_pe(PortId local_port) {
+  PortState& ps = port(local_port);
+  BarrierToken* tok = ps.active_barrier.get();
+  if (tok == nullptr || tok->completed ||
+      tok->algorithm != BarrierAlgorithm::kPairwiseExchange) {
+    return;
+  }
+  for (;;) {
+    if (tok->node_index >= tok->peers.size()) {
+      barrier_complete(local_port);
+      return;
+    }
+    const Endpoint peer = tok->peers[tok->node_index];
+    if (!tok->awaiting_recv) {
+      barrier_send(local_port, peer, PacketType::kBarrierPe, tok->epoch);
+      tok->awaiting_recv = true;
+    }
+    Connection& c = conn(peer.node);
+    if (!c.bit(peer.port)) return;  // wait for the RDMA engine to advance us
+    // Already received (recorded as unexpected): test-and-clear, advance.
+    c.clear_bit(peer.port);
+    proc_.submit_cycles(config_.barrier_pe_cycles);  // bookkeeping cost
+    ++tok->node_index;
+    tok->awaiting_recv = false;
+  }
+}
+
+// --- Gather-and-broadcast (§5.2) ----------------------------------------------------------
+
+void Nic::barrier_check_gather(PortId local_port) {
+  PortState& ps = port(local_port);
+  BarrierToken* tok = ps.active_barrier.get();
+  if (tok == nullptr || tok->completed ||
+      tok->algorithm != BarrierAlgorithm::kGatherBroadcast || tok->gather_sent) {
+    return;
+  }
+  for (const Endpoint& child : tok->children) {
+    if (!conn(child.node).bit(child.port)) return;  // still waiting on a child
+  }
+  for (const Endpoint& child : tok->children) conn(child.node).clear_bit(child.port);
+
+  if (tok->is_root()) {
+    // §5.2: the root notifies the host *first*, then broadcasts.
+    barrier_complete(local_port);
+    barrier_enter_broadcast(local_port);
+    return;
+  }
+  barrier_send(local_port, tok->parent, PacketType::kBarrierGather, tok->epoch);
+  tok->gather_sent = true;
+  // Robustness: a (re)broadcast from the parent may already be recorded
+  // (possible after closed-port flush/resend interleavings).
+  Connection& pc = conn(tok->parent.node);
+  if (pc.bit(tok->parent.port) &&
+      pc.bit_info[tok->parent.port].type == PacketType::kBarrierBcast) {
+    pc.clear_bit(tok->parent.port);
+    barrier_complete(local_port);
+    barrier_enter_broadcast(local_port);
+  }
+}
+
+void Nic::barrier_enter_broadcast(PortId local_port) {
+  // Runs after barrier_complete(): the token has moved to last_barrier.
+  PortState& ps = port(local_port);
+  BarrierToken* tok = ps.last_barrier.get();
+  assert(tok != nullptr && tok->completed);
+  for (const Endpoint& child : tok->children) {
+    barrier_send(local_port, child, PacketType::kBarrierBcast, tok->epoch);
+  }
+}
+
+// --- Sending ---------------------------------------------------------------------------------
+
+void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::uint32_t epoch) {
+  Packet p;
+  p.type = type;
+  p.src_node = node_;
+  p.src_port = local_port;
+  p.dst_node = dst.node;
+  p.dst_port = dst.port;
+  p.payload_bytes = config_.barrier_payload_bytes;
+  p.barrier_epoch = epoch;
+  ++stats_.barrier_packets_sent;
+
+  if (config_.barrier_loopback && dst.node == node_) {
+    // §3.4 optimisation: same-NIC barrier message just sets the flag — no
+    // wire, no SEND/RECV engines, only a short firmware hop.
+    ++stats_.barrier_loopback_msgs;
+    auto packet = std::make_shared<Packet>(std::move(p));
+    proc_.submit_cycles(config_.barrier_pe_cycles,
+                        [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    return;
+  }
+
+  switch (config_.barrier_reliability) {
+    case BarrierReliability::kUnreliable:
+      transmit(std::move(p));
+      break;
+    case BarrierReliability::kSharedStream: {
+      Connection& c = conn(p.dst_node);
+      p.seq = c.next_send_seq++;
+      c.sent_list.push_back(SentRecord{p, nullptr});
+      arm_retransmit(p.dst_node);
+      transmit(std::move(p));
+      break;
+    }
+    case BarrierReliability::kSeparateAcks:
+      barrier_enqueue_separate(std::move(p));
+      break;
+  }
+}
+
+// --- Completion ---------------------------------------------------------------------------------
+
+void Nic::barrier_complete(PortId local_port) {
+  PortState& ps = port(local_port);
+  BarrierToken* tok = ps.active_barrier.get();
+  assert(tok != nullptr);
+  tok->completed = true;
+  ++stats_.barriers_completed;
+  const std::uint32_t epoch = tok->epoch;
+  trace(sim::TraceCategory::kBarrier, "port %u: %s barrier epoch=%u complete", local_port,
+        to_string(tok->algorithm), epoch);
+  // Keep the completed token for §3.2 late-NACK resends.
+  ps.last_barrier = std::move(ps.active_barrier);
+
+  // RDMA the completion token to the host.
+  proc_.submit_cycles(config_.rdma_setup_cycles, [this, local_port, epoch] {
+    const sim::Duration dma =
+        config_.pci_setup + sim::transfer_time(8, config_.pci_bandwidth_mbps);
+    pci_.submit(dma, [this, local_port, epoch] {
+      PortState& p = port(local_port);
+      if (p.barrier_buffers > 0) --p.barrier_buffers;
+      GmEvent ev;
+      ev.type = GmEventType::kBarrierComplete;
+      ev.barrier_epoch = epoch;
+      push_event(local_port, ev);
+    });
+  });
+}
+
+// --- Closed-port handling (§3.2) -------------------------------------------------------------------
+
+void Nic::barrier_closed_port_arrival(Packet p) {
+  ++stats_.closed_port_drops;
+  switch (config_.closed_port_policy) {
+    case ClosedPortPolicy::kClearOnOpen:
+      // Naive: record as if the port were open; open_port() wipes records.
+      barrier_record(p, false);
+      break;
+    case ClosedPortPolicy::kRejectClosed:
+      barrier_send_nack(p);
+      break;
+    case ClosedPortPolicy::kRecordThenRejectOnOpen:
+      barrier_record(p, true);
+      break;
+  }
+}
+
+void Nic::barrier_send_nack(const Packet& original) {
+  Packet n;
+  n.type = PacketType::kBarrierNack;
+  n.src_node = node_;
+  n.src_port = original.dst_port;
+  n.dst_node = original.src_node;
+  n.dst_port = original.src_port;
+  n.nacked_type = original.type;
+  n.barrier_epoch = original.barrier_epoch;
+  ++stats_.barrier_nacks_sent;
+  send_control(std::move(n));
+}
+
+void Nic::flush_closed_port_records(PortId opened_port) {
+  for (NodeId remote = 0; remote < conns_.size(); ++remote) {
+    if (!conns_[remote]) continue;
+    Connection& c = *conns_[remote];
+    for (PortId rp = 0; rp < kMaxPorts; ++rp) {
+      if (!c.bit(rp)) continue;
+      const BarrierBitInfo& info = c.bit_info[rp];
+      if (info.dst_port != opened_port) continue;
+      switch (config_.closed_port_policy) {
+        case ClosedPortPolicy::kClearOnOpen:
+          c.clear_bit(rp);
+          break;
+        case ClosedPortPolicy::kRecordThenRejectOnOpen:
+          if (info.for_closed_port) {
+            c.clear_bit(rp);
+            Packet original;
+            original.type = info.type;
+            original.src_node = remote;
+            original.src_port = rp;
+            original.dst_node = node_;
+            original.dst_port = opened_port;
+            original.barrier_epoch = info.epoch;
+            barrier_send_nack(original);
+          }
+          break;
+        case ClosedPortPolicy::kRejectClosed:
+          break;  // rejects happened at arrival; nothing recorded for us
+      }
+    }
+  }
+}
+
+void Nic::barrier_handle_nack(const Packet& p) {
+  PortState& ps = port(p.dst_port);
+  if (!ps.open) return;  // "endpoint has closed since": do not resend
+  if (p.nacked_type == PacketType::kReduceUp || p.nacked_type == PacketType::kReduceDown) {
+    (void)reduce_answer_nack(p);
+    return;
+  }
+  const Endpoint peer{p.src_node, p.src_port};
+
+  BarrierToken* tok = nullptr;
+  if (ps.active_barrier && ps.active_barrier->epoch == p.barrier_epoch) {
+    tok = ps.active_barrier.get();
+  } else if (ps.last_barrier && ps.last_barrier->epoch == p.barrier_epoch) {
+    tok = ps.last_barrier.get();
+  }
+  if (tok == nullptr) return;
+
+  bool member = false;
+  switch (p.nacked_type) {
+    case PacketType::kBarrierPe: member = contains(tok->peers, peer); break;
+    case PacketType::kBarrierGather: member = (tok->parent == peer); break;
+    case PacketType::kBarrierBcast: member = contains(tok->children, peer); break;
+    default: break;
+  }
+  if (!member) return;
+
+  ++stats_.barrier_resends;
+  const PortId local_port = p.dst_port;
+  const PacketType type = p.nacked_type;
+  const std::uint32_t epoch = p.barrier_epoch;
+  trace(sim::TraceCategory::kBarrier, "port %u: resend %s to %u.%u after NACK", local_port,
+        net::to_string(type), peer.node, peer.port);
+  sim_.schedule_in(config_.barrier_resend_delay, [this, local_port, peer, type, epoch] {
+    if (!port(local_port).open) return;
+    barrier_send(local_port, peer, type, epoch);
+  });
+}
+
+// --- Separate barrier reliability (§3.3 option 2 / §4.4) ---------------------------------------------
+
+void Nic::barrier_enqueue_separate(Packet p) {
+  Connection& c = conn(p.dst_node);
+  p.barrier_seq = c.next_barrier_send_seq++;
+  c.barrier_sent_list.push_back(SentRecord{p, nullptr});
+  arm_barrier_retransmit(p.dst_node);
+  transmit(std::move(p));
+}
+
+void Nic::barrier_recv_separate(Packet p) {
+  Connection& c = conn(p.src_node);
+  Packet ack;
+  ack.type = PacketType::kBarrierAck;
+  ack.src_node = node_;
+  ack.dst_node = p.src_node;
+
+  if (p.barrier_seq == c.next_expected_barrier_seq) {
+    ++c.next_expected_barrier_seq;
+    c.barrier_nack_outstanding = false;
+    ack.ack = c.next_expected_barrier_seq - 1;
+    send_control(std::move(ack));
+    const std::int64_t cost = p.type == PacketType::kBarrierPe ? config_.barrier_pe_cycles
+                                                               : config_.barrier_gb_cycles;
+    auto packet = std::make_shared<Packet>(std::move(p));
+    proc_.submit_cycles(cost,
+                        [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+  } else if (p.barrier_seq < c.next_expected_barrier_seq) {
+    ++stats_.duplicates_dropped;
+    ack.ack = c.next_expected_barrier_seq - 1;  // re-ack
+    send_control(std::move(ack));
+  } else {
+    // Out of order: drop; the cumulative ack + sender timer recover it.
+    ++stats_.out_of_order_dropped;
+    if (!c.barrier_nack_outstanding) {
+      c.barrier_nack_outstanding = true;
+      ack.ack = c.next_expected_barrier_seq - 1;
+      send_control(std::move(ack));
+    }
+  }
+}
+
+void Nic::barrier_recv_barrier_ack(const Packet& p) {
+  ++stats_.acks_received;
+  Connection& c = conn(p.src_node);
+  bool retired = false;
+  while (!c.barrier_sent_list.empty() &&
+         c.barrier_sent_list.front().packet.barrier_seq <= p.ack) {
+    c.barrier_sent_list.pop_front();
+    retired = true;
+  }
+  if (retired) {
+    sim_.cancel(c.barrier_retransmit_timer);
+    if (!c.barrier_sent_list.empty()) arm_barrier_retransmit(p.src_node);
+  }
+}
+
+void Nic::arm_barrier_retransmit(NodeId remote) {
+  Connection& c = conn(remote);
+  sim_.cancel(c.barrier_retransmit_timer);
+  c.barrier_retransmit_timer = sim_.schedule_in(config_.retransmit_timeout, [this, remote] {
+    barrier_retransmit_all(remote);
+  });
+}
+
+void Nic::barrier_retransmit_all(NodeId remote) {
+  Connection& c = conn(remote);
+  for (const SentRecord& rec : c.barrier_sent_list) {
+    ++stats_.retransmissions;
+    transmit(rec.packet);
+  }
+  if (!c.barrier_sent_list.empty()) arm_barrier_retransmit(remote);
+}
+
+}  // namespace nicbar::nic

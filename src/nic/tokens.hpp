@@ -1,0 +1,141 @@
+// Tokens crossing the host/NIC boundary, and the events the NIC returns.
+//
+// GM's host interface is token-based (paper §4.1): the host fills in a send
+// token and queues it to the NIC; receive tokens describe host buffers the
+// NIC may DMA into; the NIC returns tokens/events which the host polls with
+// gm_receive(). Our NIC-based barrier adds the barrier send token of §4.2:
+// it carries the per-node slice of the barrier topology (PE peer list, or GB
+// parent+children) computed at the host, plus the NIC-resident progress
+// state (node_index et al.).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nicbar::nic {
+
+using net::NodeId;
+using net::PortId;
+
+/// One remote communication endpoint.
+struct Endpoint {
+  NodeId node = net::kInvalidNode;
+  PortId port = 0;
+  friend auto operator<=>(Endpoint, Endpoint) = default;
+};
+
+enum class BarrierAlgorithm : std::uint8_t {
+  kPairwiseExchange,  // PE: MPICH-style recursive pairing (paper §5.1)
+  kGatherBroadcast,   // GB: k-ary tree, gather then broadcast (paper §5.1)
+};
+
+[[nodiscard]] const char* to_string(BarrierAlgorithm a);
+
+/// Ordinary GM send token.
+struct SendToken {
+  PortId src_port = 0;
+  Endpoint dst;
+  std::int64_t bytes = 0;
+  std::uint64_t tag = 0;
+  /// Optional 64-bit immediate carried with the message (host-based
+  /// reductions put their partial values here).
+  std::int64_t value = 0;
+  /// Invoked (host side) when the message is acknowledged and the token is
+  /// returned to the process. May be null.
+  std::function<void()> on_sent;
+};
+
+/// NIC-assisted multicast token (§7 related work — Buntinas et al.'s
+/// multidestination messages): the payload crosses the PCI bus once and the
+/// NIC replicates it to every destination. Payload must fit in one MTU.
+struct MulticastToken {
+  PortId src_port = 0;
+  std::vector<Endpoint> destinations;
+  std::int64_t bytes = 0;
+  std::uint64_t tag = 0;
+  std::int64_t value = 0;
+};
+
+/// Tags reserved by the host-based collective implementations; applications
+/// sharing a port with collectives must not send with these.
+constexpr std::uint64_t kBarrierMsgTag = 0xB000'0000'0000'0001ull;
+constexpr std::uint64_t kReduceUpMsgTag = 0xB000'0000'0000'0002ull;
+constexpr std::uint64_t kReduceDownMsgTag = 0xB000'0000'0000'0003ull;
+
+/// Ordinary GM receive token: a pinned host buffer the NIC may fill.
+struct RecvToken {
+  std::int64_t buffer_bytes = 0;
+};
+
+/// Barrier send token (gm_barrier_send_with_callback). For PE, `peers` holds
+/// the exchange schedule in round order. For GB, `parent` is the invalid
+/// endpoint at the root, and `children` lists the node's subtree roots.
+struct BarrierToken {
+  PortId src_port = 0;
+  BarrierAlgorithm algorithm = BarrierAlgorithm::kPairwiseExchange;
+  std::uint32_t epoch = 0;  // per-port barrier instance counter
+
+  std::vector<Endpoint> peers;     // PE
+  Endpoint parent;                 // GB (invalid node id at the root)
+  std::vector<Endpoint> children;  // GB
+
+  // --- NIC-resident progress state ---------------------------------------
+  std::size_t node_index = 0;    // PE: which peer we expect next
+  /// PE: our packet for peers[node_index] has been prepared/transmitted, so
+  /// the RDMA engine may advance on a matching arrival (paper §5.2: the
+  /// parked token is only advanced once its send has been prepared).
+  bool awaiting_recv = false;
+  bool gather_sent = false;      // GB: sent our gather to the parent yet?
+  bool completed = false;
+
+  [[nodiscard]] bool is_root() const { return parent.node == net::kInvalidNode; }
+};
+
+/// Combining operation for the NIC-based reduction extension (§8 future
+/// work: "other collective communication operations, such as reductions").
+enum class ReduceOp : std::uint8_t { kSum, kProd, kMin, kMax, kBitAnd, kBitOr };
+
+[[nodiscard]] std::int64_t apply_reduce_op(ReduceOp op, std::int64_t a, std::int64_t b);
+[[nodiscard]] const char* to_string(ReduceOp op);
+
+/// Reduction send token (NIC-based allreduce). GB-tree shaped like the
+/// barrier token; carries this member's contribution, and accumulates the
+/// subtree's partial result on the NIC.
+struct ReduceToken {
+  PortId src_port = 0;
+  std::uint32_t epoch = 0;
+  Endpoint parent;                 // invalid node id at the root
+  std::vector<Endpoint> children;
+  ReduceOp op = ReduceOp::kSum;
+  std::int64_t contribution = 0;
+
+  // --- NIC-resident progress state ---------------------------------------
+  std::int64_t acc = 0;       // subtree partial; holds the final result once done
+  std::int64_t up_value = 0;  // the partial we sent up (kept for §3.2 resends)
+  bool up_sent = false;       // partial result forwarded to the parent?
+  bool completed = false;
+
+  [[nodiscard]] bool is_root() const { return parent.node == net::kInvalidNode; }
+};
+
+enum class GmEventType : std::uint8_t {
+  kRecv,             // a message landed in a host receive buffer
+  kSent,             // a send token was returned (message acknowledged)
+  kBarrierComplete,  // GM_BARRIER_COMPLETED_EVENT
+  kReduceComplete,   // NIC-based reduction finished; `value` holds the result
+};
+
+/// What gm_receive() yields to the polling host process.
+struct GmEvent {
+  GmEventType type = GmEventType::kRecv;
+  Endpoint peer;              // kRecv: the sender
+  std::int64_t bytes = 0;     // kRecv: payload size
+  std::uint64_t tag = 0;      // kRecv: sender-chosen tag
+  std::uint32_t barrier_epoch = 0;  // kBarrierComplete / kReduceComplete
+  std::int64_t value = 0;     // kReduceComplete: the reduced value
+};
+
+}  // namespace nicbar::nic

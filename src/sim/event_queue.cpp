@@ -1,0 +1,60 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace nicbar::sim {
+
+EventId EventQueue::schedule(SimTime at, Action action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(action)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Only events still pending can be cancelled; cancelling a fired (or
+  // never-issued) id is a harmless no-op. The seq stays in `cancelled_` so
+  // the heap can lazily discard the dead entry when it surfaces.
+  if (pending_.erase(id.seq) == 0) return false;
+  cancelled_.insert(id.seq);
+  return true;
+}
+
+void EventQueue::drop_dead_front() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_front();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Action EventQueue::pop(SimTime& fired_at) {
+  drop_dead_front();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; we must move the action out. Entry's
+  // action is the only mutable payload and the entry is immediately popped,
+  // so a const_cast move here is safe and avoids copying the std::function.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  fired_at = top.at;
+  Action action = std::move(top.action);
+  pending_.erase(top.seq);
+  heap_.pop();
+  return action;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  cancelled_.clear();
+  pending_.clear();
+}
+
+}  // namespace nicbar::sim

@@ -1,0 +1,79 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary min-heap keyed on (time, insertion sequence). The insertion
+// sequence gives a total order, so two events scheduled for the same instant
+// fire in the order they were scheduled — this determinism is what makes
+// every experiment in the repository exactly reproducible.
+//
+// Cancellation is handle-based and lazy: `cancel(id)` marks the id dead and
+// the heap discards dead entries when they surface. This keeps cancel O(1)
+// amortised, which matters because reliability retransmission timers are
+// cancelled on (nearly) every acknowledgment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nicbar::sim {
+
+/// Opaque handle to a scheduled event; used only for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const { return seq != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at`. Returns a cancellation handle.
+  EventId schedule(SimTime at, Action action);
+
+  /// Marks an event dead. Safe to call with an already-fired or invalid id
+  /// (it becomes a no-op). Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Removes and returns the earliest live event's action. Requires !empty().
+  /// `fired_at` receives the event's timestamp.
+  Action pop(SimTime& fired_at);
+
+  /// Discards all pending events without running them.
+  void clear();
+
+  /// Total events ever scheduled (diagnostic).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_front();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;    // live (schedulable) ids
+  std::unordered_set<std::uint64_t> cancelled_;  // dead ids still in heap_
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace nicbar::sim

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random source (PCG32). Every stochastic element of
+// the simulation (packet-loss injection, jittered barrier arrival, workload
+// generators) draws from an explicitly seeded Rng so runs are reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace nicbar::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    state_ = 0;
+    inc_ = (seed << 1u) | 1u;
+    next_u32();
+    state_ += 0x9e3779b97f4a7c15ULL + seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit value (PCG-XSH-RR).
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u32()) * (1.0 / 4294967296.0); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint32_t below(std::uint32_t n) {
+    if (n == 0) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * n;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < n) {
+      const std::uint32_t threshold = (0u - n) % n;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next_u32()) * n;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace nicbar::sim

@@ -1,0 +1,91 @@
+// Non-preemptive FIFO servers for callback-style (non-coroutine) hardware
+// models.
+//
+//   BusyServer  — a device that services one job at a time, each occupying
+//                 it for a caller-specified duration (a link, a DMA engine,
+//                 a PCI bus). Jobs complete in submission order.
+//   CycleServer — a BusyServer whose job costs are expressed in processor
+//                 cycles at a configurable clock. This models the single
+//                 LANai processor shared by the four MCP engines: all
+//                 firmware handler costs are charged here, so halving the
+//                 clock doubles exactly the NIC-resident component of every
+//                 latency — the paper's LANai 4.3 vs 7.2 comparison.
+//
+// Both track utilisation statistics (busy time, jobs, total queueing delay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace nicbar::sim {
+
+class BusyServer {
+ public:
+  explicit BusyServer(Simulator& sim, std::string name = {})
+      : sim_(&sim), name_(std::move(name)) {}
+
+  /// Enqueues a job occupying the server for `service` time; `on_done` (may
+  /// be null) runs when the job completes. Returns the completion time.
+  SimTime submit(Duration service, std::function<void()> on_done = nullptr) {
+    const SimTime now = sim_->now();
+    const SimTime start = free_at_ > now ? free_at_ : now;
+    queue_delay_total_ += start - now;
+    busy_total_ += service;
+    free_at_ = start + service;
+    ++jobs_;
+    if (on_done) sim_->schedule_at(free_at_, std::move(on_done));
+    return free_at_;
+  }
+
+  /// Completion time of the last submitted job (server idle before any job).
+  [[nodiscard]] SimTime free_at() const { return free_at_; }
+  [[nodiscard]] bool busy() const { return free_at_ > sim_->now(); }
+
+  [[nodiscard]] std::uint64_t jobs() const { return jobs_; }
+  [[nodiscard]] Duration busy_total() const { return busy_total_; }
+  [[nodiscard]] Duration queue_delay_total() const { return queue_delay_total_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Utilisation over [0, now].
+  [[nodiscard]] double utilisation() const {
+    const double t = static_cast<double>(sim_->now().ps());
+    if (t <= 0) return 0.0;
+    const double b = static_cast<double>(busy_total_.ps());
+    return b > t ? 1.0 : b / t;
+  }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  SimTime free_at_{0};
+  std::uint64_t jobs_ = 0;
+  Duration busy_total_{0};
+  Duration queue_delay_total_{0};
+};
+
+class CycleServer {
+ public:
+  CycleServer(Simulator& sim, double clock_mhz, std::string name = {})
+      : server_(sim, std::move(name)), clock_mhz_(clock_mhz) {}
+
+  /// Enqueues a firmware job costing `cycles` processor cycles.
+  SimTime submit_cycles(std::int64_t cycles, std::function<void()> on_done = nullptr) {
+    return server_.submit(cycles_at_mhz(cycles, clock_mhz_), std::move(on_done));
+  }
+
+  [[nodiscard]] Duration cycles(std::int64_t n) const { return cycles_at_mhz(n, clock_mhz_); }
+  [[nodiscard]] double clock_mhz() const { return clock_mhz_; }
+  [[nodiscard]] const BusyServer& stats() const { return server_; }
+  [[nodiscard]] SimTime free_at() const { return server_.free_at(); }
+
+ private:
+  BusyServer server_;
+  double clock_mhz_;
+};
+
+}  // namespace nicbar::sim

@@ -1,0 +1,79 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace nicbar::sim {
+
+namespace detail {
+
+void detached_task_done(Simulator* sim, void* frame_address, std::exception_ptr error) noexcept {
+  sim->live_processes_.erase(frame_address);
+  if (error && !sim->pending_error_) {
+    sim->pending_error_ = std::move(error);
+    sim->request_stop();
+  }
+}
+
+}  // namespace detail
+
+Simulator::~Simulator() {
+  // Destroy the pending-event set first: queued closures may capture
+  // coroutine handles, but they are never invoked after this point, so the
+  // order only matters in that we must not run anything while tearing down.
+  queue_.clear();
+  // Any still-suspended top-level process frames are destroyed here; their
+  // in-scope locals (including child task frames) unwind recursively.
+  for (void* frame : live_processes_) {
+    std::coroutine_handle<>::from_address(frame).destroy();
+  }
+}
+
+EventId Simulator::schedule_at(SimTime at, std::function<void()> action) {
+  assert(at >= now_ && "cannot schedule into the past");
+  return queue_.schedule(at < now_ ? now_ : at, std::move(action));
+}
+
+EventId Simulator::schedule_in(Duration d, std::function<void()> action) {
+  assert(!d.is_negative() && "negative delay");
+  return queue_.schedule(now_ + (d.is_negative() ? Duration{0} : d), std::move(action));
+}
+
+void Simulator::spawn(Task task) {
+  Task::Handle h = task.release();
+  if (!h) return;
+  h.promise().detached_owner = this;
+  live_processes_.insert(h.address());
+  schedule_now([h] { h.resume(); });
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  SimTime at;
+  EventQueue::Action action = queue_.pop(at);
+  assert(at >= now_);
+  now_ = at;
+  action();
+  ++events_executed_;
+  return true;
+}
+
+std::uint64_t Simulator::run(SimTime until) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= until) {
+    step();
+    ++n;
+  }
+  // Advance the clock to the horizon if we drained early and a finite
+  // horizon was requested; callers treat `until` as "simulate this long".
+  if (until != SimTime::max() && now_ < until && queue_.empty()) now_ = until;
+  if (pending_error_) {
+    std::exception_ptr e = std::exchange(pending_error_, nullptr);
+    std::rethrow_exception(e);
+  }
+  return n;
+}
+
+}  // namespace nicbar::sim

@@ -1,0 +1,102 @@
+// The discrete-event simulator.
+//
+// Owns the simulation clock and the pending-event set, and acts as the
+// scheduler for coroutine processes (`Task`). Single-threaded by design:
+// determinism is a core requirement (every benchmark in this repository
+// reports *simulated* time, which must be exactly reproducible), so there is
+// no hidden concurrency anywhere in the engine.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <unordered_set>
+
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace nicbar::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // --- Clock ---------------------------------------------------------------
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // --- Raw event scheduling --------------------------------------------------
+
+  /// Runs `action` at absolute simulated time `at` (must not be in the past).
+  EventId schedule_at(SimTime at, std::function<void()> action);
+
+  /// Runs `action` after `delay` (>= 0) of simulated time.
+  EventId schedule_in(Duration delay, std::function<void()> action);
+
+  /// Runs `action` at the current time, after all already-scheduled
+  /// events for this instant.
+  EventId schedule_now(std::function<void()> action) {
+    return schedule_in(Duration{0}, std::move(action));
+  }
+
+  /// Cancels a pending event; no-op if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // --- Coroutine processes ---------------------------------------------------
+
+  /// Detaches `task` as a top-level simulated process, started at the
+  /// current time (or at t=0 if the simulation has not run yet).
+  void spawn(Task task);
+
+  /// Awaitable: suspends the calling coroutine for `d` of simulated time.
+  [[nodiscard]] auto delay(Duration d) {
+    struct Awaiter {
+      Simulator& sim;
+      Duration dur;
+      bool await_ready() const noexcept { return dur.ps() <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_in(dur, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable: suspends until absolute time `t` (immediately if past).
+  [[nodiscard]] auto wait_until(SimTime t) { return delay(t > now_ ? t - now_ : Duration{0}); }
+
+  // --- Execution -------------------------------------------------------------
+
+  /// Runs events until the queue drains or `until` is passed. Returns the
+  /// number of events executed. Rethrows the first exception that escaped a
+  /// detached process (after stopping).
+  std::uint64_t run(SimTime until = SimTime::max());
+
+  /// Executes exactly one event if one is pending; returns false otherwise.
+  bool step();
+
+  /// Requests that `run()` return after the current event.
+  void request_stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+  [[nodiscard]] std::size_t live_process_count() const { return live_processes_.size(); }
+
+ private:
+  friend void detail::detached_task_done(Simulator*, void*, std::exception_ptr) noexcept;
+
+  EventQueue queue_;
+  SimTime now_{0};
+  bool stop_requested_ = false;
+  std::uint64_t events_executed_ = 0;
+  std::unordered_set<void*> live_processes_;  // frames of detached tasks
+  std::exception_ptr pending_error_;
+};
+
+}  // namespace nicbar::sim

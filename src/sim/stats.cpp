@@ -1,0 +1,63 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace nicbar::sim {
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  std::size_t idx = 0;
+  if (span > 0) {
+    const double f = (x - lo_) / span;
+    const auto scaled = static_cast<std::int64_t>(f * static_cast<double>(counts_.size()));
+    idx = static_cast<std::size_t>(
+        std::clamp<std::int64_t>(scaled, 0, static_cast<std::int64_t>(counts_.size()) - 1));
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return lo_;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_);
+  std::uint64_t running = 0;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    if (static_cast<double>(running) >= target) {
+      // Linear interpolation within the bin.
+      const double prev = static_cast<double>(running - counts_[i]);
+      const double frac =
+          counts_[i] ? (target - prev) / static_cast<double>(counts_[i]) : 0.0;
+      return lo_ + (static_cast<double>(i) + frac) * bin_width;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  std::string out;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * static_cast<double>(width));
+    std::snprintf(line, sizeof line, "%10.3f |%-*s| %llu\n",
+                  lo_ + static_cast<double>(i) * bin_width, static_cast<int>(width),
+                  std::string(bar, '#').c_str(), static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nicbar::sim

@@ -1,0 +1,208 @@
+// Coroutine synchronization primitives for simulated processes.
+//
+//   Condition  — broadcast wakeup; any number of waiters, notify_all resumes
+//                them all (at the current instant, in FIFO order).
+//   Gate       — latch: once opened, waiters pass immediately (used for
+//                "barrier completed" style notifications).
+//   Mailbox<T> — unbounded FIFO channel; receivers suspend when empty.
+//   Resource   — counted FIFO semaphore (models a bus, a CPU, a DMA engine
+//                when used by coroutines).
+//
+// All wakeups go through Simulator::schedule_now rather than resuming
+// inline. This keeps notify/send non-reentrant: state updates made by the
+// notifier complete before any waiter observes them.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace nicbar::sim {
+
+/// Broadcast wakeup. Waiters queue up; notify_all() releases every current
+/// waiter (later waiters wait for the next notification).
+class Condition {
+ public:
+  explicit Condition(Simulator& sim) : sim_(sim) {}
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Condition& c;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { c.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void notify_all() {
+    std::vector<std::coroutine_handle<>> batch = std::move(waiters_);
+    waiters_.clear();
+    for (std::coroutine_handle<> h : batch) {
+      sim_.schedule_now([h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// One-way latch. Before open(): waiters suspend. After open(): waiters pass
+/// straight through. open() releases everyone already waiting.
+class Gate {
+ public:
+  explicit Gate(Simulator& sim) : sim_(sim) {}
+
+  [[nodiscard]] bool is_open() const { return open_; }
+
+  void open() {
+    if (open_) return;
+    open_ = true;
+    std::vector<std::coroutine_handle<>> batch = std::move(waiters_);
+    waiters_.clear();
+    for (std::coroutine_handle<> h : batch) {
+      sim_.schedule_now([h] { h.resume(); });
+    }
+  }
+
+  void reset() { open_ = false; }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Gate& g;
+      bool await_ready() const noexcept { return g.open_; }
+      void await_suspend(std::coroutine_handle<> h) { g.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool open_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel carrying values of type T. send() never blocks;
+/// recv() suspends while the channel is empty. Values are handed to waiting
+/// receivers in FIFO order.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator& sim) : sim_(sim) {}
+
+  void send(T value) {
+    if (!waiters_.empty()) {
+      RecvAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->value.emplace(std::move(value));
+      std::coroutine_handle<> h = w->handle;
+      sim_.schedule_now([h] { h.resume(); });
+      return;
+    }
+    queue_.push_back(std::move(value));
+  }
+
+  [[nodiscard]] auto recv() { return RecvAwaiter{*this, std::nullopt, nullptr}; }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+ private:
+  struct RecvAwaiter {
+    Mailbox& mb;
+    std::optional<T> value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!mb.queue_.empty()) {
+        value.emplace(std::move(mb.queue_.front()));
+        mb.queue_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      mb.waiters_.push_back(this);
+    }
+    T await_resume() { return std::move(*value); }
+  };
+
+  Simulator& sim_;
+  std::deque<T> queue_;
+  std::deque<RecvAwaiter*> waiters_;
+};
+
+/// Counted FIFO semaphore. acquire() suspends while all slots are taken;
+/// release() hands a slot to the oldest waiter. Use ScopedHold for RAII.
+class Resource {
+ public:
+  Resource(Simulator& sim, std::size_t capacity = 1) : sim_(sim), capacity_(capacity) {}
+
+  [[nodiscard]] auto acquire() {
+    struct Awaiter {
+      Resource& r;
+      bool suspended = false;
+      // Fresh acquirers may not jump the waiter queue.
+      bool await_ready() const noexcept { return r.waiters_.empty() && r.in_use_ < r.capacity_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
+        r.waiters_.push_back(h);
+      }
+      // A suspended waiter is resumed by release(), which transfers the slot
+      // without ever decrementing in_use_; only the fast path claims one.
+      void await_resume() const noexcept {
+        if (!suspended) ++r.in_use_;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      // Hand the slot directly to the oldest waiter: in_use_ is unchanged,
+      // so late acquirers cannot steal it before the waiter runs.
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule_now([h] { h.resume(); });
+      return;
+    }
+    if (in_use_ > 0) --in_use_;
+  }
+
+  /// Acquires, holds the resource for `d` of simulated time, releases.
+  [[nodiscard]] Task use(Duration d) {
+    co_await acquire();
+    co_await sim_.delay(d);
+    release();
+  }
+
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace nicbar::sim

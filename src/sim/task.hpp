@@ -1,0 +1,202 @@
+// Coroutine task type for simulated processes.
+//
+// A `Task` is a lazily-started coroutine. There are two ways to run one:
+//
+//   * `co_await child_task()` from another Task — the child runs to
+//     completion (possibly suspending on simulated time) and then resumes
+//     the parent. Exceptions propagate to the parent. The child frame is
+//     owned by the awaiting expression and destroyed when it finishes.
+//
+//   * `Simulator::spawn(task)` — detaches the task as a top-level simulated
+//     process. The frame self-destroys on completion; an escaping exception
+//     is captured by the simulator and rethrown from `Simulator::run()`.
+//
+// Tasks are move-only. Dropping an unstarted Task destroys its frame.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <new>
+#include <utility>
+
+namespace nicbar::sim {
+
+class Simulator;
+
+namespace detail {
+// Called from a detached task's final suspend; defined in simulator.cpp.
+// Deregisters the frame and records any escaping exception.
+void detached_task_done(Simulator* sim, void* frame_address, std::exception_ptr error) noexcept;
+}  // namespace detail
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // parent awaiting us (nullptr if none)
+    Simulator* detached_owner = nullptr;   // non-null once spawned as a process
+    std::exception_ptr exception;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        promise_type& p = h.promise();
+        if (p.detached_owner != nullptr) {
+          // Top-level process: report completion, then free our own frame.
+          // `h` is suspended at this point so destroy() is legal.
+          Simulator* owner = p.detached_owner;
+          std::exception_ptr error = std::move(p.exception);
+          void* frame = h.address();
+          h.destroy();
+          detail::detached_task_done(owner, frame, std::move(error));
+          return std::noop_coroutine();
+        }
+        if (p.continuation) return p.continuation;  // resume awaiting parent
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+  /// Relinquishes ownership of the coroutine frame (used by Simulator::spawn,
+  /// after which the frame manages its own lifetime).
+  Handle release() { return std::exchange(handle_, nullptr); }
+
+  /// Awaiting a Task starts it (symmetric transfer) and resumes the awaiter
+  /// when the Task completes.
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() const {
+        if (h && h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+/// Value-returning coroutine task. Unlike Task it cannot be detached with
+/// Simulator::spawn — it must be awaited, and the co_await yields the value:
+///
+///   ValueTask<GmEvent> receive();
+///   GmEvent ev = co_await port.receive();
+template <typename T>
+class [[nodiscard]] ValueTask {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    alignas(T) unsigned char storage[sizeof(T)];
+    bool has_value = false;
+
+    ValueTask get_return_object() { return ValueTask{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) {
+      ::new (static_cast<void*>(storage)) T(std::move(v));
+      has_value = true;
+    }
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+    T take() { return std::move(*std::launder(reinterpret_cast<T*>(storage))); }
+
+    ~promise_type() {
+      if (has_value) std::launder(reinterpret_cast<T*>(storage))->~T();
+    }
+  };
+
+  ValueTask() = default;
+  explicit ValueTask(Handle h) : handle_(h) {}
+  ValueTask(ValueTask&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  ValueTask& operator=(ValueTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ~ValueTask() { destroy(); }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      T await_resume() const {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        return h.promise().take();
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_;
+};
+
+}  // namespace nicbar::sim

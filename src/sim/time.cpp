@@ -1,0 +1,36 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace nicbar::sim {
+
+namespace {
+
+std::string format_ps(std::int64_t ps) {
+  char buf[64];
+  const double a = std::abs(static_cast<double>(ps));
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldps", static_cast<long long>(ps));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3gns", static_cast<double>(ps) * 1e-3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.4gus", static_cast<double>(ps) * 1e-6);
+  } else if (a < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.4gms", static_cast<double>(ps) * 1e-9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4gs", static_cast<double>(ps) * 1e-12);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::str() const { return format_ps(ps_); }
+std::string SimTime::str() const { return format_ps(ps_); }
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.str(); }
+std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.str(); }
+
+}  // namespace nicbar::sim

@@ -1,0 +1,131 @@
+// Simulated-time types.
+//
+// All simulated time in nicbar is kept in signed 64-bit picoseconds. A
+// picosecond granularity lets us represent a 33 MHz NIC cycle (30303 ps)
+// exactly while still covering ~106 days of simulated time, far beyond any
+// experiment in this repository. Two strong types are provided:
+//
+//   Duration — a span of simulated time (difference type)
+//   SimTime  — an absolute point on the simulation clock
+//
+// Arithmetic is restricted to the combinations that make physical sense
+// (SimTime + Duration -> SimTime, SimTime - SimTime -> Duration, ...).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace nicbar::sim {
+
+/// A span of simulated time, in picoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t picoseconds) : ps_(picoseconds) {}
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ps_) * 1e-12; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ps_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ps_ < 0; }
+
+  constexpr Duration& operator+=(Duration o) { ps_ += o.ps_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ps_ -= o.ps_; return *this; }
+  constexpr Duration& operator*=(std::int64_t k) { ps_ *= k; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ps_ + b.ps_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ps_ - b.ps_}; }
+  friend constexpr Duration operator-(Duration a) { return Duration{-a.ps_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ps_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration{a.ps_ * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ps_ / k}; }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ps_) / static_cast<double>(b.ps_);
+  }
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+  /// Renders as a human-friendly value with unit ("12.34us").
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+/// An absolute point on the simulation clock, in picoseconds since t=0.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t picoseconds) : ps_(picoseconds) {}
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr SimTime& operator+=(Duration d) { ps_ += d.ps(); return *this; }
+  constexpr SimTime& operator-=(Duration d) { ps_ -= d.ps(); return *this; }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) { return SimTime{t.ps_ + d.ps()}; }
+  friend constexpr SimTime operator+(Duration d, SimTime t) { return SimTime{t.ps_ + d.ps()}; }
+  friend constexpr SimTime operator-(SimTime t, Duration d) { return SimTime{t.ps_ - d.ps()}; }
+  friend constexpr Duration operator-(SimTime a, SimTime b) { return Duration{a.ps_ - b.ps_}; }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  [[nodiscard]] std::string str() const;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() { return SimTime{INT64_MAX}; }
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+// --- Construction helpers -------------------------------------------------
+
+[[nodiscard]] constexpr Duration picoseconds(std::int64_t v) { return Duration{v}; }
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t v) { return Duration{v * 1'000}; }
+[[nodiscard]] constexpr Duration microseconds(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e6)};
+}
+[[nodiscard]] constexpr Duration milliseconds(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e9)};
+}
+[[nodiscard]] constexpr Duration seconds(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e12)};
+}
+
+/// Duration of one clock cycle at `mhz` megahertz.
+[[nodiscard]] constexpr Duration cycle_at_mhz(double mhz) {
+  return Duration{static_cast<std::int64_t>(1e6 / mhz)};
+}
+
+/// Duration of `cycles` clock cycles at `mhz` megahertz.
+[[nodiscard]] constexpr Duration cycles_at_mhz(std::int64_t cycles, double mhz) {
+  return Duration{static_cast<std::int64_t>(static_cast<double>(cycles) * 1e6 / mhz)};
+}
+
+/// Time to move `bytes` at `megabytes_per_s` MB/s.
+[[nodiscard]] constexpr Duration transfer_time(std::int64_t bytes, double megabytes_per_s) {
+  // bytes / (MB/s) = bytes * 1e12 ps / (mbps * 1e6 bytes) = bytes * 1e6 / mbps ps
+  return Duration{static_cast<std::int64_t>(static_cast<double>(bytes) * 1e6 / megabytes_per_s)};
+}
+
+namespace literals {
+constexpr Duration operator""_ps(unsigned long long v) { return Duration{static_cast<std::int64_t>(v)}; }
+constexpr Duration operator""_ns(unsigned long long v) { return nanoseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return microseconds(static_cast<double>(v)); }
+constexpr Duration operator""_us(long double v) { return microseconds(static_cast<double>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return milliseconds(static_cast<double>(v)); }
+constexpr Duration operator""_ms(long double v) { return milliseconds(static_cast<double>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return seconds(static_cast<double>(v)); }
+}  // namespace literals
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace nicbar::sim

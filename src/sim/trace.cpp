@@ -1,0 +1,20 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace nicbar::sim {
+
+void Tracer::log(TraceCategory c, SimTime at, const char* fmt, ...) {
+  if (!on(c) || os_ == nullptr) return;
+  char body[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof body, fmt, ap);
+  va_end(ap);
+  char line[600];
+  std::snprintf(line, sizeof line, "[%14.3fus] %s\n", at.us(), body);
+  *os_ << line;
+}
+
+}  // namespace nicbar::sim

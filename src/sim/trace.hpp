@@ -1,0 +1,52 @@
+// Lightweight category-filtered tracing.
+//
+// Hardware-model classes emit trace lines through a Tracer so that tests and
+// debugging sessions can watch packet/DMA/firmware activity. Tracing is off
+// by default and costs one branch per call site when disabled.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace nicbar::sim {
+
+enum class TraceCategory : std::uint32_t {
+  kHost = 1u << 0,     // host library calls and completions
+  kSdma = 1u << 1,     // SDMA engine (host -> NIC)
+  kSend = 1u << 2,     // SEND engine (NIC -> wire)
+  kRecv = 1u << 3,     // RECV engine (wire -> NIC)
+  kRdma = 1u << 4,     // RDMA engine (NIC -> host)
+  kNet = 1u << 5,      // links and switches
+  kBarrier = 1u << 6,  // barrier firmware decisions
+  kReliab = 1u << 7,   // acks, nacks, retransmissions
+  kAll = 0xffffffffu,
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  /// Directs output to `os` (nullptr disables) for categories in `mask`.
+  void enable(std::ostream* os, std::uint32_t mask = static_cast<std::uint32_t>(TraceCategory::kAll)) {
+    os_ = os;
+    mask_ = os ? mask : 0;
+  }
+
+  [[nodiscard]] bool on(TraceCategory c) const {
+    return (mask_ & static_cast<std::uint32_t>(c)) != 0;
+  }
+
+  /// printf-style trace line, prefixed with the simulated time.
+  void log(TraceCategory c, SimTime at, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  std::ostream* os_ = nullptr;
+  std::uint32_t mask_ = 0;
+};
+
+}  // namespace nicbar::sim

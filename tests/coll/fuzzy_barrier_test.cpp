@@ -1,0 +1,124 @@
+// Fuzzy barrier (§2.1): the host computes while the NIC runs the barrier.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar {
+namespace {
+
+using namespace sim::literals;
+using coll::BarrierMember;
+
+struct Rig {
+  explicit Rig(std::size_t n) {
+    host::ClusterParams cp;
+    cp.nodes = n;
+    cluster = std::make_unique<host::Cluster>(cp);
+    for (std::size_t i = 0; i < n; ++i) {
+      group.push_back(gm::Endpoint{static_cast<net::NodeId>(i), 2});
+      ports.push_back(cluster->open_port(static_cast<net::NodeId>(i), 2));
+    }
+    coll::BarrierSpec spec;
+    spec.location = coll::Location::kNic;
+    for (std::size_t i = 0; i < n; ++i) {
+      members.push_back(std::make_unique<BarrierMember>(*ports[i], group, spec));
+    }
+  }
+  std::unique_ptr<host::Cluster> cluster;
+  std::vector<gm::Endpoint> group;
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<BarrierMember>> members;
+};
+
+TEST(FuzzyBarrierTest, StillSynchronizes) {
+  Rig rig(8);
+  std::vector<sim::SimTime> entered(8), exited(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    rig.cluster->sim().spawn([](sim::Simulator& sim, BarrierMember& m, sim::Duration d,
+                                sim::SimTime* in, sim::SimTime* out) -> sim::Task {
+      co_await sim.delay(d);
+      *in = sim.now();
+      (void)co_await m.run_fuzzy(5_us);
+      *out = sim.now();
+    }(rig.cluster->sim(), *rig.members[i], sim::microseconds(31.0 * static_cast<double>(i)),
+      &entered[i], &exited[i]));
+  }
+  rig.cluster->sim().run();
+  sim::SimTime last_in{0};
+  for (auto t : entered) {
+    if (t > last_in) last_in = t;
+  }
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_GE(exited[i].ps(), last_in.ps()) << i;
+}
+
+TEST(FuzzyBarrierTest, SlowestNodeDoesNoIdleWork) {
+  // A node entering last finds the barrier nearly done: few or no chunks.
+  // The first node waits longest and overlaps the most work.
+  Rig rig(4);
+  std::vector<std::uint64_t> chunks(4, 0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    rig.cluster->sim().spawn([](sim::Simulator& sim, BarrierMember& m, sim::Duration d,
+                                std::uint64_t* out) -> sim::Task {
+      co_await sim.delay(d);
+      *out = co_await m.run_fuzzy(5_us);
+    }(rig.cluster->sim(), *rig.members[i],
+      sim::microseconds(i == 3 ? 500.0 : 0.0), &chunks[i]));
+  }
+  rig.cluster->sim().run();
+  EXPECT_GT(chunks[0], chunks[3]);
+  EXPECT_GT(chunks[0], 50u);  // ~500us of waiting at 5us chunks
+}
+
+TEST(FuzzyBarrierTest, WorkScalesWithChunkCount) {
+  // Total overlapped time ~= barrier latency regardless of chunk size.
+  auto overlapped_us = [](sim::Duration chunk) {
+    Rig rig(8);
+    std::vector<std::uint64_t> chunks(8, 0);
+    for (std::size_t i = 0; i < 8; ++i) {
+      rig.cluster->sim().spawn([](BarrierMember& m, sim::Duration c,
+                                  std::uint64_t* out) -> sim::Task {
+        *out = co_await m.run_fuzzy(c);
+      }(*rig.members[i], chunk, &chunks[i]));
+    }
+    rig.cluster->sim().run();
+    return static_cast<double>(chunks[0]) * chunk.us();
+  };
+  const double fine = overlapped_us(2_us);
+  const double coarse = overlapped_us(20_us);
+  EXPECT_GT(fine, 20.0);
+  EXPECT_NEAR(fine, coarse, 30.0);  // same wait budget, different granularity
+}
+
+TEST(FuzzyBarrierTest, RequiresNicLocation) {
+  host::ClusterParams cp;
+  cp.nodes = 2;
+  host::Cluster cluster(cp);
+  auto port = cluster.open_port(0, 2);
+  std::vector<gm::Endpoint> group{{0, 2}, {1, 2}};
+  coll::BarrierSpec spec;
+  spec.location = coll::Location::kHost;
+  BarrierMember m(*port, group, spec);
+  EXPECT_THROW((void)m.run_fuzzy(5_us), std::logic_error);
+}
+
+TEST(FuzzyBarrierTest, RepeatedFuzzyBarriersAccumulateWork) {
+  Rig rig(2);
+  std::vector<std::uint64_t> total(2, 0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    rig.cluster->sim().spawn([](BarrierMember& m, std::uint64_t* out) -> sim::Task {
+      for (int k = 0; k < 5; ++k) {
+        *out += co_await m.run_fuzzy(sim::microseconds(3.0));
+      }
+    }(*rig.members[i], &total[i]));
+  }
+  rig.cluster->sim().run();
+  EXPECT_EQ(rig.cluster->nic(0).stats().barriers_completed, 5u);
+  EXPECT_EQ(rig.cluster->nic(1).stats().barriers_completed, 5u);
+}
+
+}  // namespace
+}  // namespace nicbar

@@ -1,0 +1,112 @@
+// Paper-shape regression guards: the qualitative results of Buntinas et al.
+// (Fig. 5) that this repository exists to reproduce. If a future change to
+// the cost model breaks any of these, the reproduction is broken — these
+// tests pin the shape (and loosely the headline numbers) down.
+#include <gtest/gtest.h>
+
+#include "coll/runner.hpp"
+
+namespace nicbar {
+namespace {
+
+using coll::Location;
+using nic::BarrierAlgorithm;
+
+double mean_us(const nic::NicConfig& cfg, std::size_t nodes, Location loc,
+               BarrierAlgorithm alg, std::size_t dim = 2) {
+  coll::ExperimentParams p;
+  p.nodes = nodes;
+  p.reps = 60;
+  p.cluster.nic = cfg;
+  p.spec.location = loc;
+  p.spec.algorithm = alg;
+  p.spec.gb_dimension = dim;
+  return coll::run_barrier_experiment(p).mean_us;
+}
+
+double best_gb_us(const nic::NicConfig& cfg, std::size_t nodes, Location loc) {
+  coll::ExperimentParams p;
+  p.nodes = nodes;
+  p.reps = 60;
+  p.cluster.nic = cfg;
+  p.spec.location = loc;
+  p.spec.algorithm = BarrierAlgorithm::kGatherBroadcast;
+  return coll::best_gb_dimension(p).second;
+}
+
+TEST(PaperShapeTest, HeadlineNicPe16NodesNear102us) {
+  // Paper: 102.14us on LANai 4.3. Calibration target: within 10%.
+  const double us = mean_us(nic::lanai43(), 16, Location::kNic,
+                            BarrierAlgorithm::kPairwiseExchange);
+  EXPECT_NEAR(us, 102.14, 10.2);
+}
+
+TEST(PaperShapeTest, HeadlineImprovement16NodesNear178) {
+  const double nic_us = mean_us(nic::lanai43(), 16, Location::kNic,
+                                BarrierAlgorithm::kPairwiseExchange);
+  const double host_us = mean_us(nic::lanai43(), 16, Location::kHost,
+                                 BarrierAlgorithm::kPairwiseExchange);
+  EXPECT_NEAR(host_us / nic_us, 1.78, 0.15);
+}
+
+TEST(PaperShapeTest, HeadlineLanai72EightNodes) {
+  // Paper: NIC-PE 49.25us vs host-PE 90.24us (1.83x).
+  const double nic_us = mean_us(nic::lanai72(), 8, Location::kNic,
+                                BarrierAlgorithm::kPairwiseExchange);
+  const double host_us = mean_us(nic::lanai72(), 8, Location::kHost,
+                                 BarrierAlgorithm::kPairwiseExchange);
+  EXPECT_NEAR(nic_us, 49.25, 5.0);
+  EXPECT_NEAR(host_us, 90.24, 9.0);
+  EXPECT_NEAR(host_us / nic_us, 1.83, 0.15);
+}
+
+TEST(PaperShapeTest, NicPeWinsAtEverySize) {
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    const double nic_pe = mean_us(nic::lanai43(), n, Location::kNic,
+                                  BarrierAlgorithm::kPairwiseExchange);
+    EXPECT_LT(nic_pe, mean_us(nic::lanai43(), n, Location::kHost,
+                              BarrierAlgorithm::kPairwiseExchange))
+        << n;
+    if (n > 2) {
+      EXPECT_LT(nic_pe, best_gb_us(nic::lanai43(), n, Location::kNic)) << n;
+    }
+  }
+}
+
+TEST(PaperShapeTest, GbCrossoverAtTwoNodesOnly) {
+  // §6: "The NIC-based GB barrier performed worse for the two node barrier
+  // than the host-based GB barrier ... because of the overhead of
+  // processing the barrier algorithm at the NIC" — and better at N >= 4.
+  EXPECT_GT(mean_us(nic::lanai43(), 2, Location::kNic, BarrierAlgorithm::kGatherBroadcast, 1),
+            mean_us(nic::lanai43(), 2, Location::kHost, BarrierAlgorithm::kGatherBroadcast, 1));
+  for (std::size_t n : {4u, 8u, 16u}) {
+    EXPECT_LT(best_gb_us(nic::lanai43(), n, Location::kNic),
+              best_gb_us(nic::lanai43(), n, Location::kHost))
+        << n;
+  }
+}
+
+TEST(PaperShapeTest, HostPeBeatsHostGbEverywhere) {
+  for (std::size_t n : {4u, 8u, 16u}) {
+    EXPECT_LT(mean_us(nic::lanai43(), n, Location::kHost,
+                      BarrierAlgorithm::kPairwiseExchange),
+              best_gb_us(nic::lanai43(), n, Location::kHost))
+        << n;
+  }
+}
+
+TEST(PaperShapeTest, FasterNicRaisesImprovementAtEightNodes) {
+  // Paper: 1.66x (LANai 4.3) -> 1.83x (LANai 7.2) for the 8-node PE barrier.
+  auto improvement = [](const nic::NicConfig& cfg) {
+    return mean_us(cfg, 8, Location::kHost, BarrierAlgorithm::kPairwiseExchange) /
+           mean_us(cfg, 8, Location::kNic, BarrierAlgorithm::kPairwiseExchange);
+  };
+  const double i43 = improvement(nic::lanai43());
+  const double i72 = improvement(nic::lanai72());
+  EXPECT_NEAR(i43, 1.66, 0.15);
+  EXPECT_NEAR(i72, 1.83, 0.15);
+  EXPECT_GT(i72, i43);
+}
+
+}  // namespace
+}  // namespace nicbar

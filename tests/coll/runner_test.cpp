@@ -1,0 +1,105 @@
+// The experiment runner: determinism, measurement sanity, dimension sweep.
+#include "coll/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicbar::coll {
+namespace {
+
+ExperimentParams pe_params(std::size_t nodes, int reps = 50) {
+  ExperimentParams p;
+  p.nodes = nodes;
+  p.reps = reps;
+  p.spec.location = Location::kNic;
+  p.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  return p;
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  // The whole point of a simulation substrate: identical inputs give
+  // bit-identical outputs.
+  const ExperimentResult a = run_barrier_experiment(pe_params(8));
+  const ExperimentResult b = run_barrier_experiment(pe_params(8));
+  EXPECT_EQ(a.mean_us, b.mean_us);
+  EXPECT_EQ(a.total_us, b.total_us);
+  EXPECT_EQ(a.barrier_packets_sent, b.barrier_packets_sent);
+}
+
+TEST(RunnerTest, SkewIsDeterministicPerSeed) {
+  ExperimentParams p = pe_params(8);
+  p.max_start_skew = sim::microseconds(300.0);
+  p.seed = 42;
+  const double a = run_barrier_experiment(p).mean_us;
+  const double b = run_barrier_experiment(p).mean_us;
+  EXPECT_EQ(a, b);
+  p.seed = 43;
+  const double c = run_barrier_experiment(p).mean_us;
+  EXPECT_NE(a, c);
+}
+
+TEST(RunnerTest, MeanScalesWithLog2Nodes) {
+  const double t2 = run_barrier_experiment(pe_params(2)).mean_us;
+  const double t4 = run_barrier_experiment(pe_params(4)).mean_us;
+  const double t16 = run_barrier_experiment(pe_params(16)).mean_us;
+  // Each doubling adds roughly one fixed round (Eq. 2).
+  const double round = t4 - t2;
+  EXPECT_GT(round, 0);
+  EXPECT_NEAR(t16, t2 + 3 * round, 0.2 * t16);
+}
+
+TEST(RunnerTest, AllBarriersAccountedFor) {
+  const ExperimentResult r = run_barrier_experiment(pe_params(4, 25));
+  EXPECT_EQ(r.barriers_completed, 4u * 25u);
+  EXPECT_EQ(r.reps, 25);
+  EXPECT_EQ(r.nodes, 4u);
+  // 4-node PE: 2 packets per node per barrier.
+  EXPECT_EQ(r.barrier_packets_sent, 4u * 25u * 2u);
+}
+
+TEST(RunnerTest, MoreRepsDontChangeTheMeanMuch) {
+  const double short_run = run_barrier_experiment(pe_params(8, 20)).mean_us;
+  const double long_run = run_barrier_experiment(pe_params(8, 200)).mean_us;
+  EXPECT_NEAR(short_run, long_run, 0.05 * long_run);
+}
+
+TEST(RunnerTest, BestGbDimensionIsValidAndMinimal) {
+  ExperimentParams p = pe_params(8, 40);
+  p.spec.algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
+  const auto [dim, best_us] = best_gb_dimension(p);
+  EXPECT_GE(dim, 1u);
+  EXPECT_LT(dim, 8u);
+  // Verify the reported minimum really is the minimum of the sweep.
+  for (std::size_t d = 1; d < 8; ++d) {
+    p.spec.gb_dimension = d;
+    EXPECT_GE(run_barrier_experiment(p).mean_us, best_us - 1e-9) << "dim " << d;
+  }
+}
+
+TEST(RunnerTest, BestGbDimensionRejectsPe) {
+  ExperimentParams p = pe_params(8);
+  EXPECT_THROW((void)best_gb_dimension(p), std::invalid_argument);
+}
+
+TEST(RunnerTest, RejectsZeroNodes) {
+  ExperimentParams p = pe_params(0);
+  EXPECT_THROW((void)run_barrier_experiment(p), std::invalid_argument);
+}
+
+TEST(RunnerTest, SingleNodeBarrierIsTrivial) {
+  const ExperimentResult r = run_barrier_experiment(pe_params(1, 10));
+  EXPECT_EQ(r.barriers_completed, 10u);
+  EXPECT_EQ(r.barrier_packets_sent, 0u);  // nobody to talk to
+  EXPECT_GT(r.mean_us, 0.0);              // still pays initiation + completion
+}
+
+TEST(RunnerTest, StatsAggregateAcrossNics) {
+  ExperimentParams p = pe_params(16, 10);
+  p.max_start_skew = sim::microseconds(400.0);
+  const ExperimentResult r = run_barrier_experiment(p);
+  EXPECT_GT(r.unexpected_recorded, 0u);
+  EXPECT_EQ(r.bit_collisions, 0u);
+  EXPECT_EQ(r.retransmissions, 0u);  // lossless fabric
+}
+
+}  // namespace
+}  // namespace nicbar::coll

@@ -1,0 +1,167 @@
+// GM host-library API tests: port lifecycle, event polling, epochs, costs.
+#include "gm/port.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+
+#include "host/cluster.hpp"
+
+namespace nicbar::gm {
+namespace {
+
+using namespace sim::literals;
+
+host::ClusterParams two_nodes() {
+  host::ClusterParams p;
+  p.nodes = 2;
+  return p;
+}
+
+TEST(PortTest, OpenCloseLifecycle) {
+  host::Cluster cluster(two_nodes());
+  auto p = cluster.make_port(0, 2);
+  EXPECT_FALSE(p->is_open());
+  EXPECT_FALSE(cluster.nic(0).is_port_open(2));
+  p->open();
+  EXPECT_TRUE(p->is_open());
+  EXPECT_TRUE(cluster.nic(0).is_port_open(2));
+  p->close();
+  EXPECT_FALSE(p->is_open());
+  EXPECT_FALSE(cluster.nic(0).is_port_open(2));
+}
+
+TEST(PortTest, DoubleOpenThrows) {
+  host::Cluster cluster(two_nodes());
+  auto p = cluster.open_port(0, 2);
+  EXPECT_THROW(p->open(), std::logic_error);
+}
+
+TEST(PortTest, DoubleCloseIsIdempotent) {
+  host::Cluster cluster(two_nodes());
+  auto p = cluster.open_port(0, 2);
+  p->close();
+  p->close();  // no throw
+  EXPECT_FALSE(p->is_open());
+}
+
+TEST(PortTest, DestructorClosesNicPort) {
+  host::Cluster cluster(two_nodes());
+  {
+    auto p = cluster.open_port(0, 2);
+    EXPECT_TRUE(cluster.nic(0).is_port_open(2));
+  }
+  EXPECT_FALSE(cluster.nic(0).is_port_open(2));
+}
+
+TEST(PortTest, EndpointIdentity) {
+  host::Cluster cluster(two_nodes());
+  auto p = cluster.open_port(1, 5);
+  EXPECT_EQ(p->node(), 1);
+  EXPECT_EQ(p->id(), 5);
+  EXPECT_EQ(p->endpoint(), (Endpoint{1, 5}));
+}
+
+TEST(PortTest, EightPortsPerNic) {
+  // GM 1.2.3 allows eight ports per NIC; a ninth must fail.
+  host::Cluster cluster(two_nodes());
+  std::vector<std::unique_ptr<Port>> ports;
+  for (nic::PortId i = 0; i < 8; ++i) ports.push_back(cluster.open_port(0, i));
+  EXPECT_THROW((void)cluster.open_port(0, 8), std::out_of_range);
+}
+
+TEST(PortTest, SendChargesHostTime) {
+  host::Cluster cluster(two_nodes());
+  auto p = cluster.open_port(0, 2);
+  sim::SimTime after{};
+  cluster.sim().spawn([](sim::Simulator& sim, Port& port, sim::SimTime* out) -> sim::Task {
+    co_await port.send(Endpoint{1, 2}, 64);
+    *out = sim.now();
+  }(cluster.sim(), *p, &after));
+  cluster.sim().run(sim::SimTime{0} + 1_ms);
+  EXPECT_EQ(after.ps(), p->config().host_send_overhead.ps());
+}
+
+TEST(PortTest, LayerOverheadAddsToEveryCall) {
+  host::ClusterParams cp = two_nodes();
+  cp.gm.layer_overhead = 10_us;
+  host::Cluster cluster(cp);
+  auto p = cluster.open_port(0, 2);
+  sim::SimTime after{};
+  cluster.sim().spawn([](sim::Simulator& sim, Port& port, sim::SimTime* out) -> sim::Task {
+    co_await port.send(Endpoint{1, 2}, 64);
+    *out = sim.now();
+  }(cluster.sim(), *p, &after));
+  cluster.sim().run(sim::SimTime{0} + 1_ms);
+  EXPECT_EQ(after.ps(), (p->config().host_send_overhead + 10_us).ps());
+}
+
+TEST(PortTest, PollReturnsEmptyWhenIdle) {
+  host::Cluster cluster(two_nodes());
+  auto p = cluster.open_port(0, 2);
+  bool empty = false;
+  cluster.sim().spawn([](Port& port, bool* out) -> sim::Task {
+    std::optional<GmEvent> ev = co_await port.poll();
+    *out = !ev.has_value();
+  }(*p, &empty));
+  cluster.sim().run();
+  EXPECT_TRUE(empty);
+}
+
+TEST(PortTest, PollSeesDeliveredEvent) {
+  host::Cluster cluster(two_nodes());
+  auto p0 = cluster.open_port(0, 2);
+  auto p1 = cluster.open_port(1, 2);
+  bool got = false;
+  cluster.sim().spawn([](Port& port) -> sim::Task {
+    co_await port.send(Endpoint{1, 2}, 16, 7);
+  }(*p0));
+  cluster.sim().spawn([](sim::Simulator& sim, Port& port, bool* out) -> sim::Task {
+    co_await port.provide_receive_buffer(16);
+    co_await sim.delay(1_ms);  // let the message land
+    std::optional<GmEvent> ev = co_await port.poll();
+    *out = ev.has_value() && ev->type == GmEventType::kRecv && ev->tag == 7;
+  }(cluster.sim(), *p1, &got));
+  cluster.sim().run();
+  EXPECT_TRUE(got);
+}
+
+TEST(PortTest, BarrierEpochsIncrement) {
+  host::Cluster cluster(two_nodes());
+  auto p0 = cluster.open_port(0, 2);
+  auto p1 = cluster.open_port(1, 2);
+  std::vector<std::uint32_t> epochs;
+  auto barrier_loop = [](Port& port, Endpoint peer, std::vector<std::uint32_t>* out,
+                         int reps) -> sim::Task {
+    for (int i = 0; i < reps; ++i) {
+      nic::BarrierToken tok;
+      tok.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+      tok.peers = {peer};
+      co_await port.provide_barrier_buffer();
+      const std::uint32_t e = co_await port.barrier_send(std::move(tok));
+      if (out != nullptr) out->push_back(e);
+      (void)co_await port.receive();
+    }
+  };
+  cluster.sim().spawn(barrier_loop(*p0, Endpoint{1, 2}, &epochs, 4));
+  cluster.sim().spawn(barrier_loop(*p1, Endpoint{0, 2}, nullptr, 4));
+  cluster.sim().run();
+  EXPECT_EQ(epochs, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(p0->barrier_epoch(), 4u);
+}
+
+TEST(PortTest, ComputeOccupiesCpu) {
+  host::Cluster cluster(two_nodes());
+  auto p = cluster.open_port(0, 2);
+  sim::SimTime end{};
+  cluster.sim().spawn([](sim::Simulator& sim, Port& port, sim::SimTime* out) -> sim::Task {
+    co_await port.compute(250_us);
+    *out = sim.now();
+  }(cluster.sim(), *p, &end));
+  cluster.sim().run();
+  EXPECT_EQ(end.ps(), (250_us).ps());
+}
+
+}  // namespace
+}  // namespace nicbar::gm

@@ -1,0 +1,138 @@
+// The paper's Equations 1-3 and the phase derivation.
+#include "model/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicbar::model {
+namespace {
+
+PhaseTimes sample_phases() {
+  // The paper's §1 ballpark: ~30us one-way, ~120-240us for a 16-node barrier.
+  PhaseTimes t;
+  t.send_us = 5.0;
+  t.sdma_us = 8.5;
+  t.network_us = 1.0;
+  t.recv_us = 14.0;
+  t.recv_nic_pe_us = 17.0;
+  t.recv_nic_gb_us = 20.0;
+  t.rdma_us = 6.0;
+  t.hrecv_us = 4.0;
+  return t;
+}
+
+TEST(Log2CeilTest, Values) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(4), 2u);
+  EXPECT_EQ(log2_ceil(8), 3u);
+  EXPECT_EQ(log2_ceil(9), 4u);
+  EXPECT_EQ(log2_ceil(16), 4u);
+  EXPECT_EQ(log2_ceil(1024), 10u);
+}
+
+TEST(EquationsTest, Eq1IsLinearInRounds) {
+  const PhaseTimes t = sample_phases();
+  const double msg = t.host_message_us();
+  EXPECT_DOUBLE_EQ(host_barrier_us(t, 2), 1.0 * msg);
+  EXPECT_DOUBLE_EQ(host_barrier_us(t, 4), 2.0 * msg);
+  EXPECT_DOUBLE_EQ(host_barrier_us(t, 16), 4.0 * msg);
+}
+
+TEST(EquationsTest, Eq2OnlyNetworkAndRecvScale) {
+  const PhaseTimes t = sample_phases();
+  const double fixed = t.send_us + t.rdma_us + t.hrecv_us;
+  EXPECT_DOUBLE_EQ(nic_barrier_us(t, 2), fixed + 1.0 * (t.network_us + t.recv_nic_pe_us));
+  EXPECT_DOUBLE_EQ(nic_barrier_us(t, 16), fixed + 4.0 * (t.network_us + t.recv_nic_pe_us));
+}
+
+TEST(EquationsTest, PaperBallpark) {
+  // With the §1 numbers a 16-node host barrier costs 120-240us.
+  const PhaseTimes t = sample_phases();
+  const double host16 = host_barrier_us(t, 16);
+  EXPECT_GT(host16, 120.0);
+  EXPECT_LT(host16, 240.0);
+  EXPECT_GT(improvement_factor(t, 16), 1.0);
+}
+
+TEST(EquationsTest, ImprovementGrowsWithNodes) {
+  const PhaseTimes t = sample_phases();
+  double prev = 0;
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const double f = improvement_factor(t, n);
+    EXPECT_GT(f, prev) << "n=" << n;
+    prev = f;
+  }
+}
+
+TEST(EquationsTest, ImprovementGrowsWithSendOverhead) {
+  // Eq. 3 prediction: adding a software layer (bigger Send/HRecv) raises it.
+  PhaseTimes t = sample_phases();
+  const double base = improvement_factor(t, 16);
+  t.send_us += 10.0;
+  t.hrecv_us += 10.0;
+  EXPECT_GT(improvement_factor(t, 16), base);
+}
+
+TEST(EquationsTest, ImprovementBoundedByRatioLimit) {
+  // As N -> inf, improvement -> (host msg)/(network + recv_nic).
+  const PhaseTimes t = sample_phases();
+  const double limit = t.host_message_us() / (t.network_us + t.recv_nic_pe_us);
+  EXPECT_LT(improvement_factor(t, 1u << 20), limit);
+  EXPECT_GT(improvement_factor(t, 1u << 20), 0.95 * limit);
+}
+
+TEST(DerivePhasesTest, Lanai72HalvesOnlyNicCycles) {
+  const gm::GmConfig gmc;
+  const net::LinkParams link;
+  const net::SwitchParams sw;
+  const PhaseTimes slow = derive_phases(nic::lanai43(), gmc, link, sw);
+  const PhaseTimes fast = derive_phases(nic::lanai72(), gmc, link, sw);
+  // Pure NIC-cycle phases halve.
+  EXPECT_NEAR(fast.recv_us, slow.recv_us / 2.0, 0.01);
+  // Host-side cost is unchanged.
+  EXPECT_DOUBLE_EQ(fast.hrecv_us, slow.hrecv_us);
+  // Send = host + detect-cycles: strictly between unchanged and halved.
+  EXPECT_LT(fast.send_us, slow.send_us);
+  EXPECT_GT(fast.send_us, slow.send_us / 2.0);
+}
+
+TEST(DerivePhasesTest, LayerOverheadEntersSendAndHrecv) {
+  gm::GmConfig gmc;
+  const net::LinkParams link;
+  const net::SwitchParams sw;
+  const PhaseTimes base = derive_phases(nic::lanai43(), gmc, link, sw);
+  gmc.layer_overhead = sim::microseconds(7.0);
+  const PhaseTimes layered = derive_phases(nic::lanai43(), gmc, link, sw);
+  EXPECT_NEAR(layered.send_us - base.send_us, 7.0, 1e-9);
+  EXPECT_NEAR(layered.hrecv_us - base.hrecv_us, 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(layered.recv_us, base.recv_us);
+}
+
+TEST(DerivePhasesTest, PayloadSizeEntersSdmaRdmaAndNetwork) {
+  const gm::GmConfig gmc;
+  const net::LinkParams link;
+  const net::SwitchParams sw;
+  const PhaseTimes small = derive_phases(nic::lanai43(), gmc, link, sw, 8);
+  const PhaseTimes big = derive_phases(nic::lanai43(), gmc, link, sw, 64 * 1024);
+  EXPECT_GT(big.sdma_us, small.sdma_us);
+  EXPECT_GT(big.rdma_us, small.rdma_us);
+  EXPECT_GT(big.network_us, small.network_us);
+  EXPECT_DOUBLE_EQ(big.recv_us, small.recv_us);
+}
+
+TEST(DerivePhasesTest, PredictionTracksSimulationWithin10Percent) {
+  // Cross-check: Eq. 1/2 against the actual simulator (see the fig2 bench
+  // for the full table) — the derivation must stay honest.
+  const gm::GmConfig gmc;
+  const net::LinkParams link;
+  const net::SwitchParams sw;
+  const PhaseTimes t = derive_phases(nic::lanai43(), gmc, link, sw);
+  // From the calibrated simulator (bench/fig5a): 16-node host-PE ~182us,
+  // NIC-PE ~101us.
+  EXPECT_NEAR(host_barrier_us(t, 16), 182.0, 18.0);
+  EXPECT_NEAR(nic_barrier_us(t, 16), 101.0, 10.0);
+}
+
+}  // namespace
+}  // namespace nicbar::model

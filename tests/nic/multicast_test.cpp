@@ -1,0 +1,161 @@
+// NIC-assisted multicast (§7 related work): single PCI crossing, NIC-side
+// replication, delivery to every destination.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "host/cluster.hpp"
+
+namespace nicbar {
+namespace {
+
+using gm::GmEvent;
+
+sim::Task mcast_sink(gm::Port& port, std::vector<GmEvent>* out, int count) {
+  for (int i = 0; i < count; ++i) co_await port.provide_receive_buffer(4096);
+  for (int i = 0; i < count; ++i) out->push_back(co_await port.receive());
+}
+
+TEST(MulticastTest, DeliversToAllDestinations) {
+  host::ClusterParams p;
+  p.nodes = 8;
+  host::Cluster cluster(p);
+  auto src = cluster.open_port(0, 2);
+  std::vector<std::unique_ptr<gm::Port>> sinks;
+  std::vector<std::vector<GmEvent>> got(8);
+  std::vector<gm::Endpoint> dests;
+  for (net::NodeId i = 1; i < 8; ++i) {
+    sinks.push_back(cluster.open_port(i, 2));
+    cluster.sim().spawn(mcast_sink(*sinks.back(), &got[i], 1));
+    dests.push_back(gm::Endpoint{i, 2});
+  }
+  cluster.sim().spawn([](gm::Port& port, std::vector<gm::Endpoint> d) -> sim::Task {
+    co_await port.multicast(std::move(d), 256, 99, 1234);
+  }(*src, dests));
+  cluster.sim().run();
+  for (int i = 1; i < 8; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)].size(), 1u) << "dest " << i;
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][0].tag, 99u);
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][0].value, 1234);
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][0].bytes, 256);
+  }
+  EXPECT_EQ(cluster.nic(0).stats().multicasts_sent, 1u);
+  EXPECT_EQ(cluster.nic(0).stats().data_sent, 7u);
+}
+
+TEST(MulticastTest, OnePciCrossingRegardlessOfFanout) {
+  host::ClusterParams p;
+  p.nodes = 8;
+  host::Cluster cluster(p);
+  auto src = cluster.open_port(0, 2);
+  std::vector<std::unique_ptr<gm::Port>> sinks;
+  std::vector<std::vector<GmEvent>> got(8);
+  std::vector<gm::Endpoint> dests;
+  for (net::NodeId i = 1; i < 8; ++i) {
+    sinks.push_back(cluster.open_port(i, 2));
+    cluster.sim().spawn(mcast_sink(*sinks.back(), &got[i], 1));
+    dests.push_back(gm::Endpoint{i, 2});
+  }
+  cluster.sim().spawn([](gm::Port& port, std::vector<gm::Endpoint> d) -> sim::Task {
+    co_await port.multicast(std::move(d), 2048);
+  }(*src, dests));
+  cluster.sim().run();
+  EXPECT_EQ(cluster.node(0).pci.jobs(), 1u);  // one SDMA crossing for 7 dests
+}
+
+TEST(MulticastTest, FasterThanHostSendLoop) {
+  auto run = [](bool use_multicast) {
+    host::ClusterParams p;
+    p.nodes = 8;
+    host::Cluster cluster(p);
+    auto src = cluster.open_port(0, 2);
+    std::vector<std::unique_ptr<gm::Port>> sinks;
+    std::vector<std::vector<GmEvent>> got(8);
+    std::vector<gm::Endpoint> dests;
+    std::vector<sim::SimTime> done(8);
+    for (net::NodeId i = 1; i < 8; ++i) {
+      sinks.push_back(cluster.open_port(i, 2));
+      cluster.sim().spawn([](sim::Simulator& sim, gm::Port& port, std::vector<GmEvent>* out,
+                             sim::SimTime* when) -> sim::Task {
+        co_await port.provide_receive_buffer(4096);
+        out->push_back(co_await port.receive());
+        *when = sim.now();
+      }(cluster.sim(), *sinks.back(), &got[i], &done[i]));
+      dests.push_back(gm::Endpoint{i, 2});
+    }
+    if (use_multicast) {
+      cluster.sim().spawn([](gm::Port& port, std::vector<gm::Endpoint> d) -> sim::Task {
+        co_await port.multicast(std::move(d), 2048);
+      }(*src, dests));
+    } else {
+      cluster.sim().spawn([](gm::Port& port, std::vector<gm::Endpoint> d) -> sim::Task {
+        for (const gm::Endpoint& e : d) co_await port.send(e, 2048);
+      }(*src, dests));
+    }
+    cluster.sim().run();
+    sim::SimTime last{0};
+    for (const sim::SimTime& t : done) {
+      if (t > last) last = t;
+    }
+    return last.us();
+  };
+  const double nic_us = run(true);
+  const double host_us = run(false);
+  EXPECT_LT(nic_us, host_us);
+}
+
+TEST(MulticastTest, OversizedPayloadRejected) {
+  host::ClusterParams p;
+  p.nodes = 2;
+  host::Cluster cluster(p);
+  nic::MulticastToken tok;
+  tok.bytes = p.nic.mtu_bytes + 1;
+  tok.destinations = {gm::Endpoint{1, 2}};
+  EXPECT_THROW(cluster.nic(0).post_multicast_token(std::move(tok)), std::invalid_argument);
+}
+
+TEST(MulticastTest, EmptyDestinationListIsANoop) {
+  host::ClusterParams p;
+  p.nodes = 2;
+  host::Cluster cluster(p);
+  auto src = cluster.open_port(0, 2);
+  cluster.sim().spawn([](gm::Port& port) -> sim::Task {
+    co_await port.multicast({}, 64);
+  }(*src));
+  cluster.sim().run();
+  EXPECT_EQ(cluster.nic(0).stats().data_sent, 0u);
+  EXPECT_EQ(cluster.nic(0).stats().multicasts_sent, 1u);
+}
+
+TEST(MulticastTest, ReliableUnderLoss) {
+  host::ClusterParams p;
+  p.nodes = 4;
+  p.nic.retransmit_timeout = sim::microseconds(300.0);
+  host::Cluster cluster(p);
+  cluster.network().uplink(0).set_drop_probability(0.3, 17);
+  auto src = cluster.open_port(0, 2);
+  std::vector<std::unique_ptr<gm::Port>> sinks;
+  std::vector<std::vector<GmEvent>> got(4);
+  std::vector<gm::Endpoint> dests;
+  for (net::NodeId i = 1; i < 4; ++i) {
+    sinks.push_back(cluster.open_port(i, 2));
+    cluster.sim().spawn(mcast_sink(*sinks.back(), &got[i], 3));
+    dests.push_back(gm::Endpoint{i, 2});
+  }
+  cluster.sim().spawn([](gm::Port& port, std::vector<gm::Endpoint> d) -> sim::Task {
+    for (int k = 0; k < 3; ++k) co_await port.multicast(d, 128, static_cast<std::uint64_t>(k));
+  }(*src, dests));
+  cluster.sim().run(sim::SimTime{0} + sim::milliseconds(100.0));
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)].size(), 3u);
+    // In-order per destination despite loss.
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(got[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)].tag,
+                static_cast<std::uint64_t>(k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nicbar

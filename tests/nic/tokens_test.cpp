@@ -1,0 +1,102 @@
+// Token/operator unit tests.
+#include "nic/tokens.hpp"
+
+#include "nic/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace nicbar::nic {
+namespace {
+
+TEST(ReduceOpTest, Sum) {
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kSum, 3, 4), 7);
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kSum, -3, 3), 0);
+}
+
+TEST(ReduceOpTest, Prod) {
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kProd, 3, 4), 12);
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kProd, -3, 4), -12);
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kProd, 0, 99), 0);
+}
+
+TEST(ReduceOpTest, MinMax) {
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kMin, 3, 4), 3);
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kMin, -9, 4), -9);
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kMax, 3, 4), 4);
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kMax, std::numeric_limits<std::int64_t>::min(), 0), 0);
+}
+
+TEST(ReduceOpTest, Bitwise) {
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kBitAnd, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kBitOr, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(apply_reduce_op(ReduceOp::kBitOr, 0, 0x5A5A), 0x5A5A);  // bcast identity
+}
+
+TEST(ReduceOpTest, Associativity) {
+  for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kProd, ReduceOp::kMin, ReduceOp::kMax,
+                      ReduceOp::kBitAnd, ReduceOp::kBitOr}) {
+    const std::int64_t a = 13, b = -7, c = 255;
+    EXPECT_EQ(apply_reduce_op(op, apply_reduce_op(op, a, b), c),
+              apply_reduce_op(op, a, apply_reduce_op(op, b, c)))
+        << to_string(op);
+  }
+}
+
+TEST(ReduceOpTest, Names) {
+  EXPECT_STREQ(to_string(ReduceOp::kSum), "sum");
+  EXPECT_STREQ(to_string(ReduceOp::kProd), "prod");
+  EXPECT_STREQ(to_string(ReduceOp::kMin), "min");
+  EXPECT_STREQ(to_string(ReduceOp::kMax), "max");
+  EXPECT_STREQ(to_string(ReduceOp::kBitAnd), "band");
+  EXPECT_STREQ(to_string(ReduceOp::kBitOr), "bor");
+}
+
+TEST(BarrierAlgorithmTest, Names) {
+  EXPECT_STREQ(to_string(BarrierAlgorithm::kPairwiseExchange), "PE");
+  EXPECT_STREQ(to_string(BarrierAlgorithm::kGatherBroadcast), "GB");
+}
+
+TEST(BarrierTokenTest, RootDetection) {
+  BarrierToken t;
+  EXPECT_TRUE(t.is_root());  // default parent is the invalid node
+  t.parent = Endpoint{3, 1};
+  EXPECT_FALSE(t.is_root());
+}
+
+TEST(ReduceTokenTest, RootDetection) {
+  ReduceToken t;
+  EXPECT_TRUE(t.is_root());
+  t.parent = Endpoint{0, 0};
+  EXPECT_FALSE(t.is_root());
+}
+
+TEST(EndpointTest, OrderingAndEquality) {
+  const Endpoint a{1, 2}, b{1, 3}, c{2, 0};
+  EXPECT_EQ(a, (Endpoint{1, 2}));
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(ConfigTest, FactoryModels) {
+  EXPECT_EQ(lanai43().model, "LANai-4.3");
+  EXPECT_DOUBLE_EQ(lanai43().clock_mhz, 33.0);
+  EXPECT_EQ(lanai72().model, "LANai-7.2");
+  EXPECT_DOUBLE_EQ(lanai72().clock_mhz, 66.0);
+  // Same firmware: identical cycle costs.
+  EXPECT_EQ(lanai43().recv_cycles, lanai72().recv_cycles);
+  EXPECT_EQ(lanai43().barrier_pe_cycles, lanai72().barrier_pe_cycles);
+  // Faster host interface on the 7.x series.
+  EXPECT_GT(lanai72().pci_bandwidth_mbps, lanai43().pci_bandwidth_mbps);
+}
+
+TEST(ConfigTest, CyclesHelper) {
+  const NicConfig c = lanai43();
+  EXPECT_EQ(c.cycles(33).ps(), sim::cycles_at_mhz(33, 33.0).ps());
+  EXPECT_NEAR(c.cycles(330).us(), 10.0, 0.001);
+}
+
+}  // namespace
+}  // namespace nicbar::nic

@@ -1,0 +1,133 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nicbar::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime{30}, [&] { order.push_back(3); });
+  q.schedule(SimTime{10}, [&] { order.push_back(1); });
+  q.schedule(SimTime{20}, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    SimTime at;
+    q.pop(at)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameInstantFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime{42}, [&, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    SimTime at;
+    q.pop(at)();
+    EXPECT_EQ(at.ps(), 42);
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeReflectsEarliestLive) {
+  EventQueue q;
+  q.schedule(SimTime{50}, [] {});
+  EventId early = q.schedule(SimTime{5}, [] {});
+  EXPECT_EQ(q.next_time().ps(), 5);
+  q.cancel(early);
+  EXPECT_EQ(q.next_time().ps(), 50);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule(SimTime{1}, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelFiredEventIsNoop) {
+  EventQueue q;
+  EventId id = q.schedule(SimTime{1}, [] {});
+  SimTime at;
+  q.pop(at)();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{9999}));
+}
+
+TEST(EventQueueTest, DoubleCancelCountsOnce) {
+  EventQueue q;
+  EventId id = q.schedule(SimTime{1}, [] {});
+  q.schedule(SimTime{2}, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.schedule(SimTime{1}, [] {});
+  q.schedule(SimTime{2}, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  SimTime at;
+  q.pop(at)();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, ClearDiscardsEverything) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule(SimTime{1}, [&] { ran = true; });
+  q.schedule(SimTime{2}, [&] { ran = true; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, InterleavedCancelAndPop) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(SimTime{i}, [&, i] { order.push_back(i); }));
+  }
+  // Cancel the odd ones.
+  for (int i = 1; i < 100; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+  while (!q.empty()) {
+    SimTime at;
+    q.pop(at)();
+  }
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(2 * i));
+  }
+}
+
+TEST(EventQueueTest, TotalScheduledCounts) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule(SimTime{i}, [] {});
+  EXPECT_EQ(q.total_scheduled(), 7u);
+}
+
+}  // namespace
+}  // namespace nicbar::sim

@@ -1,0 +1,103 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nicbar::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(7);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next_u32());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u32(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng r(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(10.0, 20.0);
+    EXPECT_GE(u, 10.0);
+    EXPECT_LT(u, 20.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 15.0, 0.2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng r(5);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t v = r.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, BelowZeroAndOne) {
+  Rng r(5);
+  EXPECT_EQ(r.below(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.25, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / 100000.0, 4.0, 0.1);
+}
+
+TEST(RngTest, NextU64CombinesHalves) {
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_u64());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace nicbar::sim

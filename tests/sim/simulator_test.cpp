@@ -1,0 +1,217 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace nicbar::sim {
+namespace {
+
+using namespace nicbar::sim::literals;
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().ps(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, ScheduleInAdvancesClock) {
+  Simulator sim;
+  SimTime fired{};
+  sim.schedule_in(10_us, [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired.ps(), (10_us).ps());
+  EXPECT_EQ(sim.now().ps(), (10_us).ps());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrderAcrossScheduling) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(30_us, [&] { order.push_back(3); });
+  sim.schedule_in(10_us, [&] {
+    order.push_back(1);
+    // Nested scheduling relative to current time.
+    sim.schedule_in(5_us, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunUntilHorizonStopsAndAdvances) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_in(1_us, [&] { ++count; });
+  sim.schedule_in(100_us, [&] { ++count; });
+  sim.run(SimTime{0} + 50_us);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now().ps(), (1_us).ps());  // clock rests at last executed event
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RunToEmptyHorizonAdvancesClock) {
+  Simulator sim;
+  sim.run(SimTime{0} + 7_us);
+  EXPECT_EQ(sim.now().ps(), (7_us).ps());
+}
+
+TEST(SimulatorTest, CancelStopsEvent) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule_in(1_us, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RequestStopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_in(microseconds(i), [&] {
+      if (++count == 3) sim.request_stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_in(1_us, [&] { ++count; });
+  sim.schedule_in(2_us, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+// --- Coroutine processes -----------------------------------------------------
+
+Task sleeper(Simulator& sim, Duration d, int& out) {
+  co_await sim.delay(d);
+  out = 1;
+}
+
+TEST(SimulatorCoroutineTest, SpawnRunsToCompletion) {
+  Simulator sim;
+  int done = 0;
+  sim.spawn(sleeper(sim, 5_us, done));
+  sim.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(sim.now().ps(), (5_us).ps());
+  EXPECT_EQ(sim.live_process_count(), 0u);
+}
+
+Task chain_child(Simulator& sim, std::vector<int>& log) {
+  log.push_back(1);
+  co_await sim.delay(2_us);
+  log.push_back(2);
+}
+
+Task chain_parent(Simulator& sim, std::vector<int>& log) {
+  log.push_back(0);
+  co_await chain_child(sim, log);
+  log.push_back(3);
+  co_await sim.delay(1_us);
+  log.push_back(4);
+}
+
+TEST(SimulatorCoroutineTest, AwaitingChildTasks) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.spawn(chain_parent(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sim.now().ps(), (3_us).ps());
+}
+
+Task thrower(Simulator& sim) {
+  co_await sim.delay(1_us);
+  throw std::runtime_error("boom");
+}
+
+TEST(SimulatorCoroutineTest, DetachedExceptionSurfacesFromRun) {
+  Simulator sim;
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task catcher(Simulator& sim, bool& caught) {
+  try {
+    co_await thrower(sim);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(SimulatorCoroutineTest, ChildExceptionPropagatesToParent) {
+  Simulator sim;
+  bool caught = false;
+  sim.spawn(catcher(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+Task forever(Simulator& sim) {
+  for (;;) co_await sim.delay(1_us);
+}
+
+TEST(SimulatorCoroutineTest, TeardownWithLiveProcessesDoesNotLeakOrCrash) {
+  // The sleeping process is still suspended when the simulator is destroyed;
+  // its frame must be reclaimed without resuming it.
+  Simulator sim;
+  sim.spawn(forever(sim));
+  sim.run(SimTime{0} + 10_us);
+  EXPECT_EQ(sim.live_process_count(), 1u);
+  // Destructor runs at end of scope.
+}
+
+Task wait_until_proc(Simulator& sim, SimTime target, SimTime& observed) {
+  co_await sim.wait_until(target);
+  observed = sim.now();
+}
+
+TEST(SimulatorCoroutineTest, WaitUntilAbsoluteTime) {
+  Simulator sim;
+  SimTime observed{};
+  sim.spawn(wait_until_proc(sim, SimTime{0} + 12_us, observed));
+  sim.run();
+  EXPECT_EQ(observed.ps(), (12_us).ps());
+}
+
+TEST(SimulatorCoroutineTest, ManyProcessesInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> log;
+  for (int i = 0; i < 50; ++i) {
+    sim.spawn([](Simulator& s, std::vector<int>& l, int id) -> Task {
+      co_await s.delay(microseconds(id % 7));
+      l.push_back(id);
+    }(sim, log, i));
+  }
+  sim.run();
+  ASSERT_EQ(log.size(), 50u);
+  // Same-delay processes complete in spawn order; groups ordered by delay.
+  std::vector<int> expect;
+  for (int d = 0; d < 7; ++d) {
+    for (int i = 0; i < 50; ++i) {
+      if (i % 7 == d) expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(log, expect);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_in(microseconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace nicbar::sim

@@ -1,0 +1,115 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nicbar::sim {
+namespace {
+
+using namespace nicbar::sim::literals;
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(AccumulatorTest, SingleSample) {
+  Accumulator a;
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, NegativeValues) {
+  Accumulator a;
+  a.add(-3.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(AccumulatorTest, ResetClears) {
+  Accumulator a;
+  a.add(1.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(DurationStatsTest, ReportsMicroseconds) {
+  DurationStats s;
+  s.add(100_us);
+  s.add(300_us);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean_us(), 200.0);
+  EXPECT_DOUBLE_EQ(s.min_us(), 100.0);
+  EXPECT_DOUBLE_EQ(s.max_us(), 300.0);
+}
+
+TEST(HistogramTest, CountsIntoBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[1], 2u);
+  EXPECT_EQ(h.bins()[9], 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(HistogramTest, PercentilesOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.percentile(50), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(90), 90.0, 1.5);
+  EXPECT_NEAR(h.percentile(0), 0.0, 1.5);
+  EXPECT_NEAR(h.percentile(100), 100.0, 1.5);
+}
+
+TEST(HistogramTest, EmptyPercentileIsLowerBound) {
+  Histogram h(5.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0.0, 4.0, 4);
+  EXPECT_NE(h.ascii().find("empty"), std::string::npos);
+  h.add(1.0);
+  h.add(1.2);
+  h.add(3.0);
+  const std::string art = h.ascii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nicbar::sim

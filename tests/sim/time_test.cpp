@@ -1,0 +1,111 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nicbar::sim {
+namespace {
+
+using namespace nicbar::sim::literals;
+
+TEST(DurationTest, DefaultIsZero) {
+  Duration d;
+  EXPECT_EQ(d.ps(), 0);
+  EXPECT_TRUE(d.is_zero());
+  EXPECT_FALSE(d.is_negative());
+}
+
+TEST(DurationTest, UnitConversions) {
+  EXPECT_EQ(nanoseconds(1).ps(), 1'000);
+  EXPECT_EQ(microseconds(1).ps(), 1'000'000);
+  EXPECT_EQ(milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_EQ(seconds(1).ps(), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ(microseconds(2.5).us(), 2.5);
+  EXPECT_DOUBLE_EQ(nanoseconds(1500).us(), 1.5);
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_EQ((5_us).ps(), 5'000'000);
+  EXPECT_EQ((2.5_us).ps(), 2'500'000);
+  EXPECT_EQ((3_ns).ps(), 3'000);
+  EXPECT_EQ((1_ms).ps(), 1'000'000'000);
+  EXPECT_EQ((7_ps).ps(), 7);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((2_us + 3_us).ps(), (5_us).ps());
+  EXPECT_EQ((5_us - 3_us).ps(), (2_us).ps());
+  EXPECT_EQ((2_us * 3).ps(), (6_us).ps());
+  EXPECT_EQ((3 * 2_us).ps(), (6_us).ps());
+  EXPECT_EQ((6_us / 3).ps(), (2_us).ps());
+  EXPECT_DOUBLE_EQ(6_us / 2_us, 3.0);
+  EXPECT_EQ((-(2_us)).ps(), -2'000'000);
+  EXPECT_TRUE((1_us - 2_us).is_negative());
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = 1_us;
+  d += 2_us;
+  EXPECT_EQ(d.ps(), (3_us).ps());
+  d -= 1_us;
+  EXPECT_EQ(d.ps(), (2_us).ps());
+  d *= 4;
+  EXPECT_EQ(d.ps(), (8_us).ps());
+}
+
+TEST(DurationTest, Comparison) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_GT(2_us, 1_us);
+  EXPECT_EQ(1000_ns, 1_us);
+  EXPECT_LE(1_us, 1_us);
+}
+
+TEST(SimTimeTest, PointArithmetic) {
+  SimTime t{0};
+  t += 5_us;
+  EXPECT_EQ(t.ps(), 5'000'000);
+  SimTime u = t + 3_us;
+  EXPECT_EQ((u - t).ps(), (3_us).ps());
+  EXPECT_EQ((u - 3_us).ps(), t.ps());
+  EXPECT_LT(t, u);
+}
+
+TEST(SimTimeTest, Extremes) {
+  EXPECT_EQ(SimTime::zero().ps(), 0);
+  EXPECT_GT(SimTime::max(), SimTime{1'000'000'000'000});
+}
+
+TEST(CycleHelpersTest, CycleAtMhz) {
+  // 33 MHz LANai 4.3: one cycle is 30303 ps.
+  EXPECT_EQ(cycle_at_mhz(33.0).ps(), 30303);
+  // 66 MHz LANai 7.2: exactly half.
+  EXPECT_EQ(cycle_at_mhz(66.0).ps(), 15151);
+  EXPECT_EQ(cycles_at_mhz(100, 50.0).ps(), 2'000'000);  // 100 cycles @50MHz = 2us
+}
+
+TEST(CycleHelpersTest, DoubleClockHalvesCost) {
+  const Duration slow = cycles_at_mhz(600, 33.0);
+  const Duration fast = cycles_at_mhz(600, 66.0);
+  EXPECT_NEAR(slow.us(), 2.0 * fast.us(), 1e-6);
+}
+
+TEST(TransferTimeTest, BytesOverBandwidth) {
+  // 160 MB/s, 160 bytes -> 1 us.
+  EXPECT_EQ(transfer_time(160, 160.0).ps(), 1'000'000);
+  // 64-byte packet on Myrinet (160 MB/s) -> 0.4 us.
+  EXPECT_EQ(transfer_time(64, 160.0).ps(), 400'000);
+  EXPECT_EQ(transfer_time(0, 160.0).ps(), 0);
+}
+
+TEST(FormattingTest, HumanUnits) {
+  EXPECT_EQ((500_ps).str(), "500ps");
+  EXPECT_NE((2_us).str().find("us"), std::string::npos);
+  EXPECT_NE((3_ms).str().find("ms"), std::string::npos);
+  std::ostringstream os;
+  os << 2_us << " " << SimTime{1'000'000};
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace nicbar::sim

@@ -1,0 +1,114 @@
+// Tracer: category filtering, formatting, integration with the NIC.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar {
+namespace {
+
+using sim::TraceCategory;
+using sim::Tracer;
+
+TEST(TracerTest, DisabledByDefault) {
+  Tracer t;
+  EXPECT_FALSE(t.on(TraceCategory::kHost));
+  EXPECT_FALSE(t.on(TraceCategory::kBarrier));
+  t.log(TraceCategory::kBarrier, sim::SimTime{0}, "never seen");  // must not crash
+}
+
+TEST(TracerTest, MaskFiltersCategories) {
+  std::ostringstream os;
+  Tracer t;
+  t.enable(&os, static_cast<std::uint32_t>(TraceCategory::kBarrier));
+  EXPECT_TRUE(t.on(TraceCategory::kBarrier));
+  EXPECT_FALSE(t.on(TraceCategory::kNet));
+  t.log(TraceCategory::kBarrier, sim::SimTime{1'000'000}, "bar %d", 7);
+  t.log(TraceCategory::kNet, sim::SimTime{2'000'000}, "net %d", 8);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("bar 7"), std::string::npos);
+  EXPECT_EQ(out.find("net 8"), std::string::npos);
+}
+
+TEST(TracerTest, LinesCarrySimulatedTime) {
+  std::ostringstream os;
+  Tracer t;
+  t.enable(&os);
+  t.log(TraceCategory::kHost, sim::SimTime{0} + sim::microseconds(12.5), "x");
+  EXPECT_NE(os.str().find("12.5"), std::string::npos);
+}
+
+TEST(TracerTest, DisableStopsOutput) {
+  std::ostringstream os;
+  Tracer t;
+  t.enable(&os);
+  t.enable(nullptr);
+  t.log(TraceCategory::kHost, sim::SimTime{0}, "gone");
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(TracerTest, NicBarrierRunEmitsTrace) {
+  host::ClusterParams cp;
+  cp.nodes = 2;
+  host::Cluster cluster(cp);
+  std::ostringstream os;
+  Tracer tracer;
+  tracer.enable(&os, static_cast<std::uint32_t>(TraceCategory::kBarrier));
+  cluster.nic(0).set_tracer(&tracer);
+  cluster.nic(1).set_tracer(&tracer);
+
+  std::vector<gm::Endpoint> group{{0, 2}, {1, 2}};
+  auto p0 = cluster.open_port(0, 2);
+  auto p1 = cluster.open_port(1, 2);
+  coll::BarrierSpec spec;
+  spec.location = coll::Location::kNic;
+  coll::BarrierMember m0(*p0, group, spec);
+  coll::BarrierMember m1(*p1, group, spec);
+  cluster.sim().spawn([](coll::BarrierMember& m) -> sim::Task { co_await m.run(); }(m0));
+  cluster.sim().spawn([](coll::BarrierMember& m) -> sim::Task { co_await m.run(); }(m1));
+  cluster.sim().run();
+
+  const std::string out = os.str();
+  EXPECT_NE(out.find("start PE barrier"), std::string::npos);
+  EXPECT_NE(out.find("complete"), std::string::npos);
+  EXPECT_NE(out.find("nic0"), std::string::npos);
+  EXPECT_NE(out.find("nic1"), std::string::npos);
+}
+
+TEST(TracerTest, ReliabilityTraceShowsRetransmissions) {
+  host::ClusterParams cp;
+  cp.nodes = 2;
+  cp.nic.retransmit_timeout = sim::microseconds(200.0);
+  host::Cluster cluster(cp);
+  std::ostringstream os;
+  Tracer tracer;
+  tracer.enable(&os, static_cast<std::uint32_t>(TraceCategory::kReliab));
+  cluster.nic(0).set_tracer(&tracer);
+  bool dropped = false;
+  cluster.network().uplink(0).set_drop_predicate([&dropped](const net::Packet& p) {
+    if (!dropped && p.type == net::PacketType::kData) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  auto p0 = cluster.open_port(0, 2);
+  auto p1 = cluster.open_port(1, 2);
+  cluster.sim().spawn([](gm::Port& port) -> sim::Task {
+    co_await port.provide_receive_buffer(64);
+    (void)co_await port.receive();
+  }(*p1));
+  cluster.sim().spawn([](gm::Port& port) -> sim::Task {
+    co_await port.send(gm::Endpoint{1, 2}, 64);
+  }(*p0));
+  cluster.sim().run(sim::SimTime{0} + sim::milliseconds(10.0));
+  EXPECT_NE(os.str().find("retransmit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nicbar
