@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_extension.dir/allreduce_extension.cpp.o"
+  "CMakeFiles/allreduce_extension.dir/allreduce_extension.cpp.o.d"
+  "allreduce_extension"
+  "allreduce_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_barriers.dir/concurrent_barriers.cpp.o"
+  "CMakeFiles/concurrent_barriers.dir/concurrent_barriers.cpp.o.d"
+  "concurrent_barriers"
+  "concurrent_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_timing_model.dir/fig2_timing_model.cpp.o"
+  "CMakeFiles/fig2_timing_model.dir/fig2_timing_model.cpp.o.d"
+  "fig2_timing_model"
+  "fig2_timing_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_timing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

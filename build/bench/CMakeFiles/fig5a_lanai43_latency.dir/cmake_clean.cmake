@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_lanai43_latency.dir/fig5a_lanai43_latency.cpp.o"
+  "CMakeFiles/fig5a_lanai43_latency.dir/fig5a_lanai43_latency.cpp.o.d"
+  "fig5a_lanai43_latency"
+  "fig5a_lanai43_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_lanai43_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

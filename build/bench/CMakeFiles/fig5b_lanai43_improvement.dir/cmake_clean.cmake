@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_lanai43_improvement.dir/fig5b_lanai43_improvement.cpp.o"
+  "CMakeFiles/fig5b_lanai43_improvement.dir/fig5b_lanai43_improvement.cpp.o.d"
+  "fig5b_lanai43_improvement"
+  "fig5b_lanai43_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_lanai43_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

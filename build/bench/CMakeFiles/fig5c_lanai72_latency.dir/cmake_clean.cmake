@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_lanai72_latency.dir/fig5c_lanai72_latency.cpp.o"
+  "CMakeFiles/fig5c_lanai72_latency.dir/fig5c_lanai72_latency.cpp.o.d"
+  "fig5c_lanai72_latency"
+  "fig5c_lanai72_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_lanai72_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

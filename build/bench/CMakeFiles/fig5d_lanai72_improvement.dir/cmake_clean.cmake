@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_lanai72_improvement.dir/fig5d_lanai72_improvement.cpp.o"
+  "CMakeFiles/fig5d_lanai72_improvement.dir/fig5d_lanai72_improvement.cpp.o.d"
+  "fig5d_lanai72_improvement"
+  "fig5d_lanai72_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_lanai72_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

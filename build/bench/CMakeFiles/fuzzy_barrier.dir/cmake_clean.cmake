@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_barrier.dir/fuzzy_barrier.cpp.o"
+  "CMakeFiles/fuzzy_barrier.dir/fuzzy_barrier.cpp.o.d"
+  "fuzzy_barrier"
+  "fuzzy_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

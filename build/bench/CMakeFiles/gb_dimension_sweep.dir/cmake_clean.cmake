@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_dimension_sweep.dir/gb_dimension_sweep.cpp.o"
+  "CMakeFiles/gb_dimension_sweep.dir/gb_dimension_sweep.cpp.o.d"
+  "gb_dimension_sweep"
+  "gb_dimension_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_dimension_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_overhead_sweep.dir/layer_overhead_sweep.cpp.o"
+  "CMakeFiles/layer_overhead_sweep.dir/layer_overhead_sweep.cpp.o.d"
+  "layer_overhead_sweep"
+  "layer_overhead_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_overhead_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_layer.dir/mpi_layer.cpp.o"
+  "CMakeFiles/mpi_layer.dir/mpi_layer.cpp.o.d"
+  "mpi_layer"
+  "mpi_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

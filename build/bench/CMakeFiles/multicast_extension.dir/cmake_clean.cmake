@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_extension.dir/multicast_extension.cpp.o"
+  "CMakeFiles/multicast_extension.dir/multicast_extension.cpp.o.d"
+  "multicast_extension"
+  "multicast_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

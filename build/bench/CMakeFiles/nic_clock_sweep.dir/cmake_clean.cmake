@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_clock_sweep.dir/nic_clock_sweep.cpp.o"
+  "CMakeFiles/nic_clock_sweep.dir/nic_clock_sweep.cpp.o.d"
+  "nic_clock_sweep"
+  "nic_clock_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_clock_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_modes.dir/reliability_modes.cpp.o"
+  "CMakeFiles/reliability_modes.dir/reliability_modes.cpp.o.d"
+  "reliability_modes"
+  "reliability_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

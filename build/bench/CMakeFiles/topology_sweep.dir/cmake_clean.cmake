@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_sweep.dir/topology_sweep.cpp.o"
+  "CMakeFiles/topology_sweep.dir/topology_sweep.cpp.o.d"
+  "topology_sweep"
+  "topology_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

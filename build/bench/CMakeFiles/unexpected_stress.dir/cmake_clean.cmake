@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unexpected_stress.dir/unexpected_stress.cpp.o"
+  "CMakeFiles/unexpected_stress.dir/unexpected_stress.cpp.o.d"
+  "unexpected_stress"
+  "unexpected_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unexpected_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

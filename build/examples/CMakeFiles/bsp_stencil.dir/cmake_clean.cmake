@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_stencil.dir/bsp_stencil.cpp.o"
+  "CMakeFiles/bsp_stencil.dir/bsp_stencil.cpp.o.d"
+  "bsp_stencil"
+  "bsp_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_compute.dir/fuzzy_compute.cpp.o"
+  "CMakeFiles/fuzzy_compute.dir/fuzzy_compute.cpp.o.d"
+  "fuzzy_compute"
+  "fuzzy_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

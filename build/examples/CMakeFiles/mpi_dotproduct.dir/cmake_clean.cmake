@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_dotproduct.dir/mpi_dotproduct.cpp.o"
+  "CMakeFiles/mpi_dotproduct.dir/mpi_dotproduct.cpp.o.d"
+  "mpi_dotproduct"
+  "mpi_dotproduct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_dotproduct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgroup_barriers.dir/subgroup_barriers.cpp.o"
+  "CMakeFiles/subgroup_barriers.dir/subgroup_barriers.cpp.o.d"
+  "subgroup_barriers"
+  "subgroup_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgroup_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

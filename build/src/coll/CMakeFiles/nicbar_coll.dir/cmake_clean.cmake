@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicbar_coll.dir/barrier.cpp.o"
+  "CMakeFiles/nicbar_coll.dir/barrier.cpp.o.d"
+  "CMakeFiles/nicbar_coll.dir/reduce.cpp.o"
+  "CMakeFiles/nicbar_coll.dir/reduce.cpp.o.d"
+  "CMakeFiles/nicbar_coll.dir/runner.cpp.o"
+  "CMakeFiles/nicbar_coll.dir/runner.cpp.o.d"
+  "CMakeFiles/nicbar_coll.dir/schedule.cpp.o"
+  "CMakeFiles/nicbar_coll.dir/schedule.cpp.o.d"
+  "libnicbar_coll.a"
+  "libnicbar_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicbar_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

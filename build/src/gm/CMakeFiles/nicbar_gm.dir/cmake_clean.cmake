@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicbar_gm.dir/port.cpp.o"
+  "CMakeFiles/nicbar_gm.dir/port.cpp.o.d"
+  "libnicbar_gm.a"
+  "libnicbar_gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicbar_gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicbar_host.dir/cluster.cpp.o"
+  "CMakeFiles/nicbar_host.dir/cluster.cpp.o.d"
+  "libnicbar_host.a"
+  "libnicbar_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicbar_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

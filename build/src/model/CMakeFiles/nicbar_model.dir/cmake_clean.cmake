@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicbar_model.dir/timing.cpp.o"
+  "CMakeFiles/nicbar_model.dir/timing.cpp.o.d"
+  "libnicbar_model.a"
+  "libnicbar_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicbar_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

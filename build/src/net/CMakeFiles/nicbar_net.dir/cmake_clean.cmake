@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicbar_net.dir/link.cpp.o"
+  "CMakeFiles/nicbar_net.dir/link.cpp.o.d"
+  "CMakeFiles/nicbar_net.dir/network.cpp.o"
+  "CMakeFiles/nicbar_net.dir/network.cpp.o.d"
+  "CMakeFiles/nicbar_net.dir/packet.cpp.o"
+  "CMakeFiles/nicbar_net.dir/packet.cpp.o.d"
+  "CMakeFiles/nicbar_net.dir/topology.cpp.o"
+  "CMakeFiles/nicbar_net.dir/topology.cpp.o.d"
+  "CMakeFiles/nicbar_net.dir/xswitch.cpp.o"
+  "CMakeFiles/nicbar_net.dir/xswitch.cpp.o.d"
+  "libnicbar_net.a"
+  "libnicbar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicbar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnicbar_net.a"
+)

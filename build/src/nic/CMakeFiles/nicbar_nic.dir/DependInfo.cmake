@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/config.cpp" "src/nic/CMakeFiles/nicbar_nic.dir/config.cpp.o" "gcc" "src/nic/CMakeFiles/nicbar_nic.dir/config.cpp.o.d"
+  "/root/repo/src/nic/nic.cpp" "src/nic/CMakeFiles/nicbar_nic.dir/nic.cpp.o" "gcc" "src/nic/CMakeFiles/nicbar_nic.dir/nic.cpp.o.d"
+  "/root/repo/src/nic/nic_barrier.cpp" "src/nic/CMakeFiles/nicbar_nic.dir/nic_barrier.cpp.o" "gcc" "src/nic/CMakeFiles/nicbar_nic.dir/nic_barrier.cpp.o.d"
+  "/root/repo/src/nic/nic_reduce.cpp" "src/nic/CMakeFiles/nicbar_nic.dir/nic_reduce.cpp.o" "gcc" "src/nic/CMakeFiles/nicbar_nic.dir/nic_reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nicbar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nicbar_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicbar_nic.dir/config.cpp.o"
+  "CMakeFiles/nicbar_nic.dir/config.cpp.o.d"
+  "CMakeFiles/nicbar_nic.dir/nic.cpp.o"
+  "CMakeFiles/nicbar_nic.dir/nic.cpp.o.d"
+  "CMakeFiles/nicbar_nic.dir/nic_barrier.cpp.o"
+  "CMakeFiles/nicbar_nic.dir/nic_barrier.cpp.o.d"
+  "CMakeFiles/nicbar_nic.dir/nic_reduce.cpp.o"
+  "CMakeFiles/nicbar_nic.dir/nic_reduce.cpp.o.d"
+  "libnicbar_nic.a"
+  "libnicbar_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicbar_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicbar_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/nicbar_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/nicbar_sim.dir/simulator.cpp.o"
+  "CMakeFiles/nicbar_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/nicbar_sim.dir/stats.cpp.o"
+  "CMakeFiles/nicbar_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/nicbar_sim.dir/time.cpp.o"
+  "CMakeFiles/nicbar_sim.dir/time.cpp.o.d"
+  "CMakeFiles/nicbar_sim.dir/trace.cpp.o"
+  "CMakeFiles/nicbar_sim.dir/trace.cpp.o.d"
+  "libnicbar_sim.a"
+  "libnicbar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicbar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

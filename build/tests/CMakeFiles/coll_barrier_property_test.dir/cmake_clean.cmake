@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_barrier_property_test.dir/coll/barrier_property_test.cpp.o"
+  "CMakeFiles/coll_barrier_property_test.dir/coll/barrier_property_test.cpp.o.d"
+  "coll_barrier_property_test"
+  "coll_barrier_property_test.pdb"
+  "coll_barrier_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_barrier_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

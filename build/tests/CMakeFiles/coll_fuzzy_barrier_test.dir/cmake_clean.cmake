@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_fuzzy_barrier_test.dir/coll/fuzzy_barrier_test.cpp.o"
+  "CMakeFiles/coll_fuzzy_barrier_test.dir/coll/fuzzy_barrier_test.cpp.o.d"
+  "coll_fuzzy_barrier_test"
+  "coll_fuzzy_barrier_test.pdb"
+  "coll_fuzzy_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_fuzzy_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

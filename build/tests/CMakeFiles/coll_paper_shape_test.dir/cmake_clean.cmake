@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_paper_shape_test.dir/coll/paper_shape_test.cpp.o"
+  "CMakeFiles/coll_paper_shape_test.dir/coll/paper_shape_test.cpp.o.d"
+  "coll_paper_shape_test"
+  "coll_paper_shape_test.pdb"
+  "coll_paper_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_paper_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_reduce_test.dir/coll/reduce_test.cpp.o"
+  "CMakeFiles/coll_reduce_test.dir/coll/reduce_test.cpp.o.d"
+  "coll_reduce_test"
+  "coll_reduce_test.pdb"
+  "coll_reduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_schedule_test.dir/coll/schedule_test.cpp.o"
+  "CMakeFiles/coll_schedule_test.dir/coll/schedule_test.cpp.o.d"
+  "coll_schedule_test"
+  "coll_schedule_test.pdb"
+  "coll_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

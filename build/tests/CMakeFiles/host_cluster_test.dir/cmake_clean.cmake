@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_cluster_test.dir/host/cluster_test.cpp.o"
+  "CMakeFiles/host_cluster_test.dir/host/cluster_test.cpp.o.d"
+  "host_cluster_test"
+  "host_cluster_test.pdb"
+  "host_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_communicator_test.dir/mpi/communicator_test.cpp.o"
+  "CMakeFiles/mpi_communicator_test.dir/mpi/communicator_test.cpp.o.d"
+  "mpi_communicator_test"
+  "mpi_communicator_test.pdb"
+  "mpi_communicator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_communicator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

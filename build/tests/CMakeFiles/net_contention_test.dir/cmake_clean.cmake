@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_contention_test.dir/net/contention_test.cpp.o"
+  "CMakeFiles/net_contention_test.dir/net/contention_test.cpp.o.d"
+  "net_contention_test"
+  "net_contention_test.pdb"
+  "net_contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

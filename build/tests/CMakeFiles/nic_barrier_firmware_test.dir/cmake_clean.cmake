@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_barrier_firmware_test.dir/nic/barrier_firmware_test.cpp.o"
+  "CMakeFiles/nic_barrier_firmware_test.dir/nic/barrier_firmware_test.cpp.o.d"
+  "nic_barrier_firmware_test"
+  "nic_barrier_firmware_test.pdb"
+  "nic_barrier_firmware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_barrier_firmware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

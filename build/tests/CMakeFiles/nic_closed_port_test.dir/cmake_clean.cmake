@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_closed_port_test.dir/nic/closed_port_test.cpp.o"
+  "CMakeFiles/nic_closed_port_test.dir/nic/closed_port_test.cpp.o.d"
+  "nic_closed_port_test"
+  "nic_closed_port_test.pdb"
+  "nic_closed_port_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_closed_port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

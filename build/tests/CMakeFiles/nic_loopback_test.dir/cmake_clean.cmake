@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_loopback_test.dir/nic/loopback_test.cpp.o"
+  "CMakeFiles/nic_loopback_test.dir/nic/loopback_test.cpp.o.d"
+  "nic_loopback_test"
+  "nic_loopback_test.pdb"
+  "nic_loopback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_loopback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

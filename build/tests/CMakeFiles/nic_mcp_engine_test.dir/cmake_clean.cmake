@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_mcp_engine_test.dir/nic/mcp_engine_test.cpp.o"
+  "CMakeFiles/nic_mcp_engine_test.dir/nic/mcp_engine_test.cpp.o.d"
+  "nic_mcp_engine_test"
+  "nic_mcp_engine_test.pdb"
+  "nic_mcp_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_mcp_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

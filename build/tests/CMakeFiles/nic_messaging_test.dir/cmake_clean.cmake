@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_messaging_test.dir/nic/messaging_test.cpp.o"
+  "CMakeFiles/nic_messaging_test.dir/nic/messaging_test.cpp.o.d"
+  "nic_messaging_test"
+  "nic_messaging_test.pdb"
+  "nic_messaging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_messaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_multicast_test.dir/nic/multicast_test.cpp.o"
+  "CMakeFiles/nic_multicast_test.dir/nic/multicast_test.cpp.o.d"
+  "nic_multicast_test"
+  "nic_multicast_test.pdb"
+  "nic_multicast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_multicast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

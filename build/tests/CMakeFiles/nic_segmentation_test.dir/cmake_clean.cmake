@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_segmentation_test.dir/nic/segmentation_test.cpp.o"
+  "CMakeFiles/nic_segmentation_test.dir/nic/segmentation_test.cpp.o.d"
+  "nic_segmentation_test"
+  "nic_segmentation_test.pdb"
+  "nic_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

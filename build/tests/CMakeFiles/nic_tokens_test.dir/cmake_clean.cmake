@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_tokens_test.dir/nic/tokens_test.cpp.o"
+  "CMakeFiles/nic_tokens_test.dir/nic/tokens_test.cpp.o.d"
+  "nic_tokens_test"
+  "nic_tokens_test.pdb"
+  "nic_tokens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_tokens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_valuetask_test.dir/sim/valuetask_test.cpp.o"
+  "CMakeFiles/sim_valuetask_test.dir/sim/valuetask_test.cpp.o.d"
+  "sim_valuetask_test"
+  "sim_valuetask_test.pdb"
+  "sim_valuetask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_valuetask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

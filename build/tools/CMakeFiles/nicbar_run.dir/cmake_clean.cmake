@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicbar_run.dir/nicbar_run.cpp.o"
+  "CMakeFiles/nicbar_run.dir/nicbar_run.cpp.o.d"
+  "nicbar_run"
+  "nicbar_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicbar_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
