@@ -7,11 +7,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "coll/runner.hpp"
 #include "host/cluster.hpp"
 #include "nic/config.hpp"
+#include "sim/telemetry.hpp"
 
 namespace nicbar::bench {
 
@@ -33,6 +36,8 @@ inline coll::BarrierSpec make_spec(coll::Location loc, nic::BarrierAlgorithm alg
   return s;
 }
 
+coll::ExperimentResult run_with_metrics(coll::ExperimentParams p, const std::string& label);
+
 /// Mean barrier latency (us) for the given variant; GB runs at its best
 /// dimension (the paper's methodology: sweep 1..N-1, take the minimum).
 inline double measure(const nic::NicConfig& nic_cfg, std::size_t nodes, coll::Location loc,
@@ -40,10 +45,16 @@ inline double measure(const nic::NicConfig& nic_cfg, std::size_t nodes, coll::Lo
   coll::ExperimentParams p = base_params(nic_cfg, nodes, reps);
   p.spec = make_spec(loc, alg);
   if (alg == nic::BarrierAlgorithm::kGatherBroadcast && nodes > 2) {
-    return coll::best_gb_dimension(p).second;
+    const auto [best, us] = coll::best_gb_dimension(p);
+    if (std::getenv("NICBAR_METRICS_JSON") == nullptr) return us;
+    p.spec.gb_dimension = best;  // re-run the winner instrumented
+  } else if (alg == nic::BarrierAlgorithm::kGatherBroadcast) {
+    p.spec.gb_dimension = 1;
   }
-  if (alg == nic::BarrierAlgorithm::kGatherBroadcast) p.spec.gb_dimension = 1;
-  return coll::run_barrier_experiment(p).mean_us;
+  const std::string label = std::string(loc == coll::Location::kNic ? "nic" : "host") + "-" +
+                            (alg == nic::BarrierAlgorithm::kPairwiseExchange ? "pe" : "gb") +
+                            "-n" + std::to_string(nodes) + "-" + nic_cfg.model;
+  return run_with_metrics(p, label).mean_us;
 }
 
 struct FourWay {
@@ -65,6 +76,31 @@ inline FourWay measure_all(const nic::NicConfig& nic_cfg, std::size_t nodes, int
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Instrumented variant of run_barrier_experiment: when NICBAR_METRICS_JSON
+/// is set in the environment, the run is executed with a metrics registry
+/// attached and the counters are appended (one JSON document per call) to
+/// that file. With the variable unset — the default for every figure bench —
+/// no telemetry is attached and the simulated timeline is identical to the
+/// plain runner.
+inline coll::ExperimentResult run_with_metrics(coll::ExperimentParams p,
+                                               const std::string& label) {
+  const char* path = std::getenv("NICBAR_METRICS_JSON");
+  if (path == nullptr || *path == '\0') return coll::run_barrier_experiment(p);
+  sim::telemetry::Telemetry telemetry;
+  telemetry.enable_breakdown();
+  p.cluster.telemetry = &telemetry;
+  const coll::ExperimentResult r = coll::run_barrier_experiment(p);
+  std::ofstream out(path, std::ios::app);
+  if (out) {
+    out << "{\"bench\": \"" << sim::telemetry::json_escape(label) << "\", \"metrics\": ";
+    telemetry.metrics().write_json(out);
+    out << "}\n";
+  } else {
+    std::fprintf(stderr, "warning: cannot append metrics to %s\n", path);
+  }
+  return r;
 }
 
 }  // namespace nicbar::bench

@@ -56,6 +56,7 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
                                     &starts[i], &ends[i]));
   }
   cluster.sim().run();
+  cluster.snapshot_metrics();  // no-op unless params.cluster.telemetry is set
 
   // The barrier loop is over when the *last* member finishes its last
   // barrier; it began when the last member started (all members must be in

@@ -56,6 +56,7 @@ sim::Task Port::multicast(std::vector<Endpoint> destinations, std::int64_t bytes
 sim::ValueTask<GmEvent> Port::receive() {
   GmEvent ev = co_await events_.recv();
   co_await cpu_.use(config_.host_recv_overhead + config_.layer_overhead);
+  note_event_received(ev);
   co_return ev;
 }
 
@@ -64,8 +65,21 @@ sim::ValueTask<std::optional<GmEvent>> Port::poll() {
   std::optional<GmEvent> ev = events_.try_recv();
   if (ev.has_value()) {
     co_await cpu_.use(config_.host_recv_overhead + config_.layer_overhead);
+    note_event_received(*ev);
   }
   co_return ev;
+}
+
+void Port::note_event_received(const GmEvent& ev) {
+  if (ev.type != GmEventType::kBarrierComplete && ev.type != GmEventType::kReduceComplete) {
+    return;
+  }
+  auto* bcoll = nic_.breakdown_collector();
+  if (bcoll != nullptr) {
+    // The HRecv term of Eq. 1-2: the host CPU cost of seeing the completion.
+    bcoll->barrier_completed(node(), id_, ev.barrier_epoch, sim_.now(),
+                             config_.host_recv_overhead + config_.layer_overhead);
+  }
 }
 
 sim::Task Port::provide_barrier_buffer() {
@@ -76,19 +90,30 @@ sim::Task Port::provide_barrier_buffer() {
 sim::Task Port::compute(sim::Duration d) { co_await cpu_.use(d); }
 
 sim::ValueTask<std::uint32_t> Port::reduce_send(nic::ReduceToken token) {
+  const sim::SimTime t0 = sim_.now();
   co_await cpu_.use(config_.host_barrier_overhead + config_.layer_overhead);
   token.src_port = id_;
   token.epoch = next_epoch_++;
   const std::uint32_t epoch = token.epoch;
+  if (auto* bcoll = nic_.breakdown_collector()) {
+    bcoll->barrier_posted(node(), id_, epoch, t0,
+                          config_.host_barrier_overhead + config_.layer_overhead);
+  }
   nic_.post_reduce_token(std::move(token));
   co_return epoch;
 }
 
 sim::ValueTask<std::uint32_t> Port::barrier_send(nic::BarrierToken token) {
+  const sim::SimTime t0 = sim_.now();
   co_await cpu_.use(config_.host_barrier_overhead + config_.layer_overhead);
   token.src_port = id_;
   token.epoch = next_epoch_++;
   const std::uint32_t epoch = token.epoch;
+  if (auto* bcoll = nic_.breakdown_collector()) {
+    // The Send term of Eq. 1-2: host software cost of posting the token.
+    bcoll->barrier_posted(node(), id_, epoch, t0,
+                          config_.host_barrier_overhead + config_.layer_overhead);
+  }
   nic_.post_barrier_token(std::move(token));
   co_return epoch;
 }

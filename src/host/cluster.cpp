@@ -1,5 +1,6 @@
 #include "host/cluster.hpp"
 
+#include <string>
 #include <utility>
 
 namespace nicbar::host {
@@ -26,6 +27,94 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
     net_->set_deliver(id, [nic_ptr](net::Packet p) { nic_ptr->rx_packet(std::move(p)); });
     nodes_.push_back(std::move(n));
   }
+  if (params_.telemetry != nullptr) {
+    for (auto& n : nodes_) n->nic->set_telemetry(params_.telemetry);
+    net_->set_trace_sink(params_.telemetry->trace());
+  }
+}
+
+void Cluster::snapshot_metrics() {
+  if (params_.telemetry == nullptr) return;
+  sim::telemetry::MetricsRegistry& m = params_.telemetry->metrics();
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = *nodes_[i];
+    nic::Nic& nic = *n.nic;
+    const std::string pfx = "nic" + std::to_string(i) + ".";
+
+    const nic::NicStats& s = nic.stats();
+    m.counter(pfx + "data_sent") = s.data_sent;
+    m.counter(pfx + "data_received") = s.data_received;
+    m.counter(pfx + "acks_sent") = s.acks_sent;
+    m.counter(pfx + "nacks_sent") = s.nacks_sent;
+    m.counter(pfx + "acks_received") = s.acks_received;
+    m.counter(pfx + "nacks_received") = s.nacks_received;
+    m.counter(pfx + "retransmissions") = s.retransmissions;
+    m.counter(pfx + "duplicates_dropped") = s.duplicates_dropped;
+    m.counter(pfx + "out_of_order_dropped") = s.out_of_order_dropped;
+    m.counter(pfx + "no_token_drops") = s.no_token_drops;
+    m.counter(pfx + "closed_port_drops") = s.closed_port_drops;
+    m.counter(pfx + "barrier_packets_sent") = s.barrier_packets_sent;
+    m.counter(pfx + "barrier_packets_received") = s.barrier_packets_received;
+    m.counter(pfx + "barriers_started") = s.barriers_started;
+    m.counter(pfx + "barriers_completed") = s.barriers_completed;
+    m.counter(pfx + "reduces_started") = s.reduces_started;
+    m.counter(pfx + "reduces_completed") = s.reduces_completed;
+    m.counter(pfx + "multicasts_sent") = s.multicasts_sent;
+    m.counter(pfx + "unexpected_recorded") = s.unexpected_recorded;
+    m.counter(pfx + "bit_collisions") = s.bit_collisions;
+    m.counter(pfx + "barrier_nacks_sent") = s.barrier_nacks_sent;
+    m.counter(pfx + "barrier_resends") = s.barrier_resends;
+    m.counter(pfx + "barrier_loopback_msgs") = s.barrier_loopback_msgs;
+    m.counter(pfx + "events_delivered") = s.events_delivered;
+    m.counter(pfx + "barrier_pe_rounds") = s.barrier_pe_rounds;
+    m.counter(pfx + "barrier_gathers_sent") = s.barrier_gathers_sent;
+    m.counter(pfx + "barrier_bcasts_entered") = s.barrier_bcasts_entered;
+
+    // Per-engine occupancy of the shared LANai processor.
+    const nic::EngineStats& e = nic.engine_stats();
+    for (std::size_t k = 0; k < nic::kMcpEngineCount; ++k) {
+      const auto eng = static_cast<nic::McpEngine>(k);
+      const std::string epfx = pfx + "engine." + nic::to_string(eng) + ".";
+      m.counter(epfx + "jobs") = e.jobs[k];
+      m.counter(epfx + "cycles") = static_cast<std::uint64_t>(e.cycles[k]);
+    }
+    const sim::BusyServer& proc = nic.processor().stats();
+    m.counter(pfx + "proc.jobs") = proc.jobs();
+    m.counter(pfx + "proc.stalls") = proc.stalls();
+    m.counter(pfx + "proc.busy_ps") = static_cast<std::uint64_t>(proc.busy_total().ps());
+    m.gauge(pfx + "proc.utilisation") = proc.utilisation();
+
+    // The node's PCI bus (SDMA + RDMA contend here).
+    const std::string ppfx = "node" + std::to_string(i) + ".pci.";
+    m.counter(ppfx + "jobs") = n.pci.jobs();
+    m.counter(ppfx + "stalls") = n.pci.stalls();
+    m.counter(ppfx + "busy_ps") = static_cast<std::uint64_t>(n.pci.busy_total().ps());
+    m.gauge(ppfx + "utilisation") = n.pci.utilisation();
+  }
+
+  // Fabric: every directed link, plus per-switch forwarding totals. A
+  // link's `stalls` counts packets that queued behind the wire — output-
+  // port contention at the upstream switch.
+  net_->for_each_link([&m](net::Link& l) {
+    const std::string pfx = "link." + l.name() + ".";
+    m.counter(pfx + "packets") = l.packets_sent();
+    m.counter(pfx + "dropped") = l.packets_dropped();
+    m.counter(pfx + "bytes") = static_cast<std::uint64_t>(l.bytes_sent());
+    m.counter(pfx + "stalls") = l.wire().stalls();
+    m.counter(pfx + "queue_delay_ps") =
+        static_cast<std::uint64_t>(l.wire().queue_delay_total().ps());
+    m.gauge(pfx + "utilisation") = l.wire().utilisation();
+  });
+  for (std::size_t sw = 0; sw < net_->switch_count(); ++sw) {
+    const net::Switch& s = net_->switch_at(static_cast<int>(sw));
+    const std::string pfx = "switch" + std::to_string(sw) + ".";
+    m.counter(pfx + "forwarded") = s.packets_forwarded();
+    m.counter(pfx + "misrouted") = s.packets_misrouted();
+  }
+  m.counter("net.packets_injected") = net_->packets_injected();
+
+  if (auto* bc = params_.telemetry->breakdown()) bc->snapshot(m);
 }
 
 std::unique_ptr<gm::Port> Cluster::make_port(net::NodeId node_id, nic::PortId port) {

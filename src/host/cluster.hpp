@@ -17,6 +17,7 @@
 #include "nic/nic.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
+#include "sim/telemetry.hpp"
 
 namespace nicbar::host {
 
@@ -37,6 +38,10 @@ struct ClusterParams {
   std::size_t chain_per_switch = 8;  // kSwitchChain
   /// The paper's hosts were dual-processor Pentium II machines.
   std::size_t host_cpus = 2;
+  /// Optional observability bundle (non-owning; must outlive the Cluster).
+  /// When null — the default — every instrumentation hook is one untaken
+  /// branch and the simulation timeline is bit-identical to no telemetry.
+  sim::telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// One machine: host CPU(s), a PCI bus, and a programmable NIC.
@@ -64,6 +69,12 @@ class Cluster {
 
   /// Creates a port without opening it (for closed-port policy tests).
   [[nodiscard]] std::unique_ptr<gm::Port> make_port(net::NodeId node, nic::PortId port);
+
+  /// Copies the cluster's hardware counters into the attached telemetry
+  /// registry: per-NIC reliability/barrier counters, per-engine processor
+  /// occupancy, PCI-bus and link utilisation, switch forwarding totals.
+  /// No-op when no telemetry bundle is attached. Call after sim().run().
+  void snapshot_metrics();
 
  private:
   ClusterParams params_;

@@ -8,18 +8,26 @@ namespace nicbar::net {
 sim::SimTime Link::transmit(Packet p) {
   assert(deliver_ && "link has no receiver attached");
   ++sent_;
+  bytes_sent_ += p.wire_bytes(params_.header_bytes);
   const bool drop =
       (drop_prob_ > 0.0 && rng_.chance(drop_prob_)) || (drop_pred_ && drop_pred_(p));
   const sim::Duration occupy = wire_time(p);
   if (drop) {
     ++dropped_;
+    const sim::SimTime done = wire_.submit(occupy);
+    if (trace_sink_ != nullptr) {
+      trace_sink_->duration(trace_track_, "drop", done - occupy, occupy, "net");
+    }
     // The wire is still burned for the packet's duration; nothing arrives.
-    return wire_.submit(occupy);
+    return done;
   }
   const sim::Duration prop = params_.propagation;
   // Capture by shared copy: the closure outlives this stack frame.
   auto packet = std::make_shared<Packet>(std::move(p));
   const sim::SimTime done = wire_.submit(occupy);
+  if (trace_sink_ != nullptr) {
+    trace_sink_->duration(trace_track_, to_string(packet->type), done - occupy, occupy, "net");
+  }
   sim_.schedule_at(done + prop, [this, packet]() mutable { deliver_(std::move(*packet)); });
   return done;
 }

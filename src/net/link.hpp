@@ -19,6 +19,7 @@
 #include "sim/random.hpp"
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
+#include "sim/telemetry.hpp"
 
 namespace nicbar::net {
 
@@ -61,8 +62,17 @@ class Link {
 
   [[nodiscard]] const LinkParams& params() const { return params_; }
   [[nodiscard]] const sim::BusyServer& wire() const { return wire_; }
+  [[nodiscard]] const std::string& name() const { return wire_.name(); }
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Attaches a trace sink: every transmission becomes one span on this
+  /// link's track. Pass nullptr to detach (the default, zero-cost state).
+  void set_trace_sink(sim::telemetry::TraceEventSink* sink) {
+    trace_sink_ = sink;
+    if (sink != nullptr) trace_track_ = sink->track("link/" + name());
+  }
 
  private:
   sim::Simulator& sim_;
@@ -74,6 +84,9 @@ class Link {
   sim::Rng rng_{12345};
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::int64_t bytes_sent_ = 0;
+  sim::telemetry::TraceEventSink* trace_sink_ = nullptr;
+  int trace_track_ = 0;
 };
 
 }  // namespace nicbar::net

@@ -22,6 +22,16 @@ const char* to_string(BarrierAlgorithm a) {
   return "?";
 }
 
+const char* to_string(McpEngine e) {
+  switch (e) {
+    case McpEngine::kSdma: return "sdma";
+    case McpEngine::kSend: return "send";
+    case McpEngine::kRecv: return "recv";
+    case McpEngine::kRdma: return "rdma";
+  }
+  return "?";
+}
+
 Nic::Nic(sim::Simulator& sim, net::Network& net, NodeId node, NicConfig config,
          sim::BusyServer& pci)
     : sim_(sim),
@@ -40,6 +50,52 @@ void Nic::trace(sim::TraceCategory cat, const char* fmt, ...) {
   std::vsnprintf(body, sizeof body, fmt, ap);
   va_end(ap);
   tracer_->log(cat, sim_.now(), "nic%u: %s", node_, body);
+}
+
+void Nic::set_telemetry(sim::telemetry::Telemetry* telemetry) {
+  tsink_ = telemetry != nullptr ? telemetry->trace() : nullptr;
+  bcoll_ = telemetry != nullptr ? telemetry->breakdown() : nullptr;
+  if (tsink_ != nullptr) {
+    const std::string prefix = "nic" + std::to_string(node_) + "/";
+    for (std::size_t i = 0; i < kMcpEngineCount; ++i) {
+      engine_track_[i] = tsink_->track(prefix + to_string(static_cast<McpEngine>(i)));
+    }
+    pci_track_ = tsink_->track("node" + std::to_string(node_) + "/pci");
+  }
+}
+
+sim::SimTime Nic::engine_submit(McpEngine engine, const char* job, std::int64_t cycles,
+                                std::function<void()> on_done) {
+  const auto i = static_cast<std::size_t>(engine);
+  ++engines_.jobs[i];
+  engines_.cycles[i] += cycles;
+  const sim::SimTime end = proc_.submit_cycles(cycles, std::move(on_done));
+  if (tsink_ != nullptr) {
+    const sim::Duration service = proc_.cycles(cycles);
+    tsink_->duration(engine_track_[i], job, end - service, service, "nic");
+  }
+  return end;
+}
+
+sim::SimTime Nic::pci_submit(const char* job, sim::Duration service,
+                             std::function<void()> on_done) {
+  const sim::SimTime end = pci_.submit(service, std::move(on_done));
+  if (tsink_ != nullptr) {
+    tsink_->duration(pci_track_, job, end - service, service, "pci");
+  }
+  return end;
+}
+
+void Nic::breakdown_nic(PortId p, std::uint32_t epoch, std::int64_t cycles) {
+  if (bcoll_ != nullptr) bcoll_->add_nic(node_, p, epoch, proc_.cycles(cycles));
+}
+
+void Nic::breakdown_dma(PortId p, std::uint32_t epoch, sim::Duration d) {
+  if (bcoll_ != nullptr) bcoll_->add_dma(node_, p, epoch, d);
+}
+
+void Nic::breakdown_wire(Endpoint dst, std::uint32_t epoch, sim::Duration d) {
+  if (bcoll_ != nullptr) bcoll_->add_wire(dst.node, dst.port, epoch, d);
 }
 
 Connection& Nic::conn(NodeId remote) {
@@ -100,8 +156,8 @@ void Nic::provide_barrier_buffer(PortId p) { ++port(p).barrier_buffers; }
 
 void Nic::post_send_token(SendToken token) {
   // SDMA notices the token (poll loop) and programs the host->NIC DMA.
-  proc_.submit_cycles(
-      config_.sdma_detect_cycles + config_.sdma_setup_cycles,
+  engine_submit(
+      McpEngine::kSdma, "detect+setup", config_.sdma_detect_cycles + config_.sdma_setup_cycles,
       [this, token = std::move(token)]() mutable { sdma_start(std::move(token)); });
 }
 
@@ -120,9 +176,9 @@ void Nic::sdma_fragment(SendToken token, std::uint16_t index, std::uint16_t frag
       frag_count == 1 ? token.bytes : std::min(config_.mtu_bytes, token.bytes - offset);
   const sim::Duration dma =
       config_.pci_setup + sim::transfer_time(len, config_.pci_bandwidth_mbps);
-  pci_.submit(dma, [this, token = std::move(token), index, frag_count, len]() mutable {
-    proc_.submit_cycles(
-        config_.sdma_prepare_cycles,
+  pci_submit("sdma_dma", dma, [this, token = std::move(token), index, frag_count, len]() mutable {
+    engine_submit(
+        McpEngine::kSdma, "prepare", config_.sdma_prepare_cycles,
         [this, token = std::move(token), index, frag_count, len]() mutable {
           Packet p;
           p.type = PacketType::kData;
@@ -150,19 +206,20 @@ void Nic::post_multicast_token(MulticastToken token) {
   if (token.bytes > config_.mtu_bytes) {
     throw std::invalid_argument("multicast payload exceeds the MTU");
   }
-  proc_.submit_cycles(
-      config_.sdma_detect_cycles + config_.sdma_setup_cycles,
+  engine_submit(
+      McpEngine::kSdma, "detect+setup", config_.sdma_detect_cycles + config_.sdma_setup_cycles,
       [this, token = std::move(token)]() mutable {
         // The decisive difference from a host-side send loop: ONE PCI
         // crossing regardless of the destination count.
         const sim::Duration dma =
             config_.pci_setup + sim::transfer_time(token.bytes, config_.pci_bandwidth_mbps);
-        pci_.submit(dma, [this, token = std::move(token)]() mutable {
+        pci_submit("mcast_dma", dma, [this, token = std::move(token)]() mutable {
           ++stats_.multicasts_sent;
           for (const Endpoint& dst : token.destinations) {
             // Per-destination packet preparation, pipelined on the processor.
             auto tok = std::make_shared<MulticastToken>(token);
-            proc_.submit_cycles(config_.sdma_prepare_cycles, [this, tok, dst] {
+            engine_submit(McpEngine::kSdma, "prepare", config_.sdma_prepare_cycles,
+                          [this, tok, dst] {
               Packet p;
               p.type = PacketType::kData;
               p.src_node = node_;
@@ -191,8 +248,16 @@ void Nic::enqueue_reliable(Packet p, std::function<void()> on_sent) {
 void Nic::transmit(Packet p) {
   const std::int64_t cost =
       net::is_barrier_payload(p.type) ? config_.barrier_send_cycles : config_.send_cycles;
+  if (bcoll_ != nullptr && net::is_barrier_payload(p.type)) {
+    // SEND cycles belong to the sender's barrier record; the wire time is on
+    // the *destination's* critical path, so it accrues there (Eq. 1-2's
+    // Network term).
+    bcoll_->add_nic(node_, p.src_port, p.barrier_epoch, proc_.cycles(cost));
+    breakdown_wire(Endpoint{p.dst_node, p.dst_port}, p.barrier_epoch,
+                   net_.path_time(node_, p.dst_node, p.payload_bytes));
+  }
   auto packet = std::make_shared<Packet>(std::move(p));
-  proc_.submit_cycles(cost, [this, packet]() mutable {
+  engine_submit(McpEngine::kSend, "tx", cost, [this, packet]() mutable {
     if (packet->dst_node == node_) {
       // Same-NIC delivery: skip the fabric, model a short internal turnaround.
       Packet copy = *packet;
@@ -216,30 +281,35 @@ void Nic::rx_packet(Packet p) {
   auto packet = std::make_shared<Packet>(std::move(p));
   switch (packet->type) {
     case PacketType::kData:
-      proc_.submit_cycles(config_.recv_cycles,
-                          [this, packet]() mutable { recv_data(std::move(*packet)); });
+      engine_submit(McpEngine::kRecv, "rx_data", config_.recv_cycles,
+                    [this, packet]() mutable { recv_data(std::move(*packet)); });
       break;
     case PacketType::kAck:
-      proc_.submit_cycles(config_.recv_ack_cycles, [this, packet] { recv_ack(*packet); });
+      engine_submit(McpEngine::kRecv, "rx_ack", config_.recv_ack_cycles,
+                    [this, packet] { recv_ack(*packet); });
       break;
     case PacketType::kNack:
-      proc_.submit_cycles(config_.recv_ack_cycles, [this, packet] { recv_nack(*packet); });
+      engine_submit(McpEngine::kRecv, "rx_nack", config_.recv_ack_cycles,
+                    [this, packet] { recv_nack(*packet); });
       break;
     case PacketType::kBarrierPe:
     case PacketType::kBarrierGather:
     case PacketType::kBarrierBcast:
+      // RECV's per-packet cycles are on the barrier's critical path.
+      breakdown_nic(packet->dst_port, packet->barrier_epoch, config_.recv_cycles);
+      [[fallthrough]];
     case PacketType::kReduceUp:
     case PacketType::kReduceDown:
-      proc_.submit_cycles(config_.recv_cycles,
-                          [this, packet]() mutable { barrier_rx(std::move(*packet)); });
+      engine_submit(McpEngine::kRecv, "rx_barrier", config_.recv_cycles,
+                    [this, packet]() mutable { barrier_rx(std::move(*packet)); });
       break;
     case PacketType::kBarrierAck:
-      proc_.submit_cycles(config_.recv_ack_cycles,
-                          [this, packet] { barrier_recv_barrier_ack(*packet); });
+      engine_submit(McpEngine::kRecv, "rx_barrier_ack", config_.recv_ack_cycles,
+                    [this, packet] { barrier_recv_barrier_ack(*packet); });
       break;
     case PacketType::kBarrierNack:
-      proc_.submit_cycles(config_.recv_ack_cycles,
-                          [this, packet] { barrier_handle_nack(*packet); });
+      engine_submit(McpEngine::kRecv, "rx_barrier_nack", config_.recv_ack_cycles,
+                    [this, packet] { barrier_handle_nack(*packet); });
       break;
   }
 }
@@ -284,8 +354,9 @@ void Nic::accept_in_order(Packet p) {
                                   ? config_.barrier_pe_cycles
                                   : config_.barrier_gb_cycles;
     auto packet = std::make_shared<Packet>(std::move(p));
-    proc_.submit_cycles(cost,
-                        [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    breakdown_nic(packet->dst_port, packet->barrier_epoch, cost);
+    engine_submit(McpEngine::kRdma, "barrier_advance", cost,
+                  [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
     return;
   }
   ++stats_.data_received;
@@ -384,11 +455,11 @@ void Nic::deliver_to_host(Packet p) {
     ps.recv_tokens.pop_front();
   }
   auto packet = std::make_shared<Packet>(std::move(p));
-  proc_.submit_cycles(config_.rdma_setup_cycles, [this, packet] {
+  engine_submit(McpEngine::kRdma, "rdma_setup", config_.rdma_setup_cycles, [this, packet] {
     const sim::Duration dma =
         config_.pci_setup +
         sim::transfer_time(packet->payload_bytes, config_.pci_bandwidth_mbps);
-    pci_.submit(dma, [this, packet] {
+    pci_submit("rdma_dma", dma, [this, packet] {
       // The host sees one event per *message*, on the final fragment.
       if (packet->frag_index + 1 != packet->frag_count) return;
       GmEvent ev;

@@ -34,9 +34,32 @@
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 
 namespace nicbar::nic {
+
+/// The four MCP state machines time-sliced on the LANai processor. Used to
+/// attribute processor cycles per engine for the telemetry layer.
+enum class McpEngine : std::uint8_t { kSdma = 0, kSend, kRecv, kRdma };
+
+constexpr std::size_t kMcpEngineCount = 4;
+
+[[nodiscard]] const char* to_string(McpEngine e);
+
+/// Per-engine occupancy of the shared LANai processor. Always-on cheap
+/// counters (two integer adds per firmware job), like NicStats.
+struct EngineStats {
+  std::uint64_t jobs[kMcpEngineCount] = {};
+  std::int64_t cycles[kMcpEngineCount] = {};
+
+  [[nodiscard]] std::uint64_t jobs_for(McpEngine e) const {
+    return jobs[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] std::int64_t cycles_for(McpEngine e) const {
+    return cycles[static_cast<std::size_t>(e)];
+  }
+};
 
 struct NicStats {
   std::uint64_t data_sent = 0;
@@ -63,6 +86,10 @@ struct NicStats {
   std::uint64_t barrier_resends = 0;
   std::uint64_t barrier_loopback_msgs = 0;
   std::uint64_t events_delivered = 0;
+  // Barrier firmware state transitions (telemetry):
+  std::uint64_t barrier_pe_rounds = 0;       // PE: node_index advanced
+  std::uint64_t barrier_gathers_sent = 0;    // GB: gather forwarded to parent
+  std::uint64_t barrier_bcasts_entered = 0;  // GB: broadcast phase entered
 };
 
 class Nic {
@@ -114,9 +141,18 @@ class Nic {
   [[nodiscard]] NodeId node_id() const { return node_; }
   [[nodiscard]] const NicConfig& config() const { return config_; }
   [[nodiscard]] const NicStats& stats() const { return stats_; }
+  [[nodiscard]] const EngineStats& engine_stats() const { return engines_; }
   [[nodiscard]] sim::CycleServer& processor() { return proc_; }
   [[nodiscard]] const Connection& connection(NodeId remote) const;
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches the cluster's telemetry bundle (nullptr detaches). The NIC
+  /// caches the sink pointers so every hot-path hook is one branch.
+  void set_telemetry(sim::telemetry::Telemetry* telemetry);
+  [[nodiscard]] sim::telemetry::TraceEventSink* trace_sink() const { return tsink_; }
+  [[nodiscard]] sim::telemetry::BreakdownCollector* breakdown_collector() const {
+    return bcoll_;
+  }
 
   /// True if the port currently has an active (incomplete) barrier.
   [[nodiscard]] bool barrier_active(PortId port) const;
@@ -138,6 +174,19 @@ class Nic {
   Connection& conn(NodeId remote);
   PortState& port(PortId p) { return ports_.at(p); }
   const PortState& port(PortId p) const { return ports_.at(p); }
+
+  // --- Telemetry helpers -----------------------------------------------------
+  /// Charges `cycles` on the shared processor, attributed to `engine`; emits
+  /// a span named `job` on the engine's trace track when a sink is attached.
+  sim::SimTime engine_submit(McpEngine engine, const char* job, std::int64_t cycles,
+                             std::function<void()> on_done = nullptr);
+  /// Occupies the PCI bus for `service`; emits a span when a sink is attached.
+  sim::SimTime pci_submit(const char* job, sim::Duration service,
+                          std::function<void()> on_done = nullptr);
+  /// Breakdown attribution of barrier-firmware work; no-ops when detached.
+  void breakdown_nic(PortId port, std::uint32_t epoch, std::int64_t cycles);
+  void breakdown_dma(PortId port, std::uint32_t epoch, sim::Duration d);
+  void breakdown_wire(Endpoint dst, std::uint32_t epoch, sim::Duration d);
 
   // --- SDMA / SEND ------------------------------------------------------------
   void sdma_start(SendToken token);
@@ -205,7 +254,13 @@ class Nic {
   std::vector<PortState> ports_;
   std::vector<std::unique_ptr<Connection>> conns_;
   NicStats stats_;
+  EngineStats engines_;
   sim::Tracer* tracer_ = nullptr;
+  // Telemetry (all null/zero when detached; every hook is one branch).
+  sim::telemetry::TraceEventSink* tsink_ = nullptr;
+  sim::telemetry::BreakdownCollector* bcoll_ = nullptr;
+  int engine_track_[kMcpEngineCount] = {};
+  int pci_track_ = 0;
 };
 
 }  // namespace nicbar::nic

@@ -37,9 +37,9 @@ void Nic::post_barrier_token(BarrierToken token) {
   if (token.algorithm == BarrierAlgorithm::kGatherBroadcast) {
     cycles += config_.barrier_gb_init_cycles;
   }
-  proc_.submit_cycles(cycles, [this, token = std::move(token)]() mutable {
-    barrier_start(std::move(token));
-  });
+  breakdown_nic(token.src_port, token.epoch, cycles);
+  engine_submit(McpEngine::kSdma, "barrier_init", cycles,
+                [this, token = std::move(token)]() mutable { barrier_start(std::move(token)); });
 }
 
 void Nic::barrier_start(BarrierToken token) {
@@ -70,9 +70,9 @@ void Nic::barrier_rx(Packet p) {
       const std::int64_t cost = p.type == PacketType::kBarrierPe ? config_.barrier_pe_cycles
                                                                  : config_.barrier_gb_cycles;
       auto packet = std::make_shared<Packet>(std::move(p));
-      proc_.submit_cycles(cost, [this, packet]() mutable {
-        barrier_rx_in_order(std::move(*packet));
-      });
+      breakdown_nic(packet->dst_port, packet->barrier_epoch, cost);
+      engine_submit(McpEngine::kRdma, "barrier_advance", cost,
+                    [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
       break;
     }
     case BarrierReliability::kSharedStream:
@@ -108,6 +108,7 @@ void Nic::barrier_rx_in_order(Packet p) {
           tok->node_index < tok->peers.size() && tok->peers[tok->node_index] == src) {
         // The expected message: advance to the next destination (§5.2).
         ++tok->node_index;
+        ++stats_.barrier_pe_rounds;
         tok->awaiting_recv = false;
         barrier_try_advance_pe(p.dst_port);
       } else {
@@ -181,8 +182,10 @@ void Nic::barrier_try_advance_pe(PortId local_port) {
     if (!c.bit(peer.port)) return;  // wait for the RDMA engine to advance us
     // Already received (recorded as unexpected): test-and-clear, advance.
     c.clear_bit(peer.port);
-    proc_.submit_cycles(config_.barrier_pe_cycles);  // bookkeeping cost
+    breakdown_nic(local_port, tok->epoch, config_.barrier_pe_cycles);
+    engine_submit(McpEngine::kRdma, "pe_advance", config_.barrier_pe_cycles);  // bookkeeping
     ++tok->node_index;
+    ++stats_.barrier_pe_rounds;
     tok->awaiting_recv = false;
   }
 }
@@ -209,6 +212,7 @@ void Nic::barrier_check_gather(PortId local_port) {
   }
   barrier_send(local_port, tok->parent, PacketType::kBarrierGather, tok->epoch);
   tok->gather_sent = true;
+  ++stats_.barrier_gathers_sent;
   // Robustness: a (re)broadcast from the parent may already be recorded
   // (possible after closed-port flush/resend interleavings).
   Connection& pc = conn(tok->parent.node);
@@ -225,6 +229,7 @@ void Nic::barrier_enter_broadcast(PortId local_port) {
   PortState& ps = port(local_port);
   BarrierToken* tok = ps.last_barrier.get();
   assert(tok != nullptr && tok->completed);
+  ++stats_.barrier_bcasts_entered;
   for (const Endpoint& child : tok->children) {
     barrier_send(local_port, child, PacketType::kBarrierBcast, tok->epoch);
   }
@@ -248,8 +253,9 @@ void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::ui
     // wire, no SEND/RECV engines, only a short firmware hop.
     ++stats_.barrier_loopback_msgs;
     auto packet = std::make_shared<Packet>(std::move(p));
-    proc_.submit_cycles(config_.barrier_pe_cycles,
-                        [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    breakdown_nic(packet->dst_port, epoch, config_.barrier_pe_cycles);
+    engine_submit(McpEngine::kRdma, "loopback", config_.barrier_pe_cycles,
+                  [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
     return;
   }
 
@@ -286,10 +292,13 @@ void Nic::barrier_complete(PortId local_port) {
   ps.last_barrier = std::move(ps.active_barrier);
 
   // RDMA the completion token to the host.
-  proc_.submit_cycles(config_.rdma_setup_cycles, [this, local_port, epoch] {
+  breakdown_nic(local_port, epoch, config_.rdma_setup_cycles);
+  engine_submit(McpEngine::kRdma, "rdma_setup", config_.rdma_setup_cycles,
+                [this, local_port, epoch] {
     const sim::Duration dma =
         config_.pci_setup + sim::transfer_time(8, config_.pci_bandwidth_mbps);
-    pci_.submit(dma, [this, local_port, epoch] {
+    breakdown_dma(local_port, epoch, dma);
+    pci_submit("rdma_dma", dma, [this, local_port, epoch] {
       PortState& p = port(local_port);
       if (p.barrier_buffers > 0) --p.barrier_buffers;
       GmEvent ev;
@@ -426,8 +435,9 @@ void Nic::barrier_recv_separate(Packet p) {
     const std::int64_t cost = p.type == PacketType::kBarrierPe ? config_.barrier_pe_cycles
                                                                : config_.barrier_gb_cycles;
     auto packet = std::make_shared<Packet>(std::move(p));
-    proc_.submit_cycles(cost,
-                        [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    breakdown_nic(packet->dst_port, packet->barrier_epoch, cost);
+    engine_submit(McpEngine::kRdma, "barrier_advance", cost,
+                  [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
   } else if (p.barrier_seq < c.next_expected_barrier_seq) {
     ++stats_.duplicates_dropped;
     ack.ack = c.next_expected_barrier_seq - 1;  // re-ack

@@ -48,9 +48,8 @@ void Nic::post_reduce_token(ReduceToken token) {
   // Same initiation cost model as a GB barrier plus the combining setup.
   const std::int64_t cycles = config_.sdma_detect_cycles + config_.barrier_init_cycles +
                               config_.barrier_gb_init_cycles;
-  proc_.submit_cycles(cycles, [this, token = std::move(token)]() mutable {
-    reduce_start(std::move(token));
-  });
+  engine_submit(McpEngine::kSdma, "reduce_init", cycles,
+                [this, token = std::move(token)]() mutable { reduce_start(std::move(token)); });
 }
 
 void Nic::reduce_start(ReduceToken token) {
@@ -118,7 +117,7 @@ void Nic::reduce_check_children(PortId local_port) {
     Connection& c = conn(child.node);
     tok->acc = apply_reduce_op(tok->op, tok->acc, c.bit_info[child.port].value);
     c.clear_bit(child.port);
-    proc_.submit_cycles(config_.barrier_gb_cycles);  // per-child combine cost
+    engine_submit(McpEngine::kRdma, "combine", config_.barrier_gb_cycles);  // per child
   }
 
   if (tok->is_root()) {
@@ -163,7 +162,7 @@ void Nic::reduce_send(PortId local_port, Endpoint dst, PacketType type, std::uin
   if (config_.barrier_loopback && dst.node == node_) {
     ++stats_.barrier_loopback_msgs;
     auto packet = std::make_shared<Packet>(std::move(p));
-    proc_.submit_cycles(config_.barrier_gb_cycles, [this, packet]() mutable {
+    engine_submit(McpEngine::kRdma, "loopback", config_.barrier_gb_cycles, [this, packet]() mutable {
       ++stats_.barrier_packets_received;
       if (!port(packet->dst_port).open) {
         barrier_closed_port_arrival(std::move(*packet));
@@ -205,10 +204,11 @@ void Nic::reduce_complete(PortId local_port, std::int64_t result) {
         local_port, epoch, static_cast<long long>(result));
   ps.last_reduce = std::move(ps.active_reduce);
 
-  proc_.submit_cycles(config_.rdma_setup_cycles, [this, local_port, epoch, result] {
+  engine_submit(McpEngine::kRdma, "rdma_setup", config_.rdma_setup_cycles,
+                [this, local_port, epoch, result] {
     const sim::Duration dma =
         config_.pci_setup + sim::transfer_time(16, config_.pci_bandwidth_mbps);
-    pci_.submit(dma, [this, local_port, epoch, result] {
+    pci_submit("rdma_dma", dma, [this, local_port, epoch, result] {
       PortState& p = port(local_port);
       if (p.barrier_buffers > 0) --p.barrier_buffers;
       GmEvent ev;

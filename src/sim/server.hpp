@@ -34,6 +34,7 @@ class BusyServer {
   SimTime submit(Duration service, std::function<void()> on_done = nullptr) {
     const SimTime now = sim_->now();
     const SimTime start = free_at_ > now ? free_at_ : now;
+    if (start > now) ++stalls_;  // job had to queue behind an earlier one
     queue_delay_total_ += start - now;
     busy_total_ += service;
     free_at_ = start + service;
@@ -47,6 +48,8 @@ class BusyServer {
   [[nodiscard]] bool busy() const { return free_at_ > sim_->now(); }
 
   [[nodiscard]] std::uint64_t jobs() const { return jobs_; }
+  /// Jobs that found the server busy and had to queue (contention stalls).
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
   [[nodiscard]] Duration busy_total() const { return busy_total_; }
   [[nodiscard]] Duration queue_delay_total() const { return queue_delay_total_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -64,6 +67,7 @@ class BusyServer {
   std::string name_;
   SimTime free_at_{0};
   std::uint64_t jobs_ = 0;
+  std::uint64_t stalls_ = 0;
   Duration busy_total_{0};
   Duration queue_delay_total_{0};
 };

@@ -27,16 +27,23 @@ void Histogram::add(double x) {
 double Histogram::percentile(double p) const {
   if (total_ == 0) return lo_;
   const double target = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_);
+  if (target <= 0.0) {
+    // p = 0: the lower edge of the first occupied bin, not lo_ itself.
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) return bin_lower(i);
+    }
+    return lo_;
+  }
   std::uint64_t running = 0;
-  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;  // empty bins cannot contain the target
     running += counts_[i];
     if (static_cast<double>(running) >= target) {
-      // Linear interpolation within the bin.
+      // Linear interpolation within the bin: the target'th sample sits
+      // (target - prev) / count of the way through [bin_lower, bin_upper).
       const double prev = static_cast<double>(running - counts_[i]);
-      const double frac =
-          counts_[i] ? (target - prev) / static_cast<double>(counts_[i]) : 0.0;
-      return lo_ + (static_cast<double>(i) + frac) * bin_width;
+      const double frac = (target - prev) / static_cast<double>(counts_[i]);
+      return bin_lower(i) + frac * bin_width();
     }
   }
   return hi_;
@@ -47,13 +54,12 @@ std::string Histogram::ascii(std::size_t width) const {
   for (std::uint64_t c : counts_) peak = std::max(peak, c);
   if (peak == 0) return "(empty histogram)\n";
   std::string out;
-  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
   char line[160];
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const auto bar = static_cast<std::size_t>(
         static_cast<double>(counts_[i]) / static_cast<double>(peak) * static_cast<double>(width));
-    std::snprintf(line, sizeof line, "%10.3f |%-*s| %llu\n",
-                  lo_ + static_cast<double>(i) * bin_width, static_cast<int>(width),
+    std::snprintf(line, sizeof line, "%10.3f |%-*s| %llu\n", bin_lower(i),
+                  static_cast<int>(width),
                   std::string(bar, '#').c_str(), static_cast<unsigned long long>(counts_[i]));
     out += line;
   }

@@ -70,8 +70,25 @@ class Histogram {
 
   void add(double x);
   [[nodiscard]] std::uint64_t count() const { return total_; }
-  [[nodiscard]] double percentile(double p) const;  // p in [0, 100]
+
+  /// Percentile estimate for p in [0, 100], linearly interpolated within the
+  /// containing bin. p=0 / p=100 return the lower / upper edge of the first /
+  /// last non-empty bin.
+  [[nodiscard]] double percentile(double p) const;
+
   [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return counts_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double bin_width() const {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  /// [lower, upper) edges of bin `i`.
+  [[nodiscard]] double bin_lower(std::size_t i) const {
+    return lo_ + static_cast<double>(i) * bin_width();
+  }
+  [[nodiscard]] double bin_upper(std::size_t i) const { return bin_lower(i + 1); }
+
   [[nodiscard]] std::string ascii(std::size_t width = 50) const;
 
  private:

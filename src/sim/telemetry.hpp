@@ -1,0 +1,221 @@
+// Simulation telemetry: metrics registry, per-barrier cost breakdown, and
+// Chrome trace-event export.
+//
+// Three cooperating pieces, all optional and all zero-cost when detached
+// (hardware models hold raw pointers that are null by default; every hook is
+// one branch, the same discipline as Tracer):
+//
+//   MetricsRegistry    — named counters, gauges, and Histogram-backed timers.
+//                        Hardware models register their counters at snapshot
+//                        time; benches and tools serialise it as JSON.
+//   TraceEventSink     — buffers duration ("X") and instant ("i") events in
+//                        Chrome trace-event format, one track per host /
+//                        NIC engine / link, loadable in Perfetto or
+//                        chrome://tracing.
+//   BreakdownCollector — attributes each completed barrier's latency to the
+//                        paper's Eq. 1-2 components (host software, NIC
+//                        processing, DMA, wire) plus a wait/overlap residual,
+//                        so the terms always sum to the measured total.
+//
+// Telemetry bundles the three; a Cluster attaches one to every hardware
+// model it builds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace nicbar::sim::telemetry {
+
+// --- MetricsRegistry ----------------------------------------------------------
+
+/// Named counters (monotonic uint64), gauges (double), and histogram-backed
+/// timers. Names are hierarchical dotted paths ("nic0.engine.sdma.jobs").
+/// Storage is a std::map so JSON output is deterministically ordered and
+/// references returned by the accessors stay stable.
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it at zero on first use.
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+
+  /// Returns the gauge named `name`, creating it at zero on first use.
+  double& gauge(const std::string& name) { return gauges_[name]; }
+
+  /// Returns the histogram named `name`, creating it with the given range on
+  /// first use (later calls ignore the range arguments).
+  Histogram& histogram(const std::string& name, double lo = 0.0, double hi = 1000.0,
+                       std::size_t bins = 100);
+
+  /// Lookup without creation; nullptr if absent.
+  [[nodiscard]] const std::uint64_t* find_counter(const std::string& name) const;
+  [[nodiscard]] const double* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  void clear();
+
+  /// Serialises every metric as one JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  ///    "p50":..,"p90":..,"p99":..},...}}
+  void write_json(std::ostream& os) const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const { return gauges_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+// --- TraceEventSink -----------------------------------------------------------
+
+/// Buffers Chrome trace-event JSON (the Perfetto/chrome://tracing format).
+/// Tracks map to trace "threads": register one per host, NIC engine, or link
+/// with track(), then emit duration/instant events against the track id.
+class TraceEventSink {
+ public:
+  /// Registers (or finds) a named track; returns its stable id.
+  int track(const std::string& name);
+
+  /// A completed span ("X" event) of `dur` starting at `start`.
+  void duration(int track_id, const char* name, SimTime start, Duration dur,
+                const char* category = "sim");
+
+  /// A point-in-time marker ("i" event).
+  void instant(int track_id, const char* name, SimTime at, const char* category = "sim");
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] std::size_t track_count() const { return track_names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& track_names() const { return track_names_; }
+
+  /// Number of events recorded against one track.
+  [[nodiscard]] std::size_t events_on(int track_id) const;
+
+  /// Writes {"traceEvents":[...]} — thread_name metadata first, then every
+  /// buffered event. Timestamps are microseconds of simulated time.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' or 'i'
+    int track;
+    const char* name;      // static strings only (call sites use literals)
+    const char* category;  // static strings only
+    std::int64_t ts_ps;
+    std::int64_t dur_ps;
+  };
+  std::vector<Event> events_;
+  std::map<std::string, int> tracks_;
+  std::vector<std::string> track_names_;
+};
+
+// --- Per-barrier cost breakdown ------------------------------------------------
+
+/// One barrier's latency decomposed into the paper's Eq. 1-2 terms. The five
+/// components sum to total_us exactly: wait_us is defined as the residual
+/// (time the critical path spent blocked on peers, or negative overlap when
+/// wire/NIC activity ran concurrently).
+struct CostBreakdown {
+  double host_us = 0.0;  // Send + HRecv: host library CPU time
+  double nic_us = 0.0;   // LANai firmware cycles (all four MCP engines)
+  double dma_us = 0.0;   // PCI bus transfers (completion RDMA et al.)
+  double wire_us = 0.0;  // links + switch routing for packets we waited on
+  double wait_us = 0.0;  // residual: peer skew minus pipelining overlap
+  double total_us = 0.0;
+
+  [[nodiscard]] double sum_us() const {
+    return host_us + nic_us + dma_us + wire_us + wait_us;
+  }
+};
+
+/// Accumulates per-barrier cost attributions keyed by (node, port, epoch).
+/// The gm layer reports the host-side begin/end; the NIC firmware reports
+/// cycle, DMA, and wire charges as they happen; on completion the record is
+/// folded into component accumulators.
+class BreakdownCollector {
+ public:
+  /// Host posted the barrier token (the measurement origin); `host_cost` is
+  /// the library call's CPU charge.
+  void barrier_posted(std::uint32_t node, std::uint16_t port, std::uint32_t epoch,
+                      SimTime at, Duration host_cost);
+
+  void add_host(std::uint32_t node, std::uint16_t port, std::uint32_t epoch, Duration d);
+  void add_nic(std::uint32_t node, std::uint16_t port, std::uint32_t epoch, Duration d);
+  void add_dma(std::uint32_t node, std::uint16_t port, std::uint32_t epoch, Duration d);
+  void add_wire(std::uint32_t node, std::uint16_t port, std::uint32_t epoch, Duration d);
+
+  /// Host consumed the completion event; `host_cost` is the receive-side CPU
+  /// charge. Finalises and folds the record.
+  void barrier_completed(std::uint32_t node, std::uint16_t port, std::uint32_t epoch,
+                         SimTime at, Duration host_cost);
+
+  [[nodiscard]] std::uint64_t barriers() const { return static_cast<std::uint64_t>(count_); }
+
+  /// Mean per-barrier breakdown over every completed barrier; components sum
+  /// to total_us exactly.
+  [[nodiscard]] CostBreakdown mean() const;
+
+  /// The most recently completed barrier's breakdown.
+  [[nodiscard]] const CostBreakdown& last() const { return last_; }
+
+  /// Copies the component means into `m` under "breakdown.*" gauges.
+  void snapshot(MetricsRegistry& m) const;
+
+ private:
+  struct Pending {
+    SimTime t0{0};
+    bool posted = false;
+    Duration host{0}, nic{0}, dma{0}, wire{0};
+  };
+  static std::uint64_t key(std::uint32_t node, std::uint16_t port, std::uint32_t epoch) {
+    return (static_cast<std::uint64_t>(node) << 48) |
+           (static_cast<std::uint64_t>(port) << 32) | epoch;
+  }
+
+  std::map<std::uint64_t, Pending> pending_;
+  Accumulator host_, nic_, dma_, wire_, wait_, total_;
+  std::int64_t count_ = 0;
+  CostBreakdown last_;
+};
+
+// --- Bundle ---------------------------------------------------------------------
+
+/// What a Cluster hands to its hardware models. The metrics registry is
+/// always present (filling it is a snapshot-time operation, not a hot-path
+/// one); the trace sink and breakdown collector are created on demand so
+/// models can cache the raw pointers and keep the disabled path to one
+/// branch.
+class Telemetry {
+ public:
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  TraceEventSink& enable_trace();
+  BreakdownCollector& enable_breakdown();
+
+  [[nodiscard]] TraceEventSink* trace() const { return trace_.get(); }
+  [[nodiscard]] BreakdownCollector* breakdown() const { return breakdown_.get(); }
+
+ private:
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceEventSink> trace_;
+  std::unique_ptr<BreakdownCollector> breakdown_;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes, backslashes,
+/// and control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace nicbar::sim::telemetry

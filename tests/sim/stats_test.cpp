@@ -101,6 +101,46 @@ TEST(HistogramTest, EmptyPercentileIsLowerBound) {
   EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
 }
 
+TEST(HistogramTest, BinGeometryAccessors) {
+  Histogram h(10.0, 50.0, 8);
+  EXPECT_DOUBLE_EQ(h.lo(), 10.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 50.0);
+  EXPECT_EQ(h.bin_count(), 8u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 15.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(7), 45.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(7), 50.0);
+}
+
+// Regression: pins the interpolation exactly. With one sample per bin the
+// p-th percentile is the upper edge of the bin holding the p-th sample; a
+// regressed implementation that returns the bin's lower edge (or skips the
+// within-bin interpolation) lands a full bin width away.
+TEST(HistogramTest, PercentileInterpolationPinned) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  // A fractional target interpolates within the bin: the 10.5th of 100
+  // samples sits half-way through bin 10.
+  EXPECT_DOUBLE_EQ(h.percentile(10.5), 10.5);
+}
+
+TEST(HistogramTest, PercentileSkipsEmptyBins) {
+  // Two occupied bins far apart; everything between is empty.
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 10; ++i) h.add(5.5);   // bin 5
+  for (int i = 0; i < 10; ++i) h.add(90.5);  // bin 90
+  EXPECT_DOUBLE_EQ(h.percentile(0), 5.0);    // lower edge of first occupied bin
+  EXPECT_DOUBLE_EQ(h.percentile(25), 5.5);   // 5th of 10 samples in bin 5
+  EXPECT_DOUBLE_EQ(h.percentile(50), 6.0);   // upper edge of bin 5
+  EXPECT_DOUBLE_EQ(h.percentile(75), 90.5);  // 5th of 10 samples in bin 90
+  EXPECT_DOUBLE_EQ(h.percentile(100), 91.0);
+}
+
 TEST(HistogramTest, AsciiRendering) {
   Histogram h(0.0, 4.0, 4);
   EXPECT_NE(h.ascii().find("empty"), std::string::npos);

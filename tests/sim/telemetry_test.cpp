@@ -1,0 +1,388 @@
+// Telemetry layer: metrics registry, trace-event sink, cost breakdown, and
+// the end-to-end wiring through a real NIC-barrier experiment.
+#include "sim/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "coll/runner.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar {
+namespace {
+
+using sim::telemetry::BreakdownCollector;
+using sim::telemetry::CostBreakdown;
+using sim::telemetry::MetricsRegistry;
+using sim::telemetry::Telemetry;
+using sim::telemetry::TraceEventSink;
+
+// --- A minimal JSON validity checker -------------------------------------------
+//
+// Enough of a recursive-descent parser to reject structurally broken output
+// (unbalanced braces, missing commas, bad string escapes, malformed numbers).
+
+struct JsonChecker {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' || s[i] == '\r')) ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool string() {
+    ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+      }
+      ++i;
+    }
+    return eat('"');
+  }
+  bool number() {
+    ws();
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) != 0 || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+      ++i;
+    }
+    return i > start;
+  }
+  bool value() {
+    ws();
+    if (i >= s.size()) return false;
+    if (s[i] == '{') return object();
+    if (s[i] == '[') return array();
+    if (s[i] == '"') return string();
+    if (s.compare(i, 4, "true") == 0) return i += 4, true;
+    if (s.compare(i, 5, "false") == 0) return i += 5, true;
+    if (s.compare(i, 4, "null") == 0) return i += 4, true;
+    return number();
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    ws();
+    if (eat('}')) return true;
+    do {
+      if (!string() || !eat(':') || !value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    ws();
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+  bool document() {
+    if (!value()) return false;
+    ws();
+    return i == s.size();
+  }
+};
+
+bool valid_json(const std::string& s) {
+  JsonChecker c{s};
+  return c.document();
+}
+
+// --- MetricsRegistry -----------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterRegistrationAndLookup) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find_counter("nic0.acks_sent"), nullptr);
+
+  m.counter("nic0.acks_sent") += 3;
+  m.counter("nic0.acks_sent") += 2;
+  ASSERT_NE(m.find_counter("nic0.acks_sent"), nullptr);
+  EXPECT_EQ(*m.find_counter("nic0.acks_sent"), 5u);
+  EXPECT_EQ(m.size(), 1u);
+
+  m.gauge("pci.utilisation") = 0.25;
+  ASSERT_NE(m.find_gauge("pci.utilisation"), nullptr);
+  EXPECT_DOUBLE_EQ(*m.find_gauge("pci.utilisation"), 0.25);
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find_counter("nic0.acks_sent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramKeepsFirstRange) {
+  MetricsRegistry m;
+  sim::Histogram& h = m.histogram("latency_us", 0.0, 200.0, 20);
+  h.add(101.0);
+  // Second call with different bounds must return the same histogram.
+  sim::Histogram& again = m.histogram("latency_us", 0.0, 5.0, 2);
+  EXPECT_EQ(&h, &again);
+  EXPECT_DOUBLE_EQ(again.hi(), 200.0);
+  EXPECT_EQ(again.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, WriteJsonIsValidAndComplete) {
+  MetricsRegistry m;
+  m.counter("a.count") = 7;
+  m.gauge("b.util") = 0.5;
+  m.histogram("c.lat", 0.0, 10.0, 10).add(4.0);
+  std::ostringstream os;
+  m.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(valid_json(json)) << json;
+  EXPECT_NE(json.find("\"a.count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("b.util"), std::string::npos);
+  EXPECT_NE(json.find("c.lat"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonEscapesSpecialCharacters) {
+  EXPECT_EQ(sim::telemetry::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// --- TraceEventSink ------------------------------------------------------------
+
+TEST(TraceEventSinkTest, TracksAreStableAndDeduplicated) {
+  TraceEventSink t;
+  const int a = t.track("nic0/sdma");
+  const int b = t.track("nic0/send");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.track("nic0/sdma"), a);
+  EXPECT_EQ(t.track_count(), 2u);
+}
+
+TEST(TraceEventSinkTest, RecordsDurationAndInstantEvents) {
+  TraceEventSink t;
+  const int a = t.track("link/x");
+  const int b = t.track("link/y");
+  t.duration(a, "tx", sim::SimTime{1000}, sim::Duration{500}, "net");
+  t.duration(a, "tx", sim::SimTime{2000}, sim::Duration{500}, "net");
+  t.instant(b, "drop", sim::SimTime{3000});
+  EXPECT_EQ(t.event_count(), 3u);
+  EXPECT_EQ(t.events_on(a), 2u);
+  EXPECT_EQ(t.events_on(b), 1u);
+}
+
+TEST(TraceEventSinkTest, WriteJsonIsValidChromeTraceFormat) {
+  TraceEventSink t;
+  const int a = t.track("nic0/sdma");
+  t.duration(a, "detect+setup", sim::SimTime{0} + sim::microseconds(1.5),
+             sim::microseconds(2.0));
+  t.instant(a, "fire", sim::SimTime{0} + sim::microseconds(9.0));
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);  // thread_name metadata
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  // ts is microseconds of simulated time.
+  EXPECT_NE(json.find("\"ts\": 1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 2.000"), std::string::npos);
+}
+
+// --- BreakdownCollector ---------------------------------------------------------
+
+TEST(BreakdownCollectorTest, ComponentsSumToTotalExactly) {
+  BreakdownCollector c;
+  const sim::SimTime t0{0};
+  c.barrier_posted(0, 2, 0, t0, sim::microseconds(2.0));
+  c.add_nic(0, 2, 0, sim::microseconds(10.0));
+  c.add_dma(0, 2, 0, sim::microseconds(0.5));
+  c.add_wire(0, 2, 0, sim::microseconds(1.0));
+  c.barrier_completed(0, 2, 0, t0 + sim::microseconds(20.0), sim::microseconds(6.0));
+
+  ASSERT_EQ(c.barriers(), 1u);
+  const CostBreakdown& b = c.last();
+  EXPECT_DOUBLE_EQ(b.total_us, 20.0);
+  EXPECT_DOUBLE_EQ(b.host_us, 8.0);
+  EXPECT_DOUBLE_EQ(b.nic_us, 10.0);
+  EXPECT_DOUBLE_EQ(b.dma_us, 0.5);
+  EXPECT_DOUBLE_EQ(b.wire_us, 1.0);
+  EXPECT_DOUBLE_EQ(b.wait_us, 0.5);
+  // The acceptance bound: the terms sum to the total within 1 ns.
+  EXPECT_NEAR(b.sum_us(), b.total_us, 1e-3);
+}
+
+TEST(BreakdownCollectorTest, CompletionWithoutPostIsIgnored) {
+  BreakdownCollector c;
+  c.add_nic(3, 2, 7, sim::microseconds(5.0));  // charges before any post
+  c.barrier_completed(3, 2, 7, sim::SimTime{0} + sim::microseconds(1.0),
+                      sim::microseconds(1.0));
+  EXPECT_EQ(c.barriers(), 0u);
+}
+
+TEST(BreakdownCollectorTest, MeanPreservesSumInvariant) {
+  BreakdownCollector c;
+  const sim::SimTime t0{0};
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    c.barrier_posted(1, 2, e, t0 + sim::microseconds(100.0 * e), sim::microseconds(2.0));
+    c.add_nic(1, 2, e, sim::microseconds(3.0 + e));
+    c.barrier_completed(1, 2, e, t0 + sim::microseconds(100.0 * e + 11.0 + 2.0 * e),
+                        sim::microseconds(6.0));
+  }
+  const CostBreakdown m = c.mean();
+  EXPECT_EQ(c.barriers(), 3u);
+  EXPECT_NEAR(m.sum_us(), m.total_us, 1e-3);
+  EXPECT_DOUBLE_EQ(m.total_us, 13.0);
+  EXPECT_DOUBLE_EQ(m.nic_us, 4.0);
+}
+
+TEST(BreakdownCollectorTest, SnapshotExportsGauges) {
+  BreakdownCollector c;
+  c.barrier_posted(0, 2, 0, sim::SimTime{0}, sim::microseconds(1.0));
+  c.barrier_completed(0, 2, 0, sim::SimTime{0} + sim::microseconds(4.0),
+                      sim::microseconds(1.0));
+  MetricsRegistry m;
+  c.snapshot(m);
+  ASSERT_NE(m.find_counter("breakdown.barriers"), nullptr);
+  EXPECT_EQ(*m.find_counter("breakdown.barriers"), 1u);
+  ASSERT_NE(m.find_gauge("breakdown.total_us"), nullptr);
+  EXPECT_DOUBLE_EQ(*m.find_gauge("breakdown.total_us"), 4.0);
+}
+
+// --- End-to-end: a real NIC barrier with the bundle attached ---------------------
+
+coll::ExperimentParams instrumented_params(Telemetry& telemetry, int reps) {
+  coll::ExperimentParams p;
+  p.nodes = 4;
+  p.reps = reps;
+  p.spec.location = coll::Location::kNic;
+  p.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  p.cluster.telemetry = &telemetry;
+  return p;
+}
+
+TEST(TelemetryIntegrationTest, CountersAreRegisteredAndMonotonic) {
+  Telemetry t1, t3;
+  (void)coll::run_barrier_experiment(instrumented_params(t1, 1));
+  (void)coll::run_barrier_experiment(instrumented_params(t3, 3));
+
+  for (Telemetry* t : {&t1, &t3}) {
+    const auto* completed = t->metrics().find_counter("nic0.barriers_completed");
+    ASSERT_NE(completed, nullptr);
+    ASSERT_NE(t->metrics().find_counter("nic0.engine.sdma.cycles"), nullptr);
+    ASSERT_NE(t->metrics().find_counter("node0.pci.jobs"), nullptr);
+    ASSERT_NE(t->metrics().find_gauge("nic0.proc.utilisation"), nullptr);
+  }
+  // More barriers -> strictly more of everything barrier-related.
+  EXPECT_EQ(*t1.metrics().find_counter("nic0.barriers_completed"), 1u);
+  EXPECT_EQ(*t3.metrics().find_counter("nic0.barriers_completed"), 3u);
+  EXPECT_GT(*t3.metrics().find_counter("nic0.barrier_packets_sent"),
+            *t1.metrics().find_counter("nic0.barrier_packets_sent"));
+  EXPECT_GT(*t3.metrics().find_counter("nic0.engine.rdma.cycles"),
+            *t1.metrics().find_counter("nic0.engine.rdma.cycles"));
+  EXPECT_GT(*t3.metrics().find_counter("nic0.barrier_pe_rounds"),
+            *t1.metrics().find_counter("nic0.barrier_pe_rounds"));
+}
+
+TEST(TelemetryIntegrationTest, EngineCyclesCoverProcessorBusyTime) {
+  Telemetry t;
+  (void)coll::run_barrier_experiment(instrumented_params(t, 5));
+  // Every firmware job is attributed to exactly one engine, so the per-engine
+  // cycle counters must sum to the processor's total busy time.
+  for (int n = 0; n < 4; ++n) {
+    const std::string pfx = "nic" + std::to_string(n) + ".";
+    std::uint64_t engine_cycles = 0;
+    for (const char* e : {"sdma", "send", "recv", "rdma"}) {
+      const auto* c = t.metrics().find_counter(pfx + "engine." + e + ".cycles");
+      ASSERT_NE(c, nullptr);
+      engine_cycles += *c;
+    }
+    const auto* busy_ps = t.metrics().find_counter(pfx + "proc.busy_ps");
+    ASSERT_NE(busy_ps, nullptr);
+    // 33 MHz: one cycle is 30303 ps.
+    const double busy_cycles = static_cast<double>(*busy_ps) / 30303.0;
+    EXPECT_NEAR(static_cast<double>(engine_cycles), busy_cycles,
+                0.01 * busy_cycles + 1.0);
+  }
+}
+
+TEST(TelemetryIntegrationTest, BreakdownTermsSumWithinOneNanosecond) {
+  Telemetry t;
+  t.enable_breakdown();
+  const int reps = 4;
+  coll::ExperimentParams p = instrumented_params(t, reps);
+  const coll::ExperimentResult r = coll::run_barrier_experiment(p);
+
+  const BreakdownCollector* bc = t.breakdown();
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(bc->barriers(), p.nodes * static_cast<std::uint64_t>(reps));
+  const CostBreakdown m = bc->mean();
+  EXPECT_GT(m.total_us, 0.0);
+  EXPECT_GT(m.host_us, 0.0);
+  EXPECT_GT(m.nic_us, 0.0);
+  EXPECT_GT(m.dma_us, 0.0);
+  EXPECT_GT(m.wire_us, 0.0);
+  EXPECT_NEAR(m.sum_us(), m.total_us, 1e-3);  // within 1 ns
+  EXPECT_NEAR(m.sum_us() - m.wait_us + m.wait_us, m.total_us, 1e-3);
+  // The per-member barrier latency must be in the same regime as the
+  // experiment's reported mean (they measure slightly different intervals).
+  EXPECT_NEAR(m.total_us, r.mean_us, 0.25 * r.mean_us);
+}
+
+TEST(TelemetryIntegrationTest, TraceHasSpansPerEnginePerBarrierRound) {
+  Telemetry t;
+  TraceEventSink& sink = t.enable_trace();
+  const int reps = 3;
+  (void)coll::run_barrier_experiment(instrumented_params(t, reps));
+
+  // One track per NIC engine, each with at least one span per barrier round.
+  for (int n = 0; n < 4; ++n) {
+    for (const char* e : {"sdma", "send", "recv", "rdma"}) {
+      const std::string name = "nic" + std::to_string(n) + "/" + e;
+      const int id = sink.track(name);  // finds the existing track
+      EXPECT_GE(sink.events_on(id), static_cast<std::size_t>(reps)) << name;
+    }
+  }
+  // Links got their own tracks too (4 terminals on one switch = 8 links).
+  std::size_t link_tracks = 0;
+  for (const std::string& name : sink.track_names()) {
+    if (name.rfind("link/", 0) == 0) ++link_tracks;
+  }
+  EXPECT_EQ(link_tracks, 8u);
+
+  std::ostringstream os;
+  sink.write_json(os);
+  EXPECT_TRUE(valid_json(os.str()));
+}
+
+TEST(TelemetryIntegrationTest, DetachedTelemetryKeepsTimelineIdentical) {
+  // The zero-cost discipline, observed end to end: attaching the full bundle
+  // must not change any simulated timestamp.
+  coll::ExperimentParams plain;
+  plain.nodes = 4;
+  plain.reps = 3;
+  plain.spec.location = coll::Location::kNic;
+  const double bare_us = coll::run_barrier_experiment(plain).mean_us;
+
+  Telemetry t;
+  t.enable_trace();
+  t.enable_breakdown();
+  coll::ExperimentParams wired = plain;
+  wired.cluster.telemetry = &t;
+  const double wired_us = coll::run_barrier_experiment(wired).mean_us;
+
+  EXPECT_DOUBLE_EQ(bare_us, wired_us);
+}
+
+}  // namespace
+}  // namespace nicbar

@@ -43,6 +43,47 @@ TEST(TracerTest, LinesCarrySimulatedTime) {
   EXPECT_NE(os.str().find("12.5"), std::string::npos);
 }
 
+TEST(TracerTest, CombinedMasksEnableEachMemberCategory) {
+  std::ostringstream os;
+  Tracer t;
+  t.enable(&os, static_cast<std::uint32_t>(TraceCategory::kBarrier) |
+                    static_cast<std::uint32_t>(TraceCategory::kReliab) |
+                    static_cast<std::uint32_t>(TraceCategory::kSdma));
+  EXPECT_TRUE(t.on(TraceCategory::kBarrier));
+  EXPECT_TRUE(t.on(TraceCategory::kReliab));
+  EXPECT_TRUE(t.on(TraceCategory::kSdma));
+  EXPECT_FALSE(t.on(TraceCategory::kHost));
+  EXPECT_FALSE(t.on(TraceCategory::kSend));
+  EXPECT_FALSE(t.on(TraceCategory::kRecv));
+  EXPECT_FALSE(t.on(TraceCategory::kRdma));
+  EXPECT_FALSE(t.on(TraceCategory::kNet));
+  t.log(TraceCategory::kReliab, sim::SimTime{0}, "kept");
+  t.log(TraceCategory::kNet, sim::SimTime{0}, "filtered");
+  EXPECT_NE(os.str().find("kept"), std::string::npos);
+  EXPECT_EQ(os.str().find("filtered"), std::string::npos);
+}
+
+TEST(TracerTest, AllMaskEnablesEveryCategory) {
+  std::ostringstream os;
+  Tracer t;
+  t.enable(&os);  // defaults to kAll
+  for (TraceCategory c : {TraceCategory::kHost, TraceCategory::kSdma, TraceCategory::kSend,
+                          TraceCategory::kRecv, TraceCategory::kRdma, TraceCategory::kNet,
+                          TraceCategory::kBarrier, TraceCategory::kReliab}) {
+    EXPECT_TRUE(t.on(c));
+  }
+}
+
+TEST(TracerTest, NullStreamForcesMaskToZero) {
+  // The disabled fast path: enable(nullptr, mask) must leave every category
+  // off regardless of the mask, so call sites stay one untaken branch.
+  Tracer t;
+  t.enable(nullptr, static_cast<std::uint32_t>(TraceCategory::kAll));
+  EXPECT_FALSE(t.on(TraceCategory::kBarrier));
+  EXPECT_FALSE(t.on(TraceCategory::kHost));
+  t.log(TraceCategory::kBarrier, sim::SimTime{0}, "never");  // must not crash
+}
+
 TEST(TracerTest, DisableStopsOutput) {
   std::ostringstream os;
   Tracer t;

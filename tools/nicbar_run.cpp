@@ -8,13 +8,16 @@
 //   nicbar_run --nodes 8 --nic lanai72 --location host --algorithm gb --dim 3
 //   nicbar_run --nodes 64 --topology tree --reps 100 --skew-us 200
 //   nicbar_run --nodes 8 --reliability separate --loss 0.02
+//   nicbar_run --nodes 16 --breakdown --trace-json trace.json --metrics-json m.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "coll/runner.hpp"
 #include "model/timing.hpp"
+#include "sim/telemetry.hpp"
 
 namespace {
 
@@ -36,7 +39,10 @@ using namespace nicbar;
       "  --skew-us S        max random start skew in us (default 0)\n"
       "  --layer-us L       per-call software layer overhead in us (default 0)\n"
       "  --seed S           RNG seed (default 1)\n"
-      "  --predict          also print the Eq. 1-3 analytic prediction\n",
+      "  --predict          also print the Eq. 1-3 analytic prediction\n"
+      "  --breakdown        print the per-barrier Eq. 1-2 cost breakdown\n"
+      "  --metrics-json F   write hardware counters/gauges as JSON to F\n"
+      "  --trace-json F     write a Chrome trace-event file (Perfetto) to F\n",
       argv0);
   std::exit(2);
 }
@@ -44,6 +50,28 @@ using namespace nicbar;
 const char* next_arg(int argc, char** argv, int& i, const char* argv0) {
   if (++i >= argc) usage(argv0);
   return argv[i];
+}
+
+/// Accepts both `--flag value` and `--flag=value`; returns nullptr if `a` is
+/// not `flag` at all.
+const char* flag_value(const std::string& a, const char* flag, int argc, char** argv, int& i,
+                       const char* argv0) {
+  const std::size_t n = std::strlen(flag);
+  if (a.compare(0, n, flag) != 0) return nullptr;
+  if (a.size() == n) return next_arg(argc, argv, i, argv0);
+  if (a[n] == '=') return a.c_str() + n + 1;
+  return nullptr;
+}
+
+template <typename Writer>
+bool write_file(const std::string& path, Writer&& writer) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  writer(out);
+  return true;
 }
 
 }  // namespace
@@ -57,10 +85,21 @@ int main(int argc, char** argv) {
   std::size_t dim = 2;
   bool sweep_dim = false;
   bool predict = false;
+  bool breakdown = false;
+  std::string metrics_path;
+  std::string trace_path;
   double loss = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
+    if (const char* v = flag_value(a, "--metrics-json", argc, argv, i, argv[0])) {
+      metrics_path = v;
+      continue;
+    }
+    if (const char* v = flag_value(a, "--trace-json", argc, argv, i, argv[0])) {
+      trace_path = v;
+      continue;
+    }
     if (a == "--nodes") {
       p.nodes = static_cast<std::size_t>(std::atoll(next_arg(argc, argv, i, argv[0])));
     } else if (a == "--reps") {
@@ -129,6 +168,8 @@ int main(int argc, char** argv) {
       p.seed = static_cast<std::uint64_t>(std::atoll(next_arg(argc, argv, i, argv[0])));
     } else if (a == "--predict") {
       predict = true;
+    } else if (a == "--breakdown") {
+      breakdown = true;
     } else {
       usage(argv[0]);
     }
@@ -149,6 +190,17 @@ int main(int argc, char** argv) {
     mean_us = us;
     p.spec.gb_dimension = best;
   }
+
+  // Telemetry is attached only to the final (reported) run, after any
+  // dimension sweep, so the artifacts describe exactly one experiment.
+  sim::telemetry::Telemetry telemetry;
+  const bool want_telemetry = breakdown || !metrics_path.empty() || !trace_path.empty();
+  if (want_telemetry) {
+    if (!trace_path.empty()) telemetry.enable_trace();
+    if (breakdown) telemetry.enable_breakdown();
+    p.cluster.telemetry = &telemetry;
+  }
+
   const coll::ExperimentResult r = coll::run_barrier_experiment(p);
   if (mean_us == 0.0) mean_us = r.mean_us;
 
@@ -176,6 +228,39 @@ int main(int argc, char** argv) {
     std::printf("Eq.%d prediction (PE) : %10.2f us (%.1f%% off)\n",
                 p.spec.location == coll::Location::kNic ? 2 : 1, eq,
                 100.0 * (mean_us - eq) / eq);
+  }
+
+  if (breakdown) {
+    const auto* bc = telemetry.breakdown();
+    const sim::telemetry::CostBreakdown b = bc->mean();
+    if (bc->barriers() == 0) {
+      std::printf(
+          "\nno cost breakdown: --breakdown instruments the NIC barrier token "
+          "path;\nhost-based barriers are ordinary message loops with no "
+          "post/complete hook.\n");
+    } else {
+      std::printf("\ncost breakdown (mean over %llu member-barriers, Eq. 1-2 terms):\n",
+                  static_cast<unsigned long long>(bc->barriers()));
+      std::printf("  host software      : %10.3f us\n", b.host_us);
+      std::printf("  NIC processing     : %10.3f us\n", b.nic_us);
+      std::printf("  DMA (PCI)          : %10.3f us\n", b.dma_us);
+      std::printf("  wire (network)     : %10.3f us\n", b.wire_us);
+      std::printf("  wait (peer skew)   : %10.3f us\n", b.wait_us);
+      std::printf("  total              : %10.3f us\n", b.total_us);
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (!write_file(metrics_path,
+                    [&](std::ostream& os) { telemetry.metrics().write_json(os); })) {
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!write_file(trace_path, [&](std::ostream& os) { telemetry.trace()->write_json(os); })) {
+      return 1;
+    }
+    std::printf("trace written to %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
   }
   return 0;
 }
