@@ -9,6 +9,15 @@ using nic::BarrierAlgorithm;
 using nic::GmEvent;
 using nic::GmEventType;
 
+const char* to_string(BarrierStatus s) {
+  switch (s) {
+    case BarrierStatus::kOk: return "ok";
+    case BarrierStatus::kPeerDead: return "peer-dead";
+    case BarrierStatus::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
 BarrierMember::BarrierMember(gm::Port& port, std::vector<Endpoint> group, BarrierSpec spec)
     : port_(port), group_(std::move(group)), spec_(spec) {
   bool found = false;
@@ -27,17 +36,41 @@ BarrierMember::BarrierMember(gm::Port& port, std::vector<Endpoint> group, Barrie
   }
 }
 
-sim::Task BarrierMember::run() {
-  if (spec_.location == Location::kHost) {
-    if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
-      co_await run_host_pe();
-    } else {
-      co_await run_host_gb();
-    }
-    co_return;
+bool BarrierMember::group_contains(net::NodeId node) const {
+  for (const Endpoint& ep : group_) {
+    if (ep.node == node) return true;
   }
-  co_await start_nic_barrier();
-  co_await wait_barrier_complete();
+  return false;
+}
+
+sim::ValueTask<BarrierStatus> BarrierMember::run() {
+  if (peer_dead_) co_return BarrierStatus::kPeerDead;
+  deadline_at_ = spec_.deadline.is_zero() ? sim::SimTime::max()
+                                          : port_.simulator().now() + spec_.deadline;
+  if (spec_.location == Location::kHost) {
+    BarrierStatus st;
+    if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
+      st = co_await run_host_pe();
+    } else {
+      st = co_await run_host_gb();
+    }
+    co_return st;
+  }
+  const std::uint32_t epoch = co_await start_nic_barrier();
+  const BarrierStatus st = co_await wait_barrier_complete(epoch);
+  if (st != BarrierStatus::kOk) port_.barrier_cancel();
+  co_return st;
+}
+
+/// Bounded receive: nullopt means the deadline passed (or was already past).
+sim::ValueTask<std::optional<GmEvent>> BarrierMember::next_event() {
+  if (deadline_at_ == sim::SimTime::max()) {
+    GmEvent ev = co_await port_.receive();
+    co_return ev;
+  }
+  const sim::SimTime now = port_.simulator().now();
+  if (now >= deadline_at_) co_return std::nullopt;
+  co_return co_await port_.receive_for(deadline_at_ - now);
 }
 
 // --- Host-based barriers ------------------------------------------------------
@@ -58,14 +91,17 @@ sim::Task BarrierMember::ensure_provisioned() {
   }
 }
 
-sim::Task BarrierMember::wait_msg_from(Endpoint peer) {
+sim::ValueTask<BarrierStatus> BarrierMember::wait_msg_from(Endpoint peer) {
   auto it = pending_msgs_.find(peer);
   if (it != pending_msgs_.end() && it->second > 0) {
     if (--it->second == 0) pending_msgs_.erase(it);
-    co_return;
+    co_return BarrierStatus::kOk;
   }
   for (;;) {
-    GmEvent ev = co_await port_.receive();
+    if (peer_dead_) co_return BarrierStatus::kPeerDead;
+    std::optional<GmEvent> evo = co_await next_event();
+    if (!evo.has_value()) co_return BarrierStatus::kDeadline;
+    GmEvent& ev = *evo;
     switch (ev.type) {
       case GmEventType::kRecv:
         if (ev.tag != nic::kBarrierMsgTag) {
@@ -79,11 +115,18 @@ sim::Task BarrierMember::wait_msg_from(Endpoint peer) {
           break;
         }
         co_await port_.provide_receive_buffer(msg_bytes_);  // replenish the pool
-        if (ev.peer == peer) co_return;
+        if (ev.peer == peer) co_return BarrierStatus::kOk;
         ++pending_msgs_[ev.peer];
         break;
       case GmEventType::kBarrierComplete:
         ++pending_completions_;
+        break;
+      case GmEventType::kPeerDead:
+        if (sink_) sink_(ev);  // the layer above needs to see the failure too
+        if (group_contains(ev.peer.node)) {
+          peer_dead_ = true;
+          co_return BarrierStatus::kPeerDead;
+        }
         break;
       default:
         if (sink_) sink_(ev);
@@ -92,23 +135,27 @@ sim::Task BarrierMember::wait_msg_from(Endpoint peer) {
   }
 }
 
-sim::Task BarrierMember::run_host_pe() {
+sim::ValueTask<BarrierStatus> BarrierMember::run_host_pe() {
   co_await ensure_provisioned();
   for (const Endpoint& peer : pe_peers_) {
     co_await port_.send(peer, msg_bytes_, nic::kBarrierMsgTag);
-    co_await wait_msg_from(peer);
+    const BarrierStatus st = co_await wait_msg_from(peer);
+    if (st != BarrierStatus::kOk) co_return st;
   }
+  co_return BarrierStatus::kOk;
 }
 
-sim::Task BarrierMember::run_host_gb() {
+sim::ValueTask<BarrierStatus> BarrierMember::run_host_gb() {
   co_await ensure_provisioned();
   // Gather phase: wait for every child, then report to the parent.
   for (const Endpoint& child : gb_.children) {
-    co_await wait_msg_from(child);
+    const BarrierStatus st = co_await wait_msg_from(child);
+    if (st != BarrierStatus::kOk) co_return st;
   }
   if (!gb_.is_root()) {
     co_await port_.send(gb_.parent, msg_bytes_, nic::kBarrierMsgTag);
-    co_await wait_msg_from(gb_.parent);  // broadcast release
+    const BarrierStatus st = co_await wait_msg_from(gb_.parent);  // broadcast release
+    if (st != BarrierStatus::kOk) co_return st;
   }
   // Broadcast phase: release the subtree. The host pipelines these sends —
   // the NIC is still processing one while the host posts the next (the
@@ -116,11 +163,12 @@ sim::Task BarrierMember::run_host_gb() {
   for (const Endpoint& child : gb_.children) {
     co_await port_.send(child, msg_bytes_, nic::kBarrierMsgTag);
   }
+  co_return BarrierStatus::kOk;
 }
 
 // --- NIC-based barriers -----------------------------------------------------------
 
-sim::Task BarrierMember::start_nic_barrier() {
+sim::ValueTask<std::uint32_t> BarrierMember::start_nic_barrier() {
   nic::BarrierToken token;
   token.algorithm = spec_.algorithm;
   if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
@@ -130,19 +178,25 @@ sim::Task BarrierMember::start_nic_barrier() {
     token.children = gb_.children;
   }
   co_await port_.provide_barrier_buffer();
-  (void)co_await port_.barrier_send(std::move(token));
+  co_return co_await port_.barrier_send(std::move(token));
 }
 
-sim::Task BarrierMember::wait_barrier_complete() {
+sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(std::uint32_t epoch) {
   if (pending_completions_ > 0) {
     --pending_completions_;
-    co_return;
+    co_return BarrierStatus::kOk;
   }
   for (;;) {
-    GmEvent ev = co_await port_.receive();
+    if (peer_dead_) co_return BarrierStatus::kPeerDead;
+    std::optional<GmEvent> evo = co_await next_event();
+    if (!evo.has_value()) co_return BarrierStatus::kDeadline;
+    GmEvent& ev = *evo;
     switch (ev.type) {
       case GmEventType::kBarrierComplete:
-        co_return;
+        // A completion from an earlier, aborted epoch can still surface if
+        // the fabric healed after we cancelled; only ours ends this wait.
+        if (ev.barrier_epoch == epoch) co_return BarrierStatus::kOk;
+        break;
       case GmEventType::kRecv:
         if (sink_) {
           sink_(ev);  // a higher layer owns data traffic and its buffers
@@ -150,6 +204,13 @@ sim::Task BarrierMember::wait_barrier_complete() {
         }
         co_await port_.provide_receive_buffer(msg_bytes_);
         ++pending_msgs_[ev.peer];
+        break;
+      case GmEventType::kPeerDead:
+        if (sink_) sink_(ev);
+        if (group_contains(ev.peer.node)) {
+          peer_dead_ = true;
+          co_return BarrierStatus::kPeerDead;
+        }
         break;
       default:
         if (sink_) sink_(ev);
@@ -167,7 +228,7 @@ sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy(sim::Duration chunk) {
 }
 
 sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy_impl(sim::Duration chunk) {
-  co_await start_nic_barrier();
+  const std::uint32_t epoch = co_await start_nic_barrier();
   std::uint64_t chunks = 0;
   if (pending_completions_ > 0) {
     --pending_completions_;
@@ -182,7 +243,8 @@ sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy_impl(sim::Duration chunk)
     }
     switch (ev->type) {
       case GmEventType::kBarrierComplete:
-        co_return chunks;
+        if (ev->barrier_epoch == epoch) co_return chunks;
+        break;
       case GmEventType::kRecv:
         if (sink_) {
           sink_(*ev);
@@ -190,6 +252,16 @@ sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy_impl(sim::Duration chunk)
         }
         co_await port_.provide_receive_buffer(msg_bytes_);
         if (ev->tag == nic::kBarrierMsgTag) ++pending_msgs_[ev->peer];
+        break;
+      case GmEventType::kPeerDead:
+        if (sink_) sink_(*ev);
+        if (group_contains(ev->peer.node)) {
+          // Abort: the caller learns via peer_failed(); the chunk count is
+          // still meaningful (work completed before the failure).
+          peer_dead_ = true;
+          port_.barrier_cancel();
+          co_return chunks;
+        }
         break;
       default:
         if (sink_) sink_(*ev);

@@ -27,12 +27,30 @@ namespace nicbar::coll {
 
 enum class Location : std::uint8_t { kHost, kNic };
 
+/// How one barrier invocation ended. Anything but kOk means the barrier did
+/// NOT complete and the group must be considered broken: a member that
+/// aborted may still hold stale unexpected-record bits at its peers, so
+/// reusing the group without tearing it down is undefined (see DESIGN.md,
+/// "Failure semantics").
+enum class BarrierStatus : std::uint8_t {
+  kOk = 0,
+  kPeerDead,   // a group member's connection was declared dead (give-up)
+  kDeadline,   // the configured deadline expired before completion
+};
+
+[[nodiscard]] const char* to_string(BarrierStatus s);
+
 struct BarrierSpec {
   Location location = Location::kNic;
   nic::BarrierAlgorithm algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
   /// GB only: tree dimension (fanout). The paper sweeps 1..N-1 and reports
   /// the best.
   std::size_t gb_dimension = 2;
+  /// Abort with BarrierStatus::kDeadline if one run() has not completed
+  /// within this much simulated time of starting. Zero = wait forever. This
+  /// is the backstop for members with no direct connection to a dead peer
+  /// (kPeerDead only reaches nodes whose own reliability gave up).
+  sim::Duration deadline{0};
 };
 
 class BarrierMember {
@@ -41,8 +59,11 @@ class BarrierMember {
   /// whose endpoint equals port.endpoint().
   BarrierMember(gm::Port& port, std::vector<Endpoint> group, BarrierSpec spec);
 
-  /// Runs one barrier to completion.
-  [[nodiscard]] sim::Task run();
+  /// Runs one barrier. Returns kOk on completion; kPeerDead/kDeadline mean
+  /// the barrier was aborted cleanly (the NIC token is cancelled, the
+  /// coroutine returns — it never hangs). Await sites that ignore the value
+  /// keep working; error-aware callers check it.
+  [[nodiscard]] sim::ValueTask<BarrierStatus> run();
 
   /// NIC-based only: initiates the barrier, then performs `chunk`-sized
   /// pieces of host computation while polling (the fuzzy barrier of §2.1).
@@ -65,13 +86,25 @@ class BarrierMember {
   }
   void note_completion() { ++pending_completions_; }
 
+  /// Higher layer drained a kPeerDead for `node` from the shared stream.
+  void note_peer_dead(net::NodeId node) {
+    if (group_contains(node)) peer_dead_ = true;
+  }
+
+  /// True once any group member's connection has been declared dead; every
+  /// subsequent run() returns kPeerDead immediately.
+  [[nodiscard]] bool peer_failed() const { return peer_dead_; }
+
  private:
   sim::ValueTask<std::uint64_t> run_fuzzy_impl(sim::Duration chunk);
-  sim::Task run_host_pe();
-  sim::Task run_host_gb();
-  sim::Task start_nic_barrier();
-  sim::Task wait_barrier_complete();
-  sim::Task wait_msg_from(Endpoint peer);
+  sim::ValueTask<BarrierStatus> run_host_pe();
+  sim::ValueTask<BarrierStatus> run_host_gb();
+  sim::ValueTask<std::uint32_t> start_nic_barrier();  // returns the epoch
+  sim::ValueTask<BarrierStatus> wait_barrier_complete(std::uint32_t epoch);
+  sim::ValueTask<BarrierStatus> wait_msg_from(Endpoint peer);
+  /// Next port event, bounded by the current deadline (nullopt = expired).
+  sim::ValueTask<std::optional<nic::GmEvent>> next_event();
+  [[nodiscard]] bool group_contains(net::NodeId node) const;
   sim::Task ensure_provisioned();
 
   gm::Port& port_;
@@ -87,6 +120,10 @@ class BarrierMember {
   bool provisioned_ = false;
   std::int64_t msg_bytes_ = 8;
   std::function<void(const nic::GmEvent&)> sink_;
+
+  // Failure bookkeeping.
+  sim::SimTime deadline_at_ = sim::SimTime::max();
+  bool peer_dead_ = false;
 };
 
 }  // namespace nicbar::coll

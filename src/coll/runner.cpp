@@ -12,13 +12,21 @@ namespace nicbar::coll {
 namespace {
 
 sim::Task member_proc(sim::Simulator& sim, BarrierMember& member, int reps,
-                      sim::Duration skew, sim::SimTime* t_start, sim::SimTime* t_end) {
+                      sim::Duration skew, sim::SimTime* t_start, sim::SimTime* t_end,
+                      std::uint64_t* failures, std::uint64_t* finished) {
   if (!skew.is_zero()) co_await sim.delay(skew);
   if (t_start != nullptr) *t_start = sim.now();
   for (int r = 0; r < reps; ++r) {
-    co_await member.run();
+    const BarrierStatus st = co_await member.run();
+    if (st != BarrierStatus::kOk) {
+      // The group is broken (dead peer or expired deadline): stop looping
+      // rather than spinning out `reps` instant failures.
+      if (failures != nullptr) ++*failures;
+      break;
+    }
   }
   if (t_end != nullptr) *t_end = sim.now();
+  if (finished != nullptr) ++*finished;
 }
 
 }  // namespace
@@ -46,6 +54,8 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
 
   sim::Rng rng(params.seed);
   std::vector<sim::SimTime> starts(params.nodes), ends(params.nodes);
+  std::uint64_t failures = 0;
+  std::uint64_t finished = 0;
   for (std::size_t i = 0; i < params.nodes; ++i) {
     sim::Duration skew{0};
     if (!params.max_start_skew.is_zero()) {
@@ -53,7 +63,7 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
           rng.uniform() * static_cast<double>(params.max_start_skew.ps()))};
     }
     cluster.sim().spawn(member_proc(cluster.sim(), *members[i], params.reps, skew,
-                                    &starts[i], &ends[i]));
+                                    &starts[i], &ends[i], &failures, &finished));
   }
   cluster.sim().run();
   cluster.snapshot_metrics();  // no-op unless params.cluster.telemetry is set
@@ -72,6 +82,8 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
   res.nodes = params.nodes;
   res.total_us = (end - begin).us();
   res.mean_us = res.total_us / params.reps;
+  res.barrier_failures = failures;
+  res.stalled_members = params.nodes - finished;
   for (std::size_t i = 0; i < params.nodes; ++i) {
     const nic::NicStats& s = cluster.nic(static_cast<net::NodeId>(i)).stats();
     res.barrier_packets_sent += s.barrier_packets_sent;
@@ -79,7 +91,16 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
     res.unexpected_recorded += s.unexpected_recorded;
     res.bit_collisions += s.bit_collisions;
     res.barriers_completed += s.barriers_completed;
+    res.retransmit_timeouts += s.retransmit_timeouts;
+    res.rto_backoffs += s.rto_backoffs;
+    res.rtt_samples += s.rtt_samples;
+    res.crc_drops += s.crc_drops;
+    res.connections_failed += s.connections_failed;
+    res.nic_crashes += s.nic_crashes;
+    res.nic_restarts += s.nic_restarts;
   }
+  cluster.network().for_each_link(
+      [&res](net::Link& l) { res.link_packets_dropped += l.packets_dropped(); });
   return res;
 }
 

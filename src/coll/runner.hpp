@@ -39,6 +39,17 @@ struct ExperimentResult {
   std::uint64_t unexpected_recorded = 0;
   std::uint64_t bit_collisions = 0;
   std::uint64_t barriers_completed = 0;
+  // Fault / recovery aggregates (all zero on a lossless fabric):
+  std::uint64_t barrier_failures = 0;  // members whose run() aborted (dead peer / deadline)
+  std::uint64_t stalled_members = 0;   // members still suspended when events ran dry (hung barrier)
+  std::uint64_t retransmit_timeouts = 0;
+  std::uint64_t rto_backoffs = 0;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t crc_drops = 0;
+  std::uint64_t connections_failed = 0;
+  std::uint64_t nic_crashes = 0;
+  std::uint64_t nic_restarts = 0;
+  std::uint64_t link_packets_dropped = 0;
 };
 
 /// Runs the measurement loop; deterministic for fixed params.

@@ -60,6 +60,15 @@ sim::ValueTask<GmEvent> Port::receive() {
   co_return ev;
 }
 
+sim::ValueTask<std::optional<GmEvent>> Port::receive_for(sim::Duration timeout) {
+  std::optional<GmEvent> ev = co_await events_.recv_for(timeout);
+  if (ev.has_value()) {
+    co_await cpu_.use(config_.host_recv_overhead + config_.layer_overhead);
+    note_event_received(*ev);
+  }
+  co_return ev;
+}
+
 sim::ValueTask<std::optional<GmEvent>> Port::poll() {
   co_await cpu_.use(config_.host_poll_overhead);
   std::optional<GmEvent> ev = events_.try_recv();

@@ -69,6 +69,11 @@ class Port {
   /// Blocking gm_receive(): yields the next event (charges HRecv).
   [[nodiscard]] sim::ValueTask<GmEvent> receive();
 
+  /// Blocking gm_receive() with a timeout: yields std::nullopt if no event
+  /// arrives within `timeout` of simulated time. The HRecv cost is charged
+  /// only when an event is actually returned.
+  [[nodiscard]] sim::ValueTask<std::optional<GmEvent>> receive_for(sim::Duration timeout);
+
   /// Non-blocking gm_receive() poll: charges the poll cost; empty result if
   /// no event is pending (the fuzzy-barrier building block).
   [[nodiscard]] sim::ValueTask<std::optional<GmEvent>> poll();
@@ -88,6 +93,12 @@ class Port {
 
   /// Number of collectives (barriers + reductions) initiated so far.
   [[nodiscard]] std::uint32_t barrier_epoch() const { return next_epoch_; }
+
+  /// Aborts the in-flight barrier on this port (deadline expired or a group
+  /// member died). Safe to call when no barrier is active.
+  void barrier_cancel() { nic_.cancel_barrier(id_); }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   /// Occupies the host CPU for `d` of pure computation (used by fuzzy-
   /// barrier workloads that overlap work with a NIC-resident barrier).

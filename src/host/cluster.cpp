@@ -31,6 +31,68 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
     for (auto& n : nodes_) n->nic->set_telemetry(params_.telemetry);
     net_->set_trace_sink(params_.telemetry->trace());
   }
+  arm_faults();
+}
+
+void Cluster::arm_faults() {
+  const sim::fault::FaultPlan& plan = params_.faults;
+  if (plan.empty()) return;
+
+  const auto matches = [](const std::string& pattern, const std::string& name) {
+    return pattern.empty() || pattern == "*" || name.find(pattern) != std::string::npos;
+  };
+  // Stable stream counter: each armed (feature, link) pair consumes one
+  // index, in deterministic arming order, so streams never collide.
+  std::uint64_t stream = 0;
+  const auto derive_seed = [&plan, &stream] {
+    ++stream;
+    return plan.seed + 0x9e3779b97f4a7c15ULL * stream;
+  };
+
+  for (const sim::fault::UniformLoss& f : plan.loss) {
+    net_->for_each_link([&](net::Link& l) {
+      if (matches(f.link, l.name())) l.set_drop_probability(f.prob, derive_seed());
+    });
+  }
+  for (const sim::fault::BurstLoss& f : plan.bursts) {
+    net_->for_each_link([&](net::Link& l) {
+      if (matches(f.link, l.name())) {
+        l.set_burst_loss(f.p_enter_bad, f.p_exit_bad, f.loss_good, f.loss_bad, derive_seed());
+      }
+    });
+  }
+  for (const sim::fault::Corruption& f : plan.corruption) {
+    net_->for_each_link([&](net::Link& l) {
+      if (matches(f.link, l.name())) l.set_corrupt_probability(f.prob, derive_seed());
+    });
+  }
+  for (const sim::fault::LinkDownWindow& f : plan.link_down) {
+    net_->for_each_link([&](net::Link& l) {
+      if (!matches(f.link, l.name())) return;
+      net::Link* lp = &l;
+      sim_.schedule_at(f.from, [lp] { lp->set_down(true); });
+      if (f.until != sim::SimTime::max()) {
+        sim_.schedule_at(f.until, [lp] { lp->set_down(false); });
+      }
+    });
+  }
+  for (const sim::fault::NicCrash& f : plan.nic_crashes) {
+    if (f.node >= nodes_.size()) continue;
+    nic::Nic* nic_ptr = nodes_[f.node]->nic.get();
+    sim_.schedule_at(f.at, [nic_ptr] { nic_ptr->crash(); });
+    if (f.restart_at != sim::SimTime::max()) {
+      sim_.schedule_at(f.restart_at, [nic_ptr] { nic_ptr->restart(); });
+    }
+  }
+  for (const sim::fault::SwitchPortDown& f : plan.switch_ports_down) {
+    if (f.switch_id >= net_->switch_count()) continue;
+    net::Switch* sw = &net_->switch_at(static_cast<int>(f.switch_id));
+    const std::size_t port = f.port;
+    sim_.schedule_at(f.from, [sw, port] { sw->set_port_down(port, true); });
+    if (f.until != sim::SimTime::max()) {
+      sim_.schedule_at(f.until, [sw, port] { sw->set_port_down(port, false); });
+    }
+  }
 }
 
 void Cluster::snapshot_metrics() {
@@ -71,6 +133,19 @@ void Cluster::snapshot_metrics() {
     m.counter(pfx + "barrier_gathers_sent") = s.barrier_gathers_sent;
     m.counter(pfx + "barrier_bcasts_entered") = s.barrier_bcasts_entered;
 
+    // Fault / recovery counters (PR 2).
+    m.counter(pfx + "crc_drops") = s.crc_drops;
+    m.counter(pfx + "retransmit_timeouts") = s.retransmit_timeouts;
+    m.counter(pfx + "rto_backoffs") = s.rto_backoffs;
+    m.counter(pfx + "rtt_samples") = s.rtt_samples;
+    m.counter(pfx + "connections_failed") = s.connections_failed;
+    m.counter(pfx + "dead_peer_drops") = s.dead_peer_drops;
+    m.counter(pfx + "nic_crashes") = s.nic_crashes;
+    m.counter(pfx + "nic_restarts") = s.nic_restarts;
+    m.counter(pfx + "rx_dropped_crashed") = s.rx_dropped_crashed;
+    m.counter(pfx + "tx_dropped_crashed") = s.tx_dropped_crashed;
+    m.counter(pfx + "barriers_cancelled") = s.barriers_cancelled;
+
     // Per-engine occupancy of the shared LANai processor.
     const nic::EngineStats& e = nic.engine_stats();
     for (std::size_t k = 0; k < nic::kMcpEngineCount; ++k) {
@@ -100,6 +175,9 @@ void Cluster::snapshot_metrics() {
     const std::string pfx = "link." + l.name() + ".";
     m.counter(pfx + "packets") = l.packets_sent();
     m.counter(pfx + "dropped") = l.packets_dropped();
+    m.counter(pfx + "corrupted") = l.packets_corrupted();
+    m.counter(pfx + "down_drops") = l.drops_while_down();
+    m.counter(pfx + "down_time_ps") = static_cast<std::uint64_t>(l.down_time_total().ps());
     m.counter(pfx + "bytes") = static_cast<std::uint64_t>(l.bytes_sent());
     m.counter(pfx + "stalls") = l.wire().stalls();
     m.counter(pfx + "queue_delay_ps") =
@@ -111,6 +189,7 @@ void Cluster::snapshot_metrics() {
     const std::string pfx = "switch" + std::to_string(sw) + ".";
     m.counter(pfx + "forwarded") = s.packets_forwarded();
     m.counter(pfx + "misrouted") = s.packets_misrouted();
+    m.counter(pfx + "port_down_drops") = s.packets_dropped_port_down();
   }
   m.counter("net.packets_injected") = net_->packets_injected();
 

@@ -15,6 +15,7 @@
 #include "net/topology.hpp"
 #include "nic/config.hpp"
 #include "nic/nic.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/telemetry.hpp"
@@ -42,6 +43,10 @@ struct ClusterParams {
   /// When null — the default — every instrumentation hook is one untaken
   /// branch and the simulation timeline is bit-identical to no telemetry.
   sim::telemetry::Telemetry* telemetry = nullptr;
+  /// Declarative fault schedule, armed at construction. An empty plan (the
+  /// default) arms nothing and the timeline is bit-identical to a fault-free
+  /// build — fault hooks cost zero when no plan is installed.
+  sim::fault::FaultPlan faults;
 };
 
 /// One machine: host CPU(s), a PCI bus, and a programmable NIC.
@@ -77,6 +82,12 @@ class Cluster {
   void snapshot_metrics();
 
  private:
+  /// Translates params_.faults into link/switch/NIC hooks and scheduled
+  /// down/up, crash/restart transitions. Each (feature, link) pair gets its
+  /// own RNG stream derived from the plan seed, so adding one fault never
+  /// perturbs the draws of another.
+  void arm_faults();
+
   ClusterParams params_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> net_;

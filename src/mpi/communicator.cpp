@@ -21,6 +21,7 @@ Communicator::Communicator(gm::Port& port, std::vector<gm::Endpoint> group, Comm
   bspec.location = config_.collective_location;
   bspec.algorithm = config_.barrier_algorithm;
   bspec.gb_dimension = config_.gb_dimension;
+  bspec.deadline = config_.barrier_deadline;
   barrier_ = std::make_unique<coll::BarrierMember>(port_, group_, bspec);
   reducer_ = std::make_unique<coll::ReduceMember>(port_, group_, config_.collective_location,
                                                   nic::ReduceOp::kSum, config_.gb_dimension);
@@ -41,6 +42,9 @@ Communicator::Communicator(gm::Port& port, std::vector<gm::Endpoint> group, Comm
       case GmEventType::kReduceComplete:
         reducer_->note_result(ev.value);
         break;
+      case GmEventType::kPeerDead:
+        note_peer_dead(ev.peer.node);
+        break;
       case GmEventType::kSent:
         break;
     }
@@ -54,6 +58,18 @@ int Communicator::rank_of(gm::Endpoint e) const {
     if (group_[i] == e) return static_cast<int>(i);
   }
   return -1;
+}
+
+bool Communicator::group_has_node(net::NodeId node) const {
+  for (const gm::Endpoint& ep : group_) {
+    if (ep.node == node) return true;
+  }
+  return false;
+}
+
+void Communicator::note_peer_dead(net::NodeId node) {
+  barrier_->note_peer_dead(node);
+  if (group_has_node(node)) failed_ = true;
 }
 
 sim::Task Communicator::ensure_provisioned() {
@@ -107,16 +123,21 @@ sim::ValueTask<Message> Communicator::recv_impl(int src_rank) {
       case GmEventType::kReduceComplete:
         reducer_->note_result(ev.value);
         break;
+      case GmEventType::kPeerDead:
+        note_peer_dead(ev.peer.node);
+        break;
       case GmEventType::kSent:
         break;
     }
   }
 }
 
-sim::Task Communicator::barrier() {
+sim::ValueTask<coll::BarrierStatus> Communicator::barrier() {
   co_await ensure_provisioned();
   // per-GM-call layer cost is charged by the port itself
-  co_await barrier_->run();
+  const coll::BarrierStatus st = co_await barrier_->run();
+  if (st != coll::BarrierStatus::kOk) failed_ = true;
+  co_return st;
 }
 
 sim::ValueTask<std::int64_t> Communicator::allreduce(std::int64_t value, nic::ReduceOp op) {
@@ -134,6 +155,8 @@ sim::ValueTask<std::int64_t> Communicator::allreduce(std::int64_t value, nic::Re
       if (src >= 0) pending_[src].push_back(Message{src, ev.bytes, ev.tag});
     } else if (ev.type == GmEventType::kBarrierComplete) {
       barrier_->note_completion();
+    } else if (ev.type == GmEventType::kPeerDead) {
+      note_peer_dead(ev.peer.node);
     }
   });
   co_return co_await red.allreduce(value);

@@ -36,6 +36,9 @@ struct CommConfig {
   coll::Location collective_location = coll::Location::kNic;
   nic::BarrierAlgorithm barrier_algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
   std::size_t gb_dimension = 2;
+  /// Deadline applied to every barrier() (zero = wait forever). The backstop
+  /// for ranks with no direct connection to a failed node.
+  sim::Duration barrier_deadline{0};
 };
 
 /// One rank's communicator; wraps a GM port whose endpoint must appear in
@@ -55,8 +58,14 @@ class Communicator {
   /// other ranks are queued for their own receives).
   [[nodiscard]] sim::ValueTask<Message> recv(int src_rank);
 
-  /// MPI_Barrier.
-  [[nodiscard]] sim::Task barrier();
+  /// MPI_Barrier. kOk on completion; kPeerDead/kDeadline mean the barrier
+  /// aborted and this communicator is failed (MPI_ERR_PROC_FAILED-style):
+  /// collective results can no longer be trusted. Point-to-point recv() from
+  /// a dead peer still blocks — use the barrier deadline to detect failure.
+  [[nodiscard]] sim::ValueTask<coll::BarrierStatus> barrier();
+
+  /// True once a group member's connection died or a barrier aborted.
+  [[nodiscard]] bool failed() const { return failed_; }
 
   /// MPI_Allreduce on a single int64.
   [[nodiscard]] sim::ValueTask<std::int64_t> allreduce(std::int64_t value, nic::ReduceOp op);
@@ -73,6 +82,8 @@ class Communicator {
   sim::Task send_impl(int dst_rank, std::int64_t bytes, std::uint64_t tag);
   sim::ValueTask<Message> recv_impl(int src_rank);
   int rank_of(gm::Endpoint e) const;
+  bool group_has_node(net::NodeId node) const;
+  void note_peer_dead(net::NodeId node);
 
   gm::Port& port_;
   std::vector<gm::Endpoint> group_;
@@ -82,6 +93,7 @@ class Communicator {
   std::unique_ptr<coll::ReduceMember> reducer_;
   std::map<int, std::deque<Message>> pending_;
   bool provisioned_ = false;
+  bool failed_ = false;
   std::int64_t recv_buffer_bytes_ = 64 * 1024;
 };
 

@@ -5,12 +5,39 @@
 
 namespace nicbar::net {
 
+void Link::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down) {
+    down_since_ = sim_.now();
+  } else {
+    down_total_ += sim_.now() - down_since_;
+  }
+}
+
+sim::Duration Link::down_time_total() const {
+  if (!down_) return down_total_;
+  return down_total_ + (sim_.now() - down_since_);
+}
+
 sim::SimTime Link::transmit(Packet p) {
   assert(deliver_ && "link has no receiver attached");
+  if (down_) {
+    // Unplugged cable: the packet vanishes without even occupying the wire.
+    ++dropped_;
+    ++down_drops_;
+    return sim_.now();
+  }
   ++sent_;
   bytes_sent_ += p.wire_bytes(params_.header_bytes);
-  const bool drop =
-      (drop_prob_ > 0.0 && rng_.chance(drop_prob_)) || (drop_pred_ && drop_pred_(p));
+  bool drop = (drop_prob_ > 0.0 && rng_.chance(drop_prob_)) || (drop_pred_ && drop_pred_(p));
+  if (burst_enter_ > 0.0) {
+    if (burst_bad_ ? burst_rng_.chance(burst_exit_) : burst_rng_.chance(burst_enter_)) {
+      burst_bad_ = !burst_bad_;
+    }
+    const double loss = burst_bad_ ? burst_loss_bad_ : burst_loss_good_;
+    if (loss > 0.0 && burst_rng_.chance(loss)) drop = true;
+  }
   const sim::Duration occupy = wire_time(p);
   if (drop) {
     ++dropped_;
@@ -22,6 +49,10 @@ sim::SimTime Link::transmit(Packet p) {
     return done;
   }
   const sim::Duration prop = params_.propagation;
+  if (corrupt_prob_ > 0.0 && corrupt_rng_.chance(corrupt_prob_)) {
+    p.corrupted = true;
+    ++corrupted_;
+  }
   // Capture by shared copy: the closure outlives this stack frame.
   auto packet = std::make_shared<Packet>(std::move(p));
   const sim::SimTime done = wire_.submit(occupy);

@@ -56,6 +56,38 @@ class Link {
     drop_pred_ = std::move(pred);
   }
 
+  /// Fault injection: Gilbert–Elliott bursty loss. Each packet first
+  /// advances a good/bad Markov chain, then drops with the current state's
+  /// loss rate. Draws come from a dedicated stream so composing burst loss
+  /// with uniform loss keeps both reproducible.
+  void set_burst_loss(double p_enter_bad, double p_exit_bad, double loss_good, double loss_bad,
+                      std::uint64_t seed) {
+    burst_enter_ = p_enter_bad;
+    burst_exit_ = p_exit_bad;
+    burst_loss_good_ = loss_good;
+    burst_loss_bad_ = loss_bad;
+    burst_bad_ = false;
+    burst_rng_.reseed(seed);
+  }
+
+  /// Fault injection: flip bits in each packet with probability `prob`. The
+  /// packet is still delivered; the receiver's CRC check pays for and
+  /// discards it (see Nic::rx_packet).
+  void set_corrupt_probability(double prob, std::uint64_t seed) {
+    corrupt_prob_ = prob;
+    corrupt_rng_.reseed(seed);
+  }
+
+  /// Fault injection: unplug / replug the cable. While down, packets vanish
+  /// instantly — nothing is serialised, nothing arrives. Down-time is
+  /// accumulated for the metrics snapshot.
+  void set_down(bool down);
+
+  [[nodiscard]] bool is_down() const { return down_; }
+
+  /// Total time this link has spent down, up to now (open windows count).
+  [[nodiscard]] sim::Duration down_time_total() const;
+
   [[nodiscard]] sim::Duration wire_time(const Packet& p) const {
     return sim::transfer_time(p.wire_bytes(params_.header_bytes), params_.bandwidth_mbps);
   }
@@ -65,6 +97,8 @@ class Link {
   [[nodiscard]] const std::string& name() const { return wire_.name(); }
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t packets_corrupted() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t drops_while_down() const { return down_drops_; }
   [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
 
   /// Attaches a trace sink: every transmission becomes one span on this
@@ -82,8 +116,22 @@ class Link {
   double drop_prob_ = 0.0;
   std::function<bool(const Packet&)> drop_pred_;
   sim::Rng rng_{12345};
+  // Gilbert–Elliott burst-loss chain (inactive until set_burst_loss).
+  double burst_enter_ = 0.0;
+  double burst_exit_ = 0.0;
+  double burst_loss_good_ = 0.0;
+  double burst_loss_bad_ = 1.0;
+  bool burst_bad_ = false;
+  sim::Rng burst_rng_{12345};
+  double corrupt_prob_ = 0.0;
+  sim::Rng corrupt_rng_{12345};
+  bool down_ = false;
+  sim::SimTime down_since_{0};
+  sim::Duration down_total_{0};
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t down_drops_ = 0;
   std::int64_t bytes_sent_ = 0;
   sim::telemetry::TraceEventSink* trace_sink_ = nullptr;
   int trace_track_ = 0;

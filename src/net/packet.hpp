@@ -89,6 +89,11 @@ struct Packet {
   sim::SimTime injected_at{0};  // set by the fabric when the packet enters
   std::uint64_t id = 0;         // unique per fabric, for tracing
 
+  /// Fault injection flipped bits in flight. The fabric still delivers the
+  /// packet (the wire does not know); the receiving NIC's CRC check catches
+  /// it and discards after paying the full receive occupancy.
+  bool corrupted = false;
+
   /// Bytes occupying the wire: header + one route byte per remaining hop +
   /// payload. `header_bytes` models the GM packet header + CRC.
   [[nodiscard]] std::int64_t wire_bytes(std::int64_t header_bytes) const {

@@ -14,6 +14,10 @@ void Switch::accept(Packet p) {
     ++misrouted_;
     return;
   }
+  if (port_down_[port]) {
+    ++port_down_drops_;
+    return;
+  }
   ++forwarded_;
   Link* link = out_[port];
   auto packet = std::make_shared<Packet>(std::move(p));

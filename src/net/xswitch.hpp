@@ -30,7 +30,8 @@ struct SwitchParams {
 class Switch {
  public:
   Switch(sim::Simulator& sim, int id, std::size_t num_ports, SwitchParams params)
-      : sim_(sim), id_(id), params_(params), out_(num_ports, nullptr) {}
+      : sim_(sim), id_(id), params_(params), out_(num_ports, nullptr),
+        port_down_(num_ports, false) {}
 
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] std::size_t num_ports() const { return out_.size(); }
@@ -43,16 +44,25 @@ class Switch {
   /// A packet's head has arrived: consume the next route byte and forward.
   void accept(Packet p);
 
+  /// Fault injection: a failed output port eats every packet routed to it
+  /// (a stuck crossbar lane; the rest of the switch keeps forwarding).
+  void set_port_down(std::size_t port, bool down) { port_down_.at(port) = down; }
+
+  [[nodiscard]] bool is_port_down(std::size_t port) const { return port_down_.at(port); }
+
   [[nodiscard]] std::uint64_t packets_forwarded() const { return forwarded_; }
   [[nodiscard]] std::uint64_t packets_misrouted() const { return misrouted_; }
+  [[nodiscard]] std::uint64_t packets_dropped_port_down() const { return port_down_drops_; }
 
  private:
   sim::Simulator& sim_;
   int id_;
   SwitchParams params_;
   std::vector<Link*> out_;
+  std::vector<bool> port_down_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t misrouted_ = 0;
+  std::uint64_t port_down_drops_ = 0;
 };
 
 }  // namespace nicbar::net

@@ -82,9 +82,20 @@ struct NicConfig {
   int max_ports = 8;                        // GM 1.2.3: eight ports per NIC
 
   // --- Reliability -------------------------------------------------------------
+  /// Fixed retransmission timeout; with adaptive_rto it is only the initial
+  /// RTO used before the first RTT sample arrives.
   sim::Duration retransmit_timeout = sim::milliseconds(1.0);
+  /// Jacobson/Karels per-connection RTO estimation (srtt + 4·rttvar, Karn's
+  /// rule for samples, exponential backoff on timeout). Off = the seed's
+  /// fixed-timeout behaviour, bit-identical to before this knob existed.
+  bool adaptive_rto = true;
+  sim::Duration min_rto = sim::microseconds(50.0);
+  sim::Duration max_rto = sim::milliseconds(16.0);
   sim::Duration barrier_resend_delay = sim::microseconds(50.0);
-  int max_retransmissions = 64;             // give-up threshold (connection error)
+  /// Give-up threshold: after this many consecutive timeouts on one
+  /// connection the peer is declared dead (kPeerDead is raised on every open
+  /// port; see Nic::declare_peer_dead).
+  int max_retransmissions = 64;
 
   // --- Barrier policy knobs ------------------------------------------------------
   BarrierReliability barrier_reliability = BarrierReliability::kUnreliable;

@@ -36,6 +36,8 @@ struct BarrierBitInfo {
 struct SentRecord {
   net::Packet packet;  // full copy, so retransmission can re-inject it
   std::function<void()> on_sent;  // host notification when acked (may be null)
+  sim::SimTime first_sent{0};     // when the packet first hit the wire
+  bool retransmitted = false;     // Karn's rule: ambiguous RTT, never sample
 };
 
 struct Connection {
@@ -47,11 +49,22 @@ struct Connection {
   int retransmissions = 0;
   bool nack_outstanding = false;  // one NACK per out-of-order episode
 
+  // --- Adaptive RTO (Jacobson/Karels; shared by both streams — same path) ---
+  bool rtt_valid = false;   // srtt/rttvar hold at least one sample
+  double srtt_ps = 0.0;     // smoothed RTT
+  double rttvar_ps = 0.0;   // smoothed mean deviation
+  double rtt_max_ps = 0.0;  // worst ack delay ever observed on this path
+  int backoff = 0;          // consecutive timeouts; RTO doubles per timeout
+  /// Peer declared dead after max_retransmissions consecutive timeouts.
+  /// Permanent: reliable traffic to/from this node is dropped from then on.
+  bool dead = false;
+
   // --- Separate barrier-reliability stream (BarrierReliability::kSeparateAcks)
   std::uint32_t next_barrier_send_seq = 1;
   std::uint32_t next_expected_barrier_seq = 1;
   std::deque<SentRecord> barrier_sent_list;
   sim::EventId barrier_retransmit_timer;
+  int barrier_retransmissions = 0;
   bool barrier_nack_outstanding = false;
 
   // --- Unexpected barrier message record (§3.1) ------------------------------

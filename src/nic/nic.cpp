@@ -61,6 +61,7 @@ void Nic::set_telemetry(sim::telemetry::Telemetry* telemetry) {
       engine_track_[i] = tsink_->track(prefix + to_string(static_cast<McpEngine>(i)));
     }
     pci_track_ = tsink_->track("node" + std::to_string(node_) + "/pci");
+    fault_track_ = tsink_->track(prefix + "fault");
   }
 }
 
@@ -238,14 +239,24 @@ void Nic::post_multicast_token(MulticastToken token) {
 
 void Nic::enqueue_reliable(Packet p, std::function<void()> on_sent) {
   Connection& c = conn(p.dst_node);
+  if (c.dead) {
+    // The peer was declared dead: reliable traffic to it is discarded (the
+    // host has been told via kPeerDead and must not expect delivery).
+    ++stats_.dead_peer_drops;
+    return;
+  }
   p.seq = c.next_send_seq++;
-  c.sent_list.push_back(SentRecord{p, std::move(on_sent)});
+  c.sent_list.push_back(SentRecord{p, std::move(on_sent), sim_.now(), false});
   arm_retransmit(p.dst_node);
   ++stats_.data_sent;
   transmit(std::move(p));
 }
 
 void Nic::transmit(Packet p) {
+  if (crashed_) {
+    ++stats_.tx_dropped_crashed;
+    return;
+  }
   const std::int64_t cost =
       net::is_barrier_payload(p.type) ? config_.barrier_send_cycles : config_.send_cycles;
   if (bcoll_ != nullptr && net::is_barrier_payload(p.type)) {
@@ -278,6 +289,24 @@ void Nic::send_control(Packet p) {
 // --- RECV dispatch --------------------------------------------------------------------
 
 void Nic::rx_packet(Packet p) {
+  if (crashed_) {
+    // The LANai processor is halted: the packet dies at the port.
+    ++stats_.rx_dropped_crashed;
+    return;
+  }
+  if (p.corrupted) {
+    // The CRC check runs after the whole packet has streamed in, so the
+    // RECV engine pays its full occupancy before discarding.
+    engine_submit(McpEngine::kRecv, "rx_crc_drop", config_.recv_cycles,
+                  [this] { ++stats_.crc_drops; });
+    return;
+  }
+  if (p.src_node < conns_.size() && conns_[p.src_node] && conns_[p.src_node]->dead) {
+    // Traffic from a peer we gave up on; the connection state is torn down,
+    // so nothing here can be interpreted safely.
+    ++stats_.dead_peer_drops;
+    return;
+  }
   auto packet = std::make_shared<Packet>(std::move(p));
   switch (packet->type) {
     case PacketType::kData:
@@ -371,14 +400,23 @@ void Nic::recv_ack(const Packet& p) {
   ++stats_.acks_received;
   Connection& c = conn(p.src_node);
   bool retired = false;
+  bool sampled = false;
   while (!c.sent_list.empty() && c.sent_list.front().packet.seq <= p.ack) {
     SentRecord rec = std::move(c.sent_list.front());
     c.sent_list.pop_front();
     retired = true;
+    // Karn's rule: a retransmitted packet's ack is ambiguous (original or
+    // copy?), so only unambiguous records feed the estimator — and one
+    // sample per ack, like TCP's per-ack clocking.
+    if (!sampled && !rec.retransmitted) {
+      sample_rtt(c, sim_.now() - rec.first_sent);
+      sampled = true;
+    }
     if (rec.on_sent) sim_.schedule_now(std::move(rec.on_sent));
   }
   if (retired) {
     c.retransmissions = 0;
+    c.backoff = 0;
     sim_.cancel(c.retransmit_timer);
     if (!c.sent_list.empty()) arm_retransmit(p.src_node);
   }
@@ -398,15 +436,67 @@ void Nic::recv_nack(const Packet& p) {
 
 // --- Reliability timers -------------------------------------------------------------------
 
+sim::Duration Nic::current_rto(const Connection& c) const {
+  if (!config_.adaptive_rto) return config_.retransmit_timeout;
+  sim::Duration rto = config_.retransmit_timeout;  // initial RTO, pre-sample
+  if (c.rtt_valid) {
+    // Simulated RTTs carry no clock noise, so rttvar collapses whenever acks
+    // are steady and srtt + 4·rttvar alone would fire on the first queueing
+    // spike the estimator hasn't seen (TCP hides the same hazard behind a
+    // min RTO of many RTT multiples). Floor the estimate at 8x the worst
+    // ack delay this path has actually produced: a delay the peer already
+    // demonstrated can never look like silence, while a dead path still does.
+    double est = c.srtt_ps + 4.0 * c.rttvar_ps;
+    if (est < 8.0 * c.rtt_max_ps) est = 8.0 * c.rtt_max_ps;
+    rto = sim::Duration{static_cast<std::int64_t>(est)};
+  }
+  // Exponential backoff: each consecutive timeout doubles the wait, so a
+  // persistently silent peer backs the sender off instead of flooding.
+  for (int i = 0; i < c.backoff && rto < config_.max_rto; ++i) rto = rto * 2;
+  if (rto < config_.min_rto) rto = config_.min_rto;
+  if (rto > config_.max_rto) rto = config_.max_rto;
+  return rto;
+}
+
+void Nic::sample_rtt(Connection& c, sim::Duration rtt) {
+  if (!config_.adaptive_rto) return;
+  ++stats_.rtt_samples;
+  const double sample = static_cast<double>(rtt.ps());
+  if (sample > c.rtt_max_ps) {
+    c.rtt_max_ps = sample;
+  } else {
+    // Leaky max: a queueing spike raises the floor instantly but is forgiven
+    // over ~8 quiet samples, so one loss-recovery transient can't pin the
+    // RTO near its ceiling for the rest of the run.
+    c.rtt_max_ps -= (c.rtt_max_ps - sample) / 8.0;
+  }
+  if (!c.rtt_valid) {
+    // Jacobson's initialisation: first sample seeds srtt, rttvar = srtt/2.
+    c.srtt_ps = sample;
+    c.rttvar_ps = sample / 2.0;
+    c.rtt_valid = true;
+    return;
+  }
+  const double err = sample - c.srtt_ps;
+  c.rttvar_ps += ((err < 0 ? -err : err) - c.rttvar_ps) / 4.0;  // gain 1/4
+  c.srtt_ps += err / 8.0;                                       // gain 1/8
+}
+
 void Nic::arm_retransmit(NodeId remote) {
   Connection& c = conn(remote);
   sim_.cancel(c.retransmit_timer);
-  c.retransmit_timer = sim_.schedule_in(config_.retransmit_timeout, [this, remote] {
+  if (crashed_ || c.dead) return;
+  c.retransmit_timer = sim_.schedule_in(current_rto(c), [this, remote] {
     Connection& cc = conn(remote);
     if (cc.sent_list.empty()) return;
+    ++stats_.retransmit_timeouts;
     if (++cc.retransmissions > config_.max_retransmissions) {
-      trace(sim::TraceCategory::kReliab, "connection to %u failed (retries exhausted)", remote);
-      return;  // connection declared dead; counters expose it
+      declare_peer_dead(remote);
+      return;
+    }
+    if (config_.adaptive_rto) {
+      ++cc.backoff;
+      ++stats_.rto_backoffs;
     }
     retransmit_all(remote);
   });
@@ -414,12 +504,69 @@ void Nic::arm_retransmit(NodeId remote) {
 
 void Nic::retransmit_all(NodeId remote) {
   Connection& c = conn(remote);
-  for (const SentRecord& rec : c.sent_list) {
+  for (SentRecord& rec : c.sent_list) {
+    rec.retransmitted = true;  // Karn: its ack can no longer be sampled
     ++stats_.retransmissions;
     trace(sim::TraceCategory::kReliab, "retransmit %s", rec.packet.describe().c_str());
     transmit(rec.packet);
   }
   if (!c.sent_list.empty()) arm_retransmit(remote);
+}
+
+void Nic::declare_peer_dead(NodeId remote) {
+  Connection& c = conn(remote);
+  if (c.dead) return;
+  c.dead = true;
+  ++stats_.connections_failed;
+  sim_.cancel(c.retransmit_timer);
+  sim_.cancel(c.barrier_retransmit_timer);
+  c.sent_list.clear();
+  c.barrier_sent_list.clear();
+  trace(sim::TraceCategory::kReliab, "connection to %u failed (retries exhausted)", remote);
+  if (tsink_ != nullptr) tsink_->instant(fault_track_, "peer_dead", sim_.now(), "fault");
+  GmEvent ev;
+  ev.type = GmEventType::kPeerDead;
+  ev.peer = Endpoint{remote, 0};
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (ports_[p].open) push_event(static_cast<PortId>(p), ev);
+  }
+}
+
+// --- Fault injection ------------------------------------------------------------------------
+
+void Nic::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.nic_crashes;
+  trace(sim::TraceCategory::kReliab, "crash");
+  if (tsink_ != nullptr) tsink_->instant(fault_track_, "crash", sim_.now(), "fault");
+  // The firmware's timers die with the processor; connection bookkeeping
+  // survives in host/NIC SRAM and is replayed by restart().
+  for (auto& cp : conns_) {
+    if (!cp) continue;
+    sim_.cancel(cp->retransmit_timer);
+    sim_.cancel(cp->barrier_retransmit_timer);
+  }
+}
+
+void Nic::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++stats_.nic_restarts;
+  trace(sim::TraceCategory::kReliab, "restart");
+  if (tsink_ != nullptr) tsink_->instant(fault_track_, "restart", sim_.now(), "fault");
+  // Replay everything unacknowledged on both streams; the receiver's
+  // duplicate suppression makes this safe.
+  for (std::size_t r = 0; r < conns_.size(); ++r) {
+    if (!conns_[r] || conns_[r]->dead) continue;
+    Connection& c = *conns_[r];
+    const auto remote = static_cast<NodeId>(r);
+    c.retransmissions = 0;
+    c.barrier_retransmissions = 0;
+    c.backoff = 0;
+    if (!c.sent_list.empty()) retransmit_all(remote);
+    if (!c.barrier_sent_list.empty()) barrier_retransmit_all(remote);
+  }
 }
 
 void Nic::send_ack(NodeId remote) {

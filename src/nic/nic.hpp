@@ -90,6 +90,18 @@ struct NicStats {
   std::uint64_t barrier_pe_rounds = 0;       // PE: node_index advanced
   std::uint64_t barrier_gathers_sent = 0;    // GB: gather forwarded to parent
   std::uint64_t barrier_bcasts_entered = 0;  // GB: broadcast phase entered
+  // Fault / recovery accounting:
+  std::uint64_t crc_drops = 0;            // corrupted packets caught by the CRC check
+  std::uint64_t retransmit_timeouts = 0;  // retransmit timer fired (either stream)
+  std::uint64_t rto_backoffs = 0;         // adaptive RTO doubled after a timeout
+  std::uint64_t rtt_samples = 0;          // RTT measurements fed to the estimator
+  std::uint64_t connections_failed = 0;   // peers declared dead (give-up)
+  std::uint64_t dead_peer_drops = 0;      // sends discarded: peer already dead
+  std::uint64_t nic_crashes = 0;
+  std::uint64_t nic_restarts = 0;
+  std::uint64_t rx_dropped_crashed = 0;   // packets arriving while the NIC was down
+  std::uint64_t tx_dropped_crashed = 0;   // transmissions lost to the crash
+  std::uint64_t barriers_cancelled = 0;   // host aborted an in-flight barrier
 };
 
 class Nic {
@@ -135,6 +147,25 @@ class Nic {
 
   /// A packet head has fully arrived from the fabric (RECV engine entry).
   void rx_packet(net::Packet p);
+
+  // --- Fault injection ---------------------------------------------------------
+
+  /// The LANai processor halts: packets in either direction are lost and all
+  /// retransmit timers die with the firmware. Host token queues survive —
+  /// they live in host memory (the same argument §4.2 makes for keeping
+  /// barrier state in the host-resident token).
+  void crash();
+
+  /// Firmware reboot after a crash: every connection's unacknowledged
+  /// packets (both streams) are retransmitted and the timers re-armed.
+  void restart();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Aborts the port's in-flight barrier (host gave up on it — deadline or
+  /// peer death). The parked token is discarded so a later barrier can
+  /// start; any stale completion is suppressed by its epoch.
+  void cancel_barrier(PortId port);
 
   // --- Introspection ---------------------------------------------------------------
 
@@ -210,6 +241,14 @@ class Nic {
   void retransmit_all(NodeId remote);
   void send_ack(NodeId remote);
   void send_nack(NodeId remote);
+  /// Current timeout for `c`: fixed config value, or the Jacobson/Karels
+  /// estimate shifted left by the connection's backoff.
+  [[nodiscard]] sim::Duration current_rto(const Connection& c) const;
+  /// Feeds one RTT measurement into the estimator (adaptive mode only).
+  void sample_rtt(Connection& c, sim::Duration rtt);
+  /// Give-up: marks the connection dead, drops its streams, and raises
+  /// kPeerDead on every open port.
+  void declare_peer_dead(NodeId remote);
 
   // --- Barrier firmware (nic_barrier.cpp) ------------------------------------------
   void barrier_start(BarrierToken token);                 // SDMA side
@@ -254,6 +293,7 @@ class Nic {
   std::vector<PortState> ports_;
   std::vector<std::unique_ptr<Connection>> conns_;
   NicStats stats_;
+  bool crashed_ = false;
   EngineStats engines_;
   sim::Tracer* tracer_ = nullptr;
   // Telemetry (all null/zero when detached; every hook is one branch).
@@ -261,6 +301,7 @@ class Nic {
   sim::telemetry::BreakdownCollector* bcoll_ = nullptr;
   int engine_track_[kMcpEngineCount] = {};
   int pci_track_ = 0;
+  int fault_track_ = 0;
 };
 
 }  // namespace nicbar::nic

@@ -265,8 +265,12 @@ void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::ui
       break;
     case BarrierReliability::kSharedStream: {
       Connection& c = conn(p.dst_node);
+      if (c.dead) {
+        ++stats_.dead_peer_drops;
+        break;
+      }
       p.seq = c.next_send_seq++;
-      c.sent_list.push_back(SentRecord{p, nullptr});
+      c.sent_list.push_back(SentRecord{p, nullptr, sim_.now(), false});
       arm_retransmit(p.dst_node);
       transmit(std::move(p));
       break;
@@ -414,8 +418,12 @@ void Nic::barrier_handle_nack(const Packet& p) {
 
 void Nic::barrier_enqueue_separate(Packet p) {
   Connection& c = conn(p.dst_node);
+  if (c.dead) {
+    ++stats_.dead_peer_drops;
+    return;
+  }
   p.barrier_seq = c.next_barrier_send_seq++;
-  c.barrier_sent_list.push_back(SentRecord{p, nullptr});
+  c.barrier_sent_list.push_back(SentRecord{p, nullptr, sim_.now(), false});
   arm_barrier_retransmit(p.dst_node);
   transmit(std::move(p));
 }
@@ -457,12 +465,22 @@ void Nic::barrier_recv_barrier_ack(const Packet& p) {
   ++stats_.acks_received;
   Connection& c = conn(p.src_node);
   bool retired = false;
+  bool sampled = false;
   while (!c.barrier_sent_list.empty() &&
          c.barrier_sent_list.front().packet.barrier_seq <= p.ack) {
+    const SentRecord& rec = c.barrier_sent_list.front();
+    // The barrier stream shares the connection's RTO estimator — same
+    // physical path, so its samples are just as good (Karn's rule applies).
+    if (!sampled && !rec.retransmitted) {
+      sample_rtt(c, sim_.now() - rec.first_sent);
+      sampled = true;
+    }
     c.barrier_sent_list.pop_front();
     retired = true;
   }
   if (retired) {
+    c.barrier_retransmissions = 0;
+    c.backoff = 0;
     sim_.cancel(c.barrier_retransmit_timer);
     if (!c.barrier_sent_list.empty()) arm_barrier_retransmit(p.src_node);
   }
@@ -471,18 +489,45 @@ void Nic::barrier_recv_barrier_ack(const Packet& p) {
 void Nic::arm_barrier_retransmit(NodeId remote) {
   Connection& c = conn(remote);
   sim_.cancel(c.barrier_retransmit_timer);
-  c.barrier_retransmit_timer = sim_.schedule_in(config_.retransmit_timeout, [this, remote] {
+  if (crashed_ || c.dead) return;
+  c.barrier_retransmit_timer = sim_.schedule_in(current_rto(c), [this, remote] {
+    Connection& cc = conn(remote);
+    if (cc.barrier_sent_list.empty()) return;
+    ++stats_.retransmit_timeouts;
+    if (++cc.barrier_retransmissions > config_.max_retransmissions) {
+      declare_peer_dead(remote);
+      return;
+    }
+    if (config_.adaptive_rto) {
+      ++cc.backoff;
+      ++stats_.rto_backoffs;
+    }
     barrier_retransmit_all(remote);
   });
 }
 
 void Nic::barrier_retransmit_all(NodeId remote) {
   Connection& c = conn(remote);
-  for (const SentRecord& rec : c.barrier_sent_list) {
+  for (SentRecord& rec : c.barrier_sent_list) {
+    rec.retransmitted = true;
     ++stats_.retransmissions;
     transmit(rec.packet);
   }
   if (!c.barrier_sent_list.empty()) arm_barrier_retransmit(remote);
+}
+
+// --- Host abort (deadline / peer death) ---------------------------------------------------------
+
+void Nic::cancel_barrier(PortId local_port) {
+  PortState& ps = port(local_port);
+  if (ps.active_barrier == nullptr || ps.active_barrier->completed) return;
+  ++stats_.barriers_cancelled;
+  trace(sim::TraceCategory::kBarrier, "port %u: cancel barrier epoch=%u", local_port,
+        ps.active_barrier->epoch);
+  // Discard the parked token; whatever this member already contributed may
+  // still complete peers, but no completion event will be raised here (and
+  // any in-flight one is filtered by its epoch on the host side).
+  ps.active_barrier.reset();
 }
 
 }  // namespace nicbar::nic

@@ -126,12 +126,13 @@ enum class GmEventType : std::uint8_t {
   kSent,             // a send token was returned (message acknowledged)
   kBarrierComplete,  // GM_BARRIER_COMPLETED_EVENT
   kReduceComplete,   // NIC-based reduction finished; `value` holds the result
+  kPeerDead,         // reliability gave up on `peer.node`; the connection is dead
 };
 
 /// What gm_receive() yields to the polling host process.
 struct GmEvent {
   GmEventType type = GmEventType::kRecv;
-  Endpoint peer;              // kRecv: the sender
+  Endpoint peer;              // kRecv: the sender; kPeerDead: the dead node
   std::int64_t bytes = 0;     // kRecv: payload size
   std::uint64_t tag = 0;      // kRecv: sender-chosen tag
   std::uint32_t barrier_epoch = 0;  // kBarrierComplete / kReduceComplete

@@ -1,0 +1,119 @@
+#include "sim/fault.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nicbar::sim::fault {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& line, const std::string& why) {
+  throw std::runtime_error("fault plan line " + std::to_string(line_no) + ": " + why + ": \"" +
+                           line + "\"");
+}
+
+/// Reads a time operand: microseconds, or `-` for "never".
+SimTime read_time_us(std::istringstream& in, int line_no, const std::string& line,
+                     const char* what) {
+  std::string tok;
+  if (!(in >> tok)) fail(line_no, line, std::string("missing ") + what);
+  if (tok == "-") return SimTime::max();
+  try {
+    return SimTime{0} + microseconds(std::stod(tok));
+  } catch (const std::exception&) {
+    fail(line_no, line, std::string("bad ") + what);
+  }
+}
+
+double read_prob(std::istringstream& in, int line_no, const std::string& line, const char* what) {
+  double p = 0.0;
+  if (!(in >> p)) fail(line_no, line, std::string("missing ") + what);
+  if (p < 0.0 || p > 1.0) fail(line_no, line, std::string(what) + " outside [0,1]");
+  return p;
+}
+
+/// Optional trailing link pattern; `*` and absence both mean "every link".
+std::string read_link(std::istringstream& in) {
+  std::string link;
+  if (in >> link && link != "*") return link;
+  return std::string{};
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    std::istringstream ls(hash == std::string::npos ? line : line.substr(0, hash));
+    std::string verb;
+    if (!(ls >> verb)) continue;  // blank / comment-only line
+
+    if (verb == "seed") {
+      if (!(ls >> plan.seed)) fail(line_no, line, "missing seed value");
+    } else if (verb == "loss") {
+      UniformLoss l;
+      l.prob = read_prob(ls, line_no, line, "loss probability");
+      l.link = read_link(ls);
+      plan.loss.push_back(std::move(l));
+    } else if (verb == "burst") {
+      BurstLoss b;
+      b.p_enter_bad = read_prob(ls, line_no, line, "p_enter_bad");
+      b.p_exit_bad = read_prob(ls, line_no, line, "p_exit_bad");
+      b.loss_bad = read_prob(ls, line_no, line, "loss_bad");
+      b.link = read_link(ls);
+      plan.bursts.push_back(std::move(b));
+    } else if (verb == "corrupt") {
+      Corruption c;
+      c.prob = read_prob(ls, line_no, line, "corruption probability");
+      c.link = read_link(ls);
+      plan.corruption.push_back(std::move(c));
+    } else if (verb == "link-down") {
+      LinkDownWindow w;
+      w.from = read_time_us(ls, line_no, line, "from time");
+      w.until = read_time_us(ls, line_no, line, "until time");
+      w.link = read_link(ls);
+      if (w.until <= w.from) fail(line_no, line, "window ends before it starts");
+      plan.link_down.push_back(std::move(w));
+    } else if (verb == "nic-crash") {
+      NicCrash c;
+      if (!(ls >> c.node)) fail(line_no, line, "missing node id");
+      c.at = read_time_us(ls, line_no, line, "crash time");
+      std::string tok;
+      if (ls >> tok) {
+        if (tok == "-") {
+          c.restart_at = SimTime::max();
+        } else {
+          try {
+            c.restart_at = SimTime{0} + microseconds(std::stod(tok));
+          } catch (const std::exception&) {
+            fail(line_no, line, "bad restart time");
+          }
+        }
+      }
+      if (c.restart_at <= c.at) fail(line_no, line, "restart precedes crash");
+      plan.nic_crashes.push_back(c);
+    } else if (verb == "switch-port-down") {
+      SwitchPortDown s;
+      if (!(ls >> s.switch_id >> s.port)) fail(line_no, line, "missing switch/port ids");
+      s.from = read_time_us(ls, line_no, line, "from time");
+      s.until = read_time_us(ls, line_no, line, "until time");
+      if (s.until <= s.from) fail(line_no, line, "window ends before it starts");
+      plan.switch_ports_down.push_back(s);
+    } else {
+      fail(line_no, line, "unknown directive '" + verb + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  std::istringstream in(text);
+  return parse_fault_plan(in);
+}
+
+}  // namespace nicbar::sim::fault

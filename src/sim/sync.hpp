@@ -101,7 +101,7 @@ class Mailbox {
 
   void send(T value) {
     if (!waiters_.empty()) {
-      RecvAwaiter* w = waiters_.front();
+      Waiter* w = waiters_.front();
       waiters_.pop_front();
       w->value.emplace(std::move(value));
       std::coroutine_handle<> h = w->handle;
@@ -111,7 +111,12 @@ class Mailbox {
     queue_.push_back(std::move(value));
   }
 
-  [[nodiscard]] auto recv() { return RecvAwaiter{*this, std::nullopt, nullptr}; }
+  [[nodiscard]] auto recv() { return RecvAwaiter{*this}; }
+
+  /// Receive with a timeout: yields std::nullopt if nothing arrives within
+  /// `timeout` of simulated time (a non-positive timeout never suspends on
+  /// an empty mailbox).
+  [[nodiscard]] auto recv_for(Duration timeout) { return TimedRecvAwaiter{*this, timeout}; }
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
@@ -125,29 +130,66 @@ class Mailbox {
   }
 
  private:
-  struct RecvAwaiter {
-    Mailbox& mb;
+  /// Common state send() fills in: both awaiter kinds register as this.
+  struct Waiter {
     std::optional<T> value;
     std::coroutine_handle<> handle;
+  };
+
+  struct RecvAwaiter : Waiter {
+    Mailbox& mb;
+    explicit RecvAwaiter(Mailbox& m) : mb(m) {}
 
     bool await_ready() {
       if (!mb.queue_.empty()) {
-        value.emplace(std::move(mb.queue_.front()));
+        this->value.emplace(std::move(mb.queue_.front()));
         mb.queue_.pop_front();
         return true;
       }
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      handle = h;
+      this->handle = h;
       mb.waiters_.push_back(this);
     }
-    T await_resume() { return std::move(*value); }
+    T await_resume() { return std::move(*this->value); }
+  };
+
+  struct TimedRecvAwaiter : Waiter {
+    Mailbox& mb;
+    Duration timeout;
+    EventId timer;
+
+    TimedRecvAwaiter(Mailbox& m, Duration t) : mb(m), timeout(t) {}
+
+    bool await_ready() {
+      if (!mb.queue_.empty()) {
+        this->value.emplace(std::move(mb.queue_.front()));
+        mb.queue_.pop_front();
+        return true;
+      }
+      return timeout.ps() <= 0;  // already expired: resume with nullopt
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      this->handle = h;
+      mb.waiters_.push_back(this);
+      timer = mb.sim_.schedule_in(timeout, [this] {
+        // A send() at this same instant may have already claimed us (its
+        // resume is queued behind this event); value set means it won.
+        if (this->value.has_value()) return;
+        std::erase(mb.waiters_, static_cast<Waiter*>(this));
+        this->handle.resume();
+      });
+    }
+    std::optional<T> await_resume() {
+      mb.sim_.cancel(timer);
+      return std::move(this->value);
+    }
   };
 
   Simulator& sim_;
   std::deque<T> queue_;
-  std::deque<RecvAwaiter*> waiters_;
+  std::deque<Waiter*> waiters_;
 };
 
 /// Counted FIFO semaphore. acquire() suspends while all slots are taken;

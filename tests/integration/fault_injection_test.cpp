@@ -1,0 +1,321 @@
+// The full stack under the PR 2 fault plans: link outages that heal, NIC
+// crashes that restart, corruption caught by CRC, bursty loss — the soak
+// workload must still finish with correct allreduce values. And the failure
+// semantics: a permanently dead peer turns every surviving member's
+// BarrierMember::run() into a clean error within the configured deadline,
+// never a hung coroutine.
+//
+// The CI soak job sweeps NICBAR_SOAK_SEED; any seed must pass.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "coll/runner.hpp"
+#include "host/cluster.hpp"
+#include "mpi/communicator.hpp"
+
+namespace nicbar {
+namespace {
+
+using namespace sim::literals;
+
+std::uint64_t soak_seed() {
+  const char* env = std::getenv("NICBAR_SOAK_SEED");
+  return env != nullptr ? static_cast<std::uint64_t>(std::atoll(env)) : 1u;
+}
+
+struct SoakResult {
+  int finished_ranks = 0;
+  std::vector<std::int64_t> final_values;
+  std::vector<sim::SimTime> finish_times;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retransmit_timeouts = 0;
+  std::uint64_t crc_drops = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t nic_crashes = 0;
+  std::uint64_t nic_restarts = 0;
+};
+
+/// The soak workload (ring traffic + NIC barrier + NIC allreduce per
+/// iteration) under an arbitrary fault plan.
+SoakResult run_soak(sim::fault::FaultPlan faults, int iterations) {
+  constexpr std::size_t kRanks = 8;
+  host::ClusterParams cp;
+  cp.nodes = kRanks;
+  cp.nic.barrier_reliability = nic::BarrierReliability::kSharedStream;
+  cp.faults = std::move(faults);
+  host::Cluster cluster(cp);
+
+  std::vector<gm::Endpoint> group;
+  for (net::NodeId i = 0; i < kRanks; ++i) group.push_back(gm::Endpoint{i, 2});
+  mpi::CommConfig cfg;
+  cfg.collective_location = coll::Location::kNic;
+  cfg.per_call_overhead = 2_us;
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<mpi::Communicator>> comms;
+  for (net::NodeId i = 0; i < kRanks; ++i) {
+    ports.push_back(cluster.open_port(i, 2));
+    comms.push_back(std::make_unique<mpi::Communicator>(*ports.back(), group, cfg));
+  }
+
+  SoakResult res;
+  res.final_values.assign(kRanks, -1);
+  res.finish_times.assign(kRanks, sim::SimTime{0});
+  for (std::size_t i = 0; i < kRanks; ++i) {
+    cluster.sim().spawn([](sim::Simulator& s, mpi::Communicator& c, int iters, int* done,
+                           std::int64_t* final_value, sim::SimTime* at) -> sim::Task {
+      std::int64_t acc = 0;
+      for (int it = 0; it < iters; ++it) {
+        const int right = (c.rank() + 1) % c.size();
+        const int left = (c.rank() + c.size() - 1) % c.size();
+        co_await c.send(right, (it % 3 == 0) ? 6000 : 64,
+                        static_cast<std::uint64_t>(1000 * c.rank() + it));
+        const mpi::Message m = co_await c.recv(left);
+        if (m.tag != static_cast<std::uint64_t>(1000 * left + it)) {
+          throw std::logic_error("ring message out of order");
+        }
+        co_await c.barrier();
+        acc = co_await c.allreduce(static_cast<std::int64_t>(c.rank()) + it,
+                                   nic::ReduceOp::kSum);
+      }
+      *final_value = acc;
+      *at = s.now();
+      ++*done;
+    }(cluster.sim(), *comms[i], iterations, &res.finished_ranks, &res.final_values[i],
+      &res.finish_times[i]));
+  }
+  cluster.sim().run(sim::SimTime{0} + sim::seconds(5.0));
+
+  for (net::NodeId i = 0; i < kRanks; ++i) {
+    const nic::NicStats& s = cluster.nic(i).stats();
+    res.retransmissions += s.retransmissions;
+    res.retransmit_timeouts += s.retransmit_timeouts;
+    res.crc_drops += s.crc_drops;
+    res.nic_crashes += s.nic_crashes;
+    res.nic_restarts += s.nic_restarts;
+  }
+  cluster.network().for_each_link([&](net::Link& l) { res.dropped += l.packets_dropped(); });
+  return res;
+}
+
+std::int64_t expected_final(int iterations) {
+  const int last = iterations - 1;
+  std::int64_t v = 0;
+  for (int r = 0; r < 8; ++r) v += r + last;
+  return v;
+}
+
+TEST(FaultInjectionTest, LinkDownWindowHealsAndWorkloadCompletes) {
+  // Every link is dead for 400 us mid-run; go-back-N replays the gap once
+  // the fabric heals and every rank must still compute the right sums.
+  sim::fault::FaultPlan plan;
+  plan.seed = soak_seed();
+  plan.link_down.push_back({"", sim::SimTime{0} + sim::microseconds(300.0),
+                            sim::SimTime{0} + sim::microseconds(700.0)});
+  const SoakResult r = run_soak(plan, 15);
+  EXPECT_EQ(r.finished_ranks, 8);
+  for (std::int64_t v : r.final_values) EXPECT_EQ(v, expected_final(15));
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_GT(r.retransmit_timeouts, 0u);
+}
+
+TEST(FaultInjectionTest, NicCrashRestartReplaysAndWorkloadCompletes) {
+  // Node 3's NIC halts for half a millisecond. Connection state survives in
+  // host memory; the restart retransmits both streams and the workload ends
+  // with correct values on every rank — including the crashed one.
+  sim::fault::FaultPlan plan;
+  plan.seed = soak_seed();
+  plan.nic_crashes.push_back({3, sim::SimTime{0} + sim::microseconds(400.0),
+                              sim::SimTime{0} + sim::microseconds(900.0)});
+  const SoakResult r = run_soak(plan, 15);
+  EXPECT_EQ(r.finished_ranks, 8);
+  for (std::int64_t v : r.final_values) EXPECT_EQ(v, expected_final(15));
+  EXPECT_EQ(r.nic_crashes, 1u);
+  EXPECT_EQ(r.nic_restarts, 1u);
+}
+
+TEST(FaultInjectionTest, CorruptionIsCaughtByCrcAndRecovered) {
+  sim::fault::FaultPlan plan;
+  plan.seed = soak_seed();
+  plan.corruption.push_back({"", 0.02});
+  const SoakResult r = run_soak(plan, 12);
+  EXPECT_EQ(r.finished_ranks, 8);
+  for (std::int64_t v : r.final_values) EXPECT_EQ(v, expected_final(12));
+  EXPECT_GT(r.crc_drops, 0u);
+}
+
+TEST(FaultInjectionTest, BurstLossRecovered) {
+  sim::fault::FaultPlan plan;
+  plan.seed = soak_seed();
+  plan.bursts.push_back({"", 0.002, 0.3, 0.0, 1.0});
+  const SoakResult r = run_soak(plan, 12);
+  EXPECT_EQ(r.finished_ranks, 8);
+  for (std::int64_t v : r.final_values) EXPECT_EQ(v, expected_final(12));
+  EXPECT_GT(r.dropped, 0u);
+}
+
+TEST(FaultInjectionTest, SwitchPortDownWindowRecovered) {
+  // Output port 5 of the single switch (feeding terminal 5) eats everything
+  // for 300 us.
+  sim::fault::FaultPlan plan;
+  plan.seed = soak_seed();
+  plan.switch_ports_down.push_back({0, 5, sim::SimTime{0} + sim::microseconds(200.0),
+                                    sim::SimTime{0} + sim::microseconds(500.0)});
+  const SoakResult r = run_soak(plan, 10);
+  EXPECT_EQ(r.finished_ranks, 8);
+  for (std::int64_t v : r.final_values) EXPECT_EQ(v, expected_final(10));
+}
+
+TEST(FaultInjectionTest, DeterministicUnderComposedFaults) {
+  // Same seed, same plan: bit-identical completion times and recovery work.
+  sim::fault::FaultPlan plan;
+  plan.seed = soak_seed();
+  plan.loss.push_back({"", 0.02});
+  plan.corruption.push_back({"", 0.01});
+  plan.nic_crashes.push_back({5, sim::SimTime{0} + sim::microseconds(500.0),
+                              sim::SimTime{0} + sim::microseconds(800.0)});
+  const SoakResult a = run_soak(plan, 10);
+  const SoakResult b = run_soak(plan, 10);
+  EXPECT_EQ(a.finished_ranks, 8);
+  EXPECT_EQ(a.finish_times, b.finish_times);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.retransmit_timeouts, b.retransmit_timeouts);
+  EXPECT_EQ(a.crc_drops, b.crc_drops);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.final_values, b.final_values);
+}
+
+TEST(FaultInjectionTest, EmptyAndBenignPlansMatchFaultFreeTiming) {
+  // Arming nothing — or arming a plan whose probabilities are all zero —
+  // must leave the simulated timeline bit-identical to the fault-free run:
+  // the hooks cost nothing unless a fault actually fires.
+  coll::ExperimentParams p;
+  p.nodes = 8;
+  p.reps = 50;
+  const coll::ExperimentResult baseline = coll::run_barrier_experiment(p);
+
+  p.cluster.faults.loss.push_back({"", 0.0});  // armed, but can never fire
+  const coll::ExperimentResult benign = coll::run_barrier_experiment(p);
+
+  EXPECT_EQ(baseline.total_us, benign.total_us);
+  EXPECT_EQ(baseline.barrier_packets_sent, benign.barrier_packets_sent);
+  EXPECT_EQ(benign.retransmissions, 0u);
+}
+
+TEST(FaultInjectionTest, DeadPeerFailsEveryMemberWithinDeadline) {
+  // Node 7 dies for good shortly after the run starts. Members exchanging
+  // with it directly exhaust max_retransmissions and learn kPeerDead; the
+  // rest (and node 7's own member, whose NIC is the dead one) hit the
+  // deadline. Nobody hangs.
+  constexpr std::size_t kNodes = 8;
+  const sim::Duration deadline = sim::milliseconds(30.0);
+  host::ClusterParams cp;
+  cp.nodes = kNodes;
+  cp.nic.barrier_reliability = nic::BarrierReliability::kSharedStream;
+  cp.nic.max_retransmissions = 4;  // give up quickly enough to beat the deadline
+  cp.faults.nic_crashes.push_back({7, sim::SimTime{0} + sim::microseconds(150.0)});
+  host::Cluster cluster(cp);
+
+  std::vector<gm::Endpoint> group;
+  for (net::NodeId i = 0; i < kNodes; ++i) group.push_back(gm::Endpoint{i, 2});
+  coll::BarrierSpec spec;
+  spec.location = coll::Location::kNic;
+  spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  spec.deadline = deadline;
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<coll::BarrierMember>> members;
+  for (net::NodeId i = 0; i < kNodes; ++i) {
+    ports.push_back(cluster.open_port(i, 2));
+    members.push_back(std::make_unique<coll::BarrierMember>(*ports.back(), group, spec));
+  }
+
+  struct Outcome {
+    bool returned = false;
+    coll::BarrierStatus status = coll::BarrierStatus::kOk;
+    sim::Duration overrun{0};  // time from the failing run()'s start to its return
+  };
+  std::vector<Outcome> outcomes(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    cluster.sim().spawn([](sim::Simulator& s, coll::BarrierMember& m, Outcome* out) -> sim::Task {
+      for (int k = 0; k < 1000; ++k) {
+        const sim::SimTime start = s.now();
+        const coll::BarrierStatus st = co_await m.run();
+        if (st != coll::BarrierStatus::kOk) {
+          out->returned = true;
+          out->status = st;
+          out->overrun = s.now() - start;
+          co_return;
+        }
+      }
+    }(cluster.sim(), *members[i], &outcomes[i]));
+  }
+  cluster.sim().run(sim::SimTime{0} + sim::seconds(2.0));
+
+  bool saw_peer_dead = false;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    EXPECT_TRUE(outcomes[i].returned) << "member " << i << " hung (or never failed)";
+    EXPECT_NE(outcomes[i].status, coll::BarrierStatus::kOk) << "member " << i;
+    // The deadline is the worst case; kPeerDead may arrive sooner.
+    EXPECT_LE(outcomes[i].overrun.us(), deadline.us() + 1.0) << "member " << i;
+    if (outcomes[i].status == coll::BarrierStatus::kPeerDead) saw_peer_dead = true;
+  }
+  // PE partners of node 7 (nodes 6, 5, 3) exchange with it directly and must
+  // discover the death via retransmission give-up, not just the deadline.
+  EXPECT_TRUE(saw_peer_dead);
+
+  std::uint64_t connections_failed = 0;
+  for (net::NodeId i = 0; i < kNodes; ++i) {
+    connections_failed += cluster.nic(i).stats().connections_failed;
+  }
+  EXPECT_GT(connections_failed, 0u);
+}
+
+TEST(FaultInjectionTest, CommunicatorBarrierReportsFailure) {
+  // The MPI layer surfaces the same semantics: barrier() returns a non-Ok
+  // status within the configured deadline and the communicator turns failed.
+  constexpr std::size_t kNodes = 4;
+  host::ClusterParams cp;
+  cp.nodes = kNodes;
+  cp.nic.barrier_reliability = nic::BarrierReliability::kSharedStream;
+  cp.nic.max_retransmissions = 4;
+  cp.faults.nic_crashes.push_back({3, sim::SimTime{0} + sim::microseconds(100.0)});
+  host::Cluster cluster(cp);
+
+  std::vector<gm::Endpoint> group;
+  for (net::NodeId i = 0; i < kNodes; ++i) group.push_back(gm::Endpoint{i, 2});
+  mpi::CommConfig cfg;
+  cfg.barrier_deadline = sim::milliseconds(30.0);
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<mpi::Communicator>> comms;
+  for (net::NodeId i = 0; i < kNodes; ++i) {
+    ports.push_back(cluster.open_port(i, 2));
+    comms.push_back(std::make_unique<mpi::Communicator>(*ports.back(), group, cfg));
+  }
+  std::vector<int> failed(kNodes, 0);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    cluster.sim().spawn([](mpi::Communicator& c, int* out) -> sim::Task {
+      for (int k = 0; k < 1000; ++k) {
+        const coll::BarrierStatus st = co_await c.barrier();
+        if (st != coll::BarrierStatus::kOk) {
+          *out = 1;
+          co_return;
+        }
+      }
+    }(*comms[i], &failed[i]));
+  }
+  cluster.sim().run(sim::SimTime{0} + sim::seconds(2.0));
+
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(failed[i], 1) << "rank " << i << " never saw the failure";
+    EXPECT_TRUE(comms[i]->failed()) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nicbar

@@ -6,6 +6,7 @@
 // ordering) must survive the chaos.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,14 @@ namespace nicbar {
 namespace {
 
 using namespace sim::literals;
+
+/// The CI soak job sweeps NICBAR_SOAK_SEED to explore different loss
+/// timelines; unset (the default) leaves every seed exactly as written, so
+/// local runs stay bit-identical to the recorded ones.
+std::uint64_t soak_seed_offset() {
+  const char* env = std::getenv("NICBAR_SOAK_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) * 1000u : 0u;
+}
 
 struct SoakResult {
   int finished_ranks = 0;
@@ -33,7 +42,7 @@ SoakResult run_soak(double loss, int iterations, std::uint64_t seed) {
   cp.nic.retransmit_timeout = 300_us;
   host::Cluster cluster(cp);
   if (loss > 0) {
-    std::uint64_t s = seed;
+    std::uint64_t s = seed + soak_seed_offset();
     cluster.network().for_each_link([&](net::Link& l) { l.set_drop_probability(loss, s++); });
   }
 

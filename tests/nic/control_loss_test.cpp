@@ -1,0 +1,125 @@
+// Loss aimed exclusively at control packets (acks, nacks, barrier acks):
+// payloads always arrive, so progress never depends on resending data — it
+// depends on the reliability machinery coping with lost acknowledgments
+// (retransmit timers firing, cumulative acks catching up, duplicate
+// suppression eating the resends). Exercised across all three
+// BarrierReliability modes via Link::set_drop_predicate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar {
+namespace {
+
+using namespace sim::literals;
+
+struct ControlLossResult {
+  std::uint64_t barriers_completed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retransmit_timeouts = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t control_dropped = 0;
+};
+
+/// Runs `reps` NIC-PE barriers on 4 nodes while every link drops every
+/// `drop_every`-th control packet it carries (deterministic, no RNG).
+ControlLossResult run_control_loss(nic::BarrierReliability mode, int reps, int drop_every) {
+  constexpr std::size_t kNodes = 4;
+  host::ClusterParams cp;
+  cp.nodes = kNodes;
+  cp.nic.barrier_reliability = mode;
+  cp.nic.retransmit_timeout = 200_us;
+  host::Cluster cluster(cp);
+
+  auto counters = std::make_shared<std::vector<std::uint64_t>>();
+  auto dropped = std::make_shared<std::uint64_t>(0);
+  cluster.network().for_each_link([&](net::Link& l) {
+    const std::size_t idx = counters->size();
+    counters->push_back(0);
+    l.set_drop_predicate([counters, dropped, idx, drop_every](const net::Packet& p) {
+      if (!net::is_control(p.type)) return false;
+      if (++(*counters)[idx] % static_cast<std::uint64_t>(drop_every) != 0) return false;
+      ++*dropped;
+      return true;
+    });
+  });
+
+  std::vector<gm::Endpoint> group;
+  for (net::NodeId i = 0; i < kNodes; ++i) group.push_back(gm::Endpoint{i, 2});
+  coll::BarrierSpec spec;
+  spec.location = coll::Location::kNic;
+  spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<coll::BarrierMember>> members;
+  for (net::NodeId i = 0; i < kNodes; ++i) {
+    ports.push_back(cluster.open_port(i, 2));
+    members.push_back(std::make_unique<coll::BarrierMember>(*ports.back(), group, spec));
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    cluster.sim().spawn([](coll::BarrierMember& m, int r) -> sim::Task {
+      for (int k = 0; k < r; ++k) co_await m.run();
+    }(*members[i], reps));
+  }
+  cluster.sim().run(sim::SimTime{0} + sim::seconds(2.0));
+
+  ControlLossResult res;
+  res.control_dropped = *dropped;
+  for (net::NodeId i = 0; i < kNodes; ++i) {
+    const nic::NicStats& s = cluster.nic(i).stats();
+    res.barriers_completed += s.barriers_completed;
+    res.retransmissions += s.retransmissions;
+    res.retransmit_timeouts += s.retransmit_timeouts;
+    res.duplicates_dropped += s.duplicates_dropped;
+  }
+  return res;
+}
+
+TEST(ControlLossTest, UnreliableModeDoesNotCareAboutControlLoss) {
+  // An unreliable barrier generates no control traffic of its own, and its
+  // progress never depends on acks — every barrier must still complete.
+  const ControlLossResult r =
+      run_control_loss(nic::BarrierReliability::kUnreliable, 25, 2);
+  EXPECT_EQ(r.barriers_completed, 4u * 25u);
+  EXPECT_EQ(r.retransmit_timeouts, 0u);
+}
+
+TEST(ControlLossTest, SharedStreamRecoversFromLostAcks) {
+  // Barrier packets ride the sequenced data stream: a lost ack leaves the
+  // sender's sent-list populated until the retransmit timer fires; the
+  // receiver then drops the duplicates and re-acks.
+  const ControlLossResult r =
+      run_control_loss(nic::BarrierReliability::kSharedStream, 25, 3);
+  EXPECT_EQ(r.barriers_completed, 4u * 25u);
+  EXPECT_GT(r.control_dropped, 0u);
+  EXPECT_GT(r.retransmissions, 0u);
+  EXPECT_GT(r.duplicates_dropped, 0u);
+}
+
+TEST(ControlLossTest, SeparateAcksRecoverFromLostBarrierAcks) {
+  // The dedicated barrier-ack stream loses acks instead: the barrier
+  // retransmit timer must re-drive the handshake.
+  const ControlLossResult r =
+      run_control_loss(nic::BarrierReliability::kSeparateAcks, 25, 3);
+  EXPECT_EQ(r.barriers_completed, 4u * 25u);
+  EXPECT_GT(r.control_dropped, 0u);
+  EXPECT_GT(r.retransmit_timeouts, 0u);
+  EXPECT_GT(r.retransmissions, 0u);
+}
+
+TEST(ControlLossTest, DeterministicAcrossRuns) {
+  const ControlLossResult a =
+      run_control_loss(nic::BarrierReliability::kSharedStream, 15, 3);
+  const ControlLossResult b =
+      run_control_loss(nic::BarrierReliability::kSharedStream, 15, 3);
+  EXPECT_EQ(a.control_dropped, b.control_dropped);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.barriers_completed, b.barriers_completed);
+}
+
+}  // namespace
+}  // namespace nicbar

@@ -12,11 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 
 #include "coll/runner.hpp"
 #include "model/timing.hpp"
+#include "sim/fault.hpp"
 #include "sim/telemetry.hpp"
 
 namespace {
@@ -35,7 +37,12 @@ using namespace nicbar;
       "  --clock MHZ        override NIC clock\n"
       "  --topology T       switch | chain | tree (default switch)\n"
       "  --reliability M    unreliable | shared | separate (default unreliable)\n"
-      "  --loss P           drop probability on every link (default 0)\n"
+      "  --loss P           i.i.d. drop probability on every link (default 0)\n"
+      "  --burst-loss E,X,L Gilbert-Elliott loss on every link: P(enter bad),\n"
+      "                     P(exit bad), loss rate while bad\n"
+      "  --fault-plan F     load a declarative fault plan (see sim/fault.hpp)\n"
+      "  --rto M            adaptive | fixed retransmission timeout (default adaptive)\n"
+      "  --deadline-us D    per-barrier abort deadline in us (default 0 = none)\n"
       "  --skew-us S        max random start skew in us (default 0)\n"
       "  --layer-us L       per-call software layer overhead in us (default 0)\n"
       "  --seed S           RNG seed (default 1)\n"
@@ -88,7 +95,10 @@ int main(int argc, char** argv) {
   bool breakdown = false;
   std::string metrics_path;
   std::string trace_path;
+  std::string fault_plan_path;
   double loss = 0.0;
+  double burst_enter = 0.0, burst_exit = 0.0, burst_rate = 0.0;
+  bool have_burst = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -160,6 +170,25 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--loss") {
       loss = std::atof(next_arg(argc, argv, i, argv[0]));
+    } else if (a == "--burst-loss") {
+      const std::string v = next_arg(argc, argv, i, argv[0]);
+      if (std::sscanf(v.c_str(), "%lf,%lf,%lf", &burst_enter, &burst_exit, &burst_rate) != 3) {
+        usage(argv[0]);
+      }
+      have_burst = true;
+    } else if (a == "--fault-plan") {
+      fault_plan_path = next_arg(argc, argv, i, argv[0]);
+    } else if (a == "--rto") {
+      const std::string v = next_arg(argc, argv, i, argv[0]);
+      if (v == "adaptive") {
+        p.cluster.nic.adaptive_rto = true;
+      } else if (v == "fixed") {
+        p.cluster.nic.adaptive_rto = false;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--deadline-us") {
+      p.spec.deadline = sim::microseconds(std::atof(next_arg(argc, argv, i, argv[0])));
     } else if (a == "--skew-us") {
       p.max_start_skew = sim::microseconds(std::atof(next_arg(argc, argv, i, argv[0])));
     } else if (a == "--layer-us") {
@@ -175,13 +204,24 @@ int main(int argc, char** argv) {
     }
   }
   p.spec.gb_dimension = dim;
-  if (loss > 0.0) {
-    // Loss is applied inside the runner via a custom cluster; the simple
-    // runner has no hook, so warn that loss requires the reliability bench.
-    std::fprintf(stderr,
-                 "note: --loss is exercised by bench/reliability_modes; the runner here "
-                 "models a lossless fabric. Ignoring --loss %.3f.\n", loss);
+
+  if (!fault_plan_path.empty()) {
+    std::ifstream in(fault_plan_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read fault plan %s\n", fault_plan_path.c_str());
+      return 1;
+    }
+    try {
+      p.cluster.faults = sim::fault::parse_fault_plan(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", fault_plan_path.c_str(), e.what());
+      return 1;
+    }
+  } else {
+    p.cluster.faults.seed = p.seed;
   }
+  if (loss > 0.0) p.cluster.faults.loss.push_back({"", loss});
+  if (have_burst) p.cluster.faults.bursts.push_back({"", burst_enter, burst_exit, 0.0, burst_rate});
 
   double mean_us = 0.0;
   if (sweep_dim && p.spec.algorithm == nic::BarrierAlgorithm::kGatherBroadcast) {
@@ -208,7 +248,17 @@ int main(int argc, char** argv) {
               p.spec.location == coll::Location::kNic ? "NIC" : "host",
               p.spec.algorithm == nic::BarrierAlgorithm::kPairwiseExchange ? "PE" : "GB",
               p.spec.gb_dimension, p.cluster.nic.model.c_str(), p.cluster.nic.clock_mhz);
-  std::printf("mean barrier latency : %10.2f us\n", mean_us);
+  if (r.stalled_members > 0) {
+    // An unreliable barrier on a lossy fabric hangs when a barrier packet is
+    // dropped (the paper's measured config assumes a lossless fabric) — the
+    // mean would be meaningless, so say what actually happened.
+    std::printf("mean barrier latency :    STALLED (%llu member%s never finished; try "
+                "--reliability shared|separate or --deadline-us)\n",
+                static_cast<unsigned long long>(r.stalled_members),
+                r.stalled_members == 1 ? "" : "s");
+  } else {
+    std::printf("mean barrier latency : %10.2f us\n", mean_us);
+  }
   std::printf("barriers completed   : %10llu\n",
               static_cast<unsigned long long>(r.barriers_completed));
   std::printf("barrier packets sent : %10llu\n",
@@ -218,6 +268,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.bit_collisions));
   std::printf("retransmissions      : %10llu\n",
               static_cast<unsigned long long>(r.retransmissions));
+  if (!p.cluster.faults.empty()) {
+    std::printf("fault injection      : %10llu link drops, %llu crc drops\n",
+                static_cast<unsigned long long>(r.link_packets_dropped),
+                static_cast<unsigned long long>(r.crc_drops));
+    std::printf("recovery             : %10llu timeouts, %llu backoffs, %llu rtt samples\n",
+                static_cast<unsigned long long>(r.retransmit_timeouts),
+                static_cast<unsigned long long>(r.rto_backoffs),
+                static_cast<unsigned long long>(r.rtt_samples));
+    std::printf("failures             : %10llu aborted members, %llu dead connections, "
+                "%llu crashes (%llu restarts)\n",
+                static_cast<unsigned long long>(r.barrier_failures),
+                static_cast<unsigned long long>(r.connections_failed),
+                static_cast<unsigned long long>(r.nic_crashes),
+                static_cast<unsigned long long>(r.nic_restarts));
+  }
 
   if (predict) {
     const model::PhaseTimes t = model::derive_phases(p.cluster.nic, p.cluster.gm,
