@@ -4,103 +4,110 @@
 // numbers came from real LANai 4.3/7.2 hardware; we reproduce the shape
 // (ordering, approximate factors, crossovers) rather than exact values —
 // see EXPERIMENTS.md for paper-vs-measured.
+//
+// Benches build declarative coll::SweepPlans and run them through the shared
+// sweep engine. Two environment variables are honoured here — and only here,
+// at the bench-binary edge; the library API is explicit options throughout:
+//
+//   NICBAR_JOBS=N            shard each sweep across N worker threads
+//                            (0 = one per hardware thread; unset = serial)
+//   NICBAR_METRICS_JSON=F    instrument every case and append its counters
+//                            to F, one JSON document per line
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
+#include <vector>
 
-#include "coll/runner.hpp"
+#include "coll/sweep.hpp"
 #include "host/cluster.hpp"
 #include "nic/config.hpp"
-#include "sim/telemetry.hpp"
 
 namespace nicbar::bench {
 
-inline coll::ExperimentParams base_params(const nic::NicConfig& nic_cfg, std::size_t nodes,
-                                          int reps = 500) {
-  coll::ExperimentParams p;
-  p.nodes = nodes;
-  p.reps = reps;
-  p.cluster.nic = nic_cfg;
-  return p;
-}
-
-inline coll::BarrierSpec make_spec(coll::Location loc, nic::BarrierAlgorithm alg,
-                                   std::size_t dim = 2) {
-  coll::BarrierSpec s;
-  s.location = loc;
-  s.algorithm = alg;
-  s.gb_dimension = dim;
-  return s;
-}
-
-coll::ExperimentResult run_with_metrics(coll::ExperimentParams p, const std::string& label);
-
-/// Mean barrier latency (us) for the given variant; GB runs at its best
-/// dimension (the paper's methodology: sweep 1..N-1, take the minimum).
-inline double measure(const nic::NicConfig& nic_cfg, std::size_t nodes, coll::Location loc,
-                      nic::BarrierAlgorithm alg, int reps = 500) {
-  coll::ExperimentParams p = base_params(nic_cfg, nodes, reps);
-  p.spec = make_spec(loc, alg);
-  if (alg == nic::BarrierAlgorithm::kGatherBroadcast && nodes > 2) {
-    const auto [best, us] = coll::best_gb_dimension(p);
-    if (std::getenv("NICBAR_METRICS_JSON") == nullptr) return us;
-    p.spec.gb_dimension = best;  // re-run the winner instrumented
-  } else if (alg == nic::BarrierAlgorithm::kGatherBroadcast) {
-    p.spec.gb_dimension = 1;
+/// Sweep options for every bench in this directory, from the environment.
+inline coll::SweepOptions sweep_options() {
+  coll::SweepOptions o;
+  if (const char* jobs = std::getenv("NICBAR_JOBS"); jobs != nullptr && *jobs != '\0') {
+    o.workers = static_cast<unsigned>(std::strtoul(jobs, nullptr, 10));
   }
-  const std::string label = std::string(loc == coll::Location::kNic ? "nic" : "host") + "-" +
-                            (alg == nic::BarrierAlgorithm::kPairwiseExchange ? "pe" : "gb") +
-                            "-n" + std::to_string(nodes) + "-" + nic_cfg.model;
-  return run_with_metrics(p, label).mean_us;
+  if (const char* path = std::getenv("NICBAR_METRICS_JSON"); path != nullptr && *path != '\0') {
+    static coll::MetricsSink sink{std::string(path)};
+    if (!sink.ok()) {
+      std::fprintf(stderr, "warning: cannot append metrics to %s\n", path);
+    }
+    o.instrument = true;
+    o.sink = &sink;
+  }
+  return o;
 }
 
+/// Runs a plan with the environment-derived options above.
+inline coll::SweepResult run(const coll::SweepPlan& plan) { return plan.run(sweep_options()); }
+
+/// The four paper variants at one node count (GB at its best dimension).
 struct FourWay {
   double nic_pe, nic_gb, host_pe, host_gb;
 };
 
-inline FourWay measure_all(const nic::NicConfig& nic_cfg, std::size_t nodes, int reps = 500) {
+/// Adds the four paper variants at `nodes` to `plan` (labels come from
+/// coll::variant_label); read back with four_way() at the same grid index.
+inline void add_four_way(coll::SweepPlan& plan, const nic::NicConfig& cfg, std::size_t nodes,
+                         int reps = 500) {
   using coll::Location;
   using nic::BarrierAlgorithm;
-  FourWay f{};
-  f.nic_pe = measure(nic_cfg, nodes, Location::kNic, BarrierAlgorithm::kPairwiseExchange, reps);
-  f.nic_gb = measure(nic_cfg, nodes, Location::kNic, BarrierAlgorithm::kGatherBroadcast, reps);
-  f.host_pe =
-      measure(nic_cfg, nodes, Location::kHost, BarrierAlgorithm::kPairwiseExchange, reps);
-  f.host_gb =
-      measure(nic_cfg, nodes, Location::kHost, BarrierAlgorithm::kGatherBroadcast, reps);
-  return f;
+  for (const Location loc : {Location::kNic, Location::kHost}) {
+    coll::ExperimentParams pe = coll::experiment(cfg, nodes, reps);
+    pe.spec = coll::spec(loc, BarrierAlgorithm::kPairwiseExchange);
+    plan.add(coll::variant_label(pe), pe);
+    coll::ExperimentParams gb = coll::experiment(cfg, nodes, reps);
+    gb.spec = coll::spec(loc, BarrierAlgorithm::kGatherBroadcast);
+    plan.add_gb_sweep(coll::variant_label(gb), gb);
+  }
+}
+
+/// The i-th four-way group of a plan built with add_four_way.
+inline FourWay four_way(const coll::SweepResult& r, std::size_t i) {
+  return FourWay{r.cases[4 * i + 0].result.mean_us, r.cases[4 * i + 1].result.mean_us,
+                 r.cases[4 * i + 2].result.mean_us, r.cases[4 * i + 3].result.mean_us};
+}
+
+/// Measures the four variants at every node count as ONE sweep, so a
+/// parallel run (NICBAR_JOBS) spans the whole figure grid at once.
+inline std::vector<FourWay> measure_grid(const nic::NicConfig& cfg,
+                                         const std::vector<std::size_t>& node_counts,
+                                         int reps = 500) {
+  coll::SweepPlan plan;
+  for (const std::size_t n : node_counts) add_four_way(plan, cfg, n, reps);
+  const coll::SweepResult r = run(plan);
+  std::vector<FourWay> rows;
+  rows.reserve(node_counts.size());
+  for (std::size_t i = 0; i < node_counts.size(); ++i) rows.push_back(four_way(r, i));
+  return rows;
+}
+
+inline FourWay measure_all(const nic::NicConfig& cfg, std::size_t nodes, int reps = 500) {
+  return measure_grid(cfg, {nodes}, reps).front();
+}
+
+/// Mean barrier latency (us) for one variant; GB runs at its best dimension
+/// (the paper's methodology: sweep 1..N-1, take the minimum).
+inline double measure(const nic::NicConfig& cfg, std::size_t nodes, coll::Location loc,
+                      nic::BarrierAlgorithm alg, int reps = 500) {
+  coll::ExperimentParams p = coll::experiment(cfg, nodes, reps);
+  p.spec = coll::spec(loc, alg);
+  coll::SweepPlan plan;
+  if (alg == nic::BarrierAlgorithm::kGatherBroadcast) {
+    plan.add_gb_sweep(coll::variant_label(p), p);
+  } else {
+    plan.add(coll::variant_label(p), p);
+  }
+  return run(plan).cases.front().result.mean_us;
 }
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
-}
-
-/// Instrumented variant of run_barrier_experiment: when NICBAR_METRICS_JSON
-/// is set in the environment, the run is executed with a metrics registry
-/// attached and the counters are appended (one JSON document per call) to
-/// that file. With the variable unset — the default for every figure bench —
-/// no telemetry is attached and the simulated timeline is identical to the
-/// plain runner.
-inline coll::ExperimentResult run_with_metrics(coll::ExperimentParams p,
-                                               const std::string& label) {
-  const char* path = std::getenv("NICBAR_METRICS_JSON");
-  if (path == nullptr || *path == '\0') return coll::run_barrier_experiment(p);
-  sim::telemetry::Telemetry telemetry;
-  telemetry.enable_breakdown();
-  p.cluster.telemetry = &telemetry;
-  const coll::ExperimentResult r = coll::run_barrier_experiment(p);
-  std::ofstream out(path, std::ios::app);
-  if (out) {
-    out << "{\"bench\": \"" << sim::telemetry::json_escape(label) << "\", \"metrics\": ";
-    telemetry.metrics().write_json(out);
-    out << "}\n";
-  } else {
-    std::fprintf(stderr, "warning: cannot append metrics to %s\n", path);
-  }
-  return r;
 }
 
 }  // namespace nicbar::bench

@@ -30,7 +30,7 @@ double run_concurrent(std::size_t nodes, int groups, int reps) {
       ports.push_back(cluster.open_port(static_cast<net::NodeId>(i), port_id));
       members.push_back(std::make_unique<coll::BarrierMember>(
           *ports.back(), group,
-          bench::make_spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
+          coll::spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
     }
   }
   for (auto& m : members) {
@@ -56,7 +56,7 @@ double run_intra_node(bool loopback, int reps) {
     ports.push_back(cluster.open_port(e.node, e.port));
     members.push_back(std::make_unique<coll::BarrierMember>(
         *ports.back(), group,
-        bench::make_spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
+        coll::spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
   }
   for (auto& m : members) {
     cluster.sim().spawn([](coll::BarrierMember& mem, int r) -> sim::Task {

@@ -12,6 +12,46 @@ namespace {
 
 using namespace nicbar;
 
+// Raw EventQueue hot path: schedule a batch, then drain. No simulator, no
+// coroutines — isolates the heap + callable-storage cost.
+void BM_QueueScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule(sim::SimTime{(i * 7919) % 1000}, [&sink] { ++sink; });
+    }
+    sim::SimTime at;
+    while (!q.empty()) q.pop(at)();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueueScheduleDrain)->Arg(1000)->Arg(100000);
+
+// The reliability-timer pattern: nearly every scheduled event is cancelled
+// before it fires (a retransmission timer cancelled by its ack) while a
+// steady trickle of live events drains. Dominated by cancel() bookkeeping.
+void BM_QueueScheduleCancelChurn(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::SimTime at;
+    for (int i = 0; i < n; ++i) {
+      const sim::EventId timer = q.schedule(sim::SimTime{i + 1000}, [&sink] { ++sink; });
+      q.schedule(sim::SimTime{i}, [&sink] { ++sink; });
+      q.cancel(timer);  // the "ack" arrives before the timer fires
+      q.pop(at)();
+    }
+    while (!q.empty()) q.pop(at)();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueueScheduleCancelChurn)->Arg(100000);
+
 void BM_EventScheduling(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

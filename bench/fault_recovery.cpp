@@ -25,8 +25,8 @@ namespace {
 using namespace nicbar;
 
 coll::ExperimentResult run_lossy(double loss, bool adaptive, int reps) {
-  coll::ExperimentParams p = bench::base_params(nic::lanai43(), 8, reps);
-  p.spec = bench::make_spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+  coll::ExperimentParams p = coll::experiment(nic::lanai43(), 8, reps);
+  p.spec = coll::spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
   p.cluster.nic.barrier_reliability = nic::BarrierReliability::kSharedStream;
   p.cluster.nic.adaptive_rto = adaptive;
   if (loss > 0.0) {
@@ -56,7 +56,7 @@ double time_to_recover_us(bool adaptive, sim::SimTime from, sim::SimTime until) 
     ports.push_back(cluster.open_port(i, 2));
     members.push_back(std::make_unique<coll::BarrierMember>(
         *ports.back(), group,
-        bench::make_spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
+        coll::spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
   }
   // Member 0's completion times stand in for the group (a barrier completes
   // everywhere within one round-trip of completing anywhere).

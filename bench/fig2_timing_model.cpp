@@ -26,17 +26,27 @@ int main() {
                 t.hrecv_us);
     std::printf("one-way host message: %.2f us\n", t.host_message_us());
 
+    // One sweep covers every simulated point; larger sizes are model-only.
+    coll::SweepPlan plan;
+    for (std::size_t n : {2u, 4u, 8u, 16u}) {
+      for (const Location loc : {Location::kHost, Location::kNic}) {
+        coll::ExperimentParams p = coll::experiment(cfg, n, 200);
+        p.spec = coll::spec(loc, BarrierAlgorithm::kPairwiseExchange);
+        plan.add(coll::variant_label(p), p);
+      }
+    }
+    const coll::SweepResult r = bench::run(plan);
+
     std::printf("%6s %14s %14s %14s %14s %8s\n", "nodes", "Eq1 host", "sim host",
                 "Eq2 NIC", "sim NIC", "Eq3");
+    std::size_t next = 0;
     for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
       const double eq1 = model::host_barrier_us(t, n);
       const double eq2 = model::nic_barrier_us(t, n);
       double sim_host = 0, sim_nic = 0;
       if (n <= 16) {
-        sim_host = bench::measure(cfg, n, Location::kHost,
-                                  BarrierAlgorithm::kPairwiseExchange, 200);
-        sim_nic = bench::measure(cfg, n, Location::kNic,
-                                 BarrierAlgorithm::kPairwiseExchange, 200);
+        sim_host = r.cases[next++].result.mean_us;
+        sim_nic = r.cases[next++].result.mean_us;
       }
       std::printf("%6zu %14.2f %14.2f %14.2f %14.2f %8.2f\n", n, eq1, sim_host, eq2, sim_nic,
                   model::improvement_factor(t, n));

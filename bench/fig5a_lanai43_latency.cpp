@@ -12,10 +12,11 @@ int main() {
   using namespace nicbar;
   bench::print_header("Figure 5(a): barrier latency, LANai 4.3 (us)");
   std::printf("%6s %10s %10s %10s %10s\n", "nodes", "NIC-PE", "NIC-GB", "host-PE", "host-GB");
-  const nic::NicConfig cfg = nic::lanai43();
-  for (std::size_t n : {2u, 4u, 8u, 16u}) {
-    const bench::FourWay f = bench::measure_all(cfg, n);
-    std::printf("%6zu %10.2f %10.2f %10.2f %10.2f\n", n, f.nic_pe, f.nic_gb, f.host_pe,
+  const std::vector<std::size_t> nodes{2, 4, 8, 16};
+  const std::vector<bench::FourWay> rows = bench::measure_grid(nic::lanai43(), nodes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const bench::FourWay& f = rows[i];
+    std::printf("%6zu %10.2f %10.2f %10.2f %10.2f\n", nodes[i], f.nic_pe, f.nic_gb, f.host_pe,
                 f.host_gb);
   }
   std::printf("\npaper (16 nodes): NIC-PE 102.14, NIC-GB 152.27, host-PE ~182, host-GB ~222\n");

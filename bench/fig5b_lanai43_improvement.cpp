@@ -9,10 +9,11 @@ int main() {
   using namespace nicbar;
   bench::print_header("Figure 5(b): factor of improvement, LANai 4.3");
   std::printf("%6s %12s %12s\n", "nodes", "PE", "GB");
-  const nic::NicConfig cfg = nic::lanai43();
-  for (std::size_t n : {2u, 4u, 8u, 16u}) {
-    const bench::FourWay f = bench::measure_all(cfg, n);
-    std::printf("%6zu %12.2f %12.2f\n", n, f.host_pe / f.nic_pe, f.host_gb / f.nic_gb);
+  const std::vector<std::size_t> nodes{2, 4, 8, 16};
+  const std::vector<bench::FourWay> rows = bench::measure_grid(nic::lanai43(), nodes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const bench::FourWay& f = rows[i];
+    std::printf("%6zu %12.2f %12.2f\n", nodes[i], f.host_pe / f.nic_pe, f.host_gb / f.nic_gb);
   }
   std::printf("\npaper: PE 1.78 / GB 1.46 at 16 nodes; PE 1.66 at 8; GB < 1 at 2 nodes\n");
   return 0;

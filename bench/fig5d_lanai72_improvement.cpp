@@ -9,10 +9,11 @@ int main() {
   using namespace nicbar;
   bench::print_header("Figure 5(d): factor of improvement, LANai 7.2");
   std::printf("%6s %12s %12s\n", "nodes", "PE", "GB");
-  const nic::NicConfig cfg = nic::lanai72();
-  for (std::size_t n : {2u, 4u, 8u}) {
-    const bench::FourWay f = bench::measure_all(cfg, n);
-    std::printf("%6zu %12.2f %12.2f\n", n, f.host_pe / f.nic_pe, f.host_gb / f.nic_gb);
+  const std::vector<std::size_t> nodes{2, 4, 8};
+  const std::vector<bench::FourWay> rows = bench::measure_grid(nic::lanai72(), nodes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const bench::FourWay& f = rows[i];
+    std::printf("%6zu %12.2f %12.2f\n", nodes[i], f.host_pe / f.nic_pe, f.host_gb / f.nic_gb);
   }
 
   // The headline cross-card comparison.

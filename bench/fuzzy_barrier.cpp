@@ -34,7 +34,7 @@ FuzzyResult run_fuzzy(std::size_t nodes, sim::Duration chunk, int reps) {
     ports.push_back(cluster.open_port(static_cast<net::NodeId>(i), 2));
     members.push_back(std::make_unique<coll::BarrierMember>(
         *ports.back(), group,
-        bench::make_spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
+        coll::spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
   }
   std::vector<std::uint64_t> chunks(nodes, 0);
   for (std::size_t i = 0; i < nodes; ++i) {

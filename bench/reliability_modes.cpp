@@ -42,7 +42,7 @@ ModeResult run_mode(nic::BarrierReliability mode, double loss, int reps) {
     ports.push_back(cluster.open_port(i, 2));
     members.push_back(std::make_unique<coll::BarrierMember>(
         *ports.back(), group,
-        bench::make_spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
+        coll::spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
   }
   std::vector<sim::SimTime> ends(members.size());
   for (std::size_t i = 0; i < members.size(); ++i) {

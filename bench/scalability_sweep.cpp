@@ -1,7 +1,10 @@
 // Scalability extension (§8: "scalable fine-grained parallel computation"):
 // PE barrier latency up to 1024 nodes on a tree of 16-port switches, NIC vs
-// host. log2(N) growth means the NIC advantage compounds with size.
+// host. log2(N) growth means the NIC advantage compounds with size. The
+// whole (node-count x location) grid is one declarative sweep — the largest
+// runs dominate wall-clock, so NICBAR_JOBS pays off most here.
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 
@@ -10,17 +13,27 @@ int main() {
   using coll::Location;
   using nic::BarrierAlgorithm;
 
+  const std::vector<std::size_t> node_counts{16, 32, 64, 128, 256, 512, 1024};
+
+  coll::SweepPlan plan;
+  for (const std::size_t n : node_counts) {
+    for (const Location loc : {Location::kHost, Location::kNic}) {
+      coll::ExperimentParams p = coll::experiment(nic::lanai43(), n, n >= 256 ? 20 : 100);
+      p.cluster.topology = host::Topology::kSwitchTree;
+      p.cluster.tree_radix = 16;
+      p.spec = coll::spec(loc, BarrierAlgorithm::kPairwiseExchange);
+      plan.add(coll::variant_label(p), p);
+    }
+  }
+  const coll::SweepResult r = bench::run(plan);
+
   bench::print_header("Scalability: PE barrier on a 16-port switch tree, LANai 4.3");
   std::printf("%6s %12s %12s %12s\n", "nodes", "host(us)", "NIC(us)", "improvement");
-  for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
-    coll::ExperimentParams p = bench::base_params(nic::lanai43(), n, n >= 256 ? 20 : 100);
-    p.cluster.topology = host::Topology::kSwitchTree;
-    p.cluster.tree_radix = 16;
-    p.spec = bench::make_spec(Location::kHost, BarrierAlgorithm::kPairwiseExchange);
-    const double host_us = coll::run_barrier_experiment(p).mean_us;
-    p.spec.location = Location::kNic;
-    const double nic_us = coll::run_barrier_experiment(p).mean_us;
-    std::printf("%6zu %12.2f %12.2f %12.2f\n", n, host_us, nic_us, host_us / nic_us);
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    const double host_us = r.cases[2 * i].result.mean_us;
+    const double nic_us = r.cases[2 * i + 1].result.mean_us;
+    std::printf("%6zu %12.2f %12.2f %12.2f\n", node_counts[i], host_us, nic_us,
+                host_us / nic_us);
   }
   std::printf(
       "\nexpected: both grow ~log2(N); improvement keeps rising with N (Eq. 3).\n"

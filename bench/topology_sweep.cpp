@@ -6,35 +6,35 @@
 
 #include "common.hpp"
 
-namespace {
-
-using namespace nicbar;
-
-double mean_for(host::Topology t, coll::Location loc) {
-  coll::ExperimentParams p = bench::base_params(nic::lanai43(), 16, 300);
-  p.spec = bench::make_spec(loc, nic::BarrierAlgorithm::kPairwiseExchange);
-  p.cluster.topology = t;
-  p.cluster.chain_per_switch = 4;
-  p.cluster.tree_radix = 8;
-  return coll::run_barrier_experiment(p).mean_us;
-}
-
-}  // namespace
-
 int main() {
   using namespace nicbar;
-  bench::print_header("Topology sweep: 16-node PE barrier, LANai 4.3 (us)");
-  std::printf("%16s %12s %12s %12s\n", "topology", "host", "NIC", "improvement");
   struct Row {
     const char* name;
     host::Topology t;
   } rows[] = {{"single switch", host::Topology::kSingleSwitch},
               {"chain (4x4)", host::Topology::kSwitchChain},
               {"tree (radix 8)", host::Topology::kSwitchTree}};
-  for (const Row& r : rows) {
-    const double host_us = mean_for(r.t, coll::Location::kHost);
-    const double nic_us = mean_for(r.t, coll::Location::kNic);
-    std::printf("%16s %12.2f %12.2f %12.2f\n", r.name, host_us, nic_us, host_us / nic_us);
+
+  coll::SweepPlan plan;
+  for (const Row& row : rows) {
+    for (const coll::Location loc : {coll::Location::kHost, coll::Location::kNic}) {
+      coll::ExperimentParams p = coll::experiment(nic::lanai43(), 16, 300);
+      p.spec = coll::spec(loc, nic::BarrierAlgorithm::kPairwiseExchange);
+      p.cluster.topology = row.t;
+      p.cluster.chain_per_switch = 4;
+      p.cluster.tree_radix = 8;
+      plan.add(std::string(row.name) + "/" + coll::variant_label(p), p);
+    }
+  }
+  const coll::SweepResult r = bench::run(plan);
+
+  bench::print_header("Topology sweep: 16-node PE barrier, LANai 4.3 (us)");
+  std::printf("%16s %12s %12s %12s\n", "topology", "host", "NIC", "improvement");
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const double host_us = r.cases[2 * i].result.mean_us;
+    const double nic_us = r.cases[2 * i + 1].result.mean_us;
+    std::printf("%16s %12.2f %12.2f %12.2f\n", rows[i].name, host_us, nic_us,
+                host_us / nic_us);
   }
   std::printf("\nexpected: deeper fabrics add Network time to both variants; the NIC\n"
               "advantage persists since Recv processing, not the wire, dominates\n");

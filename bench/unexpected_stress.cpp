@@ -41,11 +41,11 @@ int main() {
       std::vector<gm::Endpoint> pair{{0, 2}, {i, 2}};
       node0_members.push_back(std::make_unique<coll::BarrierMember>(
           *p0, pair,
-          bench::make_spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
+          coll::spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
       ports.push_back(cluster.open_port(i, 2));
       members.push_back(std::make_unique<coll::BarrierMember>(
           *ports.back(), pair,
-          bench::make_spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
+          coll::spec(coll::Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange)));
       cluster.sim().spawn(pair_barrier_proc(*members.back(), 1));
     }
     // The slow node enters its barriers only after everyone has fired.

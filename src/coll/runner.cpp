@@ -1,10 +1,11 @@
 #include "coll/runner.hpp"
 
-#include <limits>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "coll/sweep.hpp"
 #include "sim/random.hpp"
 
 namespace nicbar::coll {
@@ -104,22 +105,17 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
   return res;
 }
 
-std::pair<std::size_t, double> best_gb_dimension(ExperimentParams params) {
+std::pair<std::size_t, double> best_gb_dimension(ExperimentParams params, unsigned workers) {
   if (params.spec.algorithm != nic::BarrierAlgorithm::kGatherBroadcast) {
     throw std::invalid_argument("dimension sweep requires the GB algorithm");
   }
-  std::size_t best_dim = 1;
-  double best_us = std::numeric_limits<double>::infinity();
-  const std::size_t max_dim = params.nodes > 1 ? params.nodes - 1 : 1;
-  for (std::size_t dim = 1; dim <= max_dim; ++dim) {
-    params.spec.gb_dimension = dim;
-    const ExperimentResult r = run_barrier_experiment(params);
-    if (r.mean_us < best_us) {
-      best_us = r.mean_us;
-      best_dim = dim;
-    }
-  }
-  return {best_dim, best_us};
+  SweepPlan plan;
+  plan.add_gb_sweep("gb-dim-sweep", std::move(params));
+  SweepOptions opts;
+  opts.workers = workers;
+  const SweepResult r = plan.run(opts);
+  const CaseResult& c = r.cases.front();
+  return {c.gb_dimension, c.result.mean_us};
 }
 
 }  // namespace nicbar::coll

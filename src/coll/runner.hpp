@@ -57,7 +57,9 @@ struct ExperimentResult {
 
 /// Sweeps the GB tree dimension 1..N-1 (the paper's methodology) and returns
 /// {best dimension, its mean latency in us}. `params.spec.algorithm` must be
-/// kGatherBroadcast.
-[[nodiscard]] std::pair<std::size_t, double> best_gb_dimension(ExperimentParams params);
+/// kGatherBroadcast. The dimensions are independent runs, sharded across
+/// `workers` threads (see sim::exec); the result is identical for any count.
+[[nodiscard]] std::pair<std::size_t, double> best_gb_dimension(ExperimentParams params,
+                                                               unsigned workers = 1);
 
 }  // namespace nicbar::coll

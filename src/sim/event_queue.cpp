@@ -5,56 +5,140 @@
 
 namespace nicbar::sim {
 
+namespace {
+
+constexpr std::uint64_t pack_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) | (slot + 1u);
+}
+
+// Returns kNilSlot-like sentinel via bool; outputs are valid only on true.
+inline bool unpack_id(EventId id, std::uint32_t& slot, std::uint32_t& gen) {
+  const std::uint32_t low = static_cast<std::uint32_t>(id.seq & 0xffffffffu);
+  if (low == 0) return false;
+  slot = low - 1u;
+  gen = static_cast<std::uint32_t>(id.seq >> 32);
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slots_[s].next_free;
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::retire_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();  // free captured resources now, not when the entry surfaces
+  s.live = false;
+  ++s.gen;  // invalidates every outstanding EventId for this slot
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_heap_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::compact() {
+  // One linear pass dropping dead entries, then a bottom-up heapify. The
+  // (time, order) key still totally orders the survivors, so rebuild order
+  // cannot affect pop order — determinism is untouched.
+  std::size_t kept = 0;
+  for (const HeapEntry& e : heap_) {
+    if (entry_live(e)) heap_[kept++] = e;
+  }
+  heap_.resize(kept);
+  for (std::size_t i = kept / 2; i-- > 0;) sift_down(i);
+}
+
 EventId EventQueue::schedule(SimTime at, Action action) {
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(action)});
-  pending_.insert(seq);
-  return EventId{seq};
+  // Cancel-heavy phases can leave the heap mostly dead; compact before it
+  // grows past 4x the live count (the threshold keeps small queues exempt).
+  if (heap_.size() >= 64 && heap_.size() > 4 * (live_ + 1)) compact();
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.live = true;
+  heap_.push_back(HeapEntry{at.ps(), next_order_++, slot, s.gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  ++scheduled_;
+  return EventId{pack_id(slot, s.gen)};
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id.valid()) return false;
-  // Only events still pending can be cancelled; cancelling a fired (or
-  // never-issued) id is a harmless no-op. The seq stays in `cancelled_` so
-  // the heap can lazily discard the dead entry when it surfaces.
-  if (pending_.erase(id.seq) == 0) return false;
-  cancelled_.insert(id.seq);
+  std::uint32_t slot = 0, gen = 0;
+  if (!unpack_id(id, slot, gen)) return false;
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // A fired, cancelled, or cleared event bumped the generation; a stale id
+  // therefore never touches the slot's current occupant.
+  if (!s.live || s.gen != gen) return false;
+  retire_slot(slot);  // the heap entry dies lazily when it surfaces
   return true;
 }
 
 void EventQueue::drop_dead_front() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
+  while (!heap_.empty() && !entry_live(heap_.front())) pop_heap_top();
 }
 
 SimTime EventQueue::next_time() {
   drop_dead_front();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return SimTime{heap_.front().at_ps};
 }
 
 EventQueue::Action EventQueue::pop(SimTime& fired_at) {
   drop_dead_front();
   assert(!heap_.empty());
-  // priority_queue::top() is const; we must move the action out. Entry's
-  // action is the only mutable payload and the entry is immediately popped,
-  // so a const_cast move here is safe and avoids copying the std::function.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  fired_at = top.at;
-  Action action = std::move(top.action);
-  pending_.erase(top.seq);
-  heap_.pop();
+  const HeapEntry top = heap_.front();
+  fired_at = SimTime{top.at_ps};
+  Action action = std::move(slots_[top.slot].action);
+  retire_slot(top.slot);
+  pop_heap_top();
   return action;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-  cancelled_.clear();
-  pending_.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) retire_slot(i);
+  }
+  heap_.clear();
+  assert(live_ == 0);
 }
 
 }  // namespace nicbar::sim

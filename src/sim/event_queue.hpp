@@ -1,27 +1,34 @@
 // Pending-event set for the discrete-event engine.
 //
-// A binary min-heap keyed on (time, insertion sequence). The insertion
-// sequence gives a total order, so two events scheduled for the same instant
-// fire in the order they were scheduled — this determinism is what makes
-// every experiment in the repository exactly reproducible.
+// A binary min-heap keyed on (time, insertion order). The insertion order
+// gives a total order, so two events scheduled for the same instant fire in
+// the order they were scheduled — this determinism is what makes every
+// experiment in the repository exactly reproducible.
 //
-// Cancellation is handle-based and lazy: `cancel(id)` marks the id dead and
-// the heap discards dead entries when they surface. This keeps cancel O(1)
-// amortised, which matters because reliability retransmission timers are
-// cancelled on (nearly) every acknowledgment.
+// Hot-path layout: the heap holds 24-byte POD entries (time, order, slot
+// handle) that sift with trivial moves; the callable itself lives in a slot
+// array and never moves during heap maintenance. Slots are recycled through a
+// free list and carry a generation counter, so a stale EventId (already
+// fired, cancelled, or cleared) can never touch a later event that happens to
+// reuse its slot. Cancellation stays lazy and O(1): cancel() retires the slot
+// (destroying the callable immediately) and the heap discards the dead entry
+// when it surfaces — this matters because reliability retransmission timers
+// are cancelled on (nearly) every acknowledgment. When dead entries pile up
+// faster than pops retire them, schedule() compacts the heap in one O(n)
+// pass so cancel-heavy workloads cannot grow the heap without bound.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace nicbar::sim {
 
-/// Opaque handle to a scheduled event; used only for cancellation.
+/// Opaque handle to a scheduled event; used only for cancellation. Packs a
+/// slot index (low 32 bits, biased by one so a default-constructed id is
+/// invalid) and that slot's generation (high 32 bits).
 struct EventId {
   std::uint64_t seq = 0;
   [[nodiscard]] bool valid() const { return seq != 0; }
@@ -30,17 +37,18 @@ struct EventId {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallFn;
 
   /// Schedules `action` at absolute time `at`. Returns a cancellation handle.
   EventId schedule(SimTime at, Action action);
 
-  /// Marks an event dead. Safe to call with an already-fired or invalid id
-  /// (it becomes a no-op). Returns true if the event was still pending.
+  /// Marks an event dead. Safe to call with an already-fired, cleared, or
+  /// invalid id (it becomes a no-op). Returns true if the event was still
+  /// pending; its callable is destroyed immediately.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event. Requires !empty().
   [[nodiscard]] SimTime next_time();
@@ -49,31 +57,51 @@ class EventQueue {
   /// `fired_at` receives the event's timestamp.
   Action pop(SimTime& fired_at);
 
-  /// Discards all pending events without running them.
+  /// Discards all pending events without running them. Outstanding EventIds
+  /// are invalidated (cancelling them afterwards is a no-op).
   void clear();
 
   /// Total events ever scheduled (diagnostic).
-  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+  [[nodiscard]] std::uint64_t total_scheduled() const { return scheduled_; }
 
  private:
-  struct Entry {
-    SimTime at;
-    std::uint64_t seq;
+  struct Slot {
     Action action;
+    std::uint32_t gen = 0;    // bumped every time the slot's event dies
+    std::uint32_t next_free;  // free-list link, valid while dead
+    bool live = false;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct HeapEntry {  // trivially copyable: sifts are plain moves
+    std::int64_t at_ps;
+    std::uint64_t order;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+  static constexpr std::uint32_t kNilSlot = UINT32_MAX;
 
+  [[nodiscard]] bool before(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.at_ps != b.at_ps) return a.at_ps < b.at_ps;
+    return a.order < b.order;
+  }
+  [[nodiscard]] bool entry_live(const HeapEntry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+  }
+
+  std::uint32_t acquire_slot();
+  void retire_slot(std::uint32_t slot);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_heap_top();
   void drop_dead_front();
+  void compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> pending_;    // live (schedulable) ids
-  std::unordered_set<std::uint64_t> cancelled_;  // dead ids still in heap_
-  std::uint64_t next_seq_ = 1;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;       // live events (== live slots; heap_ may hold more)
+  std::uint64_t next_order_ = 0;
+  std::uint64_t scheduled_ = 0;
 };
 
 }  // namespace nicbar::sim

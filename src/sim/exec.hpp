@@ -1,0 +1,35 @@
+// sim::exec — sharding independent simulation runs across worker threads.
+//
+// The simulator itself is single-threaded by design (determinism is a core
+// requirement), but a parameter sweep is a bag of *independent* deterministic
+// simulations: each (config, seed) run builds its own Simulator/Cluster,
+// touches no shared state, and produces a result that depends only on its
+// inputs. parallel_for exploits exactly that shape: worker threads pull job
+// indices from a shared atomic counter and each job writes only to
+// index-addressed storage owned by the caller, so the set of results is
+// bit-identical for any worker count or interleaving — only wall-clock time
+// changes. This is the engine under coll::SweepPlan and every figure bench.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace nicbar::sim::exec {
+
+/// Resolves a requested worker count: 0 means one worker per hardware
+/// thread, anything else is taken literally; the result is always >= 1.
+[[nodiscard]] unsigned resolve_workers(unsigned requested);
+
+/// Invokes `job(i)` for every i in [0, count), sharded across `workers`
+/// threads (after resolve_workers). Each job must be self-contained: it may
+/// not touch another job's state, and anything it writes must be addressed
+/// by its own index. Blocks until every job finishes. If jobs throw, the
+/// first exception (in completion order) is rethrown on the calling thread
+/// after all workers have joined; remaining unstarted jobs are abandoned.
+/// With a single worker the jobs run inline on the calling thread, in index
+/// order, with no thread machinery at all — that path is the serial baseline
+/// that parallel runs are asserted bit-identical against.
+void parallel_for(std::size_t count, unsigned workers,
+                  const std::function<void(std::size_t)>& job);
+
+}  // namespace nicbar::sim::exec

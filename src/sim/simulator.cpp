@@ -30,12 +30,12 @@ Simulator::~Simulator() {
   }
 }
 
-EventId Simulator::schedule_at(SimTime at, std::function<void()> action) {
+EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
   assert(at >= now_ && "cannot schedule into the past");
   return queue_.schedule(at < now_ ? now_ : at, std::move(action));
 }
 
-EventId Simulator::schedule_in(Duration d, std::function<void()> action) {
+EventId Simulator::schedule_in(Duration d, EventQueue::Action action) {
   assert(!d.is_negative() && "negative delay");
   return queue_.schedule(now_ + (d.is_negative() ? Duration{0} : d), std::move(action));
 }

@@ -10,7 +10,6 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <unordered_set>
 
 #include "sim/event_queue.hpp"
@@ -34,14 +33,15 @@ class Simulator {
   // --- Raw event scheduling --------------------------------------------------
 
   /// Runs `action` at absolute simulated time `at` (must not be in the past).
-  EventId schedule_at(SimTime at, std::function<void()> action);
+  /// Accepts any void() callable (stored inline up to SmallFn::kInlineBytes).
+  EventId schedule_at(SimTime at, EventQueue::Action action);
 
   /// Runs `action` after `delay` (>= 0) of simulated time.
-  EventId schedule_in(Duration delay, std::function<void()> action);
+  EventId schedule_in(Duration delay, EventQueue::Action action);
 
   /// Runs `action` at the current time, after all already-scheduled
   /// events for this instant.
-  EventId schedule_now(std::function<void()> action) {
+  EventId schedule_now(EventQueue::Action action) {
     return schedule_in(Duration{0}, std::move(action));
   }
 

@@ -1,0 +1,214 @@
+#include "coll/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nicbar::coll {
+namespace {
+
+/// A small but heterogeneous plan: both locations, both algorithms (plain and
+/// swept GB), two node counts, a lossy seeded config — everything the worker
+/// pool has to keep deterministic.
+SweepPlan mixed_plan() {
+  SweepPlan plan;
+  for (std::uint64_t seed : {1u, 7u}) {
+    for (std::size_t n : {4u, 8u}) {
+      ExperimentParams pe = experiment(nic::lanai43(), n, 50);
+      pe.spec = spec(Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+      pe.seed = seed;
+      plan.add("pe-n" + std::to_string(n) + "-s" + std::to_string(seed), pe);
+
+      ExperimentParams gb = experiment(nic::lanai43(), n, 50);
+      gb.spec = spec(Location::kHost, nic::BarrierAlgorithm::kGatherBroadcast);
+      gb.seed = seed;
+      plan.add_gb_sweep("gb-n" + std::to_string(n) + "-s" + std::to_string(seed), gb);
+    }
+  }
+  ExperimentParams lossy = experiment(nic::lanai43(), 8, 50);
+  lossy.spec = spec(Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+  lossy.cluster.nic.barrier_reliability = nic::BarrierReliability::kSharedStream;
+  lossy.cluster.faults.seed = 3;
+  lossy.cluster.faults.loss.push_back({"", 0.02});
+  plan.add("lossy", lossy);
+  return plan;
+}
+
+void expect_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    const CaseResult& x = a.cases[i];
+    const CaseResult& y = b.cases[i];
+    EXPECT_EQ(x.label, y.label);
+    EXPECT_EQ(x.gb_dimension, y.gb_dimension);
+    // Exact equality on purpose: parallel runs must replay the very same
+    // deterministic simulation, not a numerically close one.
+    EXPECT_EQ(x.result.mean_us, y.result.mean_us) << x.label;
+    EXPECT_EQ(x.result.total_us, y.result.total_us) << x.label;
+    EXPECT_EQ(x.result.barrier_packets_sent, y.result.barrier_packets_sent) << x.label;
+    EXPECT_EQ(x.result.retransmissions, y.result.retransmissions) << x.label;
+    EXPECT_EQ(x.result.barriers_completed, y.result.barriers_completed) << x.label;
+    EXPECT_EQ(x.result.link_packets_dropped, y.result.link_packets_dropped) << x.label;
+  }
+}
+
+TEST(SweepPlanTest, ParallelMatchesSerialBitExact) {
+  const SweepPlan plan = mixed_plan();
+  const SweepResult serial = plan.run({.workers = 1});
+  for (unsigned workers : {2u, 4u, 8u}) {
+    SweepOptions opts;
+    opts.workers = workers;
+    expect_identical(serial, plan.run(opts));
+  }
+}
+
+TEST(SweepPlanTest, GbSweepMatchesBestGbDimension) {
+  ExperimentParams p = experiment(nic::lanai43(), 8, 100);
+  p.spec = spec(Location::kNic, nic::BarrierAlgorithm::kGatherBroadcast);
+  const auto [best_dim, best_us] = best_gb_dimension(p);
+
+  SweepPlan plan;
+  plan.add_gb_sweep("gb", p);
+  const SweepResult r = plan.run();
+  EXPECT_EQ(r.cases[0].gb_dimension, best_dim);
+  EXPECT_EQ(r.cases[0].result.mean_us, best_us);
+  EXPECT_EQ(r.mean_us("gb"), best_us);
+}
+
+TEST(SweepPlanTest, SingleRunMatchesRunBarrierExperiment) {
+  ExperimentParams p = experiment(nic::lanai72(), 8, 100);
+  p.spec = spec(Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+  const ExperimentResult direct = run_barrier_experiment(p);
+
+  SweepPlan plan;
+  plan.add("one", p);
+  const SweepResult r = plan.run();
+  EXPECT_EQ(r.cases[0].result.mean_us, direct.mean_us);
+  EXPECT_EQ(r.cases[0].result.barrier_packets_sent, direct.barrier_packets_sent);
+}
+
+TEST(SweepPlanTest, FindAndMeanThrowOnUnknownLabel) {
+  SweepPlan plan;
+  ExperimentParams p = experiment(nic::lanai43(), 4, 10);
+  p.spec = spec(Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+  plan.add("known", p);
+  const SweepResult r = plan.run();
+  EXPECT_NO_THROW((void)r.find("known"));
+  EXPECT_THROW((void)r.find("missing"), std::out_of_range);
+  EXPECT_THROW((void)r.mean_us("missing"), std::out_of_range);
+}
+
+TEST(SweepPlanTest, InstrumentWithoutSinkThrows) {
+  SweepPlan plan;
+  ExperimentParams p = experiment(nic::lanai43(), 4, 10);
+  p.spec = spec(Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+  plan.add("x", p);
+  SweepOptions opts;
+  opts.instrument = true;
+  EXPECT_THROW((void)plan.run(opts), std::invalid_argument);
+}
+
+TEST(SweepPlanTest, GbSweepOnNonGbSpecThrows) {
+  SweepPlan plan;
+  ExperimentParams p = experiment(nic::lanai43(), 4, 10);
+  p.spec = spec(Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+  plan.add_gb_sweep("bad", p);
+  EXPECT_THROW((void)plan.run(), std::invalid_argument);
+}
+
+/// Counts `"bench": "<label>"` keys in file order — one per instrumented case.
+std::vector<std::string> bench_labels(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> labels;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string key = "\"bench\": \"";
+    const std::size_t at = line.find(key);
+    if (at == std::string::npos) continue;
+    const std::size_t start = at + key.size();
+    labels.push_back(line.substr(start, line.find('"', start) - start));
+  }
+  return labels;
+}
+
+TEST(SweepPlanTest, InstrumentedRunsEmitDocsInPlanOrder) {
+  const std::string path = ::testing::TempDir() + "/sweep_metrics.json";
+  std::remove(path.c_str());
+  const SweepPlan plan = mixed_plan();
+
+  SweepOptions opts;
+  opts.workers = 4;
+  opts.instrument = true;
+  MetricsSink sink{path};
+  ASSERT_TRUE(sink.ok());
+  opts.sink = &sink;
+  const SweepResult instrumented = plan.run(opts);
+
+  // Instrumentation must not perturb the simulated timeline.
+  expect_identical(plan.run({.workers = 1}), instrumented);
+
+  const std::vector<std::string> labels = bench_labels(path);
+  ASSERT_EQ(labels.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(labels[i], plan.cases()[i].label) << "doc " << i << " out of plan order";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetricsSinkTest, ConcurrentWritersKeepDocumentsIntact) {
+  const std::string path = ::testing::TempDir() + "/sink_race.json";
+  std::remove(path.c_str());
+  {
+    MetricsSink sink{path};
+    ASSERT_TRUE(sink.ok());
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 8; ++t) {
+      writers.emplace_back([&sink, t] {
+        const std::string doc = "{\"writer\": " + std::to_string(t) + "}";
+        for (int i = 0; i < 200; ++i) sink.write_line(doc);
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t docs = 0;
+  while (std::getline(in, line)) {
+    ASSERT_EQ(line.rfind("{\"writer\": ", 0), 0u) << "torn document: " << line;
+    ASSERT_EQ(line.back(), '}') << "torn document: " << line;
+    ++docs;
+  }
+  EXPECT_EQ(docs, 8u * 200u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepBuildersTest, ExperimentAndSpecFillParams) {
+  const ExperimentParams p = experiment(nic::lanai72(), 16, 42);
+  EXPECT_EQ(p.nodes, 16u);
+  EXPECT_EQ(p.reps, 42);
+  EXPECT_EQ(p.cluster.nic.model, nic::lanai72().model);
+
+  const BarrierSpec s = spec(Location::kHost, nic::BarrierAlgorithm::kGatherBroadcast, 3);
+  EXPECT_EQ(s.location, Location::kHost);
+  EXPECT_EQ(s.algorithm, nic::BarrierAlgorithm::kGatherBroadcast);
+  EXPECT_EQ(s.gb_dimension, 3u);
+}
+
+TEST(SweepBuildersTest, VariantLabelNamesTheConfig) {
+  ExperimentParams p = experiment(nic::lanai43(), 8);
+  p.spec = spec(Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+  const std::string label = variant_label(p);
+  EXPECT_NE(label.find("nic"), std::string::npos);
+  EXPECT_NE(label.find("pe"), std::string::npos);
+  EXPECT_NE(label.find("n8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nicbar::coll

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace nicbar::sim {
@@ -127,6 +129,87 @@ TEST(EventQueueTest, TotalScheduledCounts) {
   EventQueue q;
   for (int i = 0; i < 7; ++i) q.schedule(SimTime{i}, [] {});
   EXPECT_EQ(q.total_scheduled(), 7u);
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelSlotReuse) {
+  EventQueue q;
+  EventId first = q.schedule(SimTime{1}, [] {});
+  SimTime at;
+  q.pop(at)();  // retires the slot; `first` is now stale
+  bool ran = false;
+  q.schedule(SimTime{2}, [&] { ran = true; });  // reuses the slot
+  EXPECT_FALSE(q.cancel(first));                // generation mismatch: no-op
+  EXPECT_EQ(q.size(), 1u);
+  q.pop(at)();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, ClearInvalidatesOutstandingIds) {
+  EventQueue q;
+  EventId a = q.schedule(SimTime{1}, [] {});
+  EventId b = q.schedule(SimTime{2}, [] {});
+  q.clear();
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(b));
+  // Slots freed by clear() are reusable, and old ids still can't touch them.
+  bool ran = false;
+  q.schedule(SimTime{3}, [&] { ran = true; });
+  EXPECT_FALSE(q.cancel(a));
+  SimTime at;
+  q.pop(at)();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, SlotReuseKeepsSameInstantFifo) {
+  EventQueue q;
+  SimTime at;
+  // Churn slots so later schedules reuse freed ones, then check FIFO at one
+  // instant is still by schedule order, not by slot index.
+  for (int i = 0; i < 32; ++i) {
+    q.schedule(SimTime{i}, [] {});
+    q.pop(at)();
+  }
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) q.schedule(SimTime{100}, [&, i] { order.push_back(i); });
+  while (!q.empty()) q.pop(at)();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueTest, LargeCaptureFallsBackToHeap) {
+  EventQueue q;
+  std::array<std::uint64_t, 32> payload{};  // 256 bytes: over any inline buffer
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i * 7919u;
+  std::uint64_t sum = 0;
+  q.schedule(SimTime{1}, [payload, &sum] {
+    for (std::uint64_t v : payload) sum += v;
+  });
+  SimTime at;
+  q.pop(at)();
+  std::uint64_t want = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) want += i * 7919u;
+  EXPECT_EQ(sum, want);
+}
+
+TEST(EventQueueTest, HeavyCancelChurnStaysOrdered) {
+  // Exercises lazy-deletion compaction: most of the heap is dead entries.
+  EventQueue q;
+  std::vector<EventId> timers;
+  std::vector<int> order;
+  for (int i = 0; i < 2000; ++i) {
+    timers.push_back(q.schedule(SimTime{1000000 + i}, [] { FAIL() << "cancelled timer fired"; }));
+    q.schedule(SimTime{i}, [&, i] { order.push_back(i); });
+    q.cancel(timers.back());
+  }
+  EXPECT_EQ(q.size(), 2000u);
+  SimTime at;
+  int expect = 0;
+  while (!q.empty()) {
+    q.pop(at)();
+    EXPECT_EQ(at.ps(), expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 2000);
+  for (EventId id : timers) EXPECT_FALSE(q.cancel(id));
 }
 
 }  // namespace

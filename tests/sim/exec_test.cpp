@@ -1,0 +1,79 @@
+#include "sim/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace nicbar::sim::exec {
+namespace {
+
+TEST(ExecTest, ResolveWorkersNeverZero) {
+  EXPECT_GE(resolve_workers(0), 1u);
+  EXPECT_EQ(resolve_workers(1), 1u);
+  EXPECT_EQ(resolve_workers(7), 7u);
+}
+
+TEST(ExecTest, EveryIndexRunsExactlyOnce) {
+  for (unsigned workers : {1u, 2u, 4u, 16u}) {
+    const std::size_t count = 257;
+    std::vector<std::atomic<int>> hits(count);
+    parallel_for(count, workers, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ExecTest, ZeroCountIsNoop) {
+  bool ran = false;
+  parallel_for(0, 8, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ExecTest, MoreWorkersThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, 64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecTest, SerialPathRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ExecTest, FirstExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 42) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ExecTest, SerialExceptionPropagates) {
+  EXPECT_THROW(parallel_for(5, 1, [](std::size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+}
+
+TEST(ExecTest, ExceptionFailsFastWithoutDeadlock) {
+  // The pool stops handing out work after a throw; the call still joins
+  // every worker and rethrows instead of hanging or crashing.
+  std::atomic<int> done{0};
+  try {
+    parallel_for(10000, 4, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("early");
+      done.fetch_add(1);
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(done.load(), 10000);
+}
+
+}  // namespace
+}  // namespace nicbar::sim::exec

@@ -1,0 +1,133 @@
+#include "nicbar_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nicbar::cli {
+namespace {
+
+/// parse() wants main()'s argc/argv; build them from a brace list (argv[0]
+/// is the program name, as in a real invocation).
+std::optional<Options> parse_args(std::vector<std::string> args, std::string& error) {
+  args.insert(args.begin(), "nicbar_run");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return parse(static_cast<int>(argv.size()), argv.data(), error);
+}
+
+TEST(CliTest, DefaultsMatchTheTool) {
+  std::string err;
+  const auto o = parse_args({}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->params.nodes, 8u);
+  EXPECT_EQ(o->params.reps, 500);
+  EXPECT_EQ(o->params.spec.location, coll::Location::kNic);
+  EXPECT_EQ(o->params.spec.algorithm, nic::BarrierAlgorithm::kPairwiseExchange);
+  EXPECT_EQ(o->params.spec.gb_dimension, 2u);
+  EXPECT_EQ(o->jobs, 1u);
+  EXPECT_EQ(o->seeds, 1u);
+  EXPECT_FALSE(o->sweep_dim);
+}
+
+TEST(CliTest, JobsAcceptsSpaceAndZero) {
+  std::string err;
+  auto o = parse_args({"--jobs", "4"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->jobs, 4u);
+
+  o = parse_args({"--jobs", "0"}, err);  // 0 = one worker per hardware thread
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->jobs, 0u);
+}
+
+TEST(CliTest, JobsRejectsGarbage) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--jobs", "many"}, err).has_value());
+  EXPECT_NE(err.find("--jobs"), std::string::npos);
+  EXPECT_FALSE(parse_args({"--jobs", "-2"}, err).has_value());
+  EXPECT_FALSE(parse_args({"--jobs"}, err).has_value());
+}
+
+TEST(CliTest, SeedsParsesAndRejectsZero) {
+  std::string err;
+  const auto o = parse_args({"--seeds", "5", "--seed", "10"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->seeds, 5u);
+  EXPECT_EQ(o->params.seed, 10u);
+  EXPECT_FALSE(parse_args({"--seeds", "0"}, err).has_value());
+}
+
+TEST(CliTest, SeedsExcludesSingleRunArtifacts) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--seeds", "3", "--breakdown"}, err).has_value());
+  EXPECT_FALSE(parse_args({"--seeds", "3", "--trace-json", "t.json"}, err).has_value());
+  // --metrics-json is fine with --seeds: it routes through a shared sink.
+  EXPECT_TRUE(parse_args({"--seeds", "3", "--metrics-json", "m.json"}, err).has_value()) << err;
+}
+
+TEST(CliTest, EqualsFormForFileFlags) {
+  std::string err;
+  const auto o = parse_args({"--metrics-json=m.json", "--trace-json=t.json"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->metrics_path, "m.json");
+  EXPECT_EQ(o->trace_path, "t.json");
+}
+
+TEST(CliTest, DimZeroRequestsSweep) {
+  std::string err;
+  const auto o = parse_args({"--algorithm", "gb", "--dim", "0"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->sweep_dim);
+  EXPECT_EQ(o->params.spec.algorithm, nic::BarrierAlgorithm::kGatherBroadcast);
+}
+
+TEST(CliTest, EnumValuesParse) {
+  std::string err;
+  const auto o = parse_args({"--location", "host", "--algorithm", "gb", "--nic", "lanai72",
+                             "--topology", "tree", "--reliability", "separate", "--rto", "fixed"},
+                            err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->params.spec.location, coll::Location::kHost);
+  EXPECT_EQ(o->params.spec.algorithm, nic::BarrierAlgorithm::kGatherBroadcast);
+  EXPECT_EQ(o->params.cluster.nic.model, nic::lanai72().model);
+  EXPECT_EQ(o->params.cluster.topology, host::Topology::kSwitchTree);
+  EXPECT_EQ(o->params.cluster.nic.barrier_reliability, nic::BarrierReliability::kSeparateAcks);
+  EXPECT_FALSE(o->params.cluster.nic.adaptive_rto);
+}
+
+TEST(CliTest, BadEnumValueReportsTheFlag) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--location", "gpu"}, err).has_value());
+  EXPECT_NE(err.find("--location"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--frobnicate"}, err).has_value());
+  EXPECT_NE(err.find("--frobnicate"), std::string::npos);
+}
+
+TEST(CliTest, NodesAndRepsRejectNonPositive) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--nodes", "0"}, err).has_value());
+  EXPECT_FALSE(parse_args({"--reps", "0"}, err).has_value());
+  EXPECT_FALSE(parse_args({"--nodes", "8x"}, err).has_value());
+}
+
+TEST(CliTest, BurstLossParsesTriple) {
+  std::string err;
+  const auto o = parse_args({"--burst-loss", "0.01,0.5,0.9"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->have_burst);
+  EXPECT_DOUBLE_EQ(o->burst_enter, 0.01);
+  EXPECT_DOUBLE_EQ(o->burst_exit, 0.5);
+  EXPECT_DOUBLE_EQ(o->burst_rate, 0.9);
+  EXPECT_FALSE(parse_args({"--burst-loss", "0.01,0.5"}, err).has_value());
+}
+
+}  // namespace
+}  // namespace nicbar::cli

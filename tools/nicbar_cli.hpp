@@ -1,0 +1,283 @@
+// Command-line parsing for nicbar_run, separated from main() so the option
+// grammar is unit-testable (tests/tools/cli_test.cpp). parse() never exits
+// or prints: a bad command line comes back as std::nullopt plus a message,
+// and main() decides what to do with it.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "coll/runner.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar::cli {
+
+struct Options {
+  coll::ExperimentParams params;
+  std::size_t dim = 2;
+  bool sweep_dim = false;  // --dim 0: sweep 1..N-1 for the best dimension
+  bool predict = false;
+  bool breakdown = false;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string fault_plan_path;
+  double loss = 0.0;
+  double burst_enter = 0.0, burst_exit = 0.0, burst_rate = 0.0;
+  bool have_burst = false;
+  /// Worker threads for sweeps (--jobs): 1 = serial, 0 = one per hardware
+  /// thread. Applies to the GB dimension sweep and the seed sweep; results
+  /// are bit-identical for any value.
+  unsigned jobs = 1;
+  /// Number of consecutive seeds to run (--seeds), starting at --seed.
+  std::size_t seeds = 1;
+};
+
+inline const char* usage_text() {
+  return
+      "  --nodes N          group size (default 8)\n"
+      "  --reps R           consecutive barriers to average (default 500)\n"
+      "  --location L       nic | host (default nic)\n"
+      "  --algorithm A      pe | gb (default pe)\n"
+      "  --dim D            GB tree dimension (default 2; 0 = sweep for best)\n"
+      "  --nic MODEL        lanai43 | lanai72 (default lanai43)\n"
+      "  --clock MHZ        override NIC clock\n"
+      "  --topology T       switch | chain | tree (default switch)\n"
+      "  --reliability M    unreliable | shared | separate (default unreliable)\n"
+      "  --loss P           i.i.d. drop probability on every link (default 0)\n"
+      "  --burst-loss E,X,L Gilbert-Elliott loss on every link: P(enter bad),\n"
+      "                     P(exit bad), loss rate while bad\n"
+      "  --fault-plan F     load a declarative fault plan (see sim/fault.hpp)\n"
+      "  --rto M            adaptive | fixed retransmission timeout (default adaptive)\n"
+      "  --deadline-us D    per-barrier abort deadline in us (default 0 = none)\n"
+      "  --skew-us S        max random start skew in us (default 0)\n"
+      "  --layer-us L       per-call software layer overhead in us (default 0)\n"
+      "  --seed S           RNG seed (default 1)\n"
+      "  --seeds K          run K consecutive seeds as one sweep (default 1)\n"
+      "  --jobs N           worker threads for sweeps (default 1; 0 = all cores)\n"
+      "  --predict          also print the Eq. 1-3 analytic prediction\n"
+      "  --breakdown        print the per-barrier Eq. 1-2 cost breakdown\n"
+      "  --metrics-json F   write hardware counters/gauges as JSON to F\n"
+      "  --trace-json F     write a Chrome trace-event file (Perfetto) to F\n";
+}
+
+namespace detail {
+
+inline const char* next_arg(int argc, char** argv, int& i) {
+  if (++i >= argc) return nullptr;
+  return argv[i];
+}
+
+/// Accepts both `--flag value` and `--flag=value`; returns nullptr if `a` is
+/// not `flag` at all. Sets `missing` when the flag matched but has no value.
+inline const char* flag_value(const std::string& a, const char* flag, int argc, char** argv,
+                              int& i, bool& missing) {
+  const std::size_t n = std::strlen(flag);
+  if (a.compare(0, n, flag) != 0) return nullptr;
+  if (a.size() == n) {
+    const char* v = next_arg(argc, argv, i);
+    missing = (v == nullptr);
+    return v;
+  }
+  if (a[n] == '=') return a.c_str() + n + 1;
+  return nullptr;
+}
+
+/// Strict non-negative integer parse; false on empty/garbage/negative input.
+inline bool parse_unsigned(const char* s, unsigned long& out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  char* end = nullptr;
+  out = std::strtoul(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace detail
+
+/// Parses the nicbar_run command line. Returns std::nullopt and a message in
+/// `error` when the arguments are malformed (an empty message means the
+/// caller should just print usage).
+inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
+  using detail::flag_value;
+  using detail::next_arg;
+  using detail::parse_unsigned;
+
+  Options o;
+  o.params.nodes = 8;
+  o.params.reps = 500;
+  o.params.spec.location = coll::Location::kNic;
+  o.params.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  error.clear();
+
+  auto fail = [&error](const std::string& msg) {
+    error = msg;
+    return std::nullopt;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    bool missing = false;
+    if (const char* v = flag_value(a, "--metrics-json", argc, argv, i, missing)) {
+      o.metrics_path = v;
+      continue;
+    }
+    if (missing) return fail("--metrics-json needs a file path");
+    if (const char* v = flag_value(a, "--trace-json", argc, argv, i, missing)) {
+      o.trace_path = v;
+      continue;
+    }
+    if (missing) return fail("--trace-json needs a file path");
+
+    auto value = [&](const char* flag) -> const char* {
+      return a == flag ? next_arg(argc, argv, i) : nullptr;
+    };
+    if (a == "--nodes") {
+      const char* v = value("--nodes");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n) || n == 0) return fail("--nodes needs a positive integer");
+      o.params.nodes = static_cast<std::size_t>(n);
+    } else if (a == "--reps") {
+      const char* v = value("--reps");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n) || n == 0) return fail("--reps needs a positive integer");
+      o.params.reps = static_cast<int>(n);
+    } else if (a == "--jobs") {
+      const char* v = value("--jobs");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n)) return fail("--jobs needs a non-negative integer");
+      o.jobs = static_cast<unsigned>(n);
+    } else if (a == "--seeds") {
+      const char* v = value("--seeds");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n) || n == 0) return fail("--seeds needs a positive integer");
+      o.seeds = static_cast<std::size_t>(n);
+    } else if (a == "--location") {
+      const char* v = value("--location");
+      if (v == nullptr) return fail("--location needs a value");
+      const std::string s = v;
+      if (s == "nic") {
+        o.params.spec.location = coll::Location::kNic;
+      } else if (s == "host") {
+        o.params.spec.location = coll::Location::kHost;
+      } else {
+        return fail("--location must be nic or host");
+      }
+    } else if (a == "--algorithm") {
+      const char* v = value("--algorithm");
+      if (v == nullptr) return fail("--algorithm needs a value");
+      const std::string s = v;
+      if (s == "pe") {
+        o.params.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+      } else if (s == "gb") {
+        o.params.spec.algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
+      } else {
+        return fail("--algorithm must be pe or gb");
+      }
+    } else if (a == "--dim") {
+      const char* v = value("--dim");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n)) return fail("--dim needs a non-negative integer");
+      o.dim = static_cast<std::size_t>(n);
+      o.sweep_dim = (n == 0);
+    } else if (a == "--nic") {
+      const char* v = value("--nic");
+      if (v == nullptr) return fail("--nic needs a value");
+      const std::string s = v;
+      if (s == "lanai43") {
+        o.params.cluster.nic = nic::lanai43();
+      } else if (s == "lanai72") {
+        o.params.cluster.nic = nic::lanai72();
+      } else {
+        return fail("--nic must be lanai43 or lanai72");
+      }
+    } else if (a == "--clock") {
+      const char* v = value("--clock");
+      if (v == nullptr) return fail("--clock needs a value");
+      o.params.cluster.nic.clock_mhz = std::atof(v);
+    } else if (a == "--topology") {
+      const char* v = value("--topology");
+      if (v == nullptr) return fail("--topology needs a value");
+      const std::string s = v;
+      if (s == "switch") {
+        o.params.cluster.topology = host::Topology::kSingleSwitch;
+      } else if (s == "chain") {
+        o.params.cluster.topology = host::Topology::kSwitchChain;
+      } else if (s == "tree") {
+        o.params.cluster.topology = host::Topology::kSwitchTree;
+      } else {
+        return fail("--topology must be switch, chain, or tree");
+      }
+    } else if (a == "--reliability") {
+      const char* v = value("--reliability");
+      if (v == nullptr) return fail("--reliability needs a value");
+      const std::string s = v;
+      if (s == "unreliable") {
+        o.params.cluster.nic.barrier_reliability = nic::BarrierReliability::kUnreliable;
+      } else if (s == "shared") {
+        o.params.cluster.nic.barrier_reliability = nic::BarrierReliability::kSharedStream;
+      } else if (s == "separate") {
+        o.params.cluster.nic.barrier_reliability = nic::BarrierReliability::kSeparateAcks;
+      } else {
+        return fail("--reliability must be unreliable, shared, or separate");
+      }
+    } else if (a == "--loss") {
+      const char* v = value("--loss");
+      if (v == nullptr) return fail("--loss needs a value");
+      o.loss = std::atof(v);
+    } else if (a == "--burst-loss") {
+      const char* v = value("--burst-loss");
+      if (v == nullptr ||
+          std::sscanf(v, "%lf,%lf,%lf", &o.burst_enter, &o.burst_exit, &o.burst_rate) != 3) {
+        return fail("--burst-loss needs ENTER,EXIT,LOSSRATE");
+      }
+      o.have_burst = true;
+    } else if (a == "--fault-plan") {
+      const char* v = value("--fault-plan");
+      if (v == nullptr) return fail("--fault-plan needs a file path");
+      o.fault_plan_path = v;
+    } else if (a == "--rto") {
+      const char* v = value("--rto");
+      if (v == nullptr) return fail("--rto needs a value");
+      const std::string s = v;
+      if (s == "adaptive") {
+        o.params.cluster.nic.adaptive_rto = true;
+      } else if (s == "fixed") {
+        o.params.cluster.nic.adaptive_rto = false;
+      } else {
+        return fail("--rto must be adaptive or fixed");
+      }
+    } else if (a == "--deadline-us") {
+      const char* v = value("--deadline-us");
+      if (v == nullptr) return fail("--deadline-us needs a value");
+      o.params.spec.deadline = sim::microseconds(std::atof(v));
+    } else if (a == "--skew-us") {
+      const char* v = value("--skew-us");
+      if (v == nullptr) return fail("--skew-us needs a value");
+      o.params.max_start_skew = sim::microseconds(std::atof(v));
+    } else if (a == "--layer-us") {
+      const char* v = value("--layer-us");
+      if (v == nullptr) return fail("--layer-us needs a value");
+      o.params.cluster.gm.layer_overhead = sim::microseconds(std::atof(v));
+    } else if (a == "--seed") {
+      const char* v = value("--seed");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n)) return fail("--seed needs a non-negative integer");
+      o.params.seed = n;
+    } else if (a == "--predict") {
+      o.predict = true;
+    } else if (a == "--breakdown") {
+      o.breakdown = true;
+    } else {
+      return fail("unknown option " + a);
+    }
+  }
+  o.params.spec.gb_dimension = o.dim;
+
+  if (o.seeds > 1 && (o.breakdown || !o.trace_path.empty())) {
+    return fail("--breakdown/--trace-json describe a single run; not available with --seeds");
+  }
+  return o;
+}
+
+}  // namespace nicbar::cli

@@ -1,6 +1,6 @@
 // nicbar_run — command-line experiment driver.
 //
-// Runs one barrier experiment on the simulated cluster and prints the mean
+// Runs barrier experiments on the simulated cluster and prints the mean
 // latency plus NIC counters. Everything the figure benches do, but with the
 // knobs on the command line, for interactive exploration:
 //
@@ -9,66 +9,26 @@
 //   nicbar_run --nodes 64 --topology tree --reps 100 --skew-us 200
 //   nicbar_run --nodes 8 --reliability separate --loss 0.02
 //   nicbar_run --nodes 16 --breakdown --trace-json trace.json --metrics-json m.json
+//   nicbar_run --nodes 16 --loss 0.01 --reliability shared --seeds 5 --jobs 5
+//
+// Option parsing lives in nicbar_cli.hpp so it can be unit-tested; sweeps
+// (GB dimension, multi-seed) go through coll::SweepPlan and are sharded
+// across --jobs worker threads with bit-identical results.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <string>
 
-#include "coll/runner.hpp"
+#include "coll/sweep.hpp"
 #include "model/timing.hpp"
+#include "nicbar_cli.hpp"
 #include "sim/fault.hpp"
 #include "sim/telemetry.hpp"
 
 namespace {
 
 using namespace nicbar;
-
-[[noreturn]] void usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --nodes N          group size (default 8)\n"
-      "  --reps R           consecutive barriers to average (default 500)\n"
-      "  --location L       nic | host (default nic)\n"
-      "  --algorithm A      pe | gb (default pe)\n"
-      "  --dim D            GB tree dimension (default 2; 0 = sweep for best)\n"
-      "  --nic MODEL        lanai43 | lanai72 (default lanai43)\n"
-      "  --clock MHZ        override NIC clock\n"
-      "  --topology T       switch | chain | tree (default switch)\n"
-      "  --reliability M    unreliable | shared | separate (default unreliable)\n"
-      "  --loss P           i.i.d. drop probability on every link (default 0)\n"
-      "  --burst-loss E,X,L Gilbert-Elliott loss on every link: P(enter bad),\n"
-      "                     P(exit bad), loss rate while bad\n"
-      "  --fault-plan F     load a declarative fault plan (see sim/fault.hpp)\n"
-      "  --rto M            adaptive | fixed retransmission timeout (default adaptive)\n"
-      "  --deadline-us D    per-barrier abort deadline in us (default 0 = none)\n"
-      "  --skew-us S        max random start skew in us (default 0)\n"
-      "  --layer-us L       per-call software layer overhead in us (default 0)\n"
-      "  --seed S           RNG seed (default 1)\n"
-      "  --predict          also print the Eq. 1-3 analytic prediction\n"
-      "  --breakdown        print the per-barrier Eq. 1-2 cost breakdown\n"
-      "  --metrics-json F   write hardware counters/gauges as JSON to F\n"
-      "  --trace-json F     write a Chrome trace-event file (Perfetto) to F\n",
-      argv0);
-  std::exit(2);
-}
-
-const char* next_arg(int argc, char** argv, int& i, const char* argv0) {
-  if (++i >= argc) usage(argv0);
-  return argv[i];
-}
-
-/// Accepts both `--flag value` and `--flag=value`; returns nullptr if `a` is
-/// not `flag` at all.
-const char* flag_value(const std::string& a, const char* flag, int argc, char** argv, int& i,
-                       const char* argv0) {
-  const std::size_t n = std::strlen(flag);
-  if (a.compare(0, n, flag) != 0) return nullptr;
-  if (a.size() == n) return next_arg(argc, argv, i, argv0);
-  if (a[n] == '=') return a.c_str() + n + 1;
-  return nullptr;
-}
 
 template <typename Writer>
 bool write_file(const std::string& path, Writer&& writer) {
@@ -81,151 +41,118 @@ bool write_file(const std::string& path, Writer&& writer) {
   return true;
 }
 
+/// --seeds K: one SweepPlan case per seed, sharded across --jobs workers.
+/// Prints a per-seed table plus the aggregate mean, so lossy configurations
+/// can be characterised across RNG draws in one command.
+int run_seed_sweep(const cli::Options& o) {
+  coll::SweepPlan plan;
+  const bool gb_sweep =
+      o.sweep_dim && o.params.spec.algorithm == nic::BarrierAlgorithm::kGatherBroadcast;
+  for (std::size_t k = 0; k < o.seeds; ++k) {
+    coll::ExperimentParams p = o.params;
+    p.seed = o.params.seed + k;
+    if (o.fault_plan_path.empty()) p.cluster.faults.seed = p.seed;
+    if (gb_sweep) {
+      plan.add_gb_sweep("seed" + std::to_string(p.seed), std::move(p));
+    } else {
+      plan.add("seed" + std::to_string(p.seed), std::move(p));
+    }
+  }
+
+  coll::SweepOptions opts;
+  opts.workers = o.jobs;
+  std::unique_ptr<coll::MetricsSink> sink;
+  if (!o.metrics_path.empty()) {
+    sink = std::make_unique<coll::MetricsSink>(o.metrics_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "error: cannot write %s\n", o.metrics_path.c_str());
+      return 1;
+    }
+    opts.instrument = true;
+    opts.sink = sink.get();
+  }
+  const coll::SweepResult r = plan.run(opts);
+
+  std::printf("seed sweep: %zu seeds from %llu, nodes=%zu reps=%d %s-%s nic=%s, jobs=%u\n",
+              o.seeds, static_cast<unsigned long long>(o.params.seed), o.params.nodes,
+              o.params.reps, o.params.spec.location == coll::Location::kNic ? "NIC" : "host",
+              o.params.spec.algorithm == nic::BarrierAlgorithm::kPairwiseExchange ? "PE" : "GB",
+              o.params.cluster.nic.model.c_str(), o.jobs);
+  std::printf("%8s %6s %12s %10s %10s %10s %9s\n", "seed", gb_sweep ? "dim" : "", "mean_us",
+              "retrans", "drops", "timeouts", "failures");
+  double sum_us = 0.0;
+  std::size_t stalled = 0;
+  for (std::size_t k = 0; k < r.cases.size(); ++k) {
+    const coll::CaseResult& c = r.cases[k];
+    char dim_buf[16] = "";
+    if (gb_sweep) std::snprintf(dim_buf, sizeof dim_buf, "%zu", c.gb_dimension);
+    if (c.result.stalled_members > 0) {
+      std::printf("%8llu %6s %12s\n", static_cast<unsigned long long>(o.params.seed + k), dim_buf,
+                  "STALLED");
+      ++stalled;
+      continue;
+    }
+    std::printf("%8llu %6s %12.2f %10llu %10llu %10llu %9llu\n",
+                static_cast<unsigned long long>(o.params.seed + k), dim_buf, c.result.mean_us,
+                static_cast<unsigned long long>(c.result.retransmissions),
+                static_cast<unsigned long long>(c.result.link_packets_dropped),
+                static_cast<unsigned long long>(c.result.retransmit_timeouts),
+                static_cast<unsigned long long>(c.result.barrier_failures));
+    sum_us += c.result.mean_us;
+  }
+  const std::size_t finished = r.cases.size() - stalled;
+  if (finished > 0) {
+    std::printf("mean over %zu seed%s   : %10.2f us\n", finished, finished == 1 ? "" : "s",
+                sum_us / static_cast<double>(finished));
+  }
+  if (stalled > 0) {
+    std::printf("stalled seeds        : %10zu (try --reliability shared|separate or "
+                "--deadline-us)\n",
+                stalled);
+  }
+  std::printf("wall clock           : %10.1f ms\n", r.wall_ms);
+  if (sink) std::printf("metrics written to %s\n", o.metrics_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  coll::ExperimentParams p;
-  p.nodes = 8;
-  p.reps = 500;
-  p.spec.location = coll::Location::kNic;
-  p.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
-  std::size_t dim = 2;
-  bool sweep_dim = false;
-  bool predict = false;
-  bool breakdown = false;
-  std::string metrics_path;
-  std::string trace_path;
-  std::string fault_plan_path;
-  double loss = 0.0;
-  double burst_enter = 0.0, burst_exit = 0.0, burst_rate = 0.0;
-  bool have_burst = false;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (const char* v = flag_value(a, "--metrics-json", argc, argv, i, argv[0])) {
-      metrics_path = v;
-      continue;
-    }
-    if (const char* v = flag_value(a, "--trace-json", argc, argv, i, argv[0])) {
-      trace_path = v;
-      continue;
-    }
-    if (a == "--nodes") {
-      p.nodes = static_cast<std::size_t>(std::atoll(next_arg(argc, argv, i, argv[0])));
-    } else if (a == "--reps") {
-      p.reps = std::atoi(next_arg(argc, argv, i, argv[0]));
-    } else if (a == "--location") {
-      const std::string v = next_arg(argc, argv, i, argv[0]);
-      if (v == "nic") {
-        p.spec.location = coll::Location::kNic;
-      } else if (v == "host") {
-        p.spec.location = coll::Location::kHost;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (a == "--algorithm") {
-      const std::string v = next_arg(argc, argv, i, argv[0]);
-      if (v == "pe") {
-        p.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
-      } else if (v == "gb") {
-        p.spec.algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (a == "--dim") {
-      dim = static_cast<std::size_t>(std::atoll(next_arg(argc, argv, i, argv[0])));
-      sweep_dim = (dim == 0);
-    } else if (a == "--nic") {
-      const std::string v = next_arg(argc, argv, i, argv[0]);
-      if (v == "lanai43") {
-        p.cluster.nic = nic::lanai43();
-      } else if (v == "lanai72") {
-        p.cluster.nic = nic::lanai72();
-      } else {
-        usage(argv[0]);
-      }
-    } else if (a == "--clock") {
-      p.cluster.nic.clock_mhz = std::atof(next_arg(argc, argv, i, argv[0]));
-    } else if (a == "--topology") {
-      const std::string v = next_arg(argc, argv, i, argv[0]);
-      if (v == "switch") {
-        p.cluster.topology = host::Topology::kSingleSwitch;
-      } else if (v == "chain") {
-        p.cluster.topology = host::Topology::kSwitchChain;
-      } else if (v == "tree") {
-        p.cluster.topology = host::Topology::kSwitchTree;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (a == "--reliability") {
-      const std::string v = next_arg(argc, argv, i, argv[0]);
-      if (v == "unreliable") {
-        p.cluster.nic.barrier_reliability = nic::BarrierReliability::kUnreliable;
-      } else if (v == "shared") {
-        p.cluster.nic.barrier_reliability = nic::BarrierReliability::kSharedStream;
-      } else if (v == "separate") {
-        p.cluster.nic.barrier_reliability = nic::BarrierReliability::kSeparateAcks;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (a == "--loss") {
-      loss = std::atof(next_arg(argc, argv, i, argv[0]));
-    } else if (a == "--burst-loss") {
-      const std::string v = next_arg(argc, argv, i, argv[0]);
-      if (std::sscanf(v.c_str(), "%lf,%lf,%lf", &burst_enter, &burst_exit, &burst_rate) != 3) {
-        usage(argv[0]);
-      }
-      have_burst = true;
-    } else if (a == "--fault-plan") {
-      fault_plan_path = next_arg(argc, argv, i, argv[0]);
-    } else if (a == "--rto") {
-      const std::string v = next_arg(argc, argv, i, argv[0]);
-      if (v == "adaptive") {
-        p.cluster.nic.adaptive_rto = true;
-      } else if (v == "fixed") {
-        p.cluster.nic.adaptive_rto = false;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (a == "--deadline-us") {
-      p.spec.deadline = sim::microseconds(std::atof(next_arg(argc, argv, i, argv[0])));
-    } else if (a == "--skew-us") {
-      p.max_start_skew = sim::microseconds(std::atof(next_arg(argc, argv, i, argv[0])));
-    } else if (a == "--layer-us") {
-      p.cluster.gm.layer_overhead = sim::microseconds(std::atof(next_arg(argc, argv, i, argv[0])));
-    } else if (a == "--seed") {
-      p.seed = static_cast<std::uint64_t>(std::atoll(next_arg(argc, argv, i, argv[0])));
-    } else if (a == "--predict") {
-      predict = true;
-    } else if (a == "--breakdown") {
-      breakdown = true;
-    } else {
-      usage(argv[0]);
-    }
+  std::string error;
+  std::optional<cli::Options> parsed = cli::parse(argc, argv, error);
+  if (!parsed) {
+    if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
+    std::printf("usage: %s [options]\n%s", argv[0], cli::usage_text());
+    return 2;
   }
-  p.spec.gb_dimension = dim;
+  cli::Options& o = *parsed;
+  coll::ExperimentParams& p = o.params;
 
-  if (!fault_plan_path.empty()) {
-    std::ifstream in(fault_plan_path);
+  if (!o.fault_plan_path.empty()) {
+    std::ifstream in(o.fault_plan_path);
     if (!in) {
-      std::fprintf(stderr, "error: cannot read fault plan %s\n", fault_plan_path.c_str());
+      std::fprintf(stderr, "error: cannot read fault plan %s\n", o.fault_plan_path.c_str());
       return 1;
     }
     try {
       p.cluster.faults = sim::fault::parse_fault_plan(in);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s: %s\n", fault_plan_path.c_str(), e.what());
+      std::fprintf(stderr, "error: %s: %s\n", o.fault_plan_path.c_str(), e.what());
       return 1;
     }
   } else {
     p.cluster.faults.seed = p.seed;
   }
-  if (loss > 0.0) p.cluster.faults.loss.push_back({"", loss});
-  if (have_burst) p.cluster.faults.bursts.push_back({"", burst_enter, burst_exit, 0.0, burst_rate});
+  if (o.loss > 0.0) p.cluster.faults.loss.push_back({"", o.loss});
+  if (o.have_burst) {
+    p.cluster.faults.bursts.push_back({"", o.burst_enter, o.burst_exit, 0.0, o.burst_rate});
+  }
+
+  if (o.seeds > 1) return run_seed_sweep(o);
 
   double mean_us = 0.0;
-  if (sweep_dim && p.spec.algorithm == nic::BarrierAlgorithm::kGatherBroadcast) {
-    const auto [best, us] = coll::best_gb_dimension(p);
+  if (o.sweep_dim && p.spec.algorithm == nic::BarrierAlgorithm::kGatherBroadcast) {
+    const auto [best, us] = coll::best_gb_dimension(p, o.jobs);
     std::printf("best GB dimension: %zu\n", best);
     mean_us = us;
     p.spec.gb_dimension = best;
@@ -234,10 +161,10 @@ int main(int argc, char** argv) {
   // Telemetry is attached only to the final (reported) run, after any
   // dimension sweep, so the artifacts describe exactly one experiment.
   sim::telemetry::Telemetry telemetry;
-  const bool want_telemetry = breakdown || !metrics_path.empty() || !trace_path.empty();
+  const bool want_telemetry = o.breakdown || !o.metrics_path.empty() || !o.trace_path.empty();
   if (want_telemetry) {
-    if (!trace_path.empty()) telemetry.enable_trace();
-    if (breakdown) telemetry.enable_breakdown();
+    if (!o.trace_path.empty()) telemetry.enable_trace();
+    if (o.breakdown) telemetry.enable_breakdown();
     p.cluster.telemetry = &telemetry;
   }
 
@@ -284,7 +211,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.nic_restarts));
   }
 
-  if (predict) {
+  if (o.predict) {
     const model::PhaseTimes t = model::derive_phases(p.cluster.nic, p.cluster.gm,
                                                      p.cluster.link, p.cluster.sw);
     const double eq = p.spec.location == coll::Location::kNic
@@ -295,7 +222,7 @@ int main(int argc, char** argv) {
                 100.0 * (mean_us - eq) / eq);
   }
 
-  if (breakdown) {
+  if (o.breakdown) {
     const auto* bc = telemetry.breakdown();
     const sim::telemetry::CostBreakdown b = bc->mean();
     if (bc->barriers() == 0) {
@@ -314,18 +241,19 @@ int main(int argc, char** argv) {
       std::printf("  total              : %10.3f us\n", b.total_us);
     }
   }
-  if (!metrics_path.empty()) {
-    if (!write_file(metrics_path,
+  if (!o.metrics_path.empty()) {
+    if (!write_file(o.metrics_path,
                     [&](std::ostream& os) { telemetry.metrics().write_json(os); })) {
       return 1;
     }
-    std::printf("metrics written to %s\n", metrics_path.c_str());
+    std::printf("metrics written to %s\n", o.metrics_path.c_str());
   }
-  if (!trace_path.empty()) {
-    if (!write_file(trace_path, [&](std::ostream& os) { telemetry.trace()->write_json(os); })) {
+  if (!o.trace_path.empty()) {
+    if (!write_file(o.trace_path,
+                    [&](std::ostream& os) { telemetry.trace()->write_json(os); })) {
       return 1;
     }
-    std::printf("trace written to %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
+    std::printf("trace written to %s (open in https://ui.perfetto.dev)\n", o.trace_path.c_str());
   }
   return 0;
 }
