@@ -2,6 +2,10 @@
 // allreduce (same GB tree, dimension 2), LANai 4.3 and 7.2. The paper
 // predicts reductions "could benefit from similar NIC-level
 // implementations"; this quantifies the benefit in our model.
+//
+// One SweepPlan of custom cases covers the (nic, nodes, location) grid, so
+// NICBAR_JOBS shards it and NICBAR_METRICS_JSON instruments it like every
+// declarative bench.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -13,10 +17,12 @@ namespace {
 
 using namespace nicbar;
 
-double run(const nic::NicConfig& cfg, std::size_t nodes, coll::Location loc, int reps) {
+coll::ExperimentResult run(const nic::NicConfig& cfg, std::size_t nodes, coll::Location loc,
+                           int reps, sim::telemetry::Telemetry* telemetry) {
   host::ClusterParams cp;
   cp.nodes = nodes;
   cp.nic = cfg;
+  cp.telemetry = telemetry;
   host::Cluster cluster(cp);
   std::vector<gm::Endpoint> group;
   for (std::size_t i = 0; i < nodes; ++i) {
@@ -37,23 +43,51 @@ double run(const nic::NicConfig& cfg, std::size_t nodes, coll::Location loc, int
     }(*members[i], static_cast<std::int64_t>(i), reps));
   }
   cluster.sim().run();
-  return cluster.sim().now().us() / reps;
+  cluster.snapshot_metrics();
+  coll::ExperimentResult res;
+  res.nodes = nodes;
+  res.reps = reps;
+  res.total_us = cluster.sim().now().us();
+  res.mean_us = res.total_us / reps;
+  return res;
 }
 
 }  // namespace
 
 int main() {
   using namespace nicbar;
-  for (const nic::NicConfig& cfg : {nic::lanai43(), nic::lanai72()}) {
+  const std::vector<nic::NicConfig> nics{nic::lanai43(), nic::lanai72()};
+  const std::vector<std::size_t> node_counts{2, 4, 8, 16};
+
+  coll::SweepPlan plan;
+  for (const nic::NicConfig& cfg : nics) {
+    for (const std::size_t n : node_counts) {
+      for (const coll::Location loc : {coll::Location::kHost, coll::Location::kNic}) {
+        const std::string label = std::string(loc == coll::Location::kNic ? "nic" : "host") +
+                                  "-allreduce-n" + std::to_string(n) + "-" + cfg.model;
+        plan.add_custom(label, [cfg, n, loc](sim::telemetry::Telemetry* t) {
+          return run(cfg, n, loc, 300, t);
+        });
+      }
+    }
+  }
+  const coll::SweepResult r = bench::run(plan);
+
+  bench::BenchSummary summary("allreduce");
+  std::size_t c = 0;
+  for (const nic::NicConfig& cfg : nics) {
     bench::print_header("Allreduce (sum, GB dim 2): " + cfg.model + " (us)");
     std::printf("%6s %12s %12s %12s\n", "nodes", "host", "NIC", "improvement");
-    for (std::size_t n : {2u, 4u, 8u, 16u}) {
-      const double host_us = run(cfg, n, coll::Location::kHost, 300);
-      const double nic_us = run(cfg, n, coll::Location::kNic, 300);
+    for (const std::size_t n : node_counts) {
+      const double host_us = r.cases[c++].result.mean_us;
+      const double nic_us = r.cases[c++].result.mean_us;
       std::printf("%6zu %12.2f %12.2f %12.2f\n", n, host_us, nic_us, host_us / nic_us);
+      summary.add(cfg.model + "-n" + std::to_string(n),
+                  {{"host_us", host_us}, {"nic_us", nic_us}, {"improvement", host_us / nic_us}});
     }
   }
   std::printf("\nexpected: NIC-based allreduce beats host-based at every size >= 4,\n"
               "mirroring the barrier result (§8: reductions benefit similarly)\n");
+  summary.write();
   return 0;
 }

@@ -13,16 +13,21 @@
 //                            (0 = one per hardware thread; unset = serial)
 //   NICBAR_METRICS_JSON=F    instrument every case and append its counters
 //                            to F, one JSON document per line
+//   NICBAR_BENCH_JSON_DIR=D  write the BENCH_<name>.json summary into D
+//                            instead of the current directory
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "coll/sweep.hpp"
 #include "host/cluster.hpp"
 #include "nic/config.hpp"
+#include "sim/telemetry.hpp"
 
 namespace nicbar::bench {
 
@@ -109,5 +114,59 @@ inline double measure(const nic::NicConfig& cfg, std::size_t nodes, coll::Locati
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Machine-readable companion to a bench's human table: one
+/// `BENCH_<name>.json` document per binary (schema "nicbar-bench-v1"),
+/// overwritten on every run so CI can diff trajectories and detect schema
+/// drift. Rows mirror the printed table: one labelled grid point each, with
+/// a flat map of numeric metrics. Written to $NICBAR_BENCH_JSON_DIR (when
+/// set) or the current directory.
+class BenchSummary {
+ public:
+  explicit BenchSummary(std::string name) : name_(std::move(name)) {}
+
+  /// Appends one labelled row. Metric keys should be stable identifiers
+  /// (snake_case, unit-suffixed: "mean_us", "p99_us", "improvement").
+  void add(const std::string& label, std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back(Row{label, std::move(metrics)});
+  }
+
+  /// Writes BENCH_<name>.json. Returns false (after a stderr warning) when
+  /// the file cannot be written; benches still exit 0 — the table on stdout
+  /// remains the primary artifact.
+  bool write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("NICBAR_BENCH_JSON_DIR"); dir != nullptr && *dir != '\0') {
+      path = std::string(dir) + "/" + path;
+    }
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "warning: cannot write bench summary to %s\n", path.c_str());
+      return false;
+    }
+    using sim::telemetry::json_escape;
+    out << "{\n  \"schema\": \"nicbar-bench-v1\",\n  \"bench\": \"" << json_escape(name_)
+        << "\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out << "    {\"label\": \"" << json_escape(r.label) << "\", \"metrics\": {";
+      for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+        out << (m == 0 ? "" : ", ") << '"' << json_escape(r.metrics[m].first)
+            << "\": " << r.metrics[m].second;
+      }
+      out << "}}" << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace nicbar::bench

@@ -14,11 +14,18 @@ int main() {
   std::printf("%6s %10s %10s %10s %10s\n", "nodes", "NIC-PE", "NIC-GB", "host-PE", "host-GB");
   const std::vector<std::size_t> nodes{2, 4, 8, 16};
   const std::vector<bench::FourWay> rows = bench::measure_grid(nic::lanai43(), nodes);
+  bench::BenchSummary summary("fig5a");
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const bench::FourWay& f = rows[i];
     std::printf("%6zu %10.2f %10.2f %10.2f %10.2f\n", nodes[i], f.nic_pe, f.nic_gb, f.host_pe,
                 f.host_gb);
+    summary.add(std::string("n") + std::to_string(nodes[i]),
+                {{"nic_pe_us", f.nic_pe},
+                 {"nic_gb_us", f.nic_gb},
+                 {"host_pe_us", f.host_pe},
+                 {"host_gb_us", f.host_gb}});
   }
   std::printf("\npaper (16 nodes): NIC-PE 102.14, NIC-GB 152.27, host-PE ~182, host-GB ~222\n");
+  summary.write();
   return 0;
 }

@@ -4,6 +4,10 @@
 // raw GM NIC-based, and both under the MPI-like layer — and shows the
 // layer widens the NIC advantage (it inflates Send/HRecv but not the
 // NIC-resident exchange).
+//
+// One SweepPlan holds the raw-GM rows (declarative cases) and the layered
+// rows (custom cases) side by side, so the whole table shards across
+// NICBAR_JOBS and instruments uniformly.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -15,10 +19,12 @@ namespace {
 
 using namespace nicbar;
 
-double run_mpi(std::size_t nodes, coll::Location loc, sim::Duration layer, int reps) {
+coll::ExperimentResult run_mpi(std::size_t nodes, coll::Location loc, sim::Duration layer,
+                               int reps, sim::telemetry::Telemetry* telemetry) {
   host::ClusterParams cp;
   cp.nodes = nodes;
   cp.nic = nic::lanai43();
+  cp.telemetry = telemetry;
   host::Cluster cluster(cp);
   std::vector<gm::Endpoint> group;
   for (std::size_t i = 0; i < nodes; ++i) {
@@ -39,7 +45,13 @@ double run_mpi(std::size_t nodes, coll::Location loc, sim::Duration layer, int r
     }(*comms[i], reps));
   }
   cluster.sim().run();
-  return cluster.sim().now().us() / reps;
+  cluster.snapshot_metrics();
+  coll::ExperimentResult res;
+  res.nodes = nodes;
+  res.reps = reps;
+  res.total_us = cluster.sim().now().us();
+  res.mean_us = res.total_us / reps;
+  return res;
 }
 
 }  // namespace
@@ -47,26 +59,48 @@ double run_mpi(std::size_t nodes, coll::Location loc, sim::Duration layer, int r
 int main() {
   using namespace nicbar;
   bench::print_header("MPI layering: 16-node PE barrier, LANai 4.3 (us)");
+  const std::vector<double> layers_us{4.0, 8.0, 16.0};
 
-  const double gm_host =
-      bench::measure(nic::lanai43(), 16, coll::Location::kHost,
-                     nic::BarrierAlgorithm::kPairwiseExchange);
-  const double gm_nic =
-      bench::measure(nic::lanai43(), 16, coll::Location::kNic,
-                     nic::BarrierAlgorithm::kPairwiseExchange);
+  coll::SweepPlan plan;
+  for (const coll::Location loc : {coll::Location::kHost, coll::Location::kNic}) {
+    coll::ExperimentParams p = coll::experiment(nic::lanai43(), 16);
+    p.spec = coll::spec(loc, nic::BarrierAlgorithm::kPairwiseExchange);
+    plan.add(coll::variant_label(p), p);
+  }
+  for (const double layer_us : layers_us) {
+    for (const coll::Location loc : {coll::Location::kHost, coll::Location::kNic}) {
+      const std::string label = std::string("mpi-") +
+                                (loc == coll::Location::kNic ? "nic" : "host") + "-pe-n16-layer" +
+                                std::to_string(static_cast<int>(layer_us)) + "us";
+      plan.add_custom(label, [loc, layer_us](sim::telemetry::Telemetry* t) {
+        return run_mpi(16, loc, sim::microseconds(layer_us), 300, t);
+      });
+    }
+  }
+  const coll::SweepResult r = bench::run(plan);
+
+  bench::BenchSummary summary("mpi_layer");
+  const double gm_host = r.cases[0].result.mean_us;
+  const double gm_nic = r.cases[1].result.mean_us;
   std::printf("%24s %12s %12s %12s\n", "level", "host-based", "NIC-based", "improvement");
   std::printf("%24s %12.2f %12.2f %12.2f\n", "raw GM", gm_host, gm_nic, gm_host / gm_nic);
-  for (double layer_us : {4.0, 8.0, 16.0}) {
-    const sim::Duration layer = sim::microseconds(layer_us);
-    const double mpi_host = run_mpi(16, coll::Location::kHost, layer, 300);
-    const double mpi_nic = run_mpi(16, coll::Location::kNic, layer, 300);
+  summary.add("raw-gm", {{"host_us", gm_host}, {"nic_us", gm_nic},
+                         {"improvement", gm_host / gm_nic}});
+  std::size_t c = 2;
+  for (const double layer_us : layers_us) {
+    const double mpi_host = r.cases[c++].result.mean_us;
+    const double mpi_nic = r.cases[c++].result.mean_us;
     char label[64];
     std::snprintf(label, sizeof label, "MPI (+%.0fus/call)", layer_us);
     std::printf("%24s %12.2f %12.2f %12.2f\n", label, mpi_host, mpi_nic,
                 mpi_host / mpi_nic);
+    summary.add(std::string("mpi-layer") + std::to_string(static_cast<int>(layer_us)) + "us",
+                {{"host_us", mpi_host}, {"nic_us", mpi_nic},
+                 {"improvement", mpi_host / mpi_nic}});
   }
   std::printf("\nexpected: the MPI layer's per-call cost inflates the host-based barrier\n"
               "by log2(N) x overhead but the NIC-based one only by ~1 x overhead, so the\n"
               "factor of improvement grows with layering (paper §1, §2.2)\n");
+  summary.write();
   return 0;
 }

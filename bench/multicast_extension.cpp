@@ -2,6 +2,10 @@
 // line of work — "Broadcast/Multicast over Myrinet using NIC-Assisted
 // Multidestination Messages"). Compares time-to-last-destination for a host
 // send loop vs the NIC-replicated multicast, across fan-out.
+//
+// One SweepPlan of custom cases covers the whole (payload, fanout, mode)
+// grid, so NICBAR_JOBS shards it and NICBAR_METRICS_JSON instruments it like
+// every declarative bench.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -12,10 +16,12 @@ namespace {
 
 using namespace nicbar;
 
-double run(std::size_t fanout, bool use_multicast, std::int64_t bytes, int reps) {
+coll::ExperimentResult run(std::size_t fanout, bool use_multicast, std::int64_t bytes, int reps,
+                           sim::telemetry::Telemetry* telemetry) {
   host::ClusterParams p;
   p.nodes = fanout + 1;
   p.nic = nic::lanai43();
+  p.telemetry = telemetry;
   host::Cluster cluster(p);
   auto src = cluster.open_port(0, 2);
   std::vector<std::unique_ptr<gm::Port>> sinks;
@@ -42,28 +48,58 @@ double run(std::size_t fanout, bool use_multicast, std::int64_t bytes, int reps)
     }
   }(*src, dests, use_multicast, reps, bytes));
   cluster.sim().run();
+  cluster.snapshot_metrics();
   sim::SimTime last{0};
   for (const sim::SimTime& t : done) {
     if (t > last) last = t;
   }
-  return last.us() / reps;
+  coll::ExperimentResult res;
+  res.nodes = fanout + 1;
+  res.reps = reps;
+  res.total_us = last.us();
+  res.mean_us = res.total_us / reps;
+  return res;
 }
 
 }  // namespace
 
 int main() {
   using namespace nicbar;
-  for (std::int64_t bytes : {64ll, 2048ll}) {
+  const std::vector<std::int64_t> payloads{64, 2048};
+  const std::vector<std::size_t> fanouts{1, 3, 7, 15};
+
+  coll::SweepPlan plan;
+  for (const std::int64_t bytes : payloads) {
+    for (const std::size_t fanout : fanouts) {
+      for (const bool mc : {false, true}) {
+        const std::string label = std::string(mc ? "nic-mcast" : "host-loop") + "-" +
+                                  std::to_string(bytes) + "B-f" + std::to_string(fanout);
+        plan.add_custom(label, [fanout, mc, bytes](sim::telemetry::Telemetry* t) {
+          return run(fanout, mc, bytes, 100, t);
+        });
+      }
+    }
+  }
+  const coll::SweepResult r = bench::run(plan);
+
+  bench::BenchSummary summary("multicast");
+  std::size_t c = 0;
+  for (const std::int64_t bytes : payloads) {
     bench::print_header("NIC-assisted multicast, " + std::to_string(bytes) +
                         "B payload, LANai 4.3 (us to last destination)");
     std::printf("%8s %12s %12s %12s\n", "fanout", "host loop", "NIC mcast", "improvement");
-    for (std::size_t fanout : {1u, 3u, 7u, 15u}) {
-      const double host_us = run(fanout, false, bytes, 100);
-      const double nic_us = run(fanout, true, bytes, 100);
+    for (const std::size_t fanout : fanouts) {
+      const double host_us = r.cases[c++].result.mean_us;
+      const double nic_us = r.cases[c++].result.mean_us;
       std::printf("%8zu %12.2f %12.2f %12.2f\n", fanout, host_us, nic_us, host_us / nic_us);
+      summary.add(std::to_string(bytes) + "B-f" + std::to_string(fanout),
+                  {{"host_loop_us", host_us},
+                   {"nic_mcast_us", nic_us},
+                   {"improvement", host_us / nic_us}});
     }
   }
   std::printf("\nexpected: one PCI crossing + NIC replication beats a host send loop,\n"
               "with the gap widening with fan-out (cf. the authors' multicast papers)\n");
+  summary.write();
   return 0;
 }

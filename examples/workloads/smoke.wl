@@ -1,0 +1,37 @@
+# CI smoke workload: three tenant classes with different collective mixes on
+# a shared 16-node fabric, deliberately overlapping so co-located jobs
+# contend for LANai processors. Small iteration counts keep it fast under
+# ASan; the seed matrix in CI reruns it with --seed 1..5.
+cluster-nodes 16
+nic lanai43
+topology switch
+placement overlapping
+reliability shared     # CI layers --loss on top; fuzzy needs retransmission
+arrival poisson 300
+seed 1
+hist-max-us 5000
+
+job stencil            # BSP-style: compute with stragglers, then barrier
+  count 2
+  nodes 8
+  iters 40
+  mix barrier=1
+  compute-us 40
+  imbalance 0.3
+  skew-us 10
+
+job solver             # communicator path: mixed collectives + layer cost
+  count 2
+  nodes 4
+  iters 30
+  mix barrier=0.5 allreduce=0.3 bcast=0.2
+  compute-us 20
+  layer-us 4
+
+job pipeline           # fuzzy barriers overlap the wait with useful work
+  count 1
+  nodes 4
+  iters 25
+  mix fuzzy=1
+  compute-us 15
+  fuzzy-chunk-us 5

@@ -1,0 +1,23 @@
+# Tail-latency study: four identical 8-process tenants on 32 nodes with
+# overlapping placement — each job shares half its nodes with the next, so
+# every co-located pair contends for the same LANai processors. Compare with
+# `placement disjoint` (edit this line) to isolate the interference:
+# disjoint tenants reproduce the single-tenant percentiles exactly.
+#
+#   nicbar_run workload examples/workloads/tail.wl --report-json tail.json
+#   nicbar_run workload examples/workloads/tail.wl --seeds 5 --jobs 5
+cluster-nodes 32
+nic lanai43
+topology switch
+placement overlapping
+arrival poisson 2000
+seed 7
+hist-max-us 4000
+
+job tenant
+  count 4
+  nodes 8
+  iters 200
+  mix barrier=1
+  compute-us 30
+  imbalance 0.4

@@ -25,25 +25,40 @@ struct RunOutput {
   std::string metrics_json;  // empty unless instrumented
 };
 
+std::string serialise_metrics(const std::string& label,
+                              const sim::telemetry::Telemetry& telemetry) {
+  std::ostringstream os;
+  os << "{\"bench\": \"" << sim::telemetry::json_escape(label) << "\", \"metrics\": ";
+  telemetry.metrics().write_json(os);
+  os << "}";
+  return os.str();
+}
+
 RunOutput execute(const SweepCase& c, std::size_t dim, bool instrumented) {
-  ExperimentParams p = c.params;
-  if (dim != 0) p.spec.gb_dimension = dim;
   RunOutput out;
   if (!instrumented) {
-    out.result = run_barrier_experiment(p);
+    if (c.custom) {
+      out.result = c.custom(nullptr);
+    } else {
+      ExperimentParams p = c.params;
+      if (dim != 0) p.spec.gb_dimension = dim;
+      out.result = run_barrier_experiment(p);
+    }
     return out;
   }
   // Telemetry hooks are untaken branches on the simulated timeline, so an
   // instrumented run reports exactly the numbers an uninstrumented one would.
   sim::telemetry::Telemetry telemetry;
   telemetry.enable_breakdown();
-  p.cluster.telemetry = &telemetry;
-  out.result = run_barrier_experiment(p);
-  std::ostringstream os;
-  os << "{\"bench\": \"" << sim::telemetry::json_escape(c.label) << "\", \"metrics\": ";
-  telemetry.metrics().write_json(os);
-  os << "}";
-  out.metrics_json = os.str();
+  if (c.custom) {
+    out.result = c.custom(&telemetry);
+  } else {
+    ExperimentParams p = c.params;
+    if (dim != 0) p.spec.gb_dimension = dim;
+    p.cluster.telemetry = &telemetry;
+    out.result = run_barrier_experiment(p);
+  }
+  out.metrics_json = serialise_metrics(c.label, telemetry);
   return out;
 }
 
@@ -79,12 +94,21 @@ double SweepResult::mean_us(const std::string& label) const {
 // --- SweepPlan ----------------------------------------------------------------
 
 SweepCase& SweepPlan::add(std::string label, ExperimentParams params) {
-  cases_.push_back(SweepCase{std::move(label), std::move(params), false});
+  cases_.push_back(SweepCase{std::move(label), std::move(params), false, {}});
   return cases_.back();
 }
 
 SweepCase& SweepPlan::add_gb_sweep(std::string label, ExperimentParams params) {
-  cases_.push_back(SweepCase{std::move(label), std::move(params), true});
+  cases_.push_back(SweepCase{std::move(label), std::move(params), true, {}});
+  return cases_.back();
+}
+
+SweepCase& SweepPlan::add_custom(std::string label, CustomExperiment body) {
+  if (!body) throw std::invalid_argument("add_custom requires a callable body");
+  SweepCase c;
+  c.label = std::move(label);
+  c.custom = std::move(body);
+  cases_.push_back(std::move(c));
   return cases_.back();
 }
 
@@ -93,6 +117,9 @@ SweepResult SweepPlan::run(const SweepOptions& opts) const {
     throw std::invalid_argument("SweepOptions::instrument requires a MetricsSink");
   }
   for (const SweepCase& c : cases_) {
+    if (c.sweep_gb_dimension && c.custom) {
+      throw std::invalid_argument("a custom case cannot be GB-swept ('" + c.label + "')");
+    }
     if (c.sweep_gb_dimension &&
         c.params.spec.algorithm != nic::BarrierAlgorithm::kGatherBroadcast) {
       throw std::invalid_argument("GB dimension sweep requires the GB algorithm ('" +

@@ -22,11 +22,16 @@
 
 #include <cstddef>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "coll/runner.hpp"
+
+namespace nicbar::sim::telemetry {
+class Telemetry;
+}  // namespace nicbar::sim::telemetry
 
 namespace nicbar::coll {
 
@@ -53,13 +58,25 @@ class MetricsSink {
   std::string path_;
 };
 
+/// A user-supplied experiment body for cases the ExperimentParams vocabulary
+/// cannot express (multi-job workloads, mixed-collective runs, ...). Called
+/// once per run on a worker thread; must build its own private
+/// Simulator/Cluster so runs stay independent. When the plan is instrumented
+/// `telemetry` points at a per-run bundle whose counters the engine
+/// serialises after the call; otherwise it is null. The body must be
+/// deterministic and self-contained — it is the bit-reproducibility contract
+/// of run(), extended to arbitrary experiments.
+using CustomExperiment = std::function<ExperimentResult(sim::telemetry::Telemetry* telemetry)>;
+
 /// One experiment in a plan. `sweep_gb_dimension` applies the paper's §6
 /// methodology: run every GB tree dimension from 1 to N-1 and keep the
-/// minimum (requires the GB algorithm).
+/// minimum (requires the GB algorithm). When `custom` is set, `params` is
+/// ignored and the body runs instead (custom cases cannot be GB-swept).
 struct SweepCase {
   std::string label;
   ExperimentParams params;
   bool sweep_gb_dimension = false;
+  CustomExperiment custom;
 };
 
 struct SweepOptions {
@@ -99,6 +116,12 @@ class SweepPlan {
 
   /// Adds a GB best-dimension case (dims 1..N-1, minimum kept).
   SweepCase& add_gb_sweep(std::string label, ExperimentParams params);
+
+  /// Adds a case whose body is arbitrary user code (see CustomExperiment).
+  /// Shares the scheduling, instrumentation, and reduction machinery with
+  /// declarative cases, so benches with bespoke experiments still get
+  /// parallel sharding and deterministic metrics emission for free.
+  SweepCase& add_custom(std::string label, CustomExperiment body);
 
   [[nodiscard]] std::size_t size() const { return cases_.size(); }
   [[nodiscard]] bool empty() const { return cases_.empty(); }

@@ -1,0 +1,46 @@
+// Executes a WorkloadSpec: every job instance becomes a set of per-node
+// processes (coroutines) with their own GM ports and communicators, all
+// sharing one host::Cluster inside one sim::Simulator — so jobs contend for
+// NIC processors, PCI buses, link wires, and switch output ports exactly as
+// co-scheduled tenants would on real hardware.
+//
+// Determinism: a (spec, seed) pair fixes the entire timeline. Arrival gaps,
+// collective schedules, and compute skew each draw from their own substream
+// derived from (seed, purpose, job), so changing one class never perturbs
+// another's draws. A single-job, barrier-only, no-jitter spec runs the exact
+// member loop of coll::run_barrier_experiment and reproduces its mean
+// latency bit-for-bit (asserted by tests/wl/workload_test.cpp).
+#pragma once
+
+#include "wl/report.hpp"
+#include "wl/spec.hpp"
+
+namespace nicbar::wl {
+
+/// Derives an independent RNG stream from a base seed, a purpose tag, and an
+/// index (splitmix64 finaliser). Exposed for tests.
+[[nodiscard]] std::uint64_t substream(std::uint64_t seed, std::uint64_t purpose,
+                                      std::uint64_t idx);
+
+class Driver {
+ public:
+  /// Validates eagerly; throws std::invalid_argument on a malformed spec.
+  explicit Driver(WorkloadSpec spec);
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+
+  /// Builds a fresh cluster and runs the whole job population to completion.
+  /// Repeated calls re-run the identical experiment from scratch. If
+  /// spec.cluster.telemetry is set the caller's bundle receives the
+  /// snapshot_metrics dump; otherwise a private bundle is used (either way
+  /// the Report carries the fabric/NIC occupancy aggregates).
+  [[nodiscard]] Report run();
+
+ private:
+  WorkloadSpec spec_;
+};
+
+/// Convenience: Driver(spec).run().
+[[nodiscard]] Report run_workload(const WorkloadSpec& spec);
+
+}  // namespace nicbar::wl

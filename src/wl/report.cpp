@@ -1,0 +1,60 @@
+#include "wl/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace nicbar::wl {
+
+namespace {
+
+void write_tail(std::ostream& os, const TailStats& t) {
+  os << "{\"count\": " << t.count << ", \"mean_us\": " << t.mean_us
+     << ", \"p50_us\": " << t.p50_us << ", \"p95_us\": " << t.p95_us
+     << ", \"p99_us\": " << t.p99_us << ", \"max_us\": " << t.max_us << "}";
+}
+
+}  // namespace
+
+void Report::write_json(std::ostream& os) const {
+  os << "{\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobReport& j = jobs[i];
+    os << "    {\"job\": " << j.job << ", \"class\": \"" << j.klass
+       << "\", \"nodes\": " << j.nodes << ", \"arrival_us\": " << j.arrival_us
+       << ", \"start_us\": " << j.start_us << ", \"end_us\": " << j.end_us
+       << ", \"experiment_mean_us\": " << j.experiment_mean_us << ",\n     \"latency\": ";
+    write_tail(os, j.latency);
+    os << ",\n     \"collectives\": {";
+    for (std::size_t k = 0; k < kCollectiveKindCount; ++k) {
+      os << (k == 0 ? "" : ", ") << '"' << to_string(static_cast<CollectiveKind>(k))
+         << "\": " << j.collectives[k];
+    }
+    os << "}, \"failures\": " << j.failures << "}";
+    os << (i + 1 < jobs.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"per_kind\": {";
+  for (std::size_t k = 0; k < kCollectiveKindCount; ++k) {
+    os << (k == 0 ? "" : ", ") << '"' << to_string(static_cast<CollectiveKind>(k)) << "\": ";
+    write_tail(os, per_kind[k]);
+  }
+  os << "},\n  \"overall\": ";
+  write_tail(os, overall);
+  os << ",\n  \"makespan_us\": " << makespan_us << ", \"total_failures\": " << total_failures
+     << ",\n  \"fabric\": {\"mean_link_utilisation\": " << mean_link_utilisation
+     << ", \"max_link_utilisation\": " << max_link_utilisation
+     << ", \"mean_nic_occupancy\": " << mean_nic_occupancy
+     << ", \"max_nic_occupancy\": " << max_nic_occupancy
+     << ", \"mean_pci_utilisation\": " << mean_pci_utilisation
+     << ", \"link_stalls\": " << link_stalls << "},\n  \"counters\": {\"barriers_completed\": "
+     << barriers_completed << ", \"reduces_completed\": " << reduces_completed
+     << ", \"retransmissions\": " << retransmissions
+     << ", \"link_packets_dropped\": " << link_packets_dropped << "}\n}\n";
+}
+
+std::string Report::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace nicbar::wl

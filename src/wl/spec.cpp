@@ -1,0 +1,415 @@
+#include "wl/spec.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nicbar::wl {
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::kDisjoint: return "disjoint";
+    case Placement::kStrided: return "strided";
+    case Placement::kOverlapping: return "overlapping";
+  }
+  return "?";
+}
+
+const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kFixed: return "fixed";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kClosedLoop: return "closed-loop";
+  }
+  return "?";
+}
+
+const char* to_string(CollectiveKind k) {
+  switch (k) {
+    case CollectiveKind::kBarrier: return "barrier";
+    case CollectiveKind::kBroadcast: return "broadcast";
+    case CollectiveKind::kAllreduce: return "allreduce";
+    case CollectiveKind::kFuzzyBarrier: return "fuzzy";
+  }
+  return "?";
+}
+
+bool CollectiveMix::mixed() const {
+  int kinds = 0;
+  for (const double w : {barrier, broadcast, allreduce, fuzzy}) {
+    if (w > 0.0) ++kinds;
+  }
+  return kinds > 1;
+}
+
+std::size_t WorkloadSpec::total_jobs() const {
+  std::size_t n = 0;
+  for (const JobClass& c : classes) n += c.count;
+  return n;
+}
+
+void validate(const WorkloadSpec& spec) {
+  auto bad = [](const std::string& msg) { throw std::invalid_argument("workload spec: " + msg); };
+  if (spec.cluster_nodes == 0) bad("cluster-nodes must be positive");
+  if (spec.classes.empty()) bad("at least one job class is required");
+  if (spec.total_jobs() == 0) bad("total job count is zero");
+  if (spec.hist_max_us <= 0.0 || spec.hist_bins == 0) bad("histogram range must be positive");
+  if (spec.arrival.kind == ArrivalKind::kPoisson && spec.arrival.interval.ps() <= 0) {
+    bad("poisson arrival needs a positive mean interval");
+  }
+  if (spec.arrival.kind == ArrivalKind::kClosedLoop && spec.arrival.width == 0) {
+    bad("closed-loop arrival needs width >= 1");
+  }
+  for (const JobClass& c : spec.classes) {
+    const std::string who = "class '" + c.name + "': ";
+    if (c.nodes == 0) bad(who + "nodes must be positive");
+    if (c.nodes > spec.cluster_nodes) bad(who + "wider than the cluster");
+    if (c.iterations <= 0) bad(who + "iterations must be positive");
+    if (c.mix.total() <= 0.0) bad(who + "collective mix has no weight");
+    for (const double w : {c.mix.barrier, c.mix.broadcast, c.mix.allreduce, c.mix.fuzzy}) {
+      if (w < 0.0) bad(who + "mix weights must be non-negative");
+    }
+    if (c.compute_imbalance < 0.0 || c.compute_imbalance >= 1.0) {
+      bad(who + "imbalance must be in [0, 1)");
+    }
+    if (c.mix.fuzzy > 0.0 && c.location != coll::Location::kNic) {
+      bad(who + "fuzzy barriers require the NIC-based location");
+    }
+    if (c.mix.fuzzy > 0.0 && !c.mix.barrier_only()) {
+      bad(who + "fuzzy barriers cannot be mixed with reductions (one event "
+                "stream per port; use a separate class)");
+    }
+    if (c.mix.fuzzy > 0.0 && c.fuzzy_chunk.ps() <= 0) {
+      bad(who + "fuzzy-chunk-us must be positive");
+    }
+    if (c.mix.barrier_only() && !c.layer_overhead.is_zero()) {
+      bad(who + "layer-us applies to the communicator path only (add a "
+                "reduction weight, or drop it to model raw GM)");
+    }
+    if (c.algorithm == nic::BarrierAlgorithm::kGatherBroadcast && c.gb_dimension == 0) {
+      bad(who + "GB needs a positive tree dimension");
+    }
+  }
+}
+
+std::vector<std::vector<net::NodeId>> place_jobs(const WorkloadSpec& spec) {
+  const std::size_t N = spec.cluster_nodes;
+  const std::size_t jobs = spec.total_jobs();
+  std::vector<std::vector<net::NodeId>> sets;
+  sets.reserve(jobs);
+
+  std::size_t demanded = 0;
+  for (const JobClass& c : spec.classes) demanded += c.count * c.nodes;
+
+  switch (spec.placement) {
+    case Placement::kDisjoint: {
+      // Consecutive packs: job j gets the next `nodes` unclaimed nodes.
+      if (demanded > N) {
+        throw std::invalid_argument("workload spec: disjoint placement needs " +
+                                    std::to_string(demanded) + " nodes but the cluster has " +
+                                    std::to_string(N));
+      }
+      std::size_t base = 0;
+      for (const JobClass& c : spec.classes) {
+        for (std::size_t k = 0; k < c.count; ++k) {
+          std::vector<net::NodeId> s;
+          s.reserve(c.nodes);
+          for (std::size_t m = 0; m < c.nodes; ++m) {
+            s.push_back(static_cast<net::NodeId>(base + m));
+          }
+          base += c.nodes;
+          sets.push_back(std::move(s));
+        }
+      }
+      break;
+    }
+    case Placement::kStrided: {
+      // Round-robin interleave: job j takes nodes j, j+J, j+2J, ... — the
+      // same node budget as disjoint but spread across the topology, so
+      // jobs share switches (and, on chains/trees, inter-switch links).
+      if (demanded > N) {
+        throw std::invalid_argument("workload spec: strided placement needs " +
+                                    std::to_string(demanded) + " nodes but the cluster has " +
+                                    std::to_string(N));
+      }
+      std::size_t j = 0;
+      for (const JobClass& c : spec.classes) {
+        for (std::size_t k = 0; k < c.count; ++k) {
+          std::vector<net::NodeId> s;
+          s.reserve(c.nodes);
+          for (std::size_t m = 0; m < c.nodes; ++m) {
+            s.push_back(static_cast<net::NodeId>((j + m * jobs) % N));
+          }
+          sets.push_back(std::move(s));
+          ++j;
+        }
+      }
+      break;
+    }
+    case Placement::kOverlapping: {
+      // Sliding windows advancing half a window per job (and wrapping), so
+      // consecutive jobs share ~half their nodes BY CONSTRUCTION — the
+      // co-located jobs land on distinct GM ports of the same NIC and
+      // contend for its LANai processor and PCI bus.
+      std::size_t base = 0;
+      for (const JobClass& c : spec.classes) {
+        for (std::size_t k = 0; k < c.count; ++k) {
+          std::vector<net::NodeId> s;
+          s.reserve(c.nodes);
+          for (std::size_t m = 0; m < c.nodes; ++m) {
+            s.push_back(static_cast<net::NodeId>((base + m) % N));
+          }
+          base += c.nodes > 1 ? c.nodes / 2 : 1;
+          sets.push_back(std::move(s));
+        }
+      }
+      break;
+    }
+  }
+  return sets;
+}
+
+// --- Spec parser --------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void fail_at(int line_no, const std::string& line, const std::string& why) {
+  throw std::runtime_error("workload spec line " + std::to_string(line_no) + " ('" + line +
+                           "'): " + why);
+}
+
+double parse_number(std::istringstream& is, int line_no, const std::string& line,
+                    const char* what) {
+  double v = 0.0;
+  if (!(is >> v)) fail_at(line_no, line, std::string("expected a number for ") + what);
+  return v;
+}
+
+std::string parse_word(std::istringstream& is, int line_no, const std::string& line,
+                       const char* what) {
+  std::string w;
+  if (!(is >> w)) fail_at(line_no, line, std::string("expected a value for ") + what);
+  return w;
+}
+
+void expect_end(std::istringstream& is, int line_no, const std::string& line) {
+  std::string extra;
+  if (is >> extra) fail_at(line_no, line, "unexpected trailing token '" + extra + "'");
+}
+
+/// "barrier=0.7" -> sets the named weight on `mix`.
+void parse_mix_term(const std::string& term, CollectiveMix& mix, int line_no,
+                    const std::string& line) {
+  const std::size_t eq = term.find('=');
+  if (eq == std::string::npos) fail_at(line_no, line, "mix terms look like kind=weight");
+  const std::string kind = term.substr(0, eq);
+  double w = 0.0;
+  try {
+    std::size_t used = 0;
+    w = std::stod(term.substr(eq + 1), &used);
+    if (used != term.size() - eq - 1) throw std::invalid_argument("trailing");
+  } catch (const std::exception&) {
+    fail_at(line_no, line, "bad weight in '" + term + "'");
+  }
+  if (kind == "barrier") {
+    mix.barrier = w;
+  } else if (kind == "bcast" || kind == "broadcast") {
+    mix.broadcast = w;
+  } else if (kind == "allreduce") {
+    mix.allreduce = w;
+  } else if (kind == "fuzzy") {
+    mix.fuzzy = w;
+  } else {
+    fail_at(line_no, line, "unknown collective '" + kind + "'");
+  }
+}
+
+}  // namespace
+
+WorkloadSpec parse_workload_spec(std::istream& in) {
+  WorkloadSpec spec;
+  JobClass* job = nullptr;  // current class; null while in the preamble
+  bool any_mix_term = false;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream is(line);
+    std::string key;
+    if (!(is >> key)) continue;  // blank / comment-only
+
+    if (key == "job") {
+      JobClass c;
+      c.name = parse_word(is, line_no, line, "job name");
+      // Per-class mix weights start from nothing; an unspecified mix means
+      // barrier-only (the struct default).
+      expect_end(is, line_no, line);
+      spec.classes.push_back(std::move(c));
+      job = &spec.classes.back();
+      any_mix_term = false;
+      continue;
+    }
+
+    if (job == nullptr) {
+      // Preamble keys.
+      if (key == "cluster-nodes") {
+        const double v = parse_number(is, line_no, line, "cluster-nodes");
+        if (v < 1) fail_at(line_no, line, "cluster-nodes must be >= 1");
+        spec.cluster_nodes = static_cast<std::size_t>(v);
+      } else if (key == "nic") {
+        const std::string v = parse_word(is, line_no, line, "nic");
+        if (v == "lanai43") {
+          spec.cluster.nic = nic::lanai43();
+        } else if (v == "lanai72") {
+          spec.cluster.nic = nic::lanai72();
+        } else {
+          fail_at(line_no, line, "nic must be lanai43 or lanai72");
+        }
+      } else if (key == "topology") {
+        const std::string v = parse_word(is, line_no, line, "topology");
+        if (v == "switch") {
+          spec.cluster.topology = host::Topology::kSingleSwitch;
+        } else if (v == "chain") {
+          spec.cluster.topology = host::Topology::kSwitchChain;
+        } else if (v == "tree") {
+          spec.cluster.topology = host::Topology::kSwitchTree;
+        } else {
+          fail_at(line_no, line, "topology must be switch, chain, or tree");
+        }
+      } else if (key == "reliability") {
+        const std::string v = parse_word(is, line_no, line, "reliability");
+        if (v == "unreliable") {
+          spec.cluster.nic.barrier_reliability = nic::BarrierReliability::kUnreliable;
+        } else if (v == "shared") {
+          spec.cluster.nic.barrier_reliability = nic::BarrierReliability::kSharedStream;
+        } else if (v == "separate") {
+          spec.cluster.nic.barrier_reliability = nic::BarrierReliability::kSeparateAcks;
+        } else {
+          fail_at(line_no, line, "reliability must be unreliable, shared, or separate");
+        }
+      } else if (key == "placement") {
+        const std::string v = parse_word(is, line_no, line, "placement");
+        if (v == "disjoint") {
+          spec.placement = Placement::kDisjoint;
+        } else if (v == "strided") {
+          spec.placement = Placement::kStrided;
+        } else if (v == "overlapping") {
+          spec.placement = Placement::kOverlapping;
+        } else {
+          fail_at(line_no, line, "placement must be disjoint, strided, or overlapping");
+        }
+      } else if (key == "arrival") {
+        const std::string v = parse_word(is, line_no, line, "arrival");
+        if (v == "fixed") {
+          spec.arrival.kind = ArrivalKind::kFixed;
+          spec.arrival.interval =
+              sim::microseconds(parse_number(is, line_no, line, "fixed gap"));
+        } else if (v == "poisson") {
+          spec.arrival.kind = ArrivalKind::kPoisson;
+          spec.arrival.interval =
+              sim::microseconds(parse_number(is, line_no, line, "poisson mean gap"));
+        } else if (v == "closed-loop") {
+          spec.arrival.kind = ArrivalKind::kClosedLoop;
+          const double width = parse_number(is, line_no, line, "closed-loop width");
+          if (width < 1) fail_at(line_no, line, "closed-loop width must be >= 1");
+          spec.arrival.width = static_cast<std::size_t>(width);
+          spec.arrival.think =
+              sim::microseconds(parse_number(is, line_no, line, "closed-loop think time"));
+        } else {
+          fail_at(line_no, line, "arrival must be fixed, poisson, or closed-loop");
+        }
+      } else if (key == "seed") {
+        const double v = parse_number(is, line_no, line, "seed");
+        spec.seed = static_cast<std::uint64_t>(v);
+      } else if (key == "hist-max-us") {
+        spec.hist_max_us = parse_number(is, line_no, line, "hist-max-us");
+      } else {
+        fail_at(line_no, line, "unknown key '" + key + "' (before the first job)");
+      }
+      expect_end(is, line_no, line);
+      continue;
+    }
+
+    // Job-class keys.
+    if (key == "count") {
+      const double v = parse_number(is, line_no, line, "count");
+      if (v < 1) fail_at(line_no, line, "count must be >= 1");
+      job->count = static_cast<std::size_t>(v);
+    } else if (key == "nodes") {
+      const double v = parse_number(is, line_no, line, "nodes");
+      if (v < 1) fail_at(line_no, line, "nodes must be >= 1");
+      job->nodes = static_cast<std::size_t>(v);
+    } else if (key == "iters") {
+      const double v = parse_number(is, line_no, line, "iters");
+      if (v < 1) fail_at(line_no, line, "iters must be >= 1");
+      job->iterations = static_cast<int>(v);
+    } else if (key == "mix") {
+      if (!any_mix_term) {
+        // First mix line: weights are exactly what the spec says.
+        job->mix = CollectiveMix{0.0, 0.0, 0.0, 0.0};
+        any_mix_term = true;
+      }
+      std::string term;
+      bool saw_term = false;
+      while (is >> term) {
+        parse_mix_term(term, job->mix, line_no, line);
+        saw_term = true;
+      }
+      if (!saw_term) fail_at(line_no, line, "mix needs at least one kind=weight term");
+      continue;  // consumed the rest of the line
+    } else if (key == "compute-us") {
+      job->compute_mean = sim::microseconds(parse_number(is, line_no, line, "compute-us"));
+    } else if (key == "imbalance") {
+      job->compute_imbalance = parse_number(is, line_no, line, "imbalance");
+    } else if (key == "skew-us") {
+      job->start_skew = sim::microseconds(parse_number(is, line_no, line, "skew-us"));
+    } else if (key == "location") {
+      const std::string v = parse_word(is, line_no, line, "location");
+      if (v == "nic") {
+        job->location = coll::Location::kNic;
+      } else if (v == "host") {
+        job->location = coll::Location::kHost;
+      } else {
+        fail_at(line_no, line, "location must be nic or host");
+      }
+    } else if (key == "algorithm") {
+      const std::string v = parse_word(is, line_no, line, "algorithm");
+      if (v == "pe") {
+        job->algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+      } else if (v == "gb") {
+        job->algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
+        job->gb_dimension =
+            static_cast<std::size_t>(parse_number(is, line_no, line, "gb dimension"));
+      } else {
+        fail_at(line_no, line, "algorithm must be pe or gb <dim>");
+      }
+    } else if (key == "fuzzy-chunk-us") {
+      job->fuzzy_chunk = sim::microseconds(parse_number(is, line_no, line, "fuzzy-chunk-us"));
+    } else if (key == "deadline-us") {
+      job->deadline = sim::microseconds(parse_number(is, line_no, line, "deadline-us"));
+    } else if (key == "layer-us") {
+      job->layer_overhead = sim::microseconds(parse_number(is, line_no, line, "layer-us"));
+    } else {
+      fail_at(line_no, line, "unknown job key '" + key + "'");
+    }
+    expect_end(is, line_no, line);
+  }
+
+  try {
+    validate(spec);
+    (void)place_jobs(spec);  // surface placement misfits at parse time too
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(e.what());
+  }
+  return spec;
+}
+
+WorkloadSpec parse_workload_spec(const std::string& text) {
+  std::istringstream is(text);
+  return parse_workload_spec(is);
+}
+
+}  // namespace nicbar::wl

@@ -1,0 +1,164 @@
+// Declarative multi-tenant workload specifications.
+//
+// A WorkloadSpec describes a population of jobs sharing one simulated
+// fabric: how many jobs, how wide each one is, where its processes land
+// (disjoint packs, strided, or deliberately overlapping node sets), what mix
+// of collectives it issues (barrier / broadcast / allreduce / fuzzy
+// barrier), how much skewed compute separates consecutive collectives, and
+// when jobs arrive (all at once, on a fixed cadence, as a Poisson process,
+// or closed-loop behind a fixed number of in-flight slots).
+//
+// The spec is a pure description — wl::Driver turns it into communicators
+// over one host::Cluster and runs everything inside a single simulator, so
+// contention between jobs (NIC processors, PCI buses, switch output ports)
+// is actually modelled. Every stochastic choice draws from an RNG substream
+// derived from (seed, purpose, job), so a spec plus a seed is a complete,
+// bit-reproducible experiment — the same discipline as sim::fault::FaultPlan.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar::wl {
+
+/// How job node-sets are laid out over the cluster.
+enum class Placement : std::uint8_t {
+  kDisjoint,     // consecutive packs; throws if the jobs do not fit
+  kStrided,      // round-robin interleave across nodes; throws if unfit
+  kOverlapping,  // sliding windows advancing half a window per job, so
+                 // consecutive jobs share ~half their nodes (co-located
+                 // jobs get distinct GM ports on the shared NICs)
+};
+
+/// When job instances start.
+enum class ArrivalKind : std::uint8_t {
+  kFixed,       // job j arrives at j * interval (0 = all at t=0)
+  kPoisson,     // exponential inter-arrival gaps with mean `interval`
+  kClosedLoop,  // at most `width` jobs in flight; the next one starts
+                // `think` after a predecessor finishes
+};
+
+enum class CollectiveKind : std::uint8_t { kBarrier, kBroadcast, kAllreduce, kFuzzyBarrier };
+inline constexpr std::size_t kCollectiveKindCount = 4;
+
+[[nodiscard]] const char* to_string(Placement p);
+[[nodiscard]] const char* to_string(ArrivalKind k);
+[[nodiscard]] const char* to_string(CollectiveKind k);
+
+/// Relative weights of the collectives a job issues. A barrier-only mix
+/// (broadcast == allreduce == 0) runs on bare coll::BarrierMembers — the
+/// exact code path of the Fig. 5 experiments; any mix touching reductions
+/// runs through an mpi::Communicator so one event stream serves them all.
+struct CollectiveMix {
+  double barrier = 1.0;
+  double broadcast = 0.0;
+  double allreduce = 0.0;
+  double fuzzy = 0.0;
+
+  [[nodiscard]] double total() const { return barrier + broadcast + allreduce + fuzzy; }
+  [[nodiscard]] bool barrier_only() const { return broadcast == 0.0 && allreduce == 0.0; }
+  /// More than one kind has weight (a per-iteration draw is needed).
+  [[nodiscard]] bool mixed() const;
+};
+
+/// One class of identical jobs; `count` instances are created.
+struct JobClass {
+  std::string name = "job";
+  std::size_t count = 1;
+  std::size_t nodes = 8;  // processes (one per node of the job's node-set)
+  int iterations = 100;   // collectives each instance issues
+  CollectiveMix mix;
+  /// Mean compute phase inserted before every collective; each process
+  /// draws its own duration uniformly in mean * [1-imbalance, 1+imbalance],
+  /// so imbalance > 0 makes some processes arrive late (stragglers).
+  sim::Duration compute_mean{0};
+  double compute_imbalance = 0.0;  // in [0, 1)
+  /// Random per-process delay before an instance's first collective
+  /// (arrival jitter within the job; 0 = all processes start together).
+  sim::Duration start_skew{0};
+  sim::Duration fuzzy_chunk = sim::microseconds(5.0);
+  coll::Location location = coll::Location::kNic;
+  nic::BarrierAlgorithm algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
+  std::size_t gb_dimension = 2;
+  sim::Duration deadline{0};  // per-collective abort deadline (0 = none)
+  /// Per-call software-layer overhead (only the communicator path pays it;
+  /// a barrier-only class models raw GM and must leave this at 0).
+  sim::Duration layer_overhead{0};
+};
+
+struct Arrival {
+  ArrivalKind kind = ArrivalKind::kFixed;
+  sim::Duration interval{0};  // fixed gap, or Poisson mean gap
+  std::size_t width = 1;      // closed-loop: concurrent job slots
+  sim::Duration think{0};     // closed-loop: completion -> next arrival
+};
+
+struct WorkloadSpec {
+  std::size_t cluster_nodes = 16;
+  Placement placement = Placement::kDisjoint;
+  Arrival arrival;
+  std::vector<JobClass> classes;
+  std::uint64_t seed = 1;
+  /// Range of the per-collective latency histograms backing the percentile
+  /// estimates (samples above the ceiling clamp into the last bin).
+  double hist_max_us = 20000.0;
+  std::size_t hist_bins = 2000;
+  /// Fabric and NIC hardware (cluster.nodes is overridden by cluster_nodes;
+  /// cluster.nic.max_ports is raised automatically when overlapping jobs
+  /// need more GM ports per NIC than the default eight).
+  host::ClusterParams cluster;
+
+  [[nodiscard]] std::size_t total_jobs() const;
+};
+
+/// Throws std::invalid_argument naming the offending field on a malformed
+/// spec (no classes, zero-node job, fuzzy weight on a host-based class,
+/// layer overhead on a barrier-only class, imbalance outside [0,1), ...).
+void validate(const WorkloadSpec& spec);
+
+/// Expands the placement policy into one node-set per job instance, in job
+/// order (class order, then instance order). Throws std::invalid_argument
+/// when a disjoint or strided layout does not fit the cluster.
+[[nodiscard]] std::vector<std::vector<net::NodeId>> place_jobs(const WorkloadSpec& spec);
+
+/// Parses the line-oriented workload-spec format used by `nicbar_run
+/// workload`. Durations are microseconds, weights are non-negative reals.
+/// Blank lines and `#` comments are ignored.
+///
+///   cluster-nodes 32
+///   nic lanai43                  # lanai43 | lanai72
+///   topology switch              # switch | chain | tree
+///   placement overlapping        # disjoint | strided | overlapping
+///   reliability shared           # unreliable | shared | separate
+///                                # (retransmission mode; required with fault
+///                                # injection when any class uses fuzzy=)
+///   arrival poisson 500          # fixed <gap_us> | poisson <mean_gap_us>
+///                                # | closed-loop <width> <think_us>
+///   seed 7
+///   hist-max-us 20000
+///
+///   job stencil                  # starts a job class; keys below apply to it
+///     count 4
+///     nodes 8
+///     iters 200
+///     mix barrier=0.7 allreduce=0.2 bcast=0.1 fuzzy=0
+///     compute-us 50
+///     imbalance 0.3
+///     skew-us 10
+///     location nic               # nic | host
+///     algorithm pe               # pe | gb <dim>
+///     fuzzy-chunk-us 5
+///     deadline-us 0
+///     layer-us 0
+///
+/// Throws std::runtime_error naming the offending line on malformed input;
+/// the result has already passed validate().
+[[nodiscard]] WorkloadSpec parse_workload_spec(std::istream& in);
+[[nodiscard]] WorkloadSpec parse_workload_spec(const std::string& text);
+
+}  // namespace nicbar::wl

@@ -123,6 +123,62 @@ TEST(SweepPlanTest, GbSweepOnNonGbSpecThrows) {
   EXPECT_THROW((void)plan.run(), std::invalid_argument);
 }
 
+TEST(SweepPlanTest, CustomCasesShareTheSchedulingMachinery) {
+  // Mix declarative and custom cases: results come back in plan order and
+  // the custom body's return value is passed through untouched.
+  SweepPlan plan;
+  ExperimentParams p = experiment(nic::lanai43(), 4, 10);
+  p.spec = spec(Location::kNic, nic::BarrierAlgorithm::kPairwiseExchange);
+  plan.add("declarative", p);
+  plan.add_custom("custom", [](sim::telemetry::Telemetry* telemetry) {
+    EXPECT_EQ(telemetry, nullptr);  // uninstrumented run: no bundle
+    ExperimentResult r;
+    r.mean_us = 42.5;
+    r.barriers_completed = 7;
+    return r;
+  });
+  const SweepResult r = plan.run();
+  ASSERT_EQ(r.cases.size(), 2u);
+  EXPECT_EQ(r.cases[0].label, "declarative");
+  EXPECT_EQ(r.cases[1].label, "custom");
+  EXPECT_EQ(r.mean_us("custom"), 42.5);
+  EXPECT_EQ(r.find("custom").result.barriers_completed, 7u);
+}
+
+TEST(SweepPlanTest, CustomCasesAreDeterministicAcrossWorkerCounts) {
+  // The --jobs contract extends to custom bodies: a deterministic body run
+  // on 1 worker and on 8 produces the same results in the same order.
+  SweepPlan plan;
+  for (int i = 0; i < 6; ++i) {
+    plan.add_custom(std::string("c") + std::to_string(i), [i](sim::telemetry::Telemetry*) {
+      ExperimentResult r;
+      r.mean_us = 10.0 * i;
+      return r;
+    });
+  }
+  const SweepResult serial = plan.run({.workers = 1});
+  const SweepResult parallel = plan.run({.workers = 8});
+  ASSERT_EQ(serial.cases.size(), parallel.cases.size());
+  for (std::size_t i = 0; i < serial.cases.size(); ++i) {
+    EXPECT_EQ(serial.cases[i].label, parallel.cases[i].label);
+    EXPECT_EQ(serial.cases[i].result.mean_us, parallel.cases[i].result.mean_us);
+  }
+}
+
+TEST(SweepPlanTest, AddCustomRejectsAnEmptyBody) {
+  SweepPlan plan;
+  EXPECT_THROW((void)plan.add_custom("null", CustomExperiment{}), std::invalid_argument);
+}
+
+TEST(SweepPlanTest, CustomCaseCannotBeGbSwept) {
+  SweepPlan plan;
+  SweepCase& c = plan.add_custom("custom", [](sim::telemetry::Telemetry*) {
+    return ExperimentResult{};
+  });
+  c.sweep_gb_dimension = true;
+  EXPECT_THROW((void)plan.run(), std::invalid_argument);
+}
+
 /// Counts `"bench": "<label>"` keys in file order — one per instrumented case.
 std::vector<std::string> bench_labels(const std::string& path) {
   std::ifstream in(path);
@@ -136,6 +192,26 @@ std::vector<std::string> bench_labels(const std::string& path) {
     labels.push_back(line.substr(start, line.find('"', start) - start));
   }
   return labels;
+}
+
+TEST(SweepPlanTest, CustomCasesSeeTheTelemetryBundleWhenInstrumented) {
+  const std::string path = ::testing::TempDir() + "/custom_metrics.json";
+  std::remove(path.c_str());
+  SweepPlan plan;
+  plan.add_custom("instrumented-custom", [](sim::telemetry::Telemetry* telemetry) {
+    EXPECT_NE(telemetry, nullptr);
+    return ExperimentResult{};
+  });
+  SweepOptions opts;
+  opts.instrument = true;
+  MetricsSink sink{path};
+  ASSERT_TRUE(sink.ok());
+  opts.sink = &sink;
+  (void)plan.run(opts);
+  const std::vector<std::string> labels = bench_labels(path);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], "instrumented-custom");
+  std::remove(path.c_str());
 }
 
 TEST(SweepPlanTest, InstrumentedRunsEmitDocsInPlanOrder) {

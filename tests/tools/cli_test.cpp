@@ -118,6 +118,58 @@ TEST(CliTest, NodesAndRepsRejectNonPositive) {
   EXPECT_FALSE(parse_args({"--nodes", "8x"}, err).has_value());
 }
 
+TEST(CliTest, WorkloadSubcommandTakesASpecPath) {
+  std::string err;
+  const auto o = parse_args({"workload", "spec.wl"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->workload);
+  EXPECT_EQ(o->workload_spec_path, "spec.wl");
+  EXPECT_FALSE(o->seed_given);
+}
+
+TEST(CliTest, WorkloadComposesWithSweepAndFaultFlags) {
+  std::string err;
+  const auto o = parse_args({"workload", "spec.wl", "--seeds", "5", "--jobs", "4", "--seed",
+                             "9", "--loss", "0.01", "--report-json", "r.json"},
+                            err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->workload);
+  EXPECT_EQ(o->seeds, 5u);
+  EXPECT_EQ(o->jobs, 4u);
+  EXPECT_TRUE(o->seed_given);
+  EXPECT_EQ(o->params.seed, 9u);
+  EXPECT_EQ(o->report_path, "r.json");
+}
+
+TEST(CliTest, WorkloadRequiresASpecFile) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"workload"}, err).has_value());
+  EXPECT_NE(err.find("spec file"), std::string::npos);
+}
+
+TEST(CliTest, WorkloadRejectsSingleRunOnlyArtifacts) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"workload", "spec.wl", "--breakdown"}, err).has_value());
+  EXPECT_FALSE(parse_args({"workload", "spec.wl", "--predict"}, err).has_value());
+  EXPECT_FALSE(parse_args({"workload", "spec.wl", "--trace-json", "t.json"}, err).has_value());
+  // The shared metrics sink still works: one document per seed.
+  EXPECT_TRUE(parse_args({"workload", "spec.wl", "--metrics-json", "m.json"}, err).has_value())
+      << err;
+}
+
+TEST(CliTest, ReportJsonIsWorkloadOnly) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--report-json", "r.json"}, err).has_value());
+  EXPECT_NE(err.find("--report-json"), std::string::npos);
+}
+
+TEST(CliTest, StrayPositionalFails) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"banana"}, err).has_value());
+  EXPECT_NE(err.find("banana"), std::string::npos);
+  EXPECT_FALSE(parse_args({"workload", "spec.wl", "extra"}, err).has_value());
+}
+
 TEST(CliTest, BurstLossParsesTriple) {
   std::string err;
   const auto o = parse_args({"--burst-loss", "0.01,0.5,0.9"}, err);

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Schema-drift guard for the BENCH_*.json artifacts.
+
+Every bench emits one document via bench::BenchSummary with the shape
+
+    {
+      "schema": "nicbar-bench-v1",
+      "bench": "<name>",
+      "rows": [
+        {"label": "<case>", "metrics": {"<key>": <number>, ...}},
+        ...
+      ]
+    }
+
+CI runs this checker over the artifacts so a refactor that silently changes
+the serialisation (renamed keys, string-typed numbers, empty row sets) fails
+the build instead of producing trajectory files nobody can diff.
+
+Usage: check_bench_json.py FILE [FILE...]   (exit 0 iff every file conforms)
+"""
+
+import json
+import sys
+
+SCHEMA = "nicbar-bench-v1"
+
+
+def check(path):
+    """Returns a list of problems (empty = conforming)."""
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["unreadable or invalid JSON: %s" % e]
+
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append("schema must be %r, got %r" % (SCHEMA, doc.get("schema")))
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty array")
+        return problems
+
+    for i, row in enumerate(rows):
+        where = "rows[%d]" % i
+        if not isinstance(row, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        if not isinstance(row.get("label"), str) or not row.get("label"):
+            problems.append("%s.label must be a non-empty string" % where)
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            problems.append("%s.metrics must be a non-empty object" % where)
+            continue
+        for key, value in metrics.items():
+            # bool is an int subclass in Python; reject it explicitly.
+            if not isinstance(key, str) or isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                problems.append("%s.metrics[%r] must map a string to a number" % (where, key))
+
+    labels = [r.get("label") for r in rows if isinstance(r, dict)]
+    if len(labels) != len(set(labels)):
+        problems.append("row labels must be unique")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        problems = check(path)
+        if problems:
+            failed = True
+            for p in problems:
+                print("%s: %s" % (path, p), file=sys.stderr)
+        else:
+            print("%s: ok" % path)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

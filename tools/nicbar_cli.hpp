@@ -28,15 +28,33 @@ struct Options {
   double burst_enter = 0.0, burst_exit = 0.0, burst_rate = 0.0;
   bool have_burst = false;
   /// Worker threads for sweeps (--jobs): 1 = serial, 0 = one per hardware
-  /// thread. Applies to the GB dimension sweep and the seed sweep; results
-  /// are bit-identical for any value.
+  /// thread. Applies to the GB dimension sweep, the seed sweep, and the
+  /// workload seed sweep; results are bit-identical for any value.
   unsigned jobs = 1;
   /// Number of consecutive seeds to run (--seeds), starting at --seed.
   std::size_t seeds = 1;
+
+  /// `nicbar_run workload SPEC` — run a wl:: multi-tenant workload instead
+  /// of a single barrier experiment. The spec file provides the cluster and
+  /// job population; the command line contributes fault injection
+  /// (--fault-plan/--loss/--burst-loss), seeds (--seed/--seeds), worker
+  /// threads (--jobs), and output paths.
+  bool workload = false;
+  std::string workload_spec_path;
+  /// --report-json F: write the wl::Report (or, with --seeds K, an array of
+  /// per-seed reports) as JSON to F. Workload mode only.
+  std::string report_path;
+  /// --seed was given explicitly (workload mode: override the spec's seed).
+  bool seed_given = false;
 };
 
 inline const char* usage_text() {
   return
+      "  workload SPEC      run a multi-tenant workload from a spec file (see\n"
+      "                     src/wl/spec.hpp for the grammar); composes with\n"
+      "                     --seed/--seeds/--jobs/--fault-plan/--loss/--burst-loss,\n"
+      "                     --metrics-json, and --report-json\n"
+      "  --report-json F    workload mode: write the wl::Report as JSON to F\n"
       "  --nodes N          group size (default 8)\n"
       "  --reps R           consecutive barriers to average (default 500)\n"
       "  --location L       nic | host (default nic)\n"
@@ -117,6 +135,17 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
+    if (!a.empty() && a[0] != '-') {
+      // Positionals: the `workload` subcommand, then its spec file.
+      if (!o.workload && a == "workload") {
+        o.workload = true;
+      } else if (o.workload && o.workload_spec_path.empty()) {
+        o.workload_spec_path = a;
+      } else {
+        return fail("unexpected argument " + a);
+      }
+      continue;
+    }
     bool missing = false;
     if (const char* v = flag_value(a, "--metrics-json", argc, argv, i, missing)) {
       o.metrics_path = v;
@@ -128,6 +157,11 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
       continue;
     }
     if (missing) return fail("--trace-json needs a file path");
+    if (const char* v = flag_value(a, "--report-json", argc, argv, i, missing)) {
+      o.report_path = v;
+      continue;
+    }
+    if (missing) return fail("--report-json needs a file path");
 
     auto value = [&](const char* flag) -> const char* {
       return a == flag ? next_arg(argc, argv, i) : nullptr;
@@ -264,6 +298,7 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
       unsigned long n = 0;
       if (!parse_unsigned(v, n)) return fail("--seed needs a non-negative integer");
       o.params.seed = n;
+      o.seed_given = true;
     } else if (a == "--predict") {
       o.predict = true;
     } else if (a == "--breakdown") {
@@ -276,6 +311,16 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
 
   if (o.seeds > 1 && (o.breakdown || !o.trace_path.empty())) {
     return fail("--breakdown/--trace-json describe a single run; not available with --seeds");
+  }
+  if (o.workload && o.workload_spec_path.empty()) {
+    return fail("workload needs a spec file path");
+  }
+  if (o.workload && (o.predict || o.breakdown || !o.trace_path.empty())) {
+    return fail("--predict/--breakdown/--trace-json describe a single barrier experiment; "
+                "not available with workload");
+  }
+  if (!o.workload && !o.report_path.empty()) {
+    return fail("--report-json is only meaningful with the workload subcommand");
   }
   return o;
 }

@@ -25,6 +25,7 @@
 #include "nicbar_cli.hpp"
 #include "sim/fault.hpp"
 #include "sim/telemetry.hpp"
+#include "wl/driver.hpp"
 
 namespace {
 
@@ -115,6 +116,167 @@ int run_seed_sweep(const cli::Options& o) {
   return 0;
 }
 
+void print_tail(const char* name, const wl::TailStats& t) {
+  std::printf("%-14s count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f us\n", name,
+              static_cast<unsigned long long>(t.count), t.mean_us, t.p50_us, t.p95_us, t.p99_us,
+              t.max_us);
+}
+
+void print_workload_report(const wl::Report& rep) {
+  std::printf("%4s %-12s %6s %12s %12s %12s %12s %9s\n", "job", "class", "nodes", "arrival_us",
+              "start_us", "end_us", "mean_us", "failures");
+  for (const wl::JobReport& j : rep.jobs) {
+    std::printf("%4zu %-12s %6zu %12.1f %12.1f %12.1f %12.2f %9llu\n", j.job, j.klass.c_str(),
+                j.nodes, j.arrival_us, j.start_us, j.end_us, j.experiment_mean_us,
+                static_cast<unsigned long long>(j.failures));
+  }
+  std::printf("\nper-collective latency:\n");
+  for (std::size_t k = 0; k < wl::kCollectiveKindCount; ++k) {
+    if (rep.per_kind[k].count == 0) continue;
+    print_tail(wl::to_string(static_cast<wl::CollectiveKind>(k)), rep.per_kind[k]);
+  }
+  print_tail("overall", rep.overall);
+  std::printf("\nmakespan             : %10.1f us\n", rep.makespan_us);
+  std::printf("fabric               : link util mean %.3f / max %.3f, NIC occupancy mean %.3f "
+              "/ max %.3f, PCI util mean %.3f\n",
+              rep.mean_link_utilisation, rep.max_link_utilisation, rep.mean_nic_occupancy,
+              rep.max_nic_occupancy, rep.mean_pci_utilisation);
+  std::printf("counters             : %llu barriers, %llu reduces, %llu retransmissions, "
+              "%llu link stalls, %llu drops\n",
+              static_cast<unsigned long long>(rep.barriers_completed),
+              static_cast<unsigned long long>(rep.reduces_completed),
+              static_cast<unsigned long long>(rep.retransmissions),
+              static_cast<unsigned long long>(rep.link_stalls),
+              static_cast<unsigned long long>(rep.link_packets_dropped));
+  if (rep.total_failures > 0) {
+    std::printf("failures             : %10llu\n",
+                static_cast<unsigned long long>(rep.total_failures));
+  }
+}
+
+/// `nicbar_run workload SPEC`: the spec file provides cluster and jobs; the
+/// command line provides seeds, fault injection, worker threads, and output
+/// paths. With --seeds K every seed is one SweepPlan custom case, sharded
+/// across --jobs workers with bit-identical reports.
+int run_workload_cmd(const cli::Options& o) {
+  std::ifstream in(o.workload_spec_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read workload spec %s\n", o.workload_spec_path.c_str());
+    return 1;
+  }
+  wl::WorkloadSpec spec;
+  try {
+    spec = wl::parse_workload_spec(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", o.workload_spec_path.c_str(), e.what());
+    return 1;
+  }
+  if (o.seed_given) spec.seed = o.params.seed;
+
+  if (!o.fault_plan_path.empty()) {
+    std::ifstream fin(o.fault_plan_path);
+    if (!fin) {
+      std::fprintf(stderr, "error: cannot read fault plan %s\n", o.fault_plan_path.c_str());
+      return 1;
+    }
+    try {
+      spec.cluster.faults = sim::fault::parse_fault_plan(fin);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", o.fault_plan_path.c_str(), e.what());
+      return 1;
+    }
+  } else {
+    spec.cluster.faults.seed = spec.seed;
+  }
+  if (o.loss > 0.0) spec.cluster.faults.loss.push_back({"", o.loss});
+  if (o.have_burst) {
+    spec.cluster.faults.bursts.push_back({"", o.burst_enter, o.burst_exit, 0.0, o.burst_rate});
+  }
+
+  // Every seed is one custom case; each run builds its own cluster, so the
+  // sweep shards cleanly and a single seed is just a one-case plan.
+  coll::SweepPlan plan;
+  std::vector<wl::Report> reports(o.seeds);
+  for (std::size_t k = 0; k < o.seeds; ++k) {
+    wl::WorkloadSpec s = spec;
+    s.seed = spec.seed + k;
+    if (o.fault_plan_path.empty()) s.cluster.faults.seed = s.seed;
+    wl::Report* out = &reports[k];
+    plan.add_custom("workload-seed" + std::to_string(s.seed),
+                    [s = std::move(s), out](sim::telemetry::Telemetry* t) {
+                      wl::WorkloadSpec run_spec = s;
+                      run_spec.cluster.telemetry = t;
+                      *out = wl::run_workload(run_spec);
+                      coll::ExperimentResult res;
+                      res.nodes = run_spec.cluster_nodes;
+                      res.mean_us = out->overall.mean_us;
+                      res.total_us = out->makespan_us;
+                      res.barrier_failures = out->total_failures;
+                      return res;
+                    });
+  }
+
+  coll::SweepOptions opts;
+  opts.workers = o.jobs;
+  std::unique_ptr<coll::MetricsSink> sink;
+  if (!o.metrics_path.empty()) {
+    sink = std::make_unique<coll::MetricsSink>(o.metrics_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "error: cannot write %s\n", o.metrics_path.c_str());
+      return 1;
+    }
+    opts.instrument = true;
+    opts.sink = sink.get();
+  }
+
+  coll::SweepResult sweep;
+  try {
+    sweep = plan.run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", o.workload_spec_path.c_str(), e.what());
+    return 1;
+  }
+
+  std::printf("workload %s: %zu job%s over %zu nodes, placement=%s, arrival=%s, seed=%llu%s\n",
+              o.workload_spec_path.c_str(), spec.total_jobs(), spec.total_jobs() == 1 ? "" : "s",
+              spec.cluster_nodes, wl::to_string(spec.placement),
+              wl::to_string(spec.arrival.kind), static_cast<unsigned long long>(spec.seed),
+              o.seeds > 1 ? (" (+" + std::to_string(o.seeds - 1) + " more)").c_str() : "");
+  if (o.seeds == 1) {
+    print_workload_report(reports.front());
+  } else {
+    std::printf("%8s %10s %10s %10s %10s %12s %9s\n", "seed", "p50_us", "p95_us", "p99_us",
+                "mean_us", "makespan_us", "failures");
+    for (std::size_t k = 0; k < o.seeds; ++k) {
+      const wl::Report& r = reports[k];
+      std::printf("%8llu %10.2f %10.2f %10.2f %10.2f %12.1f %9llu\n",
+                  static_cast<unsigned long long>(spec.seed + k), r.overall.p50_us,
+                  r.overall.p95_us, r.overall.p99_us, r.overall.mean_us, r.makespan_us,
+                  static_cast<unsigned long long>(r.total_failures));
+    }
+  }
+  std::printf("wall clock           : %10.1f ms\n", sweep.wall_ms);
+
+  if (!o.report_path.empty()) {
+    const bool ok = write_file(o.report_path, [&](std::ostream& os) {
+      if (o.seeds == 1) {
+        reports.front().write_json(os);
+      } else {
+        os << "[\n";
+        for (std::size_t k = 0; k < o.seeds; ++k) {
+          reports[k].write_json(os);
+          if (k + 1 < o.seeds) os << ",\n";
+        }
+        os << "]\n";
+      }
+    });
+    if (!ok) return 1;
+    std::printf("report written to %s\n", o.report_path.c_str());
+  }
+  if (sink) std::printf("metrics written to %s\n", o.metrics_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,10 +284,11 @@ int main(int argc, char** argv) {
   std::optional<cli::Options> parsed = cli::parse(argc, argv, error);
   if (!parsed) {
     if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
-    std::printf("usage: %s [options]\n%s", argv[0], cli::usage_text());
+    std::printf("usage: %s [workload SPEC] [options]\n%s", argv[0], cli::usage_text());
     return 2;
   }
   cli::Options& o = *parsed;
+  if (o.workload) return run_workload_cmd(o);
   coll::ExperimentParams& p = o.params;
 
   if (!o.fault_plan_path.empty()) {
