@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "coll/sweep.hpp"
+#include "sim/check.hpp"
 #include "sim/random.hpp"
 
 namespace nicbar::coll {
@@ -14,10 +15,12 @@ namespace {
 
 sim::Task member_proc(sim::Simulator& sim, BarrierMember& member, int reps,
                       sim::Duration skew, sim::SimTime* t_start, sim::SimTime* t_end,
-                      std::uint64_t* failures, std::uint64_t* finished) {
+                      std::uint64_t* failures, std::uint64_t* finished,
+                      sim::check::BarrierSafetyMonitor* monitor, std::size_t member_index) {
   if (!skew.is_zero()) co_await sim.delay(skew);
   if (t_start != nullptr) *t_start = sim.now();
   for (int r = 0; r < reps; ++r) {
+    if (monitor != nullptr) monitor->arrive(member_index, sim.now());
     const BarrierStatus st = co_await member.run();
     if (st != BarrierStatus::kOk) {
       // The group is broken (dead peer or expired deadline): stop looping
@@ -25,9 +28,31 @@ sim::Task member_proc(sim::Simulator& sim, BarrierMember& member, int reps,
       if (failures != nullptr) ++*failures;
       break;
     }
+    if (monitor != nullptr) monitor->complete(member_index, sim.now());
   }
   if (t_end != nullptr) *t_end = sim.now();
   if (finished != nullptr) ++*finished;
+}
+
+std::vector<net::NodeId> resolve_node_order(const ExperimentParams& params) {
+  std::vector<net::NodeId> order = params.node_order;
+  if (order.empty()) {
+    order.reserve(params.nodes);
+    for (std::size_t i = 0; i < params.nodes; ++i) order.push_back(static_cast<net::NodeId>(i));
+    return order;
+  }
+  if (order.size() != params.nodes) {
+    throw std::invalid_argument("node_order must have exactly `nodes` entries");
+  }
+  std::vector<bool> seen(params.nodes, false);
+  for (net::NodeId n : order) {
+    const auto idx = static_cast<std::size_t>(n);
+    if (idx >= params.nodes || seen[idx]) {
+      throw std::invalid_argument("node_order must be a permutation of 0..nodes-1");
+    }
+    seen[idx] = true;
+  }
+  return order;
 }
 
 }  // namespace
@@ -38,10 +63,12 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
   cp.nodes = params.nodes;
   host::Cluster cluster(cp);
 
+  const std::vector<net::NodeId> order = resolve_node_order(params);
+
   std::vector<Endpoint> group;
   group.reserve(params.nodes);
   for (std::size_t i = 0; i < params.nodes; ++i) {
-    group.push_back(Endpoint{static_cast<net::NodeId>(i), params.port});
+    group.push_back(Endpoint{order[i], params.port});
   }
 
   std::vector<std::unique_ptr<gm::Port>> ports;
@@ -49,7 +76,7 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
   ports.reserve(params.nodes);
   members.reserve(params.nodes);
   for (std::size_t i = 0; i < params.nodes; ++i) {
-    ports.push_back(cluster.open_port(static_cast<net::NodeId>(i), params.port));
+    ports.push_back(cluster.open_port(order[i], params.port));
     members.push_back(std::make_unique<BarrierMember>(*ports.back(), group, params.spec));
   }
 
@@ -57,6 +84,10 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
   std::vector<sim::SimTime> starts(params.nodes), ends(params.nodes);
   std::uint64_t failures = 0;
   std::uint64_t finished = 0;
+  std::unique_ptr<sim::check::BarrierSafetyMonitor> monitor;
+  if (params.check_invariants) {
+    monitor = std::make_unique<sim::check::BarrierSafetyMonitor>(params.nodes);
+  }
   for (std::size_t i = 0; i < params.nodes; ++i) {
     sim::Duration skew{0};
     if (!params.max_start_skew.is_zero()) {
@@ -64,10 +95,20 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
           rng.uniform() * static_cast<double>(params.max_start_skew.ps()))};
     }
     cluster.sim().spawn(member_proc(cluster.sim(), *members[i], params.reps, skew,
-                                    &starts[i], &ends[i], &failures, &finished));
+                                    &starts[i], &ends[i], &failures, &finished, monitor.get(),
+                                    i));
   }
   cluster.sim().run();
   cluster.snapshot_metrics();  // no-op unless params.cluster.telemetry is set
+
+  if (params.check_invariants) {
+    // The event queue is drained, so the fabric is quiescent: every packet
+    // ever injected must now be accounted for on each link and switch.
+    cluster.network().for_each_link([](net::Link& l) { l.verify_conservation(); });
+    for (std::size_t s = 0; s < cluster.network().switch_count(); ++s) {
+      cluster.network().switch_at(static_cast<int>(s)).verify_conservation();
+    }
+  }
 
   // The barrier loop is over when the *last* member finishes its last
   // barrier; it began when the last member started (all members must be in
@@ -81,7 +122,8 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
   ExperimentResult res;
   res.reps = params.reps;
   res.nodes = params.nodes;
-  res.total_us = (end - begin).us();
+  res.total = end - begin;
+  res.total_us = res.total.us();
   res.mean_us = res.total_us / params.reps;
   res.barrier_failures = failures;
   res.stalled_members = params.nodes - finished;

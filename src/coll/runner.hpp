@@ -10,9 +10,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "coll/barrier.hpp"
 #include "host/cluster.hpp"
+#include "sim/time.hpp"
 
 namespace nicbar::coll {
 
@@ -26,11 +28,23 @@ struct ExperimentParams {
   /// arrival; 0 = all nodes start together as in the paper's benchmark).
   sim::Duration max_start_skew{0};
   std::uint64_t seed = 1;
+  /// Runs the sim::check validation pass: barrier-safety monitoring while
+  /// the loop runs, plus end-of-run packet-conservation verification on
+  /// every link and switch. Costs a few counters; never perturbs timing.
+  bool check_invariants = true;
+  /// Optional permutation of the node ids 0..nodes-1: member i of the group
+  /// runs on node node_order[i]. Empty = identity. Barrier latency must be
+  /// invariant under this permutation on a symmetric fabric (a property the
+  /// check harness exercises).
+  std::vector<net::NodeId> node_order;
 };
 
 struct ExperimentResult {
   double mean_us = 0.0;   // mean latency of one barrier
   double total_us = 0.0;  // wall (simulated) time of the whole loop
+  /// Same as total_us but in exact integer picoseconds — the quantity the
+  /// differential oracle compares against closed-form predictions.
+  sim::Duration total{0};
   int reps = 0;
   std::size_t nodes = 0;
   // Aggregated over all NICs:

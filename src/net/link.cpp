@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "sim/check.hpp"
+
 namespace nicbar::net {
 
 void Link::set_down(bool down) {
@@ -59,8 +61,26 @@ sim::SimTime Link::transmit(Packet p) {
   if (trace_sink_ != nullptr) {
     trace_sink_->duration(trace_track_, to_string(packet->type), done - occupy, occupy, "net");
   }
-  sim_.schedule_at(done + prop, [this, packet]() mutable { deliver_(std::move(*packet)); });
+  ++in_flight_;
+  sim_.schedule_at(done + prop, [this, packet]() mutable {
+    --in_flight_;
+    ++delivered_;
+    deliver_(std::move(*packet));
+  });
   return done;
+}
+
+void Link::verify_conservation() const {
+  const sim::SimTime now = sim_.now();
+  NICBAR_CHECK(sent_ == delivered_ + (dropped_ - down_drops_) + in_flight_, "net.link", now,
+               "link '%s': sent=%llu != delivered=%llu + wire_drops=%llu + in_flight=%llu",
+               name().c_str(), static_cast<unsigned long long>(sent_),
+               static_cast<unsigned long long>(delivered_),
+               static_cast<unsigned long long>(dropped_ - down_drops_),
+               static_cast<unsigned long long>(in_flight_));
+  NICBAR_CHECK(in_flight_ == 0, "net.link", now,
+               "link '%s': %llu packet(s) still in flight at quiescence", name().c_str(),
+               static_cast<unsigned long long>(in_flight_));
 }
 
 }  // namespace nicbar::net

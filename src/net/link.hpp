@@ -99,7 +99,15 @@ class Link {
   [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t packets_corrupted() const { return corrupted_; }
   [[nodiscard]] std::uint64_t drops_while_down() const { return down_drops_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t packets_in_flight() const { return in_flight_; }
   [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Packet conservation: every packet serialised onto the wire is either
+  /// delivered, dropped with a recorded cause, or still in flight — and at
+  /// quiescence nothing may remain in flight. Corrupted packets count as
+  /// delivered (the receiver's CRC check discards them and pays the cost).
+  void verify_conservation() const;
 
   /// Attaches a trace sink: every transmission becomes one span on this
   /// link's track. Pass nullptr to detach (the default, zero-cost state).
@@ -132,6 +140,8 @@ class Link {
   std::uint64_t dropped_ = 0;
   std::uint64_t corrupted_ = 0;
   std::uint64_t down_drops_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t in_flight_ = 0;
   std::int64_t bytes_sent_ = 0;
   sim::telemetry::TraceEventSink* trace_sink_ = nullptr;
   int trace_track_ = 0;

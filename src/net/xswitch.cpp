@@ -2,9 +2,12 @@
 
 #include <memory>
 
+#include "sim/check.hpp"
+
 namespace nicbar::net {
 
 void Switch::accept(Packet p) {
+  ++accepted_;
   if (p.hop >= p.route.size()) {
     ++misrouted_;  // ran out of route bytes: drop (would be a CRC error on hw)
     return;
@@ -21,8 +24,24 @@ void Switch::accept(Packet p) {
   ++forwarded_;
   Link* link = out_[port];
   auto packet = std::make_shared<Packet>(std::move(p));
-  sim_.schedule_in(params_.routing_latency,
-                   [link, packet]() mutable { link->transmit(std::move(*packet)); });
+  ++in_pipeline_;
+  sim_.schedule_in(params_.routing_latency, [this, link, packet]() mutable {
+    --in_pipeline_;
+    link->transmit(std::move(*packet));
+  });
+}
+
+void Switch::verify_conservation() const {
+  const sim::SimTime now = sim_.now();
+  NICBAR_CHECK(accepted_ == forwarded_ + misrouted_ + port_down_drops_, "net.switch", now,
+               "switch %d: accepted=%llu != forwarded=%llu + misrouted=%llu + port_down=%llu",
+               id_, static_cast<unsigned long long>(accepted_),
+               static_cast<unsigned long long>(forwarded_),
+               static_cast<unsigned long long>(misrouted_),
+               static_cast<unsigned long long>(port_down_drops_));
+  NICBAR_CHECK(in_pipeline_ == 0, "net.switch", now,
+               "switch %d: %llu packet(s) still in the routing pipeline at quiescence", id_,
+               static_cast<unsigned long long>(in_pipeline_));
 }
 
 }  // namespace nicbar::net

@@ -50,9 +50,15 @@ class Switch {
 
   [[nodiscard]] bool is_port_down(std::size_t port) const { return port_down_.at(port); }
 
+  [[nodiscard]] std::uint64_t packets_accepted() const { return accepted_; }
   [[nodiscard]] std::uint64_t packets_forwarded() const { return forwarded_; }
   [[nodiscard]] std::uint64_t packets_misrouted() const { return misrouted_; }
   [[nodiscard]] std::uint64_t packets_dropped_port_down() const { return port_down_drops_; }
+  [[nodiscard]] std::uint64_t packets_in_pipeline() const { return in_pipeline_; }
+
+  /// Packet conservation: every accepted packet is forwarded, misrouted, or
+  /// dropped on a failed port; at quiescence the routing pipeline is empty.
+  void verify_conservation() const;
 
  private:
   sim::Simulator& sim_;
@@ -60,9 +66,11 @@ class Switch {
   SwitchParams params_;
   std::vector<Link*> out_;
   std::vector<bool> port_down_;
+  std::uint64_t accepted_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t misrouted_ = 0;
   std::uint64_t port_down_drops_ = 0;
+  std::uint64_t in_pipeline_ = 0;
 };
 
 }  // namespace nicbar::net

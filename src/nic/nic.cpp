@@ -127,6 +127,7 @@ void Nic::open_port(PortId p, sim::Mailbox<GmEvent>* events) {
   ps.last_barrier.reset();
   ps.active_reduce.reset();
   ps.last_reduce.reset();
+  ps.last_completed_epoch = -1;  // a fresh endpoint restarts its epoch sequence
   flush_closed_port_records(p);
 }
 

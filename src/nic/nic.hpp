@@ -200,6 +200,9 @@ class Nic {
     std::unique_ptr<BarrierToken> last_barrier;
     std::unique_ptr<ReduceToken> active_reduce;
     std::unique_ptr<ReduceToken> last_reduce;
+    /// Highest barrier epoch completed on this port since it was opened; a
+    /// completion at an epoch at or below this violates epoch monotonicity.
+    std::int64_t last_completed_epoch = -1;
   };
 
   Connection& conn(NodeId remote);

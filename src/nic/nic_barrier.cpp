@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "nic/nic.hpp"
+#include "sim/check.hpp"
 
 namespace nicbar::nic {
 
@@ -290,6 +291,13 @@ void Nic::barrier_complete(PortId local_port) {
   tok->completed = true;
   ++stats_.barriers_completed;
   const std::uint32_t epoch = tok->epoch;
+  // Epoch monotonicity: even under faults (drops, retransmits, late NACK
+  // resends) a port must never re-complete an old epoch or complete out of
+  // order — the GM layer assigns epochs sequentially per port.
+  NICBAR_CHECK(static_cast<std::int64_t>(epoch) > ps.last_completed_epoch, "nic.barrier",
+               sim_.now(), "port %u: completed epoch %u after already completing epoch %lld",
+               local_port, epoch, static_cast<long long>(ps.last_completed_epoch));
+  ps.last_completed_epoch = static_cast<std::int64_t>(epoch);
   trace(sim::TraceCategory::kBarrier, "port %u: %s barrier epoch=%u complete", local_port,
         to_string(tok->algorithm), epoch);
   // Keep the completed token for §3.2 late-NACK resends.

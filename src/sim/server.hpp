@@ -19,6 +19,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/check.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -33,7 +34,18 @@ class BusyServer {
   /// be null) runs when the job completes. Returns the completion time.
   SimTime submit(Duration service, std::function<void()> on_done = nullptr) {
     const SimTime now = sim_->now();
+    NICBAR_CHECK(!service.is_negative(), "sim.server", now,
+                 "server '%s': negative service time %lld ps", name_.c_str(),
+                 static_cast<long long>(service.ps()));
     const SimTime start = free_at_ > now ? free_at_ : now;
+    // Mutual exclusion: the device serves one job at a time, in FIFO order.
+    // A start before the previous job's completion (or before now) would
+    // mean two jobs overlap on the bus/processor.
+    NICBAR_CHECK(start >= free_at_ && start >= now, "sim.server", now,
+                 "server '%s': job would overlap previous occupancy "
+                 "(start=%lld ps, free_at=%lld ps)",
+                 name_.c_str(), static_cast<long long>(start.ps()),
+                 static_cast<long long>(free_at_.ps()));
     if (start > now) ++stalls_;  // job had to queue behind an earlier one
     queue_delay_total_ += start - now;
     busy_total_ += service;

@@ -1,8 +1,9 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "sim/check.hpp"
 
 namespace nicbar::sim {
 
@@ -31,12 +32,14 @@ Simulator::~Simulator() {
 }
 
 EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
-  assert(at >= now_ && "cannot schedule into the past");
+  NICBAR_CHECK(at >= now_, "sim.queue", now_, "event scheduled %lld ps into the past",
+               static_cast<long long>((now_ - at).ps()));
   return queue_.schedule(at < now_ ? now_ : at, std::move(action));
 }
 
 EventId Simulator::schedule_in(Duration d, EventQueue::Action action) {
-  assert(!d.is_negative() && "negative delay");
+  NICBAR_CHECK(!d.is_negative(), "sim.queue", now_, "negative delay %lld ps",
+               static_cast<long long>(d.ps()));
   return queue_.schedule(now_ + (d.is_negative() ? Duration{0} : d), std::move(action));
 }
 
@@ -52,7 +55,9 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   SimTime at;
   EventQueue::Action action = queue_.pop(at);
-  assert(at >= now_);
+  NICBAR_CHECK(at >= now_, "sim.queue", now_,
+               "event queue time went backwards: popped t=%lld ps while clock is %lld ps",
+               static_cast<long long>(at.ps()), static_cast<long long>(now_.ps()));
   now_ = at;
   action();
   ++events_executed_;

@@ -1,6 +1,8 @@
 #include "wl/spec.hpp"
 
+#include <cstdio>
 #include <istream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -410,6 +412,146 @@ WorkloadSpec parse_workload_spec(std::istream& in) {
 WorkloadSpec parse_workload_spec(const std::string& text) {
   std::istringstream is(text);
   return parse_workload_spec(is);
+}
+
+// --- Spec printer -------------------------------------------------------------
+
+namespace {
+
+/// Microsecond rendering with full picosecond precision (6 decimals); the
+/// parser's microseconds() conversion reconstructs the same Duration for any
+/// integer-µs value, which is all the format promises to round-trip.
+std::string us_str(sim::Duration d) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", d.us());
+  return buf;
+}
+
+std::string weight_str(double w) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", w);
+  return buf;
+}
+
+const char* nic_name(const host::ClusterParams& c) {
+  // The format names the card, not the full config; pick by model string
+  // with the clock as a fallback for hand-built configs.
+  if (c.nic.model == nic::lanai72().model) return "lanai72";
+  if (c.nic.model == nic::lanai43().model) return "lanai43";
+  return c.nic.clock_mhz >= 50.0 ? "lanai72" : "lanai43";
+}
+
+const char* topology_name(host::Topology t) {
+  switch (t) {
+    case host::Topology::kSingleSwitch: return "switch";
+    case host::Topology::kSwitchChain: return "chain";
+    case host::Topology::kSwitchTree: return "tree";
+  }
+  return "switch";
+}
+
+const char* reliability_name(nic::BarrierReliability r) {
+  switch (r) {
+    case nic::BarrierReliability::kUnreliable: return "unreliable";
+    case nic::BarrierReliability::kSharedStream: return "shared";
+    case nic::BarrierReliability::kSeparateAcks: return "separate";
+  }
+  return "unreliable";
+}
+
+}  // namespace
+
+void print_spec(const WorkloadSpec& spec, std::ostream& os) {
+  os << "cluster-nodes " << spec.cluster_nodes << "\n";
+  // `nic` replaces the whole NIC config, so `reliability` must follow it.
+  os << "nic " << nic_name(spec.cluster) << "\n";
+  os << "reliability " << reliability_name(spec.cluster.nic.barrier_reliability) << "\n";
+  os << "topology " << topology_name(spec.cluster.topology) << "\n";
+  os << "placement " << to_string(spec.placement) << "\n";
+  switch (spec.arrival.kind) {
+    case ArrivalKind::kFixed:
+      os << "arrival fixed " << us_str(spec.arrival.interval) << "\n";
+      break;
+    case ArrivalKind::kPoisson:
+      os << "arrival poisson " << us_str(spec.arrival.interval) << "\n";
+      break;
+    case ArrivalKind::kClosedLoop:
+      os << "arrival closed-loop " << spec.arrival.width << " " << us_str(spec.arrival.think)
+         << "\n";
+      break;
+  }
+  os << "seed " << spec.seed << "\n";
+  os << "hist-max-us " << weight_str(spec.hist_max_us) << "\n";
+  for (const JobClass& c : spec.classes) {
+    os << "\njob " << c.name << "\n";
+    os << "  count " << c.count << "\n";
+    os << "  nodes " << c.nodes << "\n";
+    os << "  iters " << c.iterations << "\n";
+    os << "  mix barrier=" << weight_str(c.mix.barrier) << " bcast=" << weight_str(c.mix.broadcast)
+       << " allreduce=" << weight_str(c.mix.allreduce) << " fuzzy=" << weight_str(c.mix.fuzzy)
+       << "\n";
+    os << "  compute-us " << us_str(c.compute_mean) << "\n";
+    os << "  imbalance " << weight_str(c.compute_imbalance) << "\n";
+    os << "  skew-us " << us_str(c.start_skew) << "\n";
+    os << "  location " << (c.location == coll::Location::kNic ? "nic" : "host") << "\n";
+    if (c.algorithm == nic::BarrierAlgorithm::kGatherBroadcast) {
+      os << "  algorithm gb " << c.gb_dimension << "\n";
+    } else {
+      os << "  algorithm pe\n";
+    }
+    os << "  fuzzy-chunk-us " << us_str(c.fuzzy_chunk) << "\n";
+    os << "  deadline-us " << us_str(c.deadline) << "\n";
+    if (!c.layer_overhead.is_zero()) os << "  layer-us " << us_str(c.layer_overhead) << "\n";
+  }
+}
+
+std::string print_spec(const WorkloadSpec& spec) {
+  std::ostringstream os;
+  print_spec(spec, os);
+  return os.str();
+}
+
+bool spec_equal(const WorkloadSpec& a, const WorkloadSpec& b) {
+  if (a.cluster_nodes != b.cluster_nodes || a.placement != b.placement || a.seed != b.seed ||
+      a.hist_max_us != b.hist_max_us) {
+    return false;
+  }
+  if (a.arrival.kind != b.arrival.kind || a.arrival.interval != b.arrival.interval ||
+      a.arrival.width != b.arrival.width || a.arrival.think != b.arrival.think) {
+    return false;
+  }
+  if (a.cluster.nic.model != b.cluster.nic.model ||
+      a.cluster.nic.clock_mhz != b.cluster.nic.clock_mhz ||
+      a.cluster.nic.barrier_reliability != b.cluster.nic.barrier_reliability ||
+      a.cluster.topology != b.cluster.topology) {
+    return false;
+  }
+  if (a.classes.size() != b.classes.size()) return false;
+  for (std::size_t i = 0; i < a.classes.size(); ++i) {
+    const JobClass& x = a.classes[i];
+    const JobClass& y = b.classes[i];
+    if (x.name != y.name || x.count != y.count || x.nodes != y.nodes ||
+        x.iterations != y.iterations) {
+      return false;
+    }
+    if (x.mix.barrier != y.mix.barrier || x.mix.broadcast != y.mix.broadcast ||
+        x.mix.allreduce != y.mix.allreduce || x.mix.fuzzy != y.mix.fuzzy) {
+      return false;
+    }
+    if (x.compute_mean != y.compute_mean || x.compute_imbalance != y.compute_imbalance ||
+        x.start_skew != y.start_skew || x.fuzzy_chunk != y.fuzzy_chunk ||
+        x.location != y.location || x.algorithm != y.algorithm || x.deadline != y.deadline ||
+        x.layer_overhead != y.layer_overhead) {
+      return false;
+    }
+    // The format only carries the dimension for GB ("algorithm gb <dim>");
+    // for PE the field is meaningless and not compared.
+    if (x.algorithm == nic::BarrierAlgorithm::kGatherBroadcast &&
+        x.gb_dimension != y.gb_dimension) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace nicbar::wl

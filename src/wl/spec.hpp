@@ -161,4 +161,17 @@ void validate(const WorkloadSpec& spec);
 [[nodiscard]] WorkloadSpec parse_workload_spec(std::istream& in);
 [[nodiscard]] WorkloadSpec parse_workload_spec(const std::string& text);
 
+/// Prints `spec` back in the line format parse_workload_spec accepts, so
+/// that parse(print(parse(text))) == parse(text) structurally (the
+/// round-trip property exercised by sim::check and tests/wl). Every field
+/// the format carries is emitted explicitly, defaults included. Durations
+/// are printed as microseconds with picosecond precision; integer-µs values
+/// (the whole example corpus) round-trip exactly.
+void print_spec(const WorkloadSpec& spec, std::ostream& os);
+[[nodiscard]] std::string print_spec(const WorkloadSpec& spec);
+
+/// Structural equality over every field the spec line format carries (the
+/// fields print_spec emits); ignores fields the format cannot express.
+[[nodiscard]] bool spec_equal(const WorkloadSpec& a, const WorkloadSpec& b);
+
 }  // namespace nicbar::wl

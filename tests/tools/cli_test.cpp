@@ -170,6 +170,68 @@ TEST(CliTest, StrayPositionalFails) {
   EXPECT_FALSE(parse_args({"workload", "spec.wl", "extra"}, err).has_value());
 }
 
+TEST(CliTest, CheckSubcommandParses) {
+  std::string err;
+  const auto o = parse_args({"check"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->check);
+  EXPECT_FALSE(o->workload);
+  EXPECT_EQ(o->check_cases, 50u);
+  EXPECT_FALSE(o->have_case_seed);
+}
+
+TEST(CliTest, CheckComposesWithCasesAndCaseSeed) {
+  std::string err;
+  auto o = parse_args({"check", "--cases", "120", "--seed", "7"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->check_cases, 120u);
+  EXPECT_EQ(o->params.seed, 7u);
+
+  o = parse_args({"check", "--case-seed", "12345"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->have_case_seed);
+  EXPECT_EQ(o->case_seed, 12345u);
+}
+
+TEST(CliTest, CheckFlagsRequireTheSubcommand) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--cases", "10"}, err).has_value());
+  EXPECT_NE(err.find("check"), std::string::npos);
+  EXPECT_FALSE(parse_args({"--case-seed", "1"}, err).has_value());
+}
+
+TEST(CliTest, CheckRejectsGarbageAndSingleRunArtifacts) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"check", "--cases", "0"}, err).has_value());
+  EXPECT_FALSE(parse_args({"check", "--cases", "lots"}, err).has_value());
+  EXPECT_FALSE(parse_args({"check", "--case-seed", "soon"}, err).has_value());
+  EXPECT_FALSE(parse_args({"check", "--breakdown"}, err).has_value());
+  EXPECT_FALSE(parse_args({"check", "--predict"}, err).has_value());
+  EXPECT_FALSE(parse_args({"check", "--seeds", "3"}, err).has_value());
+  EXPECT_FALSE(parse_args({"check", "--metrics-json", "m.json"}, err).has_value());
+}
+
+TEST(CliTest, CheckAndWorkloadAreMutuallyExclusive) {
+  std::string err;
+  // After `workload`, the next positional is the spec path — even if it
+  // happens to spell "check"; no accidental double subcommand.
+  const auto o = parse_args({"workload", "check"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->workload);
+  EXPECT_FALSE(o->check);
+  EXPECT_EQ(o->workload_spec_path, "check");
+  EXPECT_FALSE(parse_args({"check", "workload"}, err).has_value());
+  EXPECT_FALSE(parse_args({"check", "extra"}, err).has_value());
+}
+
+TEST(CliTest, SeedsAndRtoRejectGarbageValues) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--seeds", "several"}, err).has_value());
+  EXPECT_NE(err.find("--seeds"), std::string::npos);
+  EXPECT_FALSE(parse_args({"--rto", "sometimes"}, err).has_value());
+  EXPECT_NE(err.find("--rto"), std::string::npos);
+}
+
 TEST(CliTest, BurstLossParsesTriple) {
   std::string err;
   const auto o = parse_args({"--burst-loss", "0.01,0.5,0.9"}, err);

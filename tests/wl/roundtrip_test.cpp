@@ -1,0 +1,58 @@
+// Round-trips every checked-in workload spec through parse -> print -> parse:
+// the printed form must reach a fixed point and describe the same workload.
+// Guards the spec format against asymmetric parser/printer changes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wl/spec.hpp"
+
+#ifndef NICBAR_WORKLOADS_DIR
+#error "NICBAR_WORKLOADS_DIR must point at examples/workloads"
+#endif
+
+namespace nicbar::wl {
+namespace {
+
+std::vector<std::filesystem::path> workload_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(NICBAR_WORKLOADS_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".wl") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(RoundTripTest, ExampleDirectoryIsNotEmpty) {
+  EXPECT_GE(workload_files().size(), 2u);
+}
+
+TEST(RoundTripTest, EveryExampleSpecSurvivesParsePrintParse) {
+  for (const auto& path : workload_files()) {
+    SCOPED_TRACE(path.string());
+    const WorkloadSpec original = parse_workload_spec(slurp(path));
+    EXPECT_NO_THROW(validate(original));
+
+    const std::string printed = print_spec(original);
+    const WorkloadSpec reparsed = parse_workload_spec(printed);
+    EXPECT_TRUE(spec_equal(original, reparsed)) << "printed form:\n" << printed;
+    // One more cycle must be the identity on text: print is a fixed point.
+    EXPECT_EQ(print_spec(reparsed), printed);
+  }
+}
+
+}  // namespace
+}  // namespace nicbar::wl

@@ -20,9 +20,18 @@ Usage: check_bench_json.py FILE [FILE...]   (exit 0 iff every file conforms)
 """
 
 import json
+import math
 import sys
 
 SCHEMA = "nicbar-bench-v1"
+
+# Benches whose rows are improvement-factor figures (Fig. 5b/5d: host/NIC
+# latency ratios). Each of their rows must carry at least one *improvement*
+# metric, and any improvement factor anywhere must be a sane finite ratio —
+# a NaN or 0.0 here means a division by an unmeasured (zero) latency upstream,
+# which json.load would otherwise wave through (it accepts NaN/Infinity).
+IMPROVEMENT_BENCHES = {"fig5b", "fig5d"}
+IMPROVEMENT_MAX = 1000.0
 
 
 def check(path):
@@ -57,12 +66,28 @@ def check(path):
         if not isinstance(metrics, dict) or not metrics:
             problems.append("%s.metrics must be a non-empty object" % where)
             continue
+        improvement_keys = 0
         for key, value in metrics.items():
             # bool is an int subclass in Python; reject it explicitly.
             if not isinstance(key, str) or isinstance(value, bool) or not isinstance(
                 value, (int, float)
             ):
                 problems.append("%s.metrics[%r] must map a string to a number" % (where, key))
+                continue
+            if "improvement" in key:
+                improvement_keys += 1
+                if not math.isfinite(value):
+                    problems.append("%s.metrics[%r] must be finite, got %r" % (where, key, value))
+                elif not 0.0 < value < IMPROVEMENT_MAX:
+                    problems.append(
+                        "%s.metrics[%r] must be a ratio in (0, %g), got %r"
+                        % (where, key, IMPROVEMENT_MAX, value)
+                    )
+        if doc.get("bench") in IMPROVEMENT_BENCHES and improvement_keys == 0:
+            problems.append(
+                "%s: bench %r rows must carry at least one *improvement* metric"
+                % (where, doc.get("bench"))
+            )
 
     labels = [r.get("label") for r in rows if isinstance(r, dict)]
     if len(labels) != len(set(labels)):

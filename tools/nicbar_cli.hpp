@@ -46,6 +46,15 @@ struct Options {
   std::string report_path;
   /// --seed was given explicitly (workload mode: override the spec's seed).
   bool seed_given = false;
+
+  /// `nicbar_run check` — run the sim::check validation pass: the
+  /// differential oracle sweep plus the property/fuzz suite. --cases sets
+  /// the number of random fuzz cases; --case-seed N replays exactly one
+  /// fuzz case (the reproduction command printed with every fuzz failure).
+  bool check = false;
+  std::size_t check_cases = 50;
+  std::uint64_t case_seed = 0;
+  bool have_case_seed = false;
 };
 
 inline const char* usage_text() {
@@ -55,6 +64,12 @@ inline const char* usage_text() {
       "                     --seed/--seeds/--jobs/--fault-plan/--loss/--burst-loss,\n"
       "                     --metrics-json, and --report-json\n"
       "  --report-json F    workload mode: write the wl::Report as JSON to F\n"
+      "  check              run the validation pass: differential oracle (closed\n"
+      "                     forms vs simulator) + metamorphic property suite +\n"
+      "                     random fuzz cases; non-zero exit on any failure\n"
+      "  --cases N          check mode: number of random fuzz cases (default 50)\n"
+      "  --case-seed S      check mode: replay a single fuzz case by its seed\n"
+      "                     (printed with every fuzz failure)\n"
       "  --nodes N          group size (default 8)\n"
       "  --reps R           consecutive barriers to average (default 500)\n"
       "  --location L       nic | host (default nic)\n"
@@ -136,9 +151,12 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (!a.empty() && a[0] != '-') {
-      // Positionals: the `workload` subcommand, then its spec file.
-      if (!o.workload && a == "workload") {
+      // Positionals: the `workload`/`check` subcommands, then (for
+      // workload) its spec file.
+      if (!o.workload && !o.check && a == "workload") {
         o.workload = true;
+      } else if (!o.workload && !o.check && a == "check") {
+        o.check = true;
       } else if (o.workload && o.workload_spec_path.empty()) {
         o.workload_spec_path = a;
       } else {
@@ -299,6 +317,17 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
       if (!parse_unsigned(v, n)) return fail("--seed needs a non-negative integer");
       o.params.seed = n;
       o.seed_given = true;
+    } else if (a == "--cases") {
+      const char* v = value("--cases");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n) || n == 0) return fail("--cases needs a positive integer");
+      o.check_cases = static_cast<std::size_t>(n);
+    } else if (a == "--case-seed") {
+      const char* v = value("--case-seed");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n)) return fail("--case-seed needs a non-negative integer");
+      o.case_seed = n;
+      o.have_case_seed = true;
     } else if (a == "--predict") {
       o.predict = true;
     } else if (a == "--breakdown") {
@@ -321,6 +350,14 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
   }
   if (!o.workload && !o.report_path.empty()) {
     return fail("--report-json is only meaningful with the workload subcommand");
+  }
+  if (!o.check && (o.check_cases != 50 || o.have_case_seed)) {
+    return fail("--cases/--case-seed are only meaningful with the check subcommand");
+  }
+  if (o.check && (o.predict || o.breakdown || !o.trace_path.empty() || !o.metrics_path.empty() ||
+                  o.seeds > 1)) {
+    return fail("check runs a fixed validation suite; it only composes with "
+                "--cases and --case-seed");
   }
   return o;
 }

@@ -20,6 +20,8 @@
 #include <memory>
 #include <string>
 
+#include "check/oracle.hpp"
+#include "check/property.hpp"
 #include "coll/sweep.hpp"
 #include "model/timing.hpp"
 #include "nicbar_cli.hpp"
@@ -277,6 +279,52 @@ int run_workload_cmd(const cli::Options& o) {
   return 0;
 }
 
+/// `nicbar_run check`: the differential oracle plus the property/fuzz suite;
+/// `--case-seed N` replays a single fuzz case instead (the reproduction
+/// command printed with every fuzz failure).
+int run_check_cmd(const cli::Options& o) {
+  namespace chk = sim::check;
+  if (o.have_case_seed) {
+    const chk::PropertyReport rep = chk::run_fuzz_case(o.case_seed);
+    std::string summary;
+    (void)chk::generate_fuzz_case(o.case_seed, &summary);
+    std::printf("fuzz %s: %s\n", summary.c_str(), rep.ok() ? "ok" : "FAILED");
+    for (const auto& f : rep.failures) {
+      std::printf("  [%s] %s\n", f.property.c_str(), f.detail.c_str());
+    }
+    return rep.ok() ? 0 : 1;
+  }
+
+  const chk::OracleReport oracle = chk::run_differential_oracle();
+  std::printf("differential oracle  : %zu cases (%zu exact), max rel error %.3f over the "
+              "tolerance cases\n",
+              oracle.checked, oracle.exact_cases, oracle.max_rel_error);
+  for (const auto& c : oracle.outcomes) {
+    if (c.pass) continue;
+    std::printf("  FAIL %-26s predicted=%lld ps simulated=%lld ps (%s, rel error %.3f)\n",
+                c.label.c_str(), static_cast<long long>(c.predicted.ps()),
+                static_cast<long long>(c.simulated.ps()),
+                c.exact ? "must match exactly" : "tolerance exceeded", c.rel_error);
+  }
+
+  const chk::PropertyReport props =
+      chk::run_property_suite({.seed = o.params.seed, .cases = o.check_cases});
+  std::printf("property suite       : %zu metamorphic properties, %zu fuzz cases (seed %llu)\n",
+              props.properties_run, props.fuzz_cases_run,
+              static_cast<unsigned long long>(o.params.seed));
+  for (const auto& f : props.failures) {
+    std::printf("  FAIL [%s] %s\n", f.property.c_str(), f.detail.c_str());
+    if (f.case_seed != 0) {
+      std::printf("       reproduce with: nicbar_run check --case-seed %llu\n",
+                  static_cast<unsigned long long>(f.case_seed));
+    }
+  }
+
+  const bool ok = oracle.ok() && props.ok();
+  std::printf("check                : %s\n", ok ? "all green" : "FAILURES (see above)");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -284,10 +332,11 @@ int main(int argc, char** argv) {
   std::optional<cli::Options> parsed = cli::parse(argc, argv, error);
   if (!parsed) {
     if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
-    std::printf("usage: %s [workload SPEC] [options]\n%s", argv[0], cli::usage_text());
+    std::printf("usage: %s [workload SPEC | check] [options]\n%s", argv[0], cli::usage_text());
     return 2;
   }
   cli::Options& o = *parsed;
+  if (o.check) return run_check_cmd(o);
   if (o.workload) return run_workload_cmd(o);
   coll::ExperimentParams& p = o.params;
 
