@@ -1,0 +1,35 @@
+# SLO study: two latency-sensitive tenants with a declared service-level
+# objective (95% of barriers under 150 µs, burn rate windowed over 2 ms)
+# sharing NICs with two batch tenants via overlapping placement. The report
+# names each violating tenant with its burn rate per window and the dominant
+# critical-path segment — under LANai contention that is usually the recv
+# engine or firmware queueing, not the wire.
+#
+#   nicbar_run workload examples/workloads/slo.wl --slo-report slo.json
+#   nicbar_run workload examples/workloads/slo.wl --seeds 3 --slo-report slo.json
+cluster-nodes 16
+nic lanai43
+topology switch
+placement overlapping
+arrival poisson 500
+seed 3
+hist-max-us 4000
+
+job latency-sensitive
+  count 2
+  nodes 8
+  iters 100
+  mix barrier=1
+  compute-us 30
+  imbalance 0.4
+  slo-us 150
+  slo-target 0.95
+  slo-window-us 2000
+
+job batch
+  count 2
+  nodes 8
+  iters 100
+  mix barrier=1
+  compute-us 50
+  imbalance 0.2

@@ -89,6 +89,16 @@ void Port::note_event_received(const GmEvent& ev) {
     bcoll->barrier_completed(node(), id_, ev.barrier_epoch, sim_.now(),
                              config_.host_recv_overhead + config_.layer_overhead);
   }
+  auto* causal = nic_.causal_tracer();
+  if (causal != nullptr && ev.type == GmEventType::kBarrierComplete && ev.causal != 0) {
+    // Sink span of the barrier's dependency DAG: the HRecv (+Layer) term of
+    // Eq. 1-2 — host CPU consuming the completion event.
+    const sim::Duration host = config_.host_recv_overhead + config_.layer_overhead;
+    const std::uint64_t sink = causal->record(sim::causal::Segment::kHost, node(),
+                                              "host_recv", sim_.now() - host, sim_.now(),
+                                              ev.causal);
+    causal->complete_barrier(node(), id_, ev.barrier_epoch, sink);
+  }
 }
 
 sim::Task Port::provide_barrier_buffer() {
@@ -122,6 +132,12 @@ sim::ValueTask<std::uint32_t> Port::barrier_send(nic::BarrierToken token) {
     // The Send term of Eq. 1-2: host software cost of posting the token.
     bcoll->barrier_posted(node(), id_, epoch, t0,
                           config_.host_barrier_overhead + config_.layer_overhead);
+  }
+  if (auto* causal = nic_.causal_tracer()) {
+    // Origin span of the barrier's dependency DAG: the Send (+Layer) term of
+    // Eq. 1-2. Spans any host-CPU queueing as well (attributed to kHost).
+    token.causal = causal->record(sim::causal::Segment::kHost, node(), "barrier_post", t0,
+                                  sim_.now());
   }
   nic_.post_barrier_token(std::move(token));
   co_return epoch;

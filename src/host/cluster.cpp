@@ -30,6 +30,7 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   if (params_.telemetry != nullptr) {
     for (auto& n : nodes_) n->nic->set_telemetry(params_.telemetry);
     net_->set_trace_sink(params_.telemetry->trace());
+    net_->set_causal(params_.telemetry->causal());
   }
   arm_faults();
 }

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <memory>
 
+#include "sim/causal.hpp"
 #include "sim/check.hpp"
 
 namespace nicbar::net {
@@ -45,7 +46,14 @@ sim::SimTime Link::transmit(Packet p) {
     ++dropped_;
     const sim::SimTime done = wire_.submit(occupy);
     if (trace_sink_ != nullptr) {
-      trace_sink_->duration(trace_track_, "drop", done - occupy, occupy, "net");
+      trace_sink_->duration(trace_track_, "drop", done - occupy, occupy, "net",
+                            sim::TraceCategory::kNet, p.id);
+    }
+    if (causal_ != nullptr) {
+      // Terminal span: the packet's chain ends here; a retransmission starts
+      // a fresh SEND span from the sender's stored record.
+      causal_->record(sim::causal::Segment::kWire, p.dst_node, "wire_drop", done - occupy,
+                      done, p.causal);
     }
     // The wire is still burned for the packet's duration; nothing arrives.
     return done;
@@ -59,7 +67,16 @@ sim::SimTime Link::transmit(Packet p) {
   auto packet = std::make_shared<Packet>(std::move(p));
   const sim::SimTime done = wire_.submit(occupy);
   if (trace_sink_ != nullptr) {
-    trace_sink_->duration(trace_track_, to_string(packet->type), done - occupy, occupy, "net");
+    trace_sink_->duration(trace_track_, to_string(packet->type), done - occupy, occupy, "net",
+                          sim::TraceCategory::kNet, packet->id);
+  }
+  if (causal_ != nullptr) {
+    // One span per directed hop, covering serialisation and propagation:
+    // [done - occupy, done + prop]. Queueing behind earlier packets on this
+    // wire shows up as the gap between the parent's end and done - occupy.
+    packet->causal =
+        causal_->record(sim::causal::Segment::kWire, packet->dst_node, "wire",
+                        done - occupy, done + prop, packet->causal);
   }
   ++in_flight_;
   sim_.schedule_at(done + prop, [this, packet]() mutable {

@@ -116,6 +116,11 @@ class Link {
     if (sink != nullptr) trace_track_ = sink->track("link/" + name());
   }
 
+  /// Attaches a causal tracer: every delivered packet gains a kWire span
+  /// covering serialisation + propagation (so wire time is never mistaken
+  /// for RECV-engine queueing). Nullptr detaches (default, zero-cost).
+  void set_causal(sim::causal::CausalTracer* causal) { causal_ = causal; }
+
  private:
   sim::Simulator& sim_;
   LinkParams params_;
@@ -145,6 +150,7 @@ class Link {
   std::int64_t bytes_sent_ = 0;
   sim::telemetry::TraceEventSink* trace_sink_ = nullptr;
   int trace_track_ = 0;
+  sim::causal::CausalTracer* causal_ = nullptr;
 };
 
 }  // namespace nicbar::net

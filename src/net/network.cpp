@@ -153,7 +153,7 @@ sim::SimTime Network::inject(Packet p) {
   p.route = route(p.src_node, p.dst_node);
   p.hop = 0;
   p.injected_at = sim_.now();
-  p.id = next_packet_id_++;
+  if (p.id == 0) p.id = next_packet_id_++;
   ++injected_;
   return t.up->transmit(std::move(p));
 }

@@ -72,6 +72,18 @@ class Network {
     for (auto& l : links_) l->set_trace_sink(sink);
   }
 
+  /// Attaches (or detaches, with nullptr) a causal tracer to every link and
+  /// switch in the fabric. Call after the topology is fully built.
+  void set_causal(sim::causal::CausalTracer* causal) {
+    for (auto& l : links_) l->set_causal(causal);
+    for (auto& s : switches_) s->set_causal(causal);
+  }
+
+  /// Reserves a fabric-unique packet id. NICs stamp ids at the SEND engine
+  /// (before injection) so loopback packets and trace flow events share the
+  /// same id space; inject() only stamps packets that don't have one yet.
+  [[nodiscard]] std::uint64_t allocate_packet_id() { return next_packet_id_++; }
+
   // --- Introspection / fault injection ----------------------------------------
 
   [[nodiscard]] std::size_t terminal_count() const { return terminals_.size(); }

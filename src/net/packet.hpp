@@ -89,6 +89,11 @@ struct Packet {
   sim::SimTime injected_at{0};  // set by the fabric when the packet enters
   std::uint64_t id = 0;         // unique per fabric, for tracing
 
+  /// Causal provenance: the sim::causal span id of the latest span on this
+  /// packet's dependency chain (the SEND-engine span at injection, then each
+  /// wire/switch hop updates it in flight). 0 when causal tracing is off.
+  std::uint64_t causal = 0;
+
   /// Fault injection flipped bits in flight. The fabric still delivers the
   /// packet (the wire does not know); the receiving NIC's CRC check catches
   /// it and discards after paying the full receive occupancy.

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "sim/causal.hpp"
 #include "sim/check.hpp"
 
 namespace nicbar::net {
@@ -24,6 +25,11 @@ void Switch::accept(Packet p) {
   ++forwarded_;
   Link* link = out_[port];
   auto packet = std::make_shared<Packet>(std::move(p));
+  if (causal_ != nullptr) {
+    packet->causal =
+        causal_->record(sim::causal::Segment::kSwitch, packet->dst_node, "route",
+                        sim_.now(), sim_.now() + params_.routing_latency, packet->causal);
+  }
   ++in_pipeline_;
   sim_.schedule_in(params_.routing_latency, [this, link, packet]() mutable {
     --in_pipeline_;

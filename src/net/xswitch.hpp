@@ -44,6 +44,10 @@ class Switch {
   /// A packet's head has arrived: consume the next route byte and forward.
   void accept(Packet p);
 
+  /// Attaches a causal tracer: every forwarded packet gains a kSwitch span
+  /// covering the routing latency. Nullptr detaches (default, zero-cost).
+  void set_causal(sim::causal::CausalTracer* causal) { causal_ = causal; }
+
   /// Fault injection: a failed output port eats every packet routed to it
   /// (a stuck crossbar lane; the rest of the switch keeps forwarding).
   void set_port_down(std::size_t port, bool down) { port_down_.at(port) = down; }
@@ -71,6 +75,7 @@ class Switch {
   std::uint64_t misrouted_ = 0;
   std::uint64_t port_down_drops_ = 0;
   std::uint64_t in_pipeline_ = 0;
+  sim::causal::CausalTracer* causal_ = nullptr;
 };
 
 }  // namespace nicbar::net

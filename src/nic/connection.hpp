@@ -30,6 +30,9 @@ struct BarrierBitInfo {
   PortId dst_port = 0;       // local port the message was addressed to
   bool for_closed_port = false;
   std::int64_t value = 0;    // kReduceUp/kReduceDown: the carried partial value
+  /// Causal provenance of the recorded message (sim::causal span id), so the
+  /// eventual consumer joins on the true arrival chain. 0 when tracing is off.
+  std::uint64_t causal = 0;
 };
 
 /// A reliably-sent packet awaiting acknowledgment.

@@ -55,6 +55,7 @@ void Nic::trace(sim::TraceCategory cat, const char* fmt, ...) {
 void Nic::set_telemetry(sim::telemetry::Telemetry* telemetry) {
   tsink_ = telemetry != nullptr ? telemetry->trace() : nullptr;
   bcoll_ = telemetry != nullptr ? telemetry->breakdown() : nullptr;
+  causal_ = telemetry != nullptr ? telemetry->causal() : nullptr;
   if (tsink_ != nullptr) {
     const std::string prefix = "nic" + std::to_string(node_) + "/";
     for (std::size_t i = 0; i < kMcpEngineCount; ++i) {
@@ -65,26 +66,51 @@ void Nic::set_telemetry(sim::telemetry::Telemetry* telemetry) {
   }
 }
 
+namespace {
+
+/// TraceCategory of each MCP engine, for the sink-level --trace-mask filter.
+constexpr sim::TraceCategory engine_category(McpEngine e) {
+  switch (e) {
+    case McpEngine::kSdma: return sim::TraceCategory::kSdma;
+    case McpEngine::kSend: return sim::TraceCategory::kSend;
+    case McpEngine::kRecv: return sim::TraceCategory::kRecv;
+    case McpEngine::kRdma: return sim::TraceCategory::kRdma;
+  }
+  return sim::TraceCategory::kAll;
+}
+
+}  // namespace
+
 sim::SimTime Nic::engine_submit(McpEngine engine, const char* job, std::int64_t cycles,
-                                std::function<void()> on_done) {
+                                std::function<void()> on_done, std::uint64_t trace_id) {
   const auto i = static_cast<std::size_t>(engine);
   ++engines_.jobs[i];
   engines_.cycles[i] += cycles;
   const sim::SimTime end = proc_.submit_cycles(cycles, std::move(on_done));
   if (tsink_ != nullptr) {
     const sim::Duration service = proc_.cycles(cycles);
-    tsink_->duration(engine_track_[i], job, end - service, service, "nic");
+    tsink_->duration(engine_track_[i], job, end - service, service, "nic",
+                     engine_category(engine), trace_id);
   }
   return end;
 }
 
 sim::SimTime Nic::pci_submit(const char* job, sim::Duration service,
-                             std::function<void()> on_done) {
+                             std::function<void()> on_done, std::uint64_t trace_id) {
   const sim::SimTime end = pci_.submit(service, std::move(on_done));
   if (tsink_ != nullptr) {
-    tsink_->duration(pci_track_, job, end - service, service, "pci");
+    tsink_->duration(pci_track_, job, end - service, service, "pci",
+                     sim::TraceCategory::kRdma, trace_id);
   }
   return end;
+}
+
+std::uint64_t Nic::causal_engine_span(sim::causal::Segment seg, const char* label,
+                                      sim::SimTime end, std::int64_t cycles,
+                                      std::uint64_t parent, std::uint64_t parent2) {
+  if (causal_ == nullptr) return 0;
+  const sim::Duration service = proc_.cycles(cycles);
+  return causal_->record(seg, node_, label, end - service, end, parent, parent2);
 }
 
 void Nic::breakdown_nic(PortId p, std::uint32_t epoch, std::int64_t cycles) {
@@ -258,6 +284,9 @@ void Nic::transmit(Packet p) {
     ++stats_.tx_dropped_crashed;
     return;
   }
+  // Stamp the fabric-unique id here (not at injection) so loopback packets
+  // and the SEND-side trace flow event carry it too.
+  if (p.id == 0) p.id = net_.allocate_packet_id();
   const std::int64_t cost =
       net::is_barrier_payload(p.type) ? config_.barrier_send_cycles : config_.send_cycles;
   if (bcoll_ != nullptr && net::is_barrier_payload(p.type)) {
@@ -269,17 +298,29 @@ void Nic::transmit(Packet p) {
                    net_.path_time(node_, p.dst_node, p.payload_bytes));
   }
   auto packet = std::make_shared<Packet>(std::move(p));
-  engine_submit(McpEngine::kSend, "tx", cost, [this, packet]() mutable {
-    if (packet->dst_node == node_) {
-      // Same-NIC delivery: skip the fabric, model a short internal turnaround.
-      Packet copy = *packet;
-      sim_.schedule_in(proc_.cycles(config_.send_cycles),
-                       [this, pkt = std::move(copy)]() mutable { rx_packet(std::move(pkt)); });
-      return;
-    }
-    trace(sim::TraceCategory::kSend, "tx %s", packet->describe().c_str());
-    net_.inject(std::move(*packet));
-  });
+  const sim::SimTime end =
+      engine_submit(McpEngine::kSend, "tx", cost, [this, packet]() mutable {
+        if (packet->dst_node == node_) {
+          // Same-NIC delivery: skip the fabric, model a short internal turnaround.
+          Packet copy = *packet;
+          sim_.schedule_in(proc_.cycles(config_.send_cycles),
+                           [this, pkt = std::move(copy)]() mutable { rx_packet(std::move(pkt)); });
+          return;
+        }
+        trace(sim::TraceCategory::kSend, "tx %s", packet->describe().c_str());
+        net_.inject(std::move(*packet));
+      }, packet->id);
+  if (causal_ != nullptr) {
+    // The packet's causal chain now ends at this SEND-engine span; wire and
+    // switch hops extend it in flight.
+    packet->causal = causal_engine_span(sim::causal::Segment::kSend, "tx", end, cost,
+                                        packet->causal);
+  }
+  if (tsink_ != nullptr && !net::is_control(packet->type) && packet->id != 0) {
+    tsink_->flow_start(engine_track_[static_cast<std::size_t>(McpEngine::kSend)], "pkt",
+                       end - proc_.cycles(cost), packet->id, "nic",
+                       sim::TraceCategory::kSend);
+  }
 }
 
 void Nic::send_control(Packet p) {
@@ -310,18 +351,42 @@ void Nic::rx_packet(Packet p) {
   }
   auto packet = std::make_shared<Packet>(std::move(p));
   switch (packet->type) {
-    case PacketType::kData:
-      engine_submit(McpEngine::kRecv, "rx_data", config_.recv_cycles,
-                    [this, packet]() mutable { recv_data(std::move(*packet)); });
+    case PacketType::kData: {
+      const sim::SimTime end =
+          engine_submit(McpEngine::kRecv, "rx_data", config_.recv_cycles,
+                        [this, packet]() mutable { recv_data(std::move(*packet)); },
+                        packet->id);
+      if (causal_ != nullptr) {
+        packet->causal = causal_engine_span(sim::causal::Segment::kRecv, "rx_data", end,
+                                            config_.recv_cycles, packet->causal);
+      }
+      if (tsink_ != nullptr && packet->id != 0) {
+        tsink_->flow_end(engine_track_[static_cast<std::size_t>(McpEngine::kRecv)], "pkt",
+                         end - proc_.cycles(config_.recv_cycles), packet->id, "nic",
+                         sim::TraceCategory::kRecv);
+      }
       break;
-    case PacketType::kAck:
-      engine_submit(McpEngine::kRecv, "rx_ack", config_.recv_ack_cycles,
-                    [this, packet] { recv_ack(*packet); });
+    }
+    case PacketType::kAck: {
+      const sim::SimTime end = engine_submit(McpEngine::kRecv, "rx_ack",
+                                             config_.recv_ack_cycles,
+                                             [this, packet] { recv_ack(*packet); }, packet->id);
+      if (causal_ != nullptr) {
+        causal_engine_span(sim::causal::Segment::kRecv, "rx_ack", end,
+                           config_.recv_ack_cycles, packet->causal);
+      }
       break;
-    case PacketType::kNack:
-      engine_submit(McpEngine::kRecv, "rx_nack", config_.recv_ack_cycles,
-                    [this, packet] { recv_nack(*packet); });
+    }
+    case PacketType::kNack: {
+      const sim::SimTime end = engine_submit(McpEngine::kRecv, "rx_nack",
+                                             config_.recv_ack_cycles,
+                                             [this, packet] { recv_nack(*packet); }, packet->id);
+      if (causal_ != nullptr) {
+        causal_engine_span(sim::causal::Segment::kRecv, "rx_nack", end,
+                           config_.recv_ack_cycles, packet->causal);
+      }
       break;
+    }
     case PacketType::kBarrierPe:
     case PacketType::kBarrierGather:
     case PacketType::kBarrierBcast:
@@ -329,10 +394,22 @@ void Nic::rx_packet(Packet p) {
       breakdown_nic(packet->dst_port, packet->barrier_epoch, config_.recv_cycles);
       [[fallthrough]];
     case PacketType::kReduceUp:
-    case PacketType::kReduceDown:
-      engine_submit(McpEngine::kRecv, "rx_barrier", config_.recv_cycles,
-                    [this, packet]() mutable { barrier_rx(std::move(*packet)); });
+    case PacketType::kReduceDown: {
+      const sim::SimTime end =
+          engine_submit(McpEngine::kRecv, "rx_barrier", config_.recv_cycles,
+                        [this, packet]() mutable { barrier_rx(std::move(*packet)); },
+                        packet->id);
+      if (causal_ != nullptr) {
+        packet->causal = causal_engine_span(sim::causal::Segment::kRecv, "rx_barrier", end,
+                                            config_.recv_cycles, packet->causal);
+      }
+      if (tsink_ != nullptr && packet->id != 0) {
+        tsink_->flow_end(engine_track_[static_cast<std::size_t>(McpEngine::kRecv)], "pkt",
+                         end - proc_.cycles(config_.recv_cycles), packet->id, "nic",
+                         sim::TraceCategory::kRecv);
+      }
       break;
+    }
     case PacketType::kBarrierAck:
       engine_submit(McpEngine::kRecv, "rx_barrier_ack", config_.recv_ack_cycles,
                     [this, packet] { barrier_recv_barrier_ack(*packet); });
@@ -385,8 +462,14 @@ void Nic::accept_in_order(Packet p) {
                                   : config_.barrier_gb_cycles;
     auto packet = std::make_shared<Packet>(std::move(p));
     breakdown_nic(packet->dst_port, packet->barrier_epoch, cost);
-    engine_submit(McpEngine::kRdma, "barrier_advance", cost,
-                  [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    const sim::SimTime end =
+        engine_submit(McpEngine::kRdma, "barrier_advance", cost,
+                      [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); },
+                      packet->id);
+    if (causal_ != nullptr) {
+      packet->causal = causal_engine_span(sim::causal::Segment::kFirmware, "barrier_advance",
+                                          end, cost, packet->causal);
+    }
     return;
   }
   ++stats_.data_received;
@@ -603,23 +686,33 @@ void Nic::deliver_to_host(Packet p) {
     ps.recv_tokens.pop_front();
   }
   auto packet = std::make_shared<Packet>(std::move(p));
-  engine_submit(McpEngine::kRdma, "rdma_setup", config_.rdma_setup_cycles, [this, packet] {
-    const sim::Duration dma =
-        config_.pci_setup +
-        sim::transfer_time(packet->payload_bytes, config_.pci_bandwidth_mbps);
-    pci_submit("rdma_dma", dma, [this, packet] {
-      // The host sees one event per *message*, on the final fragment.
-      if (packet->frag_index + 1 != packet->frag_count) return;
-      GmEvent ev;
-      ev.type = GmEventType::kRecv;
-      ev.peer = Endpoint{packet->src_node, packet->src_port};
-      ev.bytes = packet->frag_count == 1 ? packet->payload_bytes : packet->message_bytes;
-      ev.tag = packet->tag;
-      ev.value = packet->value;
-      trace(sim::TraceCategory::kRdma, "deliver %s", packet->describe().c_str());
-      push_event(packet->dst_port, ev);
-    });
-  });
+  const sim::SimTime setup_end = engine_submit(
+      McpEngine::kRdma, "rdma_setup", config_.rdma_setup_cycles, [this, packet] {
+        const sim::Duration dma =
+            config_.pci_setup +
+            sim::transfer_time(packet->payload_bytes, config_.pci_bandwidth_mbps);
+        const sim::SimTime dma_end = pci_submit("rdma_dma", dma, [this, packet] {
+          // The host sees one event per *message*, on the final fragment.
+          if (packet->frag_index + 1 != packet->frag_count) return;
+          GmEvent ev;
+          ev.type = GmEventType::kRecv;
+          ev.peer = Endpoint{packet->src_node, packet->src_port};
+          ev.bytes = packet->frag_count == 1 ? packet->payload_bytes : packet->message_bytes;
+          ev.tag = packet->tag;
+          ev.value = packet->value;
+          ev.causal = packet->causal;
+          trace(sim::TraceCategory::kRdma, "deliver %s", packet->describe().c_str());
+          push_event(packet->dst_port, ev);
+        }, packet->id);
+        if (causal_ != nullptr) {
+          packet->causal = causal_->record(sim::causal::Segment::kRdma, node_, "rdma_dma",
+                                           dma_end - dma, dma_end, packet->causal);
+        }
+      }, packet->id);
+  if (causal_ != nullptr) {
+    packet->causal = causal_engine_span(sim::causal::Segment::kRdma, "rdma_setup", setup_end,
+                                        config_.rdma_setup_cycles, packet->causal);
+  }
 }
 
 void Nic::push_event(PortId p, GmEvent ev) {

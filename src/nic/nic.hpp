@@ -31,6 +31,7 @@
 #include "nic/config.hpp"
 #include "nic/connection.hpp"
 #include "nic/tokens.hpp"
+#include "sim/causal.hpp"
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -184,6 +185,7 @@ class Nic {
   [[nodiscard]] sim::telemetry::BreakdownCollector* breakdown_collector() const {
     return bcoll_;
   }
+  [[nodiscard]] sim::causal::CausalTracer* causal_tracer() const { return causal_; }
 
   /// True if the port currently has an active (incomplete) barrier.
   [[nodiscard]] bool barrier_active(PortId port) const;
@@ -212,11 +214,19 @@ class Nic {
   // --- Telemetry helpers -----------------------------------------------------
   /// Charges `cycles` on the shared processor, attributed to `engine`; emits
   /// a span named `job` on the engine's trace track when a sink is attached.
+  /// `trace_id` (a packet id or causal span id) is carried on the trace event.
   sim::SimTime engine_submit(McpEngine engine, const char* job, std::int64_t cycles,
-                             std::function<void()> on_done = nullptr);
+                             std::function<void()> on_done = nullptr,
+                             std::uint64_t trace_id = 0);
   /// Occupies the PCI bus for `service`; emits a span when a sink is attached.
   sim::SimTime pci_submit(const char* job, sim::Duration service,
-                          std::function<void()> on_done = nullptr);
+                          std::function<void()> on_done = nullptr,
+                          std::uint64_t trace_id = 0);
+  /// Records a causal span for an engine job that ended at `end` after
+  /// `cycles` of processor time; returns 0 when causal tracing is detached.
+  std::uint64_t causal_engine_span(sim::causal::Segment seg, const char* label,
+                                   sim::SimTime end, std::int64_t cycles,
+                                   std::uint64_t parent, std::uint64_t parent2 = 0);
   /// Breakdown attribution of barrier-firmware work; no-ops when detached.
   void breakdown_nic(PortId port, std::uint32_t epoch, std::int64_t cycles);
   void breakdown_dma(PortId port, std::uint32_t epoch, sim::Duration d);
@@ -302,6 +312,7 @@ class Nic {
   // Telemetry (all null/zero when detached; every hook is one branch).
   sim::telemetry::TraceEventSink* tsink_ = nullptr;
   sim::telemetry::BreakdownCollector* bcoll_ = nullptr;
+  sim::causal::CausalTracer* causal_ = nullptr;
   int engine_track_[kMcpEngineCount] = {};
   int pci_track_ = 0;
   int fault_track_ = 0;

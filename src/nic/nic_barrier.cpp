@@ -39,8 +39,21 @@ void Nic::post_barrier_token(BarrierToken token) {
     cycles += config_.barrier_gb_init_cycles;
   }
   breakdown_nic(token.src_port, token.epoch, cycles);
-  engine_submit(McpEngine::kSdma, "barrier_init", cycles,
-                [this, token = std::move(token)]() mutable { barrier_start(std::move(token)); });
+  auto tok = std::make_shared<BarrierToken>(std::move(token));
+  const sim::SimTime end =
+      engine_submit(McpEngine::kSdma, "barrier_init", cycles,
+                    [this, tok]() mutable { barrier_start(std::move(*tok)); });
+  if (causal_ != nullptr) {
+    // One engine job covers both the SDMA token detection and the firmware
+    // barrier initiation; attribute each half to its own segment.
+    const std::int64_t init_cycles = cycles - config_.sdma_detect_cycles;
+    const std::uint64_t detect =
+        causal_engine_span(sim::causal::Segment::kSdma, "sdma_detect",
+                           end - proc_.cycles(init_cycles), config_.sdma_detect_cycles,
+                           tok->causal);
+    tok->causal = causal_engine_span(sim::causal::Segment::kFirmware, "barrier_init", end,
+                                     init_cycles, detect);
+  }
 }
 
 void Nic::barrier_start(BarrierToken token) {
@@ -72,8 +85,12 @@ void Nic::barrier_rx(Packet p) {
                                                                  : config_.barrier_gb_cycles;
       auto packet = std::make_shared<Packet>(std::move(p));
       breakdown_nic(packet->dst_port, packet->barrier_epoch, cost);
-      engine_submit(McpEngine::kRdma, "barrier_advance", cost,
-                    [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+      const sim::SimTime end =
+          engine_submit(McpEngine::kRdma, "barrier_advance", cost,
+                        [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); },
+                        packet->id);
+      packet->causal = causal_engine_span(sim::causal::Segment::kFirmware, "barrier_advance",
+                                          end, cost, packet->causal);
       break;
     }
     case BarrierReliability::kSharedStream:
@@ -111,6 +128,12 @@ void Nic::barrier_rx_in_order(Packet p) {
         ++tok->node_index;
         ++stats_.barrier_pe_rounds;
         tok->awaiting_recv = false;
+        if (causal_ != nullptr && p.causal != 0) {
+          // The advance depends on both the arrival chain and our own last
+          // firmware decision (our send of this round); join them.
+          causal_->add_parent(p.causal, tok->causal);
+          tok->causal = p.causal;
+        }
         barrier_try_advance_pe(p.dst_port);
       } else {
         barrier_record(p, false);
@@ -132,6 +155,10 @@ void Nic::barrier_rx_in_order(Packet p) {
       if (tok != nullptr && !tok->completed &&
           tok->algorithm == BarrierAlgorithm::kGatherBroadcast && tok->gather_sent &&
           tok->parent == src) {
+        if (causal_ != nullptr && p.causal != 0) {
+          causal_->add_parent(p.causal, tok->causal);
+          tok->causal = p.causal;
+        }
         barrier_complete(p.dst_port);
         barrier_enter_broadcast(p.dst_port);
       } else {
@@ -154,8 +181,8 @@ void Nic::barrier_record(const Packet& p, bool for_closed_port) {
   } else {
     ++stats_.unexpected_recorded;
   }
-  c.set_bit(p.src_port,
-            BarrierBitInfo{p.type, p.barrier_epoch, p.dst_port, for_closed_port, p.value});
+  c.set_bit(p.src_port, BarrierBitInfo{p.type, p.barrier_epoch, p.dst_port, for_closed_port,
+                                       p.value, p.causal});
   trace(sim::TraceCategory::kBarrier, "record unexpected %s%s", p.describe().c_str(),
         for_closed_port ? " (closed port)" : "");
 }
@@ -182,9 +209,15 @@ void Nic::barrier_try_advance_pe(PortId local_port) {
     Connection& c = conn(peer.node);
     if (!c.bit(peer.port)) return;  // wait for the RDMA engine to advance us
     // Already received (recorded as unexpected): test-and-clear, advance.
+    const std::uint64_t arrival = c.bit_info[peer.port].causal;
     c.clear_bit(peer.port);
     breakdown_nic(local_port, tok->epoch, config_.barrier_pe_cycles);
-    engine_submit(McpEngine::kRdma, "pe_advance", config_.barrier_pe_cycles);  // bookkeeping
+    const sim::SimTime end =
+        engine_submit(McpEngine::kRdma, "pe_advance", config_.barrier_pe_cycles);  // bookkeeping
+    if (causal_ != nullptr) {
+      tok->causal = causal_engine_span(sim::causal::Segment::kFirmware, "pe_advance", end,
+                                       config_.barrier_pe_cycles, arrival, tok->causal);
+    }
     ++tok->node_index;
     ++stats_.barrier_pe_rounds;
     tok->awaiting_recv = false;
@@ -203,6 +236,18 @@ void Nic::barrier_check_gather(PortId local_port) {
   for (const Endpoint& child : tok->children) {
     if (!conn(child.node).bit(child.port)) return;  // still waiting on a child
   }
+  if (causal_ != nullptr && !tok->children.empty()) {
+    // Zero-duration join: the gather condition depends on every child's
+    // arrival chain plus our own initiation; the last-ending parent is the
+    // one the critical path walks through.
+    const std::uint64_t join = causal_->record(sim::causal::Segment::kFirmware, node_,
+                                               "gather_ready", sim_.now(), sim_.now(),
+                                               tok->causal);
+    for (const Endpoint& child : tok->children) {
+      causal_->add_parent(join, conn(child.node).bit_info[child.port].causal);
+    }
+    tok->causal = join;
+  }
   for (const Endpoint& child : tok->children) conn(child.node).clear_bit(child.port);
 
   if (tok->is_root()) {
@@ -219,6 +264,11 @@ void Nic::barrier_check_gather(PortId local_port) {
   Connection& pc = conn(tok->parent.node);
   if (pc.bit(tok->parent.port) &&
       pc.bit_info[tok->parent.port].type == PacketType::kBarrierBcast) {
+    if (causal_ != nullptr) {
+      tok->causal = causal_->record(sim::causal::Segment::kFirmware, node_, "bcast_seen",
+                                    sim_.now(), sim_.now(),
+                                    pc.bit_info[tok->parent.port].causal, tok->causal);
+    }
     pc.clear_bit(tok->parent.port);
     barrier_complete(local_port);
     barrier_enter_broadcast(local_port);
@@ -248,6 +298,16 @@ void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::ui
   p.payload_bytes = config_.barrier_payload_bytes;
   p.barrier_epoch = epoch;
   ++stats_.barrier_packets_sent;
+  if (causal_ != nullptr) {
+    // The outgoing message descends from this member's latest firmware
+    // decision for the epoch it belongs to (active or just-completed token).
+    PortState& sps = port(local_port);
+    if (sps.active_barrier && sps.active_barrier->epoch == epoch) {
+      p.causal = sps.active_barrier->causal;
+    } else if (sps.last_barrier && sps.last_barrier->epoch == epoch) {
+      p.causal = sps.last_barrier->causal;
+    }
+  }
 
   if (config_.barrier_loopback && dst.node == node_) {
     // §3.4 optimisation: same-NIC barrier message just sets the flag — no
@@ -255,8 +315,11 @@ void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::ui
     ++stats_.barrier_loopback_msgs;
     auto packet = std::make_shared<Packet>(std::move(p));
     breakdown_nic(packet->dst_port, epoch, config_.barrier_pe_cycles);
-    engine_submit(McpEngine::kRdma, "loopback", config_.barrier_pe_cycles,
-                  [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    const sim::SimTime end =
+        engine_submit(McpEngine::kRdma, "loopback", config_.barrier_pe_cycles,
+                      [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    packet->causal = causal_engine_span(sim::causal::Segment::kFirmware, "loopback", end,
+                                        config_.barrier_pe_cycles, packet->causal);
     return;
   }
 
@@ -305,20 +368,35 @@ void Nic::barrier_complete(PortId local_port) {
 
   // RDMA the completion token to the host.
   breakdown_nic(local_port, epoch, config_.rdma_setup_cycles);
-  engine_submit(McpEngine::kRdma, "rdma_setup", config_.rdma_setup_cycles,
-                [this, local_port, epoch] {
+  const sim::SimTime setup_end =
+      engine_submit(McpEngine::kRdma, "rdma_setup", config_.rdma_setup_cycles,
+                    [this, local_port, epoch] {
     const sim::Duration dma =
         config_.pci_setup + sim::transfer_time(8, config_.pci_bandwidth_mbps);
     breakdown_dma(local_port, epoch, dma);
-    pci_submit("rdma_dma", dma, [this, local_port, epoch] {
+    auto dma_span = std::make_shared<std::uint64_t>(0);
+    const sim::SimTime dma_end = pci_submit("rdma_dma", dma,
+                                            [this, local_port, epoch, dma_span] {
       PortState& p = port(local_port);
       if (p.barrier_buffers > 0) --p.barrier_buffers;
       GmEvent ev;
       ev.type = GmEventType::kBarrierComplete;
       ev.barrier_epoch = epoch;
+      ev.causal = *dma_span;
       push_event(local_port, ev);
     });
+    if (causal_ != nullptr) {
+      BarrierToken* t = port(local_port).last_barrier.get();
+      const std::uint64_t parent = t != nullptr && t->epoch == epoch ? t->causal : 0;
+      *dma_span = causal_->record(sim::causal::Segment::kRdma, node_, "rdma_dma",
+                                  dma_end - dma, dma_end, parent);
+    }
   });
+  if (causal_ != nullptr) {
+    BarrierToken* t = ps.last_barrier.get();  // tok moved there above
+    t->causal = causal_engine_span(sim::causal::Segment::kRdma, "rdma_setup", setup_end,
+                                   config_.rdma_setup_cycles, t->causal);
+  }
 }
 
 // --- Closed-port handling (§3.2) -------------------------------------------------------------------
@@ -452,8 +530,12 @@ void Nic::barrier_recv_separate(Packet p) {
                                                                : config_.barrier_gb_cycles;
     auto packet = std::make_shared<Packet>(std::move(p));
     breakdown_nic(packet->dst_port, packet->barrier_epoch, cost);
-    engine_submit(McpEngine::kRdma, "barrier_advance", cost,
-                  [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); });
+    const sim::SimTime end =
+        engine_submit(McpEngine::kRdma, "barrier_advance", cost,
+                      [this, packet]() mutable { barrier_rx_in_order(std::move(*packet)); },
+                      packet->id);
+    packet->causal = causal_engine_span(sim::causal::Segment::kFirmware, "barrier_advance",
+                                        end, cost, packet->causal);
   } else if (p.barrier_seq < c.next_expected_barrier_seq) {
     ++stats_.duplicates_dropped;
     ack.ack = c.next_expected_barrier_seq - 1;  // re-ack

@@ -90,6 +90,9 @@ struct BarrierToken {
   bool awaiting_recv = false;
   bool gather_sent = false;      // GB: sent our gather to the parent yet?
   bool completed = false;
+  /// Causal provenance: span id of this member's latest local firmware
+  /// decision (sim::causal). 0 when causal tracing is off.
+  std::uint64_t causal = 0;
 
   [[nodiscard]] bool is_root() const { return parent.node == net::kInvalidNode; }
 };
@@ -137,6 +140,9 @@ struct GmEvent {
   std::uint64_t tag = 0;      // kRecv: sender-chosen tag
   std::uint32_t barrier_epoch = 0;  // kBarrierComplete / kReduceComplete
   std::int64_t value = 0;     // kReduceComplete: the reduced value
+  /// Causal provenance: span id of the completion DMA that produced this
+  /// event (sim::causal). 0 when causal tracing is off.
+  std::uint64_t causal = 0;
 };
 
 }  // namespace nicbar::nic

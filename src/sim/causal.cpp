@@ -1,0 +1,142 @@
+#include "sim/causal.hpp"
+
+#include <algorithm>
+
+namespace nicbar::sim::causal {
+
+const char* to_string(Segment s) {
+  switch (s) {
+    case Segment::kHost: return "host";
+    case Segment::kSdma: return "sdma";
+    case Segment::kSend: return "send";
+    case Segment::kWire: return "wire";
+    case Segment::kSwitch: return "switch";
+    case Segment::kRecv: return "recv";
+    case Segment::kFirmware: return "firmware";
+    case Segment::kRdma: return "rdma";
+  }
+  return "?";
+}
+
+SpanId CausalTracer::record(Segment seg, std::uint32_t node, const char* label,
+                            SimTime start, SimTime end, SpanId parent, SpanId parent2) {
+  Span s;
+  s.id = spans_.size() + 1;
+  s.seg = seg;
+  s.node = node;
+  s.label = label;
+  s.start = start;
+  s.end = end;
+  if (parent != 0 && parent < s.id) s.parents.push_back(parent);
+  if (parent2 != 0 && parent2 < s.id && parent2 != parent) s.parents.push_back(parent2);
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void CausalTracer::add_parent(SpanId span, SpanId parent) {
+  // Edges must point backwards (parent recorded first) to keep the graph
+  // trivially acyclic; anything else is a call-site bug we tolerate silently
+  // so tracing can never crash a run.
+  if (span == 0 || parent == 0 || parent >= span || span > spans_.size()) return;
+  std::vector<SpanId>& ps = spans_[span - 1].parents;
+  if (std::find(ps.begin(), ps.end(), parent) == ps.end()) ps.push_back(parent);
+}
+
+void CausalTracer::complete_barrier(std::uint32_t node, std::uint16_t port,
+                                    std::uint32_t epoch, SpanId sink) {
+  if (sink == 0 || sink > spans_.size()) return;
+  CompletedBarrier b;
+  b.node = node;
+  b.port = port;
+  b.epoch = epoch;
+  b.sink = sink;
+  b.total = critical_path(sink).total;
+  completed_.push_back(b);
+}
+
+CriticalPath CausalTracer::critical_path(SpanId sink) const {
+  CriticalPath path;
+  if (sink == 0 || sink > spans_.size()) return path;
+
+  // Walk back from the sink, always following the latest-ending parent.
+  SpanId cur = sink;
+  while (cur != 0) {
+    const Span& s = spans_[cur - 1];
+    SpanId crit = 0;
+    for (const SpanId p : s.parents) {
+      if (p == 0 || p > spans_.size()) continue;
+      if (crit == 0 || spans_[p - 1].end > spans_[crit - 1].end) crit = p;
+    }
+    PathStep step;
+    step.span = s.id;
+    step.seg = s.seg;
+    step.node = s.node;
+    step.label = s.label;
+    step.self = s.end - s.start;
+    step.queue = crit != 0 ? s.start - spans_[crit - 1].end : Duration{0};
+    path.steps.push_back(step);
+    cur = crit;
+  }
+  std::reverse(path.steps.begin(), path.steps.end());
+
+  for (const PathStep& step : path.steps) {
+    const std::size_t seg = static_cast<std::size_t>(step.seg);
+    path.self[seg] += step.self;
+    path.queue[seg] += step.queue;
+  }
+  // total telescopes: end(sink) - start(origin) == sum(self) + sum(queue).
+  path.total = spans_[sink - 1].end - spans_[path.steps.front().span - 1].start;
+  return path;
+}
+
+void CausalTracer::fold(const CriticalPath& path, PathProfile& out) const {
+  ++out.barriers;
+  out.total += path.total;
+  for (std::size_t s = 0; s < kSegmentCount; ++s) {
+    out.self[s] += path.self[s];
+    out.queue[s] += path.queue[s];
+  }
+  for (const PathStep& step : path.steps) {
+    out.by_node_segment[{step.node, static_cast<std::uint8_t>(step.seg)}] +=
+        step.self + step.queue;
+  }
+}
+
+PathProfile CausalTracer::profile(double min_percentile) const {
+  if (min_percentile <= 0.0) return profile_of(completed_);
+  std::vector<std::int64_t> totals;
+  totals.reserve(completed_.size());
+  for (const CompletedBarrier& b : completed_) totals.push_back(b.total.ps());
+  if (totals.empty()) return PathProfile{};
+  std::sort(totals.begin(), totals.end());
+  const double rank = min_percentile / 100.0 * static_cast<double>(totals.size() - 1);
+  const std::size_t idx = std::min(totals.size() - 1, static_cast<std::size_t>(rank));
+  const std::int64_t threshold = totals[idx];
+  std::vector<CompletedBarrier> picked;
+  for (const CompletedBarrier& b : completed_) {
+    if (b.total.ps() >= threshold) picked.push_back(b);
+  }
+  return profile_of(picked);
+}
+
+PathProfile CausalTracer::profile_of(const std::vector<CompletedBarrier>& barriers) const {
+  PathProfile out;
+  for (const CompletedBarrier& b : barriers) fold(critical_path(b.sink), out);
+  return out;
+}
+
+bool CausalTracer::verify_acyclic() const {
+  for (const Span& s : spans_) {
+    for (const SpanId p : s.parents) {
+      if (p == 0 || p >= s.id) return false;
+    }
+  }
+  return true;
+}
+
+void CausalTracer::clear() {
+  spans_.clear();
+  completed_.clear();
+}
+
+}  // namespace nicbar::sim::causal

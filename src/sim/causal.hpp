@@ -1,0 +1,169 @@
+// Causal span tracing and critical-path attribution.
+//
+// Every packet transmission, DMA transfer, firmware decision, ack, and host
+// wakeup records a Span with edges to the spans it causally waited on
+// (packet-id / event-id provenance threaded through net::Packet,
+// nic::BarrierToken, nic::BarrierBitInfo, and nic::GmEvent). Each completed
+// barrier therefore yields a dependency DAG rooted at the host's completion
+// (the sink) and terminating at the host's post (the origin).
+//
+// From the DAG we compute the exact critical path: walking back from the
+// sink, the critical parent of a span is the parent whose end time is
+// latest; the span's own duration is attributed to its Segment as `self`
+// and the gap between the critical parent's end and the span's start as
+// `queue` (resource contention: the engine, bus, or wire was busy). By
+// construction self + queue telescopes to exactly end(sink) - start(origin),
+// so the attribution is complete to the picosecond — in the contention-free
+// regime each segment total equals the matching Eq. 1-2 closed-form term.
+//
+// Id invariant: every edge points from a span to a span with a strictly
+// smaller id (parents are always recorded first; joins discovered later are
+// attached with add_parent, which preserves the invariant because the
+// parent already exists). verify_acyclic() checks it, which proves the
+// graph is a DAG.
+//
+// Same discipline as the rest of sim::telemetry: hardware models cache a
+// raw pointer that is null by default; every hook is one branch; recording
+// never reads or perturbs simulation state, so results are bit-identical
+// with tracing on or off.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nicbar::sim::causal {
+
+/// Where a span's time was spent, aligned with the Eq. 1-2 cost terms.
+enum class Segment : std::uint8_t {
+  kHost = 0,   // host library CPU (post + completion processing)
+  kSdma = 1,   // SDMA engine: token detect / host -> NIC DMA
+  kSend = 2,   // SEND engine: packet -> wire
+  kWire = 3,   // link serialisation + propagation
+  kSwitch = 4, // switch routing
+  kRecv = 5,   // RECV engine: wire -> NIC processing
+  kFirmware = 6,  // LANai barrier firmware decisions (init, advance, gather)
+  kRdma = 7,   // RDMA engine + completion PCI DMA (NIC -> host)
+};
+inline constexpr std::size_t kSegmentCount = 8;
+
+[[nodiscard]] const char* to_string(Segment s);
+
+/// Span ids are 1-based and monotonically increasing; 0 means "no span" and
+/// is the default value of every threaded provenance field.
+using SpanId = std::uint64_t;
+
+struct Span {
+  SpanId id = 0;
+  Segment seg = Segment::kHost;
+  std::uint32_t node = 0;
+  const char* label = "";  // static strings only (call sites use literals)
+  SimTime start{0};
+  SimTime end{0};
+  std::vector<SpanId> parents;
+};
+
+/// One step of a critical path, origin-first.
+struct PathStep {
+  SpanId span = 0;
+  Segment seg = Segment::kHost;
+  std::uint32_t node = 0;
+  const char* label = "";
+  Duration self{0};   // end - start
+  Duration queue{0};  // start - end(critical parent); 0 for the origin
+};
+
+/// An exact critical path: steps from origin to sink with per-segment
+/// attribution. self[] + queue[] sum to `total` exactly.
+struct CriticalPath {
+  std::vector<PathStep> steps;
+  Duration total{0};  // end(sink) - start(origin)
+  Duration self[kSegmentCount]{};
+  Duration queue[kSegmentCount]{};
+
+  [[nodiscard]] Duration attributed() const {
+    Duration d{0};
+    for (std::size_t s = 0; s < kSegmentCount; ++s) d += self[s] + queue[s];
+    return d;
+  }
+};
+
+/// A completed barrier as seen by one member: its sink span plus the
+/// (node, port, epoch) key the rest of the stack uses.
+struct CompletedBarrier {
+  std::uint32_t node = 0;
+  std::uint16_t port = 0;
+  std::uint32_t epoch = 0;
+  SpanId sink = 0;
+  Duration total{0};  // end(sink) - start(origin) at completion time
+};
+
+/// Aggregated critical-path attribution over a set of completed barriers.
+struct PathProfile {
+  std::uint64_t barriers = 0;
+  Duration total{0};  // sum of per-barrier totals
+  Duration self[kSegmentCount]{};
+  Duration queue[kSegmentCount]{};
+  /// Hot contributors: (node, segment) -> self + queue on the critical path.
+  std::map<std::pair<std::uint32_t, std::uint8_t>, Duration> by_node_segment;
+
+  [[nodiscard]] Duration attributed() const {
+    Duration d{0};
+    for (std::size_t s = 0; s < kSegmentCount; ++s) d += self[s] + queue[s];
+    return d;
+  }
+};
+
+class CausalTracer {
+ public:
+  /// Records a completed span [start, end] and returns its id. `label` must
+  /// be a string literal. Up to two parents at record time; later joins go
+  /// through add_parent.
+  SpanId record(Segment seg, std::uint32_t node, const char* label, SimTime start,
+                SimTime end, SpanId parent = 0, SpanId parent2 = 0);
+
+  /// Attaches another causal parent to an existing span (a join discovered
+  /// after the span was recorded, e.g. the firmware consuming a previously
+  /// recorded bit). No-ops on id 0.
+  void add_parent(SpanId span, SpanId parent);
+
+  /// Marks `sink` as the completion span of barrier (node, port, epoch); the
+  /// barrier's DAG is the ancestor closure of the sink.
+  void complete_barrier(std::uint32_t node, std::uint16_t port, std::uint32_t epoch,
+                        SpanId sink);
+
+  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  [[nodiscard]] const Span* span(SpanId id) const {
+    return id >= 1 && id <= spans_.size() ? &spans_[id - 1] : nullptr;
+  }
+  [[nodiscard]] const std::vector<CompletedBarrier>& completed() const { return completed_; }
+
+  /// Exact critical path from `sink` back to its origin.
+  [[nodiscard]] CriticalPath critical_path(SpanId sink) const;
+
+  /// Aggregates critical paths over completed barriers whose total latency
+  /// is at or above the `min_percentile`-th percentile of all completed
+  /// totals (0 = every barrier, 99 = the slowest 1%).
+  [[nodiscard]] PathProfile profile(double min_percentile = 0.0) const;
+
+  /// Aggregates critical paths over an explicit set of completed barriers.
+  [[nodiscard]] PathProfile profile_of(const std::vector<CompletedBarrier>& barriers) const;
+
+  /// True when every edge satisfies parent-id < span-id, which proves the
+  /// span graph is acyclic.
+  [[nodiscard]] bool verify_acyclic() const;
+
+  void clear();
+
+ private:
+  void fold(const CriticalPath& path, PathProfile& out) const;
+
+  std::vector<Span> spans_;
+  std::vector<CompletedBarrier> completed_;
+};
+
+}  // namespace nicbar::sim::causal

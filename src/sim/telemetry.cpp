@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "sim/causal.hpp"
+
 namespace nicbar::sim::telemetry {
 
 // --- MetricsRegistry ----------------------------------------------------------
@@ -84,13 +86,27 @@ int TraceEventSink::track(const std::string& name) {
 }
 
 void TraceEventSink::duration(int track_id, const char* name, SimTime start, Duration dur,
-                              const char* category) {
-  events_.push_back(Event{'X', track_id, name, category, start.ps(), dur.ps()});
+                              const char* category, TraceCategory cat, std::uint64_t id) {
+  if (!pass(cat)) return;
+  events_.push_back(Event{'X', track_id, name, category, start.ps(), dur.ps(), id});
 }
 
 void TraceEventSink::instant(int track_id, const char* name, SimTime at,
-                             const char* category) {
-  events_.push_back(Event{'i', track_id, name, category, at.ps(), 0});
+                             const char* category, TraceCategory cat) {
+  if (!pass(cat)) return;
+  events_.push_back(Event{'i', track_id, name, category, at.ps(), 0, 0});
+}
+
+void TraceEventSink::flow_start(int track_id, const char* name, SimTime at, std::uint64_t id,
+                                const char* category, TraceCategory cat) {
+  if (!pass(cat)) return;
+  events_.push_back(Event{'s', track_id, name, category, at.ps(), 0, id});
+}
+
+void TraceEventSink::flow_end(int track_id, const char* name, SimTime at, std::uint64_t id,
+                              const char* category, TraceCategory cat) {
+  if (!pass(cat)) return;
+  events_.push_back(Event{'f', track_id, name, category, at.ps(), 0, id});
 }
 
 std::size_t TraceEventSink::events_on(int track_id) const {
@@ -117,11 +133,30 @@ void TraceEventSink::write_json(std::ostream& os) const {
     if (!first) os << ",\n";
     first = false;
     if (e.phase == 'X') {
+      if (e.id != 0) {
+        std::snprintf(buf, sizeof buf,
+                      "  {\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", \"pid\": 0, "
+                      "\"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"id\": %" PRIu64
+                      "}}",
+                      e.name, e.category, e.track, static_cast<double>(e.ts_ps) * 1e-6,
+                      static_cast<double>(e.dur_ps) * 1e-6, e.id);
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      "  {\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", \"pid\": 0, "
+                      "\"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+                      e.name, e.category, e.track, static_cast<double>(e.ts_ps) * 1e-6,
+                      static_cast<double>(e.dur_ps) * 1e-6);
+      }
+    } else if (e.phase == 's') {
       std::snprintf(buf, sizeof buf,
-                    "  {\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", \"pid\": 0, "
-                    "\"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
-                    e.name, e.category, e.track, static_cast<double>(e.ts_ps) * 1e-6,
-                    static_cast<double>(e.dur_ps) * 1e-6);
+                    "  {\"ph\": \"s\", \"name\": \"%s\", \"cat\": \"%s\", \"pid\": 0, "
+                    "\"tid\": %d, \"ts\": %.3f, \"id\": %" PRIu64 "}",
+                    e.name, e.category, e.track, static_cast<double>(e.ts_ps) * 1e-6, e.id);
+    } else if (e.phase == 'f') {
+      std::snprintf(buf, sizeof buf,
+                    "  {\"ph\": \"f\", \"bp\": \"e\", \"name\": \"%s\", \"cat\": \"%s\", "
+                    "\"pid\": 0, \"tid\": %d, \"ts\": %.3f, \"id\": %" PRIu64 "}",
+                    e.name, e.category, e.track, static_cast<double>(e.ts_ps) * 1e-6, e.id);
     } else {
       std::snprintf(buf, sizeof buf,
                     "  {\"ph\": \"i\", \"name\": \"%s\", \"cat\": \"%s\", \"pid\": 0, "
@@ -217,6 +252,9 @@ void BreakdownCollector::snapshot(MetricsRegistry& m) const {
 
 // --- Telemetry ------------------------------------------------------------------
 
+Telemetry::Telemetry() = default;
+Telemetry::~Telemetry() = default;
+
 TraceEventSink& Telemetry::enable_trace() {
   if (!trace_) trace_ = std::make_unique<TraceEventSink>();
   return *trace_;
@@ -225,6 +263,11 @@ TraceEventSink& Telemetry::enable_trace() {
 BreakdownCollector& Telemetry::enable_breakdown() {
   if (!breakdown_) breakdown_ = std::make_unique<BreakdownCollector>();
   return *breakdown_;
+}
+
+causal::CausalTracer& Telemetry::enable_causal() {
+  if (!causal_) causal_ = std::make_unique<causal::CausalTracer>();
+  return *causal_;
 }
 
 // --- JSON helpers ---------------------------------------------------------------

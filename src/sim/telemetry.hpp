@@ -30,6 +30,11 @@
 
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace nicbar::sim::causal {
+class CausalTracer;
+}
 
 namespace nicbar::sim::telemetry {
 
@@ -84,17 +89,38 @@ class MetricsRegistry {
 /// Buffers Chrome trace-event JSON (the Perfetto/chrome://tracing format).
 /// Tracks map to trace "threads": register one per host, NIC engine, or link
 /// with track(), then emit duration/instant events against the track id.
+///
+/// Every event optionally carries a stable causal id (a fabric-unique packet
+/// id or causal span id) and a TraceCategory; the sink-level mask filters by
+/// category at emission time so `--trace-mask` applies end-to-end. Paired
+/// flow events ("s"/"f") with equal ids render as arrows in Perfetto.
 class TraceEventSink {
  public:
   /// Registers (or finds) a named track; returns its stable id.
   int track(const std::string& name);
 
-  /// A completed span ("X" event) of `dur` starting at `start`.
+  /// Restricts subsequent emissions to categories in `mask` (default: all).
+  void set_mask(std::uint32_t mask) { mask_ = mask; }
+  [[nodiscard]] std::uint32_t mask() const { return mask_; }
+
+  /// A completed span ("X" event) of `dur` starting at `start`. A non-zero
+  /// `id` is emitted as args.id (the packet/span provenance of the event).
   void duration(int track_id, const char* name, SimTime start, Duration dur,
-                const char* category = "sim");
+                const char* category = "sim", TraceCategory cat = TraceCategory::kAll,
+                std::uint64_t id = 0);
 
   /// A point-in-time marker ("i" event).
-  void instant(int track_id, const char* name, SimTime at, const char* category = "sim");
+  void instant(int track_id, const char* name, SimTime at, const char* category = "sim",
+               TraceCategory cat = TraceCategory::kAll);
+
+  /// Flow-event pair: a "s" (start) on the producing track and a "f" with
+  /// bp:"e" (end, bound to the enclosing slice) on the consuming track,
+  /// matched by `id`. Use the fabric-unique packet id so the arrow follows
+  /// one packet from SEND engine to RECV engine.
+  void flow_start(int track_id, const char* name, SimTime at, std::uint64_t id,
+                  const char* category = "sim", TraceCategory cat = TraceCategory::kAll);
+  void flow_end(int track_id, const char* name, SimTime at, std::uint64_t id,
+                const char* category = "sim", TraceCategory cat = TraceCategory::kAll);
 
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
   [[nodiscard]] std::size_t track_count() const { return track_names_.size(); }
@@ -109,16 +135,21 @@ class TraceEventSink {
 
  private:
   struct Event {
-    char phase;  // 'X' or 'i'
+    char phase;  // 'X', 'i', 's', or 'f'
     int track;
     const char* name;      // static strings only (call sites use literals)
     const char* category;  // static strings only
     std::int64_t ts_ps;
     std::int64_t dur_ps;
+    std::uint64_t id;  // causal packet/span id; 0 = none
   };
+  [[nodiscard]] bool pass(TraceCategory cat) const {
+    return (mask_ & static_cast<std::uint32_t>(cat)) != 0;
+  }
   std::vector<Event> events_;
   std::map<std::string, int> tracks_;
   std::vector<std::string> track_names_;
+  std::uint32_t mask_ = static_cast<std::uint32_t>(TraceCategory::kAll);
 };
 
 // --- Per-barrier cost breakdown ------------------------------------------------
@@ -199,19 +230,27 @@ class BreakdownCollector {
 /// branch.
 class Telemetry {
  public:
+  Telemetry();
+  ~Telemetry();
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
   TraceEventSink& enable_trace();
   BreakdownCollector& enable_breakdown();
+  causal::CausalTracer& enable_causal();
 
   [[nodiscard]] TraceEventSink* trace() const { return trace_.get(); }
   [[nodiscard]] BreakdownCollector* breakdown() const { return breakdown_.get(); }
+  [[nodiscard]] causal::CausalTracer* causal() const { return causal_.get(); }
 
  private:
   MetricsRegistry metrics_;
   std::unique_ptr<TraceEventSink> trace_;
   std::unique_ptr<BreakdownCollector> breakdown_;
+  std::unique_ptr<causal::CausalTracer> causal_;
 };
 
 /// Escapes `s` for inclusion in a JSON string literal (quotes, backslashes,

@@ -17,4 +17,46 @@ void Tracer::log(TraceCategory c, SimTime at, const char* fmt, ...) {
   *os_ << line;
 }
 
+namespace {
+
+struct MaskName {
+  const char* name;
+  TraceCategory cat;
+};
+
+constexpr MaskName kMaskNames[] = {
+    {"host", TraceCategory::kHost},       {"sdma", TraceCategory::kSdma},
+    {"send", TraceCategory::kSend},       {"recv", TraceCategory::kRecv},
+    {"rdma", TraceCategory::kRdma},       {"net", TraceCategory::kNet},
+    {"barrier", TraceCategory::kBarrier}, {"reliab", TraceCategory::kReliab},
+    {"all", TraceCategory::kAll},
+};
+
+}  // namespace
+
+std::optional<std::uint32_t> parse_trace_mask(const std::string& spec) {
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string name = spec.substr(pos, comma - pos);
+    bool found = false;
+    for (const MaskName& m : kMaskNames) {
+      if (name == m.name) {
+        mask |= static_cast<std::uint32_t>(m.cat);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;  // unknown or empty element
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+const char* trace_mask_names() {
+  return "host,sdma,send,recv,rdma,net,barrier,reliab,all";
+}
+
 }  // namespace nicbar::sim

@@ -8,6 +8,7 @@
 #include <cstdarg>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "sim/time.hpp"
@@ -31,13 +32,16 @@ class Tracer {
   Tracer() = default;
 
   /// Directs output to `os` (nullptr disables) for categories in `mask`.
+  /// The mask is kept as given even when `os` is null so that a later
+  /// enable(os) picks the filter back up; on() gates on the stream, which
+  /// preserves the one-untaken-branch disabled path at every call site.
   void enable(std::ostream* os, std::uint32_t mask = static_cast<std::uint32_t>(TraceCategory::kAll)) {
     os_ = os;
-    mask_ = os ? mask : 0;
+    mask_ = mask;
   }
 
   [[nodiscard]] bool on(TraceCategory c) const {
-    return (mask_ & static_cast<std::uint32_t>(c)) != 0;
+    return os_ != nullptr && (mask_ & static_cast<std::uint32_t>(c)) != 0;
   }
 
   /// printf-style trace line, prefixed with the simulated time.
@@ -48,5 +52,14 @@ class Tracer {
   std::ostream* os_ = nullptr;
   std::uint32_t mask_ = 0;
 };
+
+/// Parses a comma-separated category list ("host,sdma,send,recv,rdma,net,
+/// barrier,reliab" or "all") into a TraceCategory bit mask. Names are
+/// case-sensitive and match the enumerators without the k prefix; empty
+/// elements are rejected. Returns nullopt on any unknown name.
+[[nodiscard]] std::optional<std::uint32_t> parse_trace_mask(const std::string& spec);
+
+/// The accepted names for parse_trace_mask, for help text and error messages.
+[[nodiscard]] const char* trace_mask_names();
 
 }  // namespace nicbar::sim

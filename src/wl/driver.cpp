@@ -68,6 +68,9 @@ struct JobRun {
   std::uint64_t failures = 0;
   sim::SimTime end{0};
   std::unique_ptr<TailCollector> latency;
+  // SLO bookkeeping (populated only when the class declares an SLO):
+  std::vector<SloSample> slo_samples;
+  std::vector<nic::Endpoint> endpoints;  // the job's (node, port) pairs
 };
 
 struct RunState {
@@ -163,6 +166,7 @@ sim::Task member_proc(RunState& st, JobRun& jr, std::size_t m) {
     jr.latency->add(us);
     st.per_kind[static_cast<std::size_t>(kind)]->add(us);
     st.overall->add(us);
+    if (!k.slo.is_zero()) jr.slo_samples.push_back(SloSample{st.sim->now().us(), us});
 
     if (status != coll::BarrierStatus::kOk || (me.comm && me.comm->failed())) {
       // The group is broken (dead peer or expired deadline): stop looping
@@ -188,7 +192,15 @@ std::uint64_t substream(std::uint64_t seed, std::uint64_t purpose, std::uint64_t
 
 Driver::Driver(WorkloadSpec spec) : spec_(std::move(spec)) { validate(spec_); }
 
-Report Driver::run() {
+Report Driver::run() { return run_impl(nullptr); }
+
+std::pair<Report, SloReport> Driver::run_with_slo() {
+  SloReport slo;
+  Report rep = run_impl(&slo);
+  return {std::move(rep), std::move(slo)};
+}
+
+Report Driver::run_impl(SloReport* slo_out) {
   const std::vector<std::vector<net::NodeId>> node_sets = place_jobs(spec_);
   const std::size_t job_count = node_sets.size();
 
@@ -229,6 +241,11 @@ Report Driver::run() {
   }
   sim::telemetry::Telemetry own_telemetry;
   if (cp.telemetry == nullptr) cp.telemetry = &own_telemetry;
+  if (slo_out != nullptr && wants_slo(spec_)) {
+    // Causal spans give the SLO report its per-segment critical-path
+    // attribution. Must precede cluster construction (pointers are cached).
+    cp.telemetry->enable_causal();
+  }
   host::Cluster cluster(cp);
 
   RunState st;
@@ -281,6 +298,7 @@ Report Driver::run() {
         for (std::size_t m = 0; m < klass.nodes; ++m) {
           group.push_back(nic::Endpoint{jr.node_set[m], job_ports[j][m]});
         }
+        jr.endpoints = group;
 
         jr.members.resize(klass.nodes);
         jr.remaining = klass.nodes;
@@ -384,6 +402,16 @@ Report Driver::run() {
       if (ends_with(".reduces_completed")) rep.reduces_completed += value;
       if (ends_with(".retransmissions")) rep.retransmissions += value;
     }
+  }
+
+  if (slo_out != nullptr) {
+    std::vector<std::vector<SloSample>> samples(job_count);
+    std::vector<std::vector<nic::Endpoint>> endpoints(job_count);
+    for (std::size_t j = 0; j < job_count; ++j) {
+      samples[j] = std::move(st.jobs[j].slo_samples);
+      endpoints[j] = std::move(st.jobs[j].endpoints);
+    }
+    *slo_out = compute_slo(spec_, samples, endpoints, cp.telemetry->causal());
   }
   return rep;
 }

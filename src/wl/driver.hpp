@@ -12,7 +12,10 @@
 // latency bit-for-bit (asserted by tests/wl/workload_test.cpp).
 #pragma once
 
+#include <utility>
+
 #include "wl/report.hpp"
+#include "wl/slo.hpp"
 #include "wl/spec.hpp"
 
 namespace nicbar::wl {
@@ -36,7 +39,15 @@ class Driver {
   /// the Report carries the fabric/NIC occupancy aggregates).
   [[nodiscard]] Report run();
 
+  /// Like run(), but also computes the SLO burn-rate report for every class
+  /// that declares one (empty report when none do). Enables causal tracing
+  /// for the run so each SLO'd job carries its critical-path attribution;
+  /// the simulated timeline is bit-identical to run() regardless.
+  [[nodiscard]] std::pair<Report, SloReport> run_with_slo();
+
  private:
+  Report run_impl(SloReport* slo_out);
+
   WorkloadSpec spec_;
 };
 

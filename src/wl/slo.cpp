@@ -1,0 +1,192 @@
+#include "wl/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace nicbar::wl {
+
+namespace {
+
+using sim::causal::kSegmentCount;
+using sim::causal::Segment;
+
+double burn(std::uint64_t violations, std::uint64_t samples, double target) {
+  if (samples == 0) return 0.0;
+  const double budget = 1.0 - target;
+  return (static_cast<double>(violations) / static_cast<double>(samples)) / budget;
+}
+
+}  // namespace
+
+bool wants_slo(const WorkloadSpec& spec) {
+  for (const JobClass& c : spec.classes) {
+    if (!c.slo.is_zero()) return true;
+  }
+  return false;
+}
+
+SloReport compute_slo(const WorkloadSpec& spec,
+                      const std::vector<std::vector<SloSample>>& samples,
+                      const std::vector<std::vector<nic::Endpoint>>& endpoints,
+                      const sim::causal::CausalTracer* causal) {
+  SloReport rep;
+  std::size_t j = 0;
+  for (const JobClass& klass : spec.classes) {
+    for (std::size_t inst = 0; inst < klass.count; ++inst, ++j) {
+      if (klass.slo.is_zero()) continue;
+      JobSlo js;
+      js.klass = klass.name;
+      js.job = j;
+      js.slo_us = klass.slo.us();
+      js.target = klass.slo_target;
+
+      static const std::vector<SloSample> kNoSamples;
+      const std::vector<SloSample>& ss = j < samples.size() ? samples[j] : kNoSamples;
+      double horizon_us = 0.0;
+      for (const SloSample& s : ss) {
+        ++js.samples;
+        if (s.latency_us > js.slo_us) ++js.violations;
+        if (s.t_us > horizon_us) horizon_us = s.t_us;
+      }
+      js.compliance = js.samples == 0
+                          ? 1.0
+                          : 1.0 - static_cast<double>(js.violations) /
+                                      static_cast<double>(js.samples);
+      js.burn_rate = burn(js.violations, js.samples, js.target);
+
+      // Windowed burn rates: fixed-width buckets by completion time. With no
+      // window declared, one bucket spans the whole run.
+      const double w_us = klass.slo_window.us();
+      const std::size_t buckets =
+          w_us > 0.0 ? static_cast<std::size_t>(std::floor(horizon_us / w_us)) + 1 : 1;
+      js.windows.resize(js.samples > 0 ? buckets : 0);
+      for (std::size_t b = 0; b < js.windows.size(); ++b) {
+        js.windows[b].start_us = w_us > 0.0 ? static_cast<double>(b) * w_us : 0.0;
+        js.windows[b].end_us = w_us > 0.0 ? static_cast<double>(b + 1) * w_us : horizon_us;
+      }
+      for (const SloSample& s : ss) {
+        const std::size_t b =
+            w_us > 0.0 ? std::min(static_cast<std::size_t>(std::floor(s.t_us / w_us)),
+                                  js.windows.size() - 1)
+                       : 0;
+        ++js.windows[b].samples;
+        if (s.latency_us > js.slo_us) ++js.windows[b].violations;
+      }
+      for (SloWindow& w : js.windows) {
+        w.burn_rate = burn(w.violations, w.samples, js.target);
+        if (w.burn_rate > js.max_window_burn_rate) js.max_window_burn_rate = w.burn_rate;
+      }
+      js.violating = js.burn_rate > 1.0;
+      if (js.violating) ++rep.violating_jobs;
+
+      // Critical-path attribution of this job's own barriers.
+      if (causal != nullptr && j < endpoints.size() && !endpoints[j].empty()) {
+        std::vector<sim::causal::CompletedBarrier> mine;
+        for (const sim::causal::CompletedBarrier& cb : causal->completed()) {
+          for (const nic::Endpoint& ep : endpoints[j]) {
+            if (cb.node == ep.node && cb.port == ep.port) {
+              mine.push_back(cb);
+              break;
+            }
+          }
+        }
+        if (!mine.empty()) {
+          const sim::causal::PathProfile prof = causal->profile_of(mine);
+          js.barriers = prof.barriers;
+          double best = -1.0;
+          for (std::size_t s = 0; s < kSegmentCount; ++s) {
+            js.segment_self_us[s] = prof.self[s].us();
+            js.segment_queue_us[s] = prof.queue[s].us();
+            const double tot = js.segment_self_us[s] + js.segment_queue_us[s];
+            if (tot > best) {
+              best = tot;
+              js.dominant_segment = static_cast<int>(s);
+            }
+          }
+        }
+      }
+      rep.jobs.push_back(std::move(js));
+    }
+  }
+  return rep;
+}
+
+void SloReport::write_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"nicbar-slo-v1\",\n  \"violating_jobs\": " << violating_jobs
+     << ",\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobSlo& j = jobs[i];
+    os << "    {\"job\": " << j.job << ", \"class\": \"" << j.klass
+       << "\", \"slo_us\": " << j.slo_us << ", \"target\": " << j.target
+       << ", \"samples\": " << j.samples << ", \"violations\": " << j.violations
+       << ",\n     \"compliance\": " << j.compliance << ", \"burn_rate\": " << j.burn_rate
+       << ", \"max_window_burn_rate\": " << j.max_window_burn_rate
+       << ", \"violating\": " << (j.violating ? "true" : "false") << ",\n     \"windows\": [";
+    for (std::size_t w = 0; w < j.windows.size(); ++w) {
+      const SloWindow& win = j.windows[w];
+      os << (w == 0 ? "" : ", ") << "{\"start_us\": " << win.start_us
+         << ", \"end_us\": " << win.end_us << ", \"samples\": " << win.samples
+         << ", \"violations\": " << win.violations << ", \"burn_rate\": " << win.burn_rate
+         << "}";
+    }
+    os << "],\n     \"critical_path\": {\"barriers\": " << j.barriers
+       << ", \"dominant_segment\": ";
+    if (j.dominant_segment >= 0) {
+      os << '"' << sim::causal::to_string(static_cast<Segment>(j.dominant_segment)) << '"';
+    } else {
+      os << "null";
+    }
+    os << ", \"segments\": [";
+    for (std::size_t s = 0; s < kSegmentCount; ++s) {
+      os << (s == 0 ? "" : ", ") << "{\"segment\": \""
+         << sim::causal::to_string(static_cast<Segment>(s))
+         << "\", \"self_us\": " << j.segment_self_us[s]
+         << ", \"queue_us\": " << j.segment_queue_us[s] << "}";
+    }
+    os << "]}}" << (i + 1 < jobs.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+std::string SloReport::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void SloReport::write_ascii(std::ostream& os) const {
+  os << "SLO burn-rate report (" << jobs.size() << " job(s) with an SLO, " << violating_jobs
+     << " violating)\n";
+  os << "  job  class            slo_us  target   samples  miss  burn  worst-win  verdict  "
+        "dominant-segment\n";
+  for (const JobSlo& j : jobs) {
+    char line[256];
+    std::snprintf(line, sizeof line, "  %-4zu %-16s %7.1f  %6.3f  %7llu  %4llu  %4.2f  %9.2f  %-7s  ",
+                  j.job, j.klass.c_str(), j.slo_us, j.target,
+                  static_cast<unsigned long long>(j.samples),
+                  static_cast<unsigned long long>(j.violations), j.burn_rate,
+                  j.max_window_burn_rate, j.violating ? "VIOLATE" : "ok");
+    os << line;
+    if (j.dominant_segment >= 0) {
+      const auto seg = static_cast<Segment>(j.dominant_segment);
+      const double dom = j.segment_self_us[static_cast<std::size_t>(j.dominant_segment)] +
+                         j.segment_queue_us[static_cast<std::size_t>(j.dominant_segment)];
+      double total = 0.0;
+      for (std::size_t s = 0; s < kSegmentCount; ++s) {
+        total += j.segment_self_us[s] + j.segment_queue_us[s];
+      }
+      char seg_buf[64];
+      std::snprintf(seg_buf, sizeof seg_buf, "%s (%.0f%% of critical path)",
+                    sim::causal::to_string(seg), total > 0.0 ? 100.0 * dom / total : 0.0);
+      os << seg_buf;
+    } else {
+      os << "-";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace nicbar::wl

@@ -1,0 +1,97 @@
+// SLO burn-rate layer over workload runs (wl::slo).
+//
+// Classes in a WorkloadSpec may declare a per-collective latency SLO
+// (`slo-us`, with a compliance target and a burn-rate window). The driver
+// captures one timestamped sample per collective per process; compute_slo
+// turns them into per-job burn rates: the fraction of samples missing the
+// SLO divided by the error budget (1 - target). A burn rate of 1.0 consumes
+// the budget exactly; above 1.0 the tenant is violating. The windowed view
+// localises *when* the budget burned (a contention episode shows up as one
+// hot window rather than a diluted run-wide average).
+//
+// When causal tracing was enabled for the run, each SLO'd job also gets the
+// critical-path attribution of its own completed barriers (filtered by the
+// job's (node, port) endpoints), so the report names not just the offending
+// tenant but the dominant hardware segment its latency sits in — "job 3 is
+// burning budget and 61% of its critical path is wire serialisation".
+//
+// Everything here is pure data derived from the simulated timeline: two
+// runs of the same spec produce byte-identical write_json output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/causal.hpp"
+#include "wl/spec.hpp"
+
+namespace nicbar::wl {
+
+/// One collective completion observed by one process of a job.
+struct SloSample {
+  double t_us = 0.0;        // simulated completion time
+  double latency_us = 0.0;  // collective latency seen by that process
+};
+
+/// One burn-rate window of one job.
+struct SloWindow {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t violations = 0;
+  double burn_rate = 0.0;  // (violations / samples) / (1 - target)
+};
+
+/// SLO verdict for one job instance of a class that declares an SLO.
+struct JobSlo {
+  std::string klass;
+  std::size_t job = 0;
+  double slo_us = 0.0;
+  double target = 0.0;  // compliance target in (0, 1)
+  std::uint64_t samples = 0;
+  std::uint64_t violations = 0;
+  double compliance = 1.0;  // fraction of samples meeting the SLO
+  double burn_rate = 0.0;   // whole-run burn rate
+  double max_window_burn_rate = 0.0;
+  bool violating = false;  // burn_rate > 1: budget overdrawn at this rate
+  std::vector<SloWindow> windows;
+
+  // Critical-path attribution over this job's completed barriers. All zero
+  // when causal tracing was off or the job completed no NIC barriers.
+  std::uint64_t barriers = 0;
+  std::array<double, sim::causal::kSegmentCount> segment_self_us{};
+  std::array<double, sim::causal::kSegmentCount> segment_queue_us{};
+  int dominant_segment = -1;  // argmax(self + queue); -1 = unattributed
+};
+
+struct SloReport {
+  std::vector<JobSlo> jobs;  // job order; only classes with an SLO
+  std::uint64_t violating_jobs = 0;
+
+  /// Deterministic JSON document (schema "nicbar-slo-v1").
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json() const;
+
+  /// Human-readable table: one row per job, offenders flagged, dominant
+  /// critical-path segment named.
+  void write_ascii(std::ostream& os) const;
+};
+
+/// Computes the report from a finished run. `samples[j]` holds job j's
+/// collective completions and `endpoints[j]` its (node, port) pairs, both in
+/// driver job order (class order, then instance order); jobs whose class
+/// declares no SLO may leave their entries empty. `causal` may be null (no
+/// attribution). Exposed separately from the driver for tests.
+[[nodiscard]] SloReport compute_slo(const WorkloadSpec& spec,
+                                    const std::vector<std::vector<SloSample>>& samples,
+                                    const std::vector<std::vector<nic::Endpoint>>& endpoints,
+                                    const sim::causal::CausalTracer* causal);
+
+/// True when any class in the spec declares an SLO (drives whether the
+/// driver records samples and enables causal tracing).
+[[nodiscard]] bool wants_slo(const WorkloadSpec& spec);
+
+}  // namespace nicbar::wl

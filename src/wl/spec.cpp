@@ -91,6 +91,12 @@ void validate(const WorkloadSpec& spec) {
     if (c.algorithm == nic::BarrierAlgorithm::kGatherBroadcast && c.gb_dimension == 0) {
       bad(who + "GB needs a positive tree dimension");
     }
+    if (!c.slo.is_zero() && (c.slo_target <= 0.0 || c.slo_target >= 1.0)) {
+      bad(who + "slo-target must be in (0, 1)");
+    }
+    if (c.slo.ps() < 0 || c.slo_window.ps() < 0) {
+      bad(who + "slo-us and slo-window-us must be non-negative");
+    }
   }
 }
 
@@ -394,6 +400,12 @@ WorkloadSpec parse_workload_spec(std::istream& in) {
       job->deadline = sim::microseconds(parse_number(is, line_no, line, "deadline-us"));
     } else if (key == "layer-us") {
       job->layer_overhead = sim::microseconds(parse_number(is, line_no, line, "layer-us"));
+    } else if (key == "slo-us") {
+      job->slo = sim::microseconds(parse_number(is, line_no, line, "slo-us"));
+    } else if (key == "slo-target") {
+      job->slo_target = parse_number(is, line_no, line, "slo-target");
+    } else if (key == "slo-window-us") {
+      job->slo_window = sim::microseconds(parse_number(is, line_no, line, "slo-window-us"));
     } else {
       fail_at(line_no, line, "unknown job key '" + key + "'");
     }
@@ -502,6 +514,13 @@ void print_spec(const WorkloadSpec& spec, std::ostream& os) {
     os << "  fuzzy-chunk-us " << us_str(c.fuzzy_chunk) << "\n";
     os << "  deadline-us " << us_str(c.deadline) << "\n";
     if (!c.layer_overhead.is_zero()) os << "  layer-us " << us_str(c.layer_overhead) << "\n";
+    if (!c.slo.is_zero()) {
+      // SLO keys ride only on classes that declare one (like layer-us), so
+      // SLO-free specs print byte-identically to the pre-SLO format.
+      os << "  slo-us " << us_str(c.slo) << "\n";
+      os << "  slo-target " << weight_str(c.slo_target) << "\n";
+      os << "  slo-window-us " << us_str(c.slo_window) << "\n";
+    }
   }
 }
 
@@ -548,6 +567,13 @@ bool spec_equal(const WorkloadSpec& a, const WorkloadSpec& b) {
     // for PE the field is meaningless and not compared.
     if (x.algorithm == nic::BarrierAlgorithm::kGatherBroadcast &&
         x.gb_dimension != y.gb_dimension) {
+      return false;
+    }
+    // Same for the SLO keys: printed (and thus compared) only when the
+    // class declares an SLO.
+    if (x.slo != y.slo) return false;
+    if (!x.slo.is_zero() &&
+        (x.slo_target != y.slo_target || x.slo_window != y.slo_window)) {
       return false;
     }
   }

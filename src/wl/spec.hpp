@@ -89,6 +89,15 @@ struct JobClass {
   /// Per-call software-layer overhead (only the communicator path pays it;
   /// a barrier-only class models raw GM and must leave this at 0).
   sim::Duration layer_overhead{0};
+  /// Per-collective latency SLO for this class (0 = no SLO declared). A
+  /// collective completing in more than `slo` burns error budget; wl::slo
+  /// turns the samples into windowed burn rates.
+  sim::Duration slo{0};
+  /// Compliance target in (0, 1): the fraction of samples that must meet
+  /// the SLO. The error budget is 1 - slo_target.
+  double slo_target = 0.99;
+  /// Burn-rate window width; 0 = a single window spanning the whole run.
+  sim::Duration slo_window{0};
 };
 
 struct Arrival {
@@ -155,6 +164,9 @@ void validate(const WorkloadSpec& spec);
 ///     fuzzy-chunk-us 5
 ///     deadline-us 0
 ///     layer-us 0
+///     slo-us 150                   # per-collective latency SLO (0 = none)
+///     slo-target 0.99              # compliance target in (0, 1)
+///     slo-window-us 5000           # burn-rate window (0 = whole run)
 ///
 /// Throws std::runtime_error naming the offending line on malformed input;
 /// the result has already passed validate().

@@ -101,6 +101,38 @@ TEST(HistogramTest, EmptyPercentileIsLowerBound) {
   EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
 }
 
+TEST(HistogramTest, SingleSampleInterpolatesWithinItsBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.7);  // lands in [3, 4)
+  EXPECT_EQ(h.count(), 1u);
+  // A one-sample population: every percentile interpolates through the one
+  // occupied bin, from its lower edge (p=0) to its upper edge (p=100).
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);
+}
+
+TEST(HistogramTest, AllSamplesInOneBinSpanThatBin) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(55.0);  // all in [50, 60)
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 55.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 59.99);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 60.0);
+}
+
+TEST(HistogramTest, P999ResolvesASparseTail) {
+  // 999 fast samples and 2 slow outliers: p99.8 stays in the fast bin but
+  // p99.9 must cross into the tail — the resolution SLO reporting leans on.
+  Histogram h(0.0, 1000.0, 1000);
+  for (int i = 0; i < 999; ++i) h.add(10.5);
+  h.add(900.5);
+  h.add(900.5);
+  EXPECT_LE(h.percentile(99.8), 11.0);
+  EXPECT_GT(h.percentile(99.9), 900.0);
+  EXPECT_LT(h.percentile(99.9), 901.0);
+}
+
 TEST(HistogramTest, BinGeometryAccessors) {
   Histogram h(10.0, 50.0, 8);
   EXPECT_DOUBLE_EQ(h.lo(), 10.0);

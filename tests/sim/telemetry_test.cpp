@@ -199,6 +199,59 @@ TEST(TraceEventSinkTest, WriteJsonIsValidChromeTraceFormat) {
   EXPECT_NE(json.find("\"dur\": 2.000"), std::string::npos);
 }
 
+TEST(TraceEventSinkTest, MaskFiltersAtEmissionTime) {
+  TraceEventSink t;
+  t.set_mask(static_cast<std::uint32_t>(sim::TraceCategory::kBarrier));
+  const int a = t.track("mcp0");
+  t.duration(a, "keep", sim::SimTime{1000}, sim::Duration{500}, "sim",
+             sim::TraceCategory::kBarrier);
+  t.duration(a, "drop", sim::SimTime{2000}, sim::Duration{500}, "sim",
+             sim::TraceCategory::kNet);
+  t.instant(a, "drop", sim::SimTime{3000}, "sim", sim::TraceCategory::kHost);
+  t.flow_start(a, "drop", sim::SimTime{4000}, 9, "sim", sim::TraceCategory::kReliab);
+  EXPECT_EQ(t.event_count(), 1u);
+  t.set_mask(static_cast<std::uint32_t>(sim::TraceCategory::kAll));
+  t.flow_end(a, "keep", sim::SimTime{5000}, 9);
+  EXPECT_EQ(t.event_count(), 2u);
+}
+
+TEST(TraceEventSinkTest, GoldenJsonPinsFlowEventsAndCausalIds) {
+  // Pins the exact Chrome-trace serialisation of the three id-carrying event
+  // shapes: an "X" with args.id, and an "s"/"f" flow pair bound by the same
+  // packet id ("bp": "e" attaches the arrowhead to the enclosing slice).
+  // Perfetto renders the pair as an arrow following the packet from the
+  // sender's SEND engine to the receiver's RECV engine — byte-for-byte
+  // changes here break saved traces and the flow-arrow rendering.
+  TraceEventSink t;
+  const int tx = t.track("nic0/send");
+  const int rx = t.track("nic1/recv");
+  t.duration(tx, "tx", sim::SimTime{0} + sim::microseconds(1.0), sim::microseconds(2.0),
+             "nic", sim::TraceCategory::kSend, 7);
+  t.flow_start(tx, "pkt", sim::SimTime{0} + sim::microseconds(3.0), 7, "net",
+               sim::TraceCategory::kNet);
+  t.flow_end(rx, "pkt", sim::SimTime{0} + sim::microseconds(4.5), 7, "net",
+             sim::TraceCategory::kNet);
+  t.duration(rx, "rx", sim::SimTime{0} + sim::microseconds(4.5), sim::microseconds(1.0),
+             "nic", sim::TraceCategory::kRecv);  // id 0: no args block
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"traceEvents\": [\n"
+            "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": 0, "
+            "\"args\": {\"name\": \"nic0/send\"}},\n"
+            "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": 1, "
+            "\"args\": {\"name\": \"nic1/recv\"}},\n"
+            "  {\"ph\": \"X\", \"name\": \"tx\", \"cat\": \"nic\", \"pid\": 0, \"tid\": 0, "
+            "\"ts\": 1.000, \"dur\": 2.000, \"args\": {\"id\": 7}},\n"
+            "  {\"ph\": \"s\", \"name\": \"pkt\", \"cat\": \"net\", \"pid\": 0, \"tid\": 0, "
+            "\"ts\": 3.000, \"id\": 7},\n"
+            "  {\"ph\": \"f\", \"bp\": \"e\", \"name\": \"pkt\", \"cat\": \"net\", \"pid\": 0, "
+            "\"tid\": 1, \"ts\": 4.500, \"id\": 7},\n"
+            "  {\"ph\": \"X\", \"name\": \"rx\", \"cat\": \"nic\", \"pid\": 0, \"tid\": 1, "
+            "\"ts\": 4.500, \"dur\": 1.000}\n"
+            "]}\n");
+}
+
 // --- BreakdownCollector ---------------------------------------------------------
 
 TEST(BreakdownCollectorTest, ComponentsSumToTotalExactly) {
@@ -363,6 +416,51 @@ TEST(TelemetryIntegrationTest, TraceHasSpansPerEnginePerBarrierRound) {
   std::ostringstream os;
   sink.write_json(os);
   EXPECT_TRUE(valid_json(os.str()));
+}
+
+TEST(TelemetryIntegrationTest, TraceMaskFiltersEndToEnd) {
+  // The same experiment traced twice: unfiltered, and restricted to the
+  // receive-engine category. The mask must thin the event stream at the sink
+  // (no call-site changes), and the full stream must carry the paired flow
+  // events that follow each packet across tracks.
+  coll::ExperimentParams p;
+  p.nodes = 4;
+  p.reps = 3;
+  p.spec.location = coll::Location::kNic;
+
+  Telemetry full;
+  full.enable_trace();
+  p.cluster.telemetry = &full;
+  (void)coll::run_barrier_experiment(p);
+
+  Telemetry masked;
+  masked.enable_trace().set_mask(static_cast<std::uint32_t>(sim::TraceCategory::kRecv));
+  coll::ExperimentParams p2 = p;
+  p2.cluster.telemetry = &masked;
+  (void)coll::run_barrier_experiment(p2);
+
+  EXPECT_GT(masked.trace()->event_count(), 0u);
+  EXPECT_LT(masked.trace()->event_count(), full.trace()->event_count());
+
+  // The NIC engines emit sdma/send/recv/rdma sink events; nothing carries the
+  // barrier category, so masking on it empties the stream entirely.
+  Telemetry none;
+  none.enable_trace().set_mask(static_cast<std::uint32_t>(sim::TraceCategory::kBarrier));
+  coll::ExperimentParams p3 = p;
+  p3.cluster.telemetry = &none;
+  (void)coll::run_barrier_experiment(p3);
+  EXPECT_EQ(none.trace()->event_count(), 0u);
+
+  std::ostringstream os;
+  full.trace()->write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"id\": "), std::string::npos);
+
+  std::ostringstream os2;
+  masked.trace()->write_json(os2);
+  EXPECT_TRUE(valid_json(os2.str()));
 }
 
 TEST(TelemetryIntegrationTest, DetachedTelemetryKeepsTimelineIdentical) {

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <sstream>
+#include <string>
 
 #include "coll/barrier.hpp"
 #include "host/cluster.hpp"
@@ -33,6 +36,50 @@ TEST(TracerTest, MaskFiltersCategories) {
   const std::string out = os.str();
   EXPECT_NE(out.find("bar 7"), std::string::npos);
   EXPECT_EQ(out.find("net 8"), std::string::npos);
+}
+
+TEST(TracerTest, NullStreamKeepsTheMaskForALaterEnable) {
+  // Regression: enable(nullptr, mask) used to lose the mask, so a later
+  // enable(&os, mask) caller had to re-supply it from scratch. The mask is
+  // now stored as given; only on() gates on the stream.
+  std::ostringstream os;
+  Tracer t;
+  t.enable(nullptr, static_cast<std::uint32_t>(TraceCategory::kReliab));
+  EXPECT_FALSE(t.on(TraceCategory::kReliab));  // no stream -> off
+  t.enable(&os, static_cast<std::uint32_t>(TraceCategory::kReliab));
+  EXPECT_TRUE(t.on(TraceCategory::kReliab));
+  EXPECT_FALSE(t.on(TraceCategory::kHost));
+}
+
+TEST(TraceMaskTest, ParsesSingleNamesAndLists) {
+  EXPECT_EQ(sim::parse_trace_mask("host"),
+            std::optional<std::uint32_t>(static_cast<std::uint32_t>(TraceCategory::kHost)));
+  EXPECT_EQ(sim::parse_trace_mask("barrier,reliab"),
+            std::optional<std::uint32_t>(static_cast<std::uint32_t>(TraceCategory::kBarrier) |
+                                         static_cast<std::uint32_t>(TraceCategory::kReliab)));
+  EXPECT_EQ(sim::parse_trace_mask("all"),
+            std::optional<std::uint32_t>(static_cast<std::uint32_t>(TraceCategory::kAll)));
+  // Every documented name parses to exactly one bit (or kAll).
+  for (const char* name : {"host", "sdma", "send", "recv", "rdma", "net", "barrier", "reliab"}) {
+    const auto m = sim::parse_trace_mask(name);
+    ASSERT_TRUE(m.has_value()) << name;
+    EXPECT_EQ(__builtin_popcount(*m), 1) << name;
+  }
+}
+
+TEST(TraceMaskTest, RejectsUnknownAndEmptyElements) {
+  EXPECT_FALSE(sim::parse_trace_mask("").has_value());
+  EXPECT_FALSE(sim::parse_trace_mask("bogus").has_value());
+  EXPECT_FALSE(sim::parse_trace_mask("host,").has_value());
+  EXPECT_FALSE(sim::parse_trace_mask(",host").has_value());
+  EXPECT_FALSE(sim::parse_trace_mask("host,,net").has_value());
+  EXPECT_FALSE(sim::parse_trace_mask("Host").has_value());  // case-sensitive
+  // The error-message helper names every accepted category.
+  const std::string names = sim::trace_mask_names();
+  for (const char* name : {"host", "sdma", "send", "recv", "rdma", "net", "barrier", "reliab",
+                           "all"}) {
+    EXPECT_NE(names.find(name), std::string::npos) << name;
+  }
 }
 
 TEST(TracerTest, LinesCarrySimulatedTime) {

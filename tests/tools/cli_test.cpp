@@ -211,6 +211,69 @@ TEST(CliTest, CheckRejectsGarbageAndSingleRunArtifacts) {
   EXPECT_FALSE(parse_args({"check", "--metrics-json", "m.json"}, err).has_value());
 }
 
+TEST(CliTest, TraceMaskParsesCategoryLists) {
+  std::string err;
+  auto o = parse_args({"--trace-json", "t.json", "--trace-mask", "barrier,reliab"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->have_trace_mask);
+  EXPECT_EQ(o->trace_mask, static_cast<std::uint32_t>(sim::TraceCategory::kBarrier) |
+                               static_cast<std::uint32_t>(sim::TraceCategory::kReliab));
+
+  o = parse_args({"--trace-json=t.json", "--trace-mask=net"}, err);  // = form too
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->trace_mask, static_cast<std::uint32_t>(sim::TraceCategory::kNet));
+
+  // Default: everything passes, not flagged as user-given.
+  o = parse_args({"--trace-json", "t.json"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_FALSE(o->have_trace_mask);
+  EXPECT_EQ(o->trace_mask, static_cast<std::uint32_t>(sim::TraceCategory::kAll));
+}
+
+TEST(CliTest, TraceMaskRejectsUnknownNamesWithTheAcceptedList) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--trace-json", "t.json", "--trace-mask", "bogus"}, err).has_value());
+  EXPECT_NE(err.find("--trace-mask"), std::string::npos);
+  EXPECT_NE(err.find("barrier"), std::string::npos);  // names the accepted set
+  EXPECT_FALSE(parse_args({"--trace-json", "t.json", "--trace-mask", ""}, err).has_value());
+  EXPECT_FALSE(parse_args({"--trace-mask"}, err).has_value());
+}
+
+TEST(CliTest, TraceMaskRequiresTraceJson) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--trace-mask", "barrier"}, err).has_value());
+  EXPECT_NE(err.find("--trace-json"), std::string::npos);
+}
+
+TEST(CliTest, CriticalPathIsSingleRunOnly) {
+  std::string err;
+  const auto o = parse_args({"--nodes", "16", "--critical-path"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->critical_path);
+  EXPECT_FALSE(parse_args({"--critical-path", "--seeds", "3"}, err).has_value());
+  EXPECT_FALSE(parse_args({"workload", "spec.wl", "--critical-path"}, err).has_value());
+  EXPECT_FALSE(parse_args({"check", "--critical-path"}, err).has_value());
+  // Composes with the other single-run artifacts.
+  EXPECT_TRUE(
+      parse_args({"--critical-path", "--breakdown", "--trace-json", "t.json"}, err).has_value())
+      << err;
+}
+
+TEST(CliTest, SloReportIsWorkloadOnly) {
+  std::string err;
+  const auto o = parse_args({"workload", "spec.wl", "--slo-report", "slo.json"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->slo_report_path, "slo.json");
+  EXPECT_FALSE(parse_args({"--slo-report", "slo.json"}, err).has_value());
+  EXPECT_NE(err.find("--slo-report"), std::string::npos);
+  EXPECT_FALSE(parse_args({"workload", "spec.wl", "--slo-report"}, err).has_value());
+  // Composes with the seed sweep (one report per seed, like --report-json).
+  EXPECT_TRUE(
+      parse_args({"workload", "spec.wl", "--seeds", "3", "--slo-report", "s.json"}, err)
+          .has_value())
+      << err;
+}
+
 TEST(CliTest, CheckAndWorkloadAreMutuallyExclusive) {
   std::string err;
   // After `workload`, the next positional is the spec path — even if it

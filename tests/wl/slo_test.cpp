@@ -1,0 +1,154 @@
+// wl::slo — SLO spec keys, burn-rate arithmetic, windowing, and the driver
+// integration (run_with_slo) including critical-path attribution of the
+// offending tenant.
+#include "wl/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "wl/driver.hpp"
+#include "wl/spec.hpp"
+
+namespace nicbar::wl {
+namespace {
+
+constexpr const char* kSloSpec = R"(cluster-nodes 8
+placement disjoint
+seed 3
+
+job latency
+  count 1
+  nodes 4
+  iters 20
+  mix barrier=1
+  slo-us 150
+  slo-target 0.9
+  slo-window-us 500
+
+job batch
+  count 1
+  nodes 4
+  iters 20
+  mix barrier=1
+)";
+
+TEST(SloSpecTest, ParsesSloKeys) {
+  const WorkloadSpec spec = parse_workload_spec(std::string(kSloSpec));
+  ASSERT_EQ(spec.classes.size(), 2u);
+  EXPECT_EQ(spec.classes[0].slo, sim::microseconds(150.0));
+  EXPECT_DOUBLE_EQ(spec.classes[0].slo_target, 0.9);
+  EXPECT_EQ(spec.classes[0].slo_window, sim::microseconds(500.0));
+  EXPECT_TRUE(spec.classes[1].slo.is_zero());
+  EXPECT_TRUE(wants_slo(spec));
+}
+
+TEST(SloSpecTest, RoundTripsThroughPrintSpec) {
+  const WorkloadSpec spec = parse_workload_spec(std::string(kSloSpec));
+  const std::string printed = print_spec(spec);
+  EXPECT_NE(printed.find("slo-us"), std::string::npos);
+  const WorkloadSpec again = parse_workload_spec(printed);
+  EXPECT_TRUE(spec_equal(spec, again));
+  // And a spec with no SLO anywhere prints no slo-* lines at all (the
+  // pre-SLO format is preserved byte for byte).
+  WorkloadSpec plain = spec;
+  plain.classes[0].slo = sim::Duration{0};
+  EXPECT_EQ(print_spec(plain).find("slo-"), std::string::npos);
+  EXPECT_FALSE(wants_slo(plain));
+}
+
+TEST(SloSpecTest, RejectsTargetOutsideUnitInterval) {
+  std::string bad = kSloSpec;
+  const std::size_t pos = bad.find("slo-target 0.9");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 14, "slo-target 1.5");
+  // parse_workload_spec wraps validate()'s std::invalid_argument in a
+  // runtime_error so parse and validation failures share one exception type.
+  EXPECT_THROW((void)parse_workload_spec(bad), std::runtime_error);
+}
+
+TEST(SloComputeTest, BurnRateIsMissFractionOverErrorBudget) {
+  WorkloadSpec spec = parse_workload_spec(std::string(kSloSpec));
+  // Job 0 (slo 150us, target 0.9 => 10% error budget): 2 misses in 10
+  // samples = 20% missing, burn rate 2.0 — violating. Job 1 has no SLO.
+  std::vector<std::vector<SloSample>> samples(2);
+  for (int i = 0; i < 8; ++i) {
+    samples[0].push_back({100.0 * i, 100.0});
+  }
+  samples[0].push_back({800.0, 200.0});
+  samples[0].push_back({900.0, 300.0});
+  std::vector<std::vector<nic::Endpoint>> endpoints(2);
+
+  const SloReport rep = compute_slo(spec, samples, endpoints, nullptr);
+  ASSERT_EQ(rep.jobs.size(), 1u);  // only the class with an SLO
+  const JobSlo& j = rep.jobs.front();
+  EXPECT_EQ(j.job, 0u);
+  EXPECT_EQ(j.samples, 10u);
+  EXPECT_EQ(j.violations, 2u);
+  EXPECT_DOUBLE_EQ(j.compliance, 0.8);
+  EXPECT_DOUBLE_EQ(j.burn_rate, 2.0);
+  EXPECT_TRUE(j.violating);
+  EXPECT_EQ(rep.violating_jobs, 1u);
+  EXPECT_EQ(j.dominant_segment, -1);  // no causal tracer attached
+
+  // Windows are 500us wide; both misses landed in [500, 1000): that window
+  // burns at 10x while the first window burns at 0.
+  ASSERT_EQ(j.windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(j.windows[0].burn_rate, 0.0);
+  EXPECT_EQ(j.windows[1].samples, 5u);
+  EXPECT_EQ(j.windows[1].violations, 2u);
+  EXPECT_DOUBLE_EQ(j.windows[1].burn_rate, (2.0 / 5.0) / 0.1);
+  EXPECT_DOUBLE_EQ(j.max_window_burn_rate, 4.0);
+}
+
+TEST(SloComputeTest, CompliantJobIsNotFlagged) {
+  WorkloadSpec spec = parse_workload_spec(std::string(kSloSpec));
+  std::vector<std::vector<SloSample>> samples(2);
+  for (int i = 0; i < 20; ++i) samples[0].push_back({50.0 * i, 120.0});
+  const SloReport rep = compute_slo(spec, samples, {}, nullptr);
+  ASSERT_EQ(rep.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.jobs.front().burn_rate, 0.0);
+  EXPECT_FALSE(rep.jobs.front().violating);
+  EXPECT_EQ(rep.violating_jobs, 0u);
+}
+
+TEST(SloDriverTest, RunWithSloMatchesPlainRunBitForBit) {
+  // Enabling causal tracing + SLO accounting must not perturb the simulated
+  // timeline: the Report from run_with_slo equals the Report from run().
+  const WorkloadSpec spec = parse_workload_spec(std::string(kSloSpec));
+  const Report plain = Driver(spec).run();
+  auto [rep, slo] = Driver(spec).run_with_slo();
+  EXPECT_DOUBLE_EQ(plain.overall.mean_us, rep.overall.mean_us);
+  EXPECT_DOUBLE_EQ(plain.makespan_us, rep.makespan_us);
+  EXPECT_EQ(plain.barriers_completed, rep.barriers_completed);
+
+  // The SLO side: one job with an SLO, fully attributed via causal tracing.
+  ASSERT_EQ(slo.jobs.size(), 1u);
+  const JobSlo& j = slo.jobs.front();
+  EXPECT_EQ(j.samples, 20u * 4u);  // iters x members
+  EXPECT_GT(j.barriers, 0u);
+  EXPECT_GE(j.dominant_segment, 0);
+
+  // Deterministic serialisation, both shapes.
+  const std::string json = slo.json();
+  EXPECT_NE(json.find("\"schema\": \"nicbar-slo-v1\""), std::string::npos);
+  EXPECT_EQ(json, Driver(spec).run_with_slo().second.json());
+  std::ostringstream ascii;
+  slo.write_ascii(ascii);
+  EXPECT_NE(ascii.str().find("latency"), std::string::npos);
+}
+
+TEST(SloDriverTest, SloFreeSpecYieldsEmptyReport) {
+  WorkloadSpec spec = parse_workload_spec(std::string(kSloSpec));
+  spec.classes[0].slo = sim::Duration{0};
+  auto [rep, slo] = Driver(spec).run_with_slo();
+  EXPECT_TRUE(slo.jobs.empty());
+  EXPECT_EQ(slo.violating_jobs, 0u);
+  EXPECT_GT(rep.barriers_completed, 0u);
+}
+
+}  // namespace
+}  // namespace nicbar::wl

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Schema-drift guard for the BENCH_*.json artifacts.
+"""Schema-drift guard for the BENCH_*.json and SLO-report artifacts.
 
 Every bench emits one document via bench::BenchSummary with the shape
 
@@ -12,9 +12,29 @@ Every bench emits one document via bench::BenchSummary with the shape
       ]
     }
 
-CI runs this checker over the artifacts so a refactor that silently changes
-the serialisation (renamed keys, string-typed numbers, empty row sets) fails
-the build instead of producing trajectory files nobody can diff.
+`nicbar_run workload ... --slo-report FILE` emits an SLO burn-rate report
+(schema "nicbar-slo-v1"; a JSON array of such documents under --seeds):
+
+    {
+      "schema": "nicbar-slo-v1",
+      "violating_jobs": <int>,
+      "jobs": [
+        {"job": <int>, "class": "...", "slo_us": ..., "target": ...,
+         "samples": ..., "violations": ..., "compliance": ...,
+         "burn_rate": ..., "max_window_burn_rate": ..., "violating": bool,
+         "windows": [{"start_us", "end_us", "samples", "violations",
+                      "burn_rate"}, ...],
+         "critical_path": {"barriers": ..., "dominant_segment": "...",
+                           "segments": [{"segment", "self_us",
+                                         "queue_us"}, ...]}},
+        ...
+      ]
+    }
+
+The checker dispatches on the "schema" field. CI runs it over the artifacts
+so a refactor that silently changes the serialisation (renamed keys,
+string-typed numbers, empty row sets) fails the build instead of producing
+trajectory files nobody can diff.
 
 Usage: check_bench_json.py FILE [FILE...]   (exit 0 iff every file conforms)
 """
@@ -24,6 +44,10 @@ import math
 import sys
 
 SCHEMA = "nicbar-bench-v1"
+SLO_SCHEMA = "nicbar-slo-v1"
+
+# The eight sim::causal segments, in enum order.
+SEGMENTS = ["host", "sdma", "send", "wire", "switch", "recv", "firmware", "rdma"]
 
 # Benches whose rows are improvement-factor figures (Fig. 5b/5d: host/NIC
 # latency ratios). Each of their rows must carry at least one *improvement*
@@ -32,6 +56,88 @@ SCHEMA = "nicbar-bench-v1"
 # which json.load would otherwise wave through (it accepts NaN/Infinity).
 IMPROVEMENT_BENCHES = {"fig5b", "fig5d"}
 IMPROVEMENT_MAX = 1000.0
+
+
+def is_number(v):
+    """A finite JSON number (bool is an int subclass; reject it)."""
+    return not isinstance(v, bool) and isinstance(v, (int, float)) and math.isfinite(v)
+
+
+def check_slo_doc(doc, where=""):
+    """Validates one nicbar-slo-v1 document. Returns a list of problems."""
+    problems = []
+    if doc.get("schema") != SLO_SCHEMA:
+        problems.append("%sschema must be %r, got %r" % (where, SLO_SCHEMA, doc.get("schema")))
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, list):
+        problems.append("%sjobs must be an array" % where)
+        return problems
+    violating = 0
+    for i, job in enumerate(jobs):
+        jw = "%sjobs[%d]" % (where, i)
+        if not isinstance(job, dict):
+            problems.append("%s must be an object" % jw)
+            continue
+        if not isinstance(job.get("class"), str) or not job.get("class"):
+            problems.append("%s.class must be a non-empty string" % jw)
+        for key in ("slo_us", "target", "samples", "violations", "compliance",
+                    "burn_rate", "max_window_burn_rate"):
+            if not is_number(job.get(key)):
+                problems.append("%s.%s must be a finite number" % (jw, key))
+        if is_number(job.get("compliance")) and not 0.0 <= job["compliance"] <= 1.0:
+            problems.append("%s.compliance must be in [0, 1]" % jw)
+        if is_number(job.get("burn_rate")) and job["burn_rate"] < 0.0:
+            problems.append("%s.burn_rate must be non-negative" % jw)
+        if not isinstance(job.get("violating"), bool):
+            problems.append("%s.violating must be a bool" % jw)
+        elif job["violating"]:
+            violating += 1
+        windows = job.get("windows", [])
+        if not isinstance(windows, list):
+            problems.append("%s.windows must be an array" % jw)
+            windows = []
+        win_samples = 0
+        for k, win in enumerate(windows):
+            ww = "%s.windows[%d]" % (jw, k)
+            if not isinstance(win, dict):
+                problems.append("%s must be an object" % ww)
+                continue
+            for key in ("start_us", "end_us", "samples", "violations", "burn_rate"):
+                if not is_number(win.get(key)):
+                    problems.append("%s.%s must be a finite number" % (ww, key))
+            if is_number(win.get("samples")):
+                win_samples += win["samples"]
+        if windows and is_number(job.get("samples")) and win_samples != job["samples"]:
+            problems.append(
+                "%s: window samples sum to %s, job has %s" % (jw, win_samples, job["samples"])
+            )
+        cp = job.get("critical_path")
+        if cp is not None:
+            cw = "%s.critical_path" % jw
+            if not isinstance(cp, dict):
+                problems.append("%s must be an object" % cw)
+            else:
+                segs = cp.get("segments")
+                names = [s.get("segment") for s in segs] if isinstance(segs, list) else []
+                if names != SEGMENTS:
+                    problems.append("%s.segments must list %s in order" % (cw, SEGMENTS))
+                else:
+                    for s in segs:
+                        if not is_number(s.get("self_us")) or not is_number(s.get("queue_us")):
+                            problems.append("%s.segments entries need self_us/queue_us" % cw)
+                            break
+                if cp.get("dominant_segment") not in SEGMENTS:
+                    problems.append(
+                        "%s.dominant_segment must be one of %s" % (cw, SEGMENTS)
+                    )
+    if is_number(doc.get("violating_jobs")) and doc["violating_jobs"] != violating:
+        problems.append(
+            "%sviolating_jobs says %s but %d jobs are flagged"
+            % (where, doc["violating_jobs"], violating)
+        )
+    elif not is_number(doc.get("violating_jobs")):
+        problems.append("%sviolating_jobs must be a number" % where)
+    return problems
 
 
 def check(path):
@@ -43,8 +149,20 @@ def check(path):
     except (OSError, json.JSONDecodeError) as e:
         return ["unreadable or invalid JSON: %s" % e]
 
+    # --slo-report artifacts: one document, or an array of them under --seeds.
+    if isinstance(doc, list):
+        if not doc:
+            return ["top-level array must not be empty"]
+        for i, sub in enumerate(doc):
+            if not isinstance(sub, dict):
+                problems.append("[%d] must be an object" % i)
+                continue
+            problems.extend(check_slo_doc(sub, "[%d]." % i))
+        return problems
     if not isinstance(doc, dict):
         return ["top level must be an object"]
+    if doc.get("schema") == SLO_SCHEMA:
+        return check_slo_doc(doc)
     if doc.get("schema") != SCHEMA:
         problems.append("schema must be %r, got %r" % (SCHEMA, doc.get("schema")))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
@@ -83,6 +201,14 @@ def check(path):
                         "%s.metrics[%r] must be a ratio in (0, %g), got %r"
                         % (where, key, IMPROVEMENT_MAX, value)
                     )
+            # bench/critical_path writes exact_match=0 when a per-segment
+            # attribution drifts off the Eq. 2 closed form; fail the artifact
+            # even when the bench's own exit code is not checked.
+            if key == "exact_match" and value != 1:
+                problems.append(
+                    "%s.metrics[%r] must be 1 (ps-exact attribution), got %r"
+                    % (where, key, value)
+                )
         if doc.get("bench") in IMPROVEMENT_BENCHES and improvement_keys == 0:
             problems.append(
                 "%s: bench %r rows must carry at least one *improvement* metric"

@@ -4,6 +4,7 @@
 // and main() decides what to do with it.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +13,7 @@
 
 #include "coll/runner.hpp"
 #include "host/cluster.hpp"
+#include "sim/trace.hpp"
 
 namespace nicbar::cli {
 
@@ -23,6 +25,19 @@ struct Options {
   bool breakdown = false;
   std::string metrics_path;
   std::string trace_path;
+  /// --trace-mask LIST: restrict --trace-json output to the named
+  /// sim::TraceCategory values (parsed eagerly so typos fail at the command
+  /// line, not after the run). Defaults to everything.
+  std::uint32_t trace_mask = static_cast<std::uint32_t>(sim::TraceCategory::kAll);
+  bool have_trace_mask = false;
+  /// --critical-path: enable causal tracing for a single run and print the
+  /// exact critical path of the last completed barrier plus the per-segment
+  /// attribution profile; non-zero exit if the span DAG is cyclic or the
+  /// attribution does not telescope to the measured total.
+  bool critical_path = false;
+  /// --slo-report F: workload mode; run with SLO burn-rate accounting and
+  /// write the wl::SloReport JSON to F (the ASCII table goes to stdout).
+  std::string slo_report_path;
   std::string fault_plan_path;
   double loss = 0.0;
   double burst_enter = 0.0, burst_exit = 0.0, burst_rate = 0.0;
@@ -93,7 +108,14 @@ inline const char* usage_text() {
       "  --predict          also print the Eq. 1-3 analytic prediction\n"
       "  --breakdown        print the per-barrier Eq. 1-2 cost breakdown\n"
       "  --metrics-json F   write hardware counters/gauges as JSON to F\n"
-      "  --trace-json F     write a Chrome trace-event file (Perfetto) to F\n";
+      "  --trace-json F     write a Chrome trace-event file (Perfetto) to F\n"
+      "  --trace-mask LIST  restrict --trace-json to a comma-separated category\n"
+      "                     list (host,sdma,send,recv,rdma,net,barrier,reliab,all)\n"
+      "  --critical-path    single run: trace causality and print the exact\n"
+      "                     critical path + per-segment attribution (Eq. 1-2\n"
+      "                     terms); fails if the DAG is cyclic or unattributed\n"
+      "  --slo-report F     workload mode: compute per-class SLO burn rates and\n"
+      "                     write the report as JSON to F (table on stdout)\n";
 }
 
 namespace detail {
@@ -175,6 +197,22 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
       continue;
     }
     if (missing) return fail("--trace-json needs a file path");
+    if (const char* v = flag_value(a, "--trace-mask", argc, argv, i, missing)) {
+      const std::optional<std::uint32_t> mask = sim::parse_trace_mask(v);
+      if (!mask) {
+        return fail(std::string("--trace-mask: unknown category in \"") + v +
+                    "\" (expected a comma-separated subset of " + sim::trace_mask_names() + ")");
+      }
+      o.trace_mask = *mask;
+      o.have_trace_mask = true;
+      continue;
+    }
+    if (missing) return fail("--trace-mask needs a category list");
+    if (const char* v = flag_value(a, "--slo-report", argc, argv, i, missing)) {
+      o.slo_report_path = v;
+      continue;
+    }
+    if (missing) return fail("--slo-report needs a file path");
     if (const char* v = flag_value(a, "--report-json", argc, argv, i, missing)) {
       o.report_path = v;
       continue;
@@ -332,30 +370,39 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
       o.predict = true;
     } else if (a == "--breakdown") {
       o.breakdown = true;
+    } else if (a == "--critical-path") {
+      o.critical_path = true;
     } else {
       return fail("unknown option " + a);
     }
   }
   o.params.spec.gb_dimension = o.dim;
 
-  if (o.seeds > 1 && (o.breakdown || !o.trace_path.empty())) {
-    return fail("--breakdown/--trace-json describe a single run; not available with --seeds");
+  if (o.seeds > 1 && (o.breakdown || !o.trace_path.empty() || o.critical_path)) {
+    return fail("--breakdown/--trace-json/--critical-path describe a single run; "
+                "not available with --seeds");
   }
   if (o.workload && o.workload_spec_path.empty()) {
     return fail("workload needs a spec file path");
   }
-  if (o.workload && (o.predict || o.breakdown || !o.trace_path.empty())) {
-    return fail("--predict/--breakdown/--trace-json describe a single barrier experiment; "
-                "not available with workload");
+  if (o.workload && (o.predict || o.breakdown || !o.trace_path.empty() || o.critical_path)) {
+    return fail("--predict/--breakdown/--trace-json/--critical-path describe a single "
+                "barrier experiment; not available with workload");
+  }
+  if (o.have_trace_mask && o.trace_path.empty()) {
+    return fail("--trace-mask filters --trace-json output; give --trace-json a path");
   }
   if (!o.workload && !o.report_path.empty()) {
     return fail("--report-json is only meaningful with the workload subcommand");
   }
+  if (!o.workload && !o.slo_report_path.empty()) {
+    return fail("--slo-report is only meaningful with the workload subcommand");
+  }
   if (!o.check && (o.check_cases != 50 || o.have_case_seed)) {
     return fail("--cases/--case-seed are only meaningful with the check subcommand");
   }
-  if (o.check && (o.predict || o.breakdown || !o.trace_path.empty() || !o.metrics_path.empty() ||
-                  o.seeds > 1)) {
+  if (o.check && (o.predict || o.breakdown || o.critical_path || !o.trace_path.empty() ||
+                  !o.metrics_path.empty() || o.seeds > 1)) {
     return fail("check runs a fixed validation suite; it only composes with "
                 "--cases and --case-seed");
   }

@@ -18,6 +18,7 @@
 #include <exception>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "check/oracle.hpp"
@@ -25,9 +26,11 @@
 #include "coll/sweep.hpp"
 #include "model/timing.hpp"
 #include "nicbar_cli.hpp"
+#include "sim/causal.hpp"
 #include "sim/fault.hpp"
 #include "sim/telemetry.hpp"
 #include "wl/driver.hpp"
+#include "wl/slo.hpp"
 
 namespace {
 
@@ -118,6 +121,59 @@ int run_seed_sweep(const cli::Options& o) {
   return 0;
 }
 
+/// --critical-path: prints the exact critical path of the last completed
+/// barrier plus the aggregated per-segment attribution, then asserts the two
+/// structural invariants — the span graph is acyclic and the attribution
+/// telescopes to the measured total to the picosecond. Non-zero exit on a
+/// violation, so CI can gate on this output.
+int print_critical_path(const sim::causal::CausalTracer& causal) {
+  namespace cz = sim::causal;
+  if (!causal.verify_acyclic()) {
+    std::fprintf(stderr, "error: causal span graph violates the parent-id < span-id "
+                         "invariant (cycle)\n");
+    return 1;
+  }
+  if (causal.completed().empty()) {
+    std::printf("\nno critical path: no NIC barrier completed (host-based barriers are "
+                "ordinary\nmessage loops with no completion event to trace)\n");
+    return 0;
+  }
+  const cz::CompletedBarrier& last = causal.completed().back();
+  const cz::CriticalPath path = causal.critical_path(last.sink);
+  std::printf("\ncritical path, last completed barrier (node %u port %u epoch %u; "
+              "%zu spans, %.3f us):\n",
+              last.node, last.port, last.epoch, path.steps.size(), path.total.us());
+  std::printf("  %-4s %-10s %-16s %12s %12s\n", "node", "segment", "span", "self_us",
+              "queue_us");
+  for (const cz::PathStep& s : path.steps) {
+    std::printf("  %-4u %-10s %-16s %12.4f %12.4f\n", s.node, cz::to_string(s.seg), s.label,
+                s.self.us(), s.queue.us());
+  }
+
+  const cz::PathProfile prof = causal.profile();
+  const double n = static_cast<double>(prof.barriers);
+  std::printf("\ncritical-path attribution (mean over %llu completed barriers):\n",
+              static_cast<unsigned long long>(prof.barriers));
+  const double denom = prof.total.us();
+  for (std::size_t s = 0; s < cz::kSegmentCount; ++s) {
+    const double self_us = prof.self[s].us();
+    const double queue_us = prof.queue[s].us();
+    std::printf("  %-10s self %10.4f us  queue %10.4f us  (%5.1f%% of path)\n",
+                cz::to_string(static_cast<cz::Segment>(s)), self_us / n, queue_us / n,
+                denom > 0.0 ? 100.0 * (self_us + queue_us) / denom : 0.0);
+  }
+  std::printf("  %-10s      %10.4f us\n", "total", denom / n);
+
+  if (path.attributed() != path.total || prof.attributed() != prof.total) {
+    std::fprintf(stderr, "error: critical-path attribution does not telescope to the "
+                         "measured total\n");
+    return 1;
+  }
+  std::printf("causal DAG           : %zu spans, acyclic, fully attributed\n",
+              causal.span_count());
+  return 0;
+}
+
 void print_tail(const char* name, const wl::TailStats& t) {
   std::printf("%-14s count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f us\n", name,
               static_cast<unsigned long long>(t.count), t.mean_us, t.p50_us, t.p95_us, t.p99_us,
@@ -199,16 +255,25 @@ int run_workload_cmd(const cli::Options& o) {
   // sweep shards cleanly and a single seed is just a one-case plan.
   coll::SweepPlan plan;
   std::vector<wl::Report> reports(o.seeds);
+  std::vector<wl::SloReport> slo_reports(o.seeds);
+  const bool want_slo = !o.slo_report_path.empty();
   for (std::size_t k = 0; k < o.seeds; ++k) {
     wl::WorkloadSpec s = spec;
     s.seed = spec.seed + k;
     if (o.fault_plan_path.empty()) s.cluster.faults.seed = s.seed;
     wl::Report* out = &reports[k];
+    wl::SloReport* slo_out = want_slo ? &slo_reports[k] : nullptr;
     plan.add_custom("workload-seed" + std::to_string(s.seed),
-                    [s = std::move(s), out](sim::telemetry::Telemetry* t) {
+                    [s = std::move(s), out, slo_out](sim::telemetry::Telemetry* t) {
                       wl::WorkloadSpec run_spec = s;
                       run_spec.cluster.telemetry = t;
-                      *out = wl::run_workload(run_spec);
+                      if (slo_out != nullptr) {
+                        auto [rep, slo] = wl::Driver(run_spec).run_with_slo();
+                        *out = std::move(rep);
+                        *slo_out = std::move(slo);
+                      } else {
+                        *out = wl::run_workload(run_spec);
+                      }
                       coll::ExperimentResult res;
                       res.nodes = run_spec.cluster_nodes;
                       res.mean_us = out->overall.mean_us;
@@ -274,6 +339,30 @@ int run_workload_cmd(const cli::Options& o) {
     });
     if (!ok) return 1;
     std::printf("report written to %s\n", o.report_path.c_str());
+  }
+  if (want_slo) {
+    std::ostringstream ascii;
+    for (std::size_t k = 0; k < o.seeds; ++k) {
+      if (o.seeds > 1) {
+        ascii << "seed " << spec.seed + k << ":\n";
+      }
+      slo_reports[k].write_ascii(ascii);
+    }
+    std::printf("\n%s", ascii.str().c_str());
+    const bool ok = write_file(o.slo_report_path, [&](std::ostream& os) {
+      if (o.seeds == 1) {
+        slo_reports.front().write_json(os);
+      } else {
+        os << "[\n";
+        for (std::size_t k = 0; k < o.seeds; ++k) {
+          slo_reports[k].write_json(os);
+          if (k + 1 < o.seeds) os << ",\n";
+        }
+        os << "]\n";
+      }
+    });
+    if (!ok) return 1;
+    std::printf("SLO report written to %s\n", o.slo_report_path.c_str());
   }
   if (sink) std::printf("metrics written to %s\n", o.metrics_path.c_str());
   return 0;
@@ -373,10 +462,12 @@ int main(int argc, char** argv) {
   // Telemetry is attached only to the final (reported) run, after any
   // dimension sweep, so the artifacts describe exactly one experiment.
   sim::telemetry::Telemetry telemetry;
-  const bool want_telemetry = o.breakdown || !o.metrics_path.empty() || !o.trace_path.empty();
+  const bool want_telemetry =
+      o.breakdown || !o.metrics_path.empty() || !o.trace_path.empty() || o.critical_path;
   if (want_telemetry) {
-    if (!o.trace_path.empty()) telemetry.enable_trace();
+    if (!o.trace_path.empty()) telemetry.enable_trace().set_mask(o.trace_mask);
     if (o.breakdown) telemetry.enable_breakdown();
+    if (o.critical_path) telemetry.enable_causal();
     p.cluster.telemetry = &telemetry;
   }
 
@@ -453,6 +544,8 @@ int main(int argc, char** argv) {
       std::printf("  total              : %10.3f us\n", b.total_us);
     }
   }
+  int rc = 0;
+  if (o.critical_path) rc = print_critical_path(*telemetry.causal());
   if (!o.metrics_path.empty()) {
     if (!write_file(o.metrics_path,
                     [&](std::ostream& os) { telemetry.metrics().write_json(os); })) {
@@ -467,5 +560,5 @@ int main(int argc, char** argv) {
     }
     std::printf("trace written to %s (open in https://ui.perfetto.dev)\n", o.trace_path.c_str());
   }
-  return 0;
+  return rc;
 }
