@@ -14,6 +14,7 @@ const char* to_string(BarrierStatus s) {
     case BarrierStatus::kOk: return "ok";
     case BarrierStatus::kPeerDead: return "peer-dead";
     case BarrierStatus::kDeadline: return "deadline";
+    case BarrierStatus::kOkDegraded: return "ok-degraded";
   }
   return "?";
 }
@@ -171,6 +172,7 @@ sim::ValueTask<BarrierStatus> BarrierMember::run_host_gb() {
 sim::ValueTask<std::uint32_t> BarrierMember::start_nic_barrier() {
   nic::BarrierToken token;
   token.algorithm = spec_.algorithm;
+  token.group = spec_.group;
   if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
     token.peers = pe_peers_;
   } else {
@@ -196,6 +198,7 @@ sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(std::uint32_t
         // A completion from an earlier, aborted epoch can still surface if
         // the fabric healed after we cancelled; only ours ends this wait.
         if (ev.barrier_epoch == epoch) co_return BarrierStatus::kOk;
+        port_.count_stale_completion();
         break;
       case GmEventType::kRecv:
         if (sink_) {
@@ -244,6 +247,7 @@ sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy_impl(sim::Duration chunk)
     switch (ev->type) {
       case GmEventType::kBarrierComplete:
         if (ev->barrier_epoch == epoch) co_return chunks;
+        port_.count_stale_completion();
         break;
       case GmEventType::kRecv:
         if (sink_) {

@@ -27,18 +27,27 @@ namespace nicbar::coll {
 
 enum class Location : std::uint8_t { kHost, kNic };
 
-/// How one barrier invocation ended. Anything but kOk means the barrier did
-/// NOT complete and the group must be considered broken: a member that
+/// How one barrier invocation ended. Any failure status means the barrier
+/// did NOT complete and the group must be considered broken: a member that
 /// aborted may still hold stale unexpected-record bits at its peers, so
 /// reusing the group without tearing it down is undefined (see DESIGN.md,
-/// "Failure semantics").
+/// "Failure semantics"). kOkDegraded is a *success*: the barrier completed,
+/// but over the host-driven fallback path because NIC slot admission was
+/// rejected (see coll::GroupMember) — callers that only care whether the
+/// rendezvous happened should test is_success(), not == kOk.
 enum class BarrierStatus : std::uint8_t {
   kOk = 0,
-  kPeerDead,   // a group member's connection was declared dead (give-up)
-  kDeadline,   // the configured deadline expired before completion
+  kPeerDead,    // a group member's connection was declared dead (give-up)
+  kDeadline,    // the configured deadline expired before completion
+  kOkDegraded,  // completed, but host-driven: NIC slots were exhausted
 };
 
 [[nodiscard]] const char* to_string(BarrierStatus s);
+
+/// True for the statuses that mean the rendezvous actually happened.
+[[nodiscard]] constexpr bool is_success(BarrierStatus s) {
+  return s == BarrierStatus::kOk || s == BarrierStatus::kOkDegraded;
+}
 
 struct BarrierSpec {
   Location location = Location::kNic;
@@ -51,6 +60,10 @@ struct BarrierSpec {
   /// is the backstop for members with no direct connection to a dead peer
   /// (kPeerDead only reaches nodes whose own reliability gave up).
   sim::Duration deadline{0};
+  /// Managed barrier-group id stamped on every NIC barrier packet (0 = the
+  /// legacy anonymous group). Set by coll::GroupMember, which owns the
+  /// matching NIC slot bindings; see nic::SlotTable.
+  std::uint64_t group = 0;
 };
 
 class BarrierMember {
@@ -85,6 +98,12 @@ class BarrierMember {
     sink_ = std::move(sink);
   }
   void note_completion() { ++pending_completions_; }
+
+  /// Higher layer drained a host-barrier message (kBarrierMsgTag) from the
+  /// shared stream that belongs to this member's next wait — e.g. a peer
+  /// raced ahead into the first barrier while we were still finishing the
+  /// group-create handshake (coll::GroupMember).
+  void note_msg(Endpoint peer) { ++pending_msgs_[peer]; }
 
   /// Higher layer drained a kPeerDead for `node` from the shared stream.
   void note_peer_dead(net::NodeId node) {

@@ -94,6 +94,13 @@ class Port {
   /// Number of collectives (barriers + reductions) initiated so far.
   [[nodiscard]] std::uint32_t barrier_epoch() const { return next_epoch_; }
 
+  /// Completions from an earlier, aborted epoch can still surface after a
+  /// cancel if the event was already in flight through RDMA/PCI; the waiting
+  /// layer (coll::BarrierMember) filters them by epoch and reports each drop
+  /// here so the defence is observable, not silent.
+  void count_stale_completion() { ++stale_completions_; }
+  [[nodiscard]] std::uint64_t stale_completions() const { return stale_completions_; }
+
   /// Aborts the in-flight barrier on this port (deadline expired or a group
   /// member died). Safe to call when no barrier is active.
   void barrier_cancel() { nic_.cancel_barrier(id_); }
@@ -117,6 +124,7 @@ class Port {
   sim::Mailbox<GmEvent> events_;
   bool open_ = false;
   std::uint32_t next_epoch_ = 0;
+  std::uint64_t stale_completions_ = 0;
 };
 
 }  // namespace nicbar::gm

@@ -1,5 +1,6 @@
 #include "host/cluster.hpp"
 
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -77,8 +78,17 @@ void Cluster::arm_faults() {
       }
     });
   }
+  const auto where = [](int line) {
+    return line > 0 ? " (fault-plan line " + std::to_string(line) + ")" : std::string();
+  };
   for (const sim::fault::NicCrash& f : plan.nic_crashes) {
-    if (f.node >= nodes_.size()) continue;
+    if (f.node >= nodes_.size()) {
+      // Silently skipping would turn a typo'd node id into a fault-free run
+      // that "passes"; name the offending plan line instead.
+      throw std::invalid_argument("fault plan: nic-crash node " + std::to_string(f.node) +
+                                  " does not exist (cluster has " +
+                                  std::to_string(nodes_.size()) + " nodes)" + where(f.line));
+    }
     nic::Nic* nic_ptr = nodes_[f.node]->nic.get();
     sim_.schedule_at(f.at, [nic_ptr] { nic_ptr->crash(); });
     if (f.restart_at != sim::SimTime::max()) {
@@ -86,7 +96,12 @@ void Cluster::arm_faults() {
     }
   }
   for (const sim::fault::SwitchPortDown& f : plan.switch_ports_down) {
-    if (f.switch_id >= net_->switch_count()) continue;
+    if (f.switch_id >= net_->switch_count()) {
+      throw std::invalid_argument("fault plan: switch-port-down switch " +
+                                  std::to_string(f.switch_id) + " does not exist (topology has " +
+                                  std::to_string(net_->switch_count()) + " switches)" +
+                                  where(f.line));
+    }
     net::Switch* sw = &net_->switch_at(static_cast<int>(f.switch_id));
     const std::size_t port = f.port;
     sim_.schedule_at(f.from, [sw, port] { sw->set_port_down(port, true); });
@@ -146,6 +161,15 @@ void Cluster::snapshot_metrics() {
     m.counter(pfx + "rx_dropped_crashed") = s.rx_dropped_crashed;
     m.counter(pfx + "tx_dropped_crashed") = s.tx_dropped_crashed;
     m.counter(pfx + "barriers_cancelled") = s.barriers_cancelled;
+
+    // Barrier-group lifecycle: slot admission and stale-packet fencing.
+    const nic::SlotStats& sl = nic.slots().stats();
+    m.counter(pfx + "slots.allocations") = sl.allocations;
+    m.counter(pfx + "slots.rejections") = sl.rejections;
+    m.counter(pfx + "slots.frees") = sl.frees;
+    m.counter(pfx + "slots.generations") = sl.generations;
+    m.counter(pfx + "slots.high_water") = static_cast<std::uint64_t>(sl.high_water);
+    m.counter(pfx + "stale_group_fenced") = s.stale_group_fenced;
 
     // Per-engine occupancy of the shared LANai processor.
     const nic::EngineStats& e = nic.engine_stats();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "coll/barrier.hpp"
+#include "coll/group.hpp"
 #include "coll/reduce.hpp"
 #include "gm/port.hpp"
 #include "sim/task.hpp"
@@ -26,6 +27,8 @@ struct Message {
   int source = -1;
   std::int64_t bytes = 0;
   std::uint64_t tag = 0;
+  /// 64-bit immediate carried with the message (GmEvent::value).
+  std::int64_t value = 0;
 };
 
 struct CommConfig {
@@ -51,8 +54,10 @@ class Communicator {
   [[nodiscard]] int size() const { return static_cast<int>(group_.size()); }
   [[nodiscard]] const CommConfig& config() const { return config_; }
 
-  /// MPI_Send (eager, asynchronous completion as in GM).
-  [[nodiscard]] sim::Task send(int dst_rank, std::int64_t bytes, std::uint64_t tag = 0);
+  /// MPI_Send (eager, asynchronous completion as in GM). `value` is a 64-bit
+  /// immediate carried with the message (delivered in Message::value).
+  [[nodiscard]] sim::Task send(int dst_rank, std::int64_t bytes, std::uint64_t tag = 0,
+                               std::int64_t value = 0);
 
   /// MPI_Recv: blocks until a message from `src_rank` arrives (messages from
   /// other ranks are queued for their own receives).
@@ -74,27 +79,76 @@ class Communicator {
   /// non-roots contribute the operator identity (bitwise OR with 0).
   [[nodiscard]] sim::ValueTask<std::int64_t> bcast(std::int64_t value);
 
+  /// MPI_Comm_split: collective over this communicator. Ranks with the same
+  /// non-negative `color` form a child communicator, ordered by (key, parent
+  /// rank); a negative color opts out (MPI_UNDEFINED) and yields nullptr.
+  ///
+  /// The child is a *managed* barrier group (coll::GroupMember): its
+  /// barrier() is NIC-offloaded only while every member NIC grants a
+  /// barrier-state slot, and transparently degrades to host-driven barriers
+  /// (kOkDegraded) under slot exhaustion. Check child->failed() — creation
+  /// can abort if a member dies mid-handshake. The child must not outlive
+  /// its parent, and should be free()d when done to release NIC slots.
+  [[nodiscard]] sim::ValueTask<std::unique_ptr<Communicator>> split(int color, int key);
+
+  /// MPI_Comm_free for a communicator made by split(): drains and destroys
+  /// the managed group, releasing this member's NIC slot. Collective over
+  /// the child. Throws on a root communicator.
+  [[nodiscard]] sim::ValueTask<coll::BarrierStatus> free();
+
+  /// The managed-group handle behind a split() communicator (state, degraded
+  /// counters); nullptr on a root communicator.
+  [[nodiscard]] coll::GroupMember* group_member() { return managed_.get(); }
+
   /// Pure computation on the host CPU (for application kernels).
   [[nodiscard]] sim::Task compute(sim::Duration d) { return port_.compute(d); }
 
+  ~Communicator();
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
  private:
+  /// Child-communicator constructor (split() path): wraps a managed group.
+  Communicator(gm::Port& port, std::vector<gm::Endpoint> group, CommConfig config,
+               Communicator* parent, std::uint64_t group_id);
+
   sim::Task ensure_provisioned();
-  sim::Task send_impl(int dst_rank, std::int64_t bytes, std::uint64_t tag);
+  sim::Task send_impl(int dst_rank, std::int64_t bytes, std::uint64_t tag, std::int64_t value);
   sim::ValueTask<Message> recv_impl(int src_rank);
+  sim::ValueTask<std::unique_ptr<Communicator>> split_impl(int color, int key);
   int rank_of(gm::Endpoint e) const;
   bool group_has_node(net::NodeId node) const;
   void note_peer_dead(net::NodeId node);
+  /// Sink for a child communicator's collectives: queue own-group traffic,
+  /// route control messages via the root registry, cascade the rest up.
+  void on_foreign_event(const nic::GmEvent& ev);
+  // Child-group registry (root communicator only): control messages drained
+  // anywhere in the tree are routed to the owning GroupMember; messages for
+  // a group a peer created before we did are parked until registration.
+  void route_ctrl(const nic::GmEvent& ev);
+  void register_group(coll::GroupMember* g);
+  void unregister_group(std::uint64_t id);
 
   gm::Port& port_;
   std::vector<gm::Endpoint> group_;
   CommConfig config_;
   int rank_ = -1;
-  std::unique_ptr<coll::BarrierMember> barrier_;
+  std::unique_ptr<coll::BarrierMember> barrier_;   // root: anonymous barriers
+  std::unique_ptr<coll::GroupMember> managed_;     // child: managed group
   std::unique_ptr<coll::ReduceMember> reducer_;
   std::map<int, std::deque<Message>> pending_;
   bool provisioned_ = false;
   bool failed_ = false;
   std::int64_t recv_buffer_bytes_ = 64 * 1024;
+
+  // Communicator-tree bookkeeping (split()).
+  Communicator* parent_ = nullptr;
+  Communicator* root_ = this;
+  std::uint64_t group_id_ = 0;  // 0 = the root's anonymous group
+  int split_seq_ = 0;
+  int owed_buffers_ = 0;  // receive buffers consumed by sink-routed messages
+  std::map<std::uint64_t, coll::GroupMember*> child_groups_;  // root only
+  std::vector<nic::GmEvent> unrouted_ctrl_;                   // root only
 };
 
 }  // namespace nicbar::mpi

@@ -70,6 +70,14 @@ struct Packet {
   /// knows what to resend.
   PacketType nacked_type = PacketType::kData;
 
+  /// Barrier-group id the packet belongs to (collective payloads only).
+  /// 0 = the legacy anonymous group: packets bypass slot admission entirely,
+  /// which keeps pre-lifecycle timelines bit-identical. Non-zero ids are
+  /// fabric-unique; a receiver without a live slot binding for (group,
+  /// dst_port) fences the packet (counts it, never delivers it) — the stale
+  /// traffic guard for destroyed groups.
+  std::uint64_t group = 0;
+
   std::int64_t payload_bytes = 0;
   /// Opaque tag delivered with the message (tests use this for matching).
   std::uint64_t tag = 0;

@@ -81,6 +81,14 @@ struct NicConfig {
   // --- Ports & buffers --------------------------------------------------------
   int max_ports = 8;                        // GM 1.2.3: eight ports per NIC
 
+  /// NIC-resident barrier-state slots (paper §3: initialization/cleanup of
+  /// barrier state is a hard design issue). Each *managed* barrier group
+  /// holds one slot on every member NIC for its lifetime; allocation is
+  /// rejected when all slots are in use, and the group falls back to a
+  /// host-driven barrier (kOkDegraded). Legacy anonymous barriers (group id
+  /// 0) do not consume slots.
+  int barrier_slots = 8;
+
   // --- Reliability -------------------------------------------------------------
   /// Fixed retransmission timeout; with adaptive_rto it is only the initial
   /// RTO used before the first RTT sample arrives.

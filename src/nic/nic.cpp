@@ -40,7 +40,8 @@ Nic::Nic(sim::Simulator& sim, net::Network& net, NodeId node, NicConfig config,
       config_(std::move(config)),
       proc_(sim, config_.clock_mhz, "nic" + std::to_string(node)),
       pci_(pci),
-      ports_(static_cast<std::size_t>(config_.max_ports)) {}
+      ports_(static_cast<std::size_t>(config_.max_ports)),
+      slots_(config_.barrier_slots) {}
 
 void Nic::trace(sim::TraceCategory cat, const char* fmt, ...) {
   if (tracer_ == nullptr || !tracer_->on(cat)) return;
@@ -170,9 +171,32 @@ void Nic::close_port(PortId p) {
   ps.last_barrier.reset();
   ps.active_reduce.reset();
   ps.last_reduce.reset();
+  // Any group slots held by the endpoint die with it: a process that closes
+  // (or crashes) mid-lifecycle must not pin NIC state forever, and packets
+  // from its groups are fenced from now on.
+  slots_.release_port(p);
 }
 
 bool Nic::is_port_open(PortId p) const { return port(p).open; }
+
+// --- Barrier-group slot admission ---------------------------------------------
+
+bool Nic::slot_allocate(std::uint64_t group, PortId p) {
+  if (group == 0) throw std::invalid_argument("group id 0 is the reserved anonymous group");
+  const bool ok = slots_.allocate(group, p);
+  trace(sim::TraceCategory::kBarrier, "slot %s group=%llu port=%u (%d/%d in use)",
+        ok ? "alloc" : "REJECT", static_cast<unsigned long long>(group), p, slots_.in_use(),
+        slots_.capacity());
+  return ok;
+}
+
+void Nic::slot_free(std::uint64_t group, PortId p) {
+  slots_.release(group, p);
+  trace(sim::TraceCategory::kBarrier, "slot free group=%llu port=%u (%d/%d in use)",
+        static_cast<unsigned long long>(group), p, slots_.in_use(), slots_.capacity());
+}
+
+bool Nic::slot_bound(std::uint64_t group, PortId p) const { return slots_.bound(group, p); }
 
 void Nic::post_receive_token(PortId p, RecvToken token) {
   port(p).recv_tokens.push_back(token);

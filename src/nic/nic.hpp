@@ -30,6 +30,7 @@
 #include "net/packet.hpp"
 #include "nic/config.hpp"
 #include "nic/connection.hpp"
+#include "nic/slots.hpp"
 #include "nic/tokens.hpp"
 #include "sim/causal.hpp"
 #include "sim/server.hpp"
@@ -103,6 +104,8 @@ struct NicStats {
   std::uint64_t rx_dropped_crashed = 0;   // packets arriving while the NIC was down
   std::uint64_t tx_dropped_crashed = 0;   // transmissions lost to the crash
   std::uint64_t barriers_cancelled = 0;   // host aborted an in-flight barrier
+  // Group lifecycle (slot admission + stale fencing):
+  std::uint64_t stale_group_fenced = 0;   // packets fenced: group had no live slot
 };
 
 class Nic {
@@ -167,6 +170,27 @@ class Nic {
   /// peer death). The parked token is discarded so a later barrier can
   /// start; any stale completion is suppressed by its epoch.
   void cancel_barrier(PortId port);
+
+  // --- Barrier-group slot admission (paper §3: init/cleanup of NIC state) ------
+
+  /// Binds barrier group `group` to a NIC barrier-state slot for `port`.
+  /// Instantaneous host-side call (one PCI word write, folded into the
+  /// group-create handshake's message costs). Returns false — and counts an
+  /// admission rejection — when every slot is in use; the caller is expected
+  /// to fall back to a host-driven barrier, not fail.
+  bool slot_allocate(std::uint64_t group, PortId port);
+
+  /// Releases the (group, port) binding; packets for this group arriving
+  /// afterwards are fenced (counted in stale_group_fenced, never delivered).
+  void slot_free(std::uint64_t group, PortId port);
+
+  [[nodiscard]] bool slot_bound(std::uint64_t group, PortId port) const;
+  [[nodiscard]] const SlotTable& slots() const { return slots_; }
+
+  /// Test/fault hook: pushes a host event directly into `port`'s queue as if
+  /// the RDMA engine had delivered it — for exercising host-side defences
+  /// against delayed/stale events (e.g. a completion from an aborted epoch).
+  void inject_event(PortId port, GmEvent ev) { push_event(port, std::move(ev)); }
 
   // --- Introspection ---------------------------------------------------------------
 
@@ -306,6 +330,7 @@ class Nic {
   std::vector<PortState> ports_;
   std::vector<std::unique_ptr<Connection>> conns_;
   NicStats stats_;
+  SlotTable slots_;
   bool crashed_ = false;
   EngineStats engines_;
   sim::Tracer* tracer_ = nullptr;

@@ -62,6 +62,12 @@ void Nic::barrier_start(BarrierToken token) {
   if (ps.active_barrier && !ps.active_barrier->completed) {
     throw std::logic_error("barrier already active on this port");
   }
+  // A managed token requires its group's slot binding: the lifecycle layer
+  // allocates before the first barrier and frees only after the last, so a
+  // violation here is a host-side lifecycle bug, not a race.
+  NICBAR_CHECK(token.group == 0 || slots_.bound(token.group, token.src_port), "nic.barrier",
+               sim_.now(), "port %u: barrier for group %llu without a slot binding",
+               token.src_port, static_cast<unsigned long long>(token.group));
   ++stats_.barriers_started;
   const PortId p = token.src_port;
   trace(sim::TraceCategory::kBarrier, "port %u: start %s barrier epoch=%u", p,
@@ -106,6 +112,18 @@ void Nic::barrier_rx(Packet p) {
 
 void Nic::barrier_rx_in_order(Packet p) {
   ++stats_.barrier_packets_received;
+  // Group fence: a packet tagged with a managed group id is only admitted
+  // while that group holds a slot for the destination port. Anything else is
+  // stale traffic — a round still draining after destroy, or a retransmit
+  // that outlived its group — and must not be recorded, NACKed, or delivered
+  // into whatever group reused the NIC state since. Counted, then dropped.
+  // Legacy packets (group 0) bypass the fence entirely.
+  if (p.group != 0 && !slots_.bound(p.group, p.dst_port)) {
+    ++stats_.stale_group_fenced;
+    trace(sim::TraceCategory::kBarrier, "fenced stale %s (group=%llu has no slot)",
+          p.describe().c_str(), static_cast<unsigned long long>(p.group));
+    return;
+  }
   PortState& ps = port(p.dst_port);
   if (!ps.open) {
     barrier_closed_port_arrival(std::move(p));
@@ -298,14 +316,20 @@ void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::ui
   p.payload_bytes = config_.barrier_payload_bytes;
   p.barrier_epoch = epoch;
   ++stats_.barrier_packets_sent;
-  if (causal_ != nullptr) {
-    // The outgoing message descends from this member's latest firmware
-    // decision for the epoch it belongs to (active or just-completed token).
+  {
+    // The message belongs to the epoch's token (active or just-completed):
+    // stamp its group id, and — under causal tracing — descend from this
+    // member's latest firmware decision for that epoch.
     PortState& sps = port(local_port);
+    BarrierToken* src_tok = nullptr;
     if (sps.active_barrier && sps.active_barrier->epoch == epoch) {
-      p.causal = sps.active_barrier->causal;
+      src_tok = sps.active_barrier.get();
     } else if (sps.last_barrier && sps.last_barrier->epoch == epoch) {
-      p.causal = sps.last_barrier->causal;
+      src_tok = sps.last_barrier.get();
+    }
+    if (src_tok != nullptr) {
+      p.group = src_tok->group;
+      if (causal_ != nullptr) p.causal = src_tok->causal;
     }
   }
 

@@ -1,0 +1,46 @@
+#include "nic/slots.hpp"
+
+#include <algorithm>
+
+namespace nicbar::nic {
+
+bool SlotTable::allocate(std::uint64_t group, PortId port) {
+  if (bound(group, port)) return true;
+  if (in_use() >= capacity_) {
+    ++stats_.rejections;
+    return false;
+  }
+  slots_.push_back(Binding{group, port});
+  ++stats_.allocations;
+  if (stats_.frees > 0) ++stats_.generations;
+  stats_.high_water = std::max<std::uint64_t>(stats_.high_water, slots_.size());
+  return true;
+}
+
+void SlotTable::release(std::uint64_t group, PortId port) {
+  auto it = std::find_if(slots_.begin(), slots_.end(), [&](const Binding& b) {
+    return b.group == group && b.port == port;
+  });
+  if (it == slots_.end()) return;
+  slots_.erase(it);
+  ++stats_.frees;
+}
+
+void SlotTable::release_port(PortId port) {
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->port == port) {
+      it = slots_.erase(it);
+      ++stats_.frees;
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool SlotTable::bound(std::uint64_t group, PortId port) const {
+  return std::any_of(slots_.begin(), slots_.end(), [&](const Binding& b) {
+    return b.group == group && b.port == port;
+  });
+}
+
+}  // namespace nicbar::nic

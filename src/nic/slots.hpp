@@ -1,0 +1,87 @@
+// NIC barrier-state slot table.
+//
+// The paper (§3) calls out initialization/cleanup of NIC-resident barrier
+// state and support for concurrent barriers as the hard design issues of a
+// NIC-based barrier. A real LANai has a small, fixed amount of SRAM for
+// firmware state, so barrier groups cannot hold NIC state for free: each
+// *managed* group must allocate one slot per member NIC before it may run
+// NIC-offloaded barriers, and must free it on destroy so the slot can be
+// reused by later groups.
+//
+// The table is host-facing and instantaneous (allocate/free consume no
+// simulated time — they model writing a word of NIC SRAM over PCI, which is
+// folded into the group-create handshake's message costs). What the table
+// buys us:
+//
+//   - admission control: allocate() fails (returns false) when all
+//     `capacity` slots are bound, which the coll::GroupMember turns into a
+//     transparent host-barrier fallback (kOkDegraded), not an error;
+//   - stale-packet fencing: a packet tagged with a group id that has no live
+//     binding for its destination port is fenced (counted, dropped) by the
+//     firmware instead of corrupting a *new* group that reused the slot —
+//     the cross-incarnation safety property of destroy;
+//   - reuse accounting: per-slot generation counters and a high-water mark
+//     prove destroyed groups' slots really are recycled (churn acceptance
+//     criterion: high-water mark < total groups created).
+//
+// Group id 0 is reserved for the legacy anonymous path: it never touches
+// the table and is never fenced, keeping pre-lifecycle timelines
+// bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nic/tokens.hpp"
+
+namespace nicbar::nic {
+
+/// Running counters for one NIC's slot table (all host-visible through
+/// NicStats / Cluster::snapshot_metrics).
+struct SlotStats {
+  std::uint64_t allocations = 0;   // successful allocate() calls
+  std::uint64_t rejections = 0;    // allocate() refused: table full
+  std::uint64_t frees = 0;         // release() calls
+  std::uint64_t generations = 0;   // slot reuses (allocation of a freed slot)
+  std::uint64_t high_water = 0;    // max simultaneous bound slots ever
+};
+
+/// Fixed-capacity table binding fabric-unique group ids to NIC barrier-state
+/// slots. One binding per (group, local port); a group id may be bound on
+/// several ports of the same NIC (co-located members).
+class SlotTable {
+ public:
+  explicit SlotTable(int capacity) : capacity_(capacity < 0 ? 0 : capacity) {}
+
+  /// Bind `group` on local `port`. Returns false (and counts a rejection)
+  /// when the table is full. Binding the same (group, port) twice is an
+  /// idempotent success.
+  bool allocate(std::uint64_t group, PortId port);
+
+  /// Drop the binding for (group, port). Unknown bindings are ignored (the
+  /// destroy path may race a crash-triggered port close).
+  void release(std::uint64_t group, PortId port);
+
+  /// Drop every binding held by `port` (port close / NIC crash).
+  void release_port(PortId port);
+
+  /// Whether (group, port) currently holds a slot — the fence predicate for
+  /// incoming packets carrying a non-zero group id.
+  [[nodiscard]] bool bound(std::uint64_t group, PortId port) const;
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int in_use() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] const SlotStats& stats() const { return stats_; }
+
+ private:
+  struct Binding {
+    std::uint64_t group = 0;
+    PortId port = 0;
+  };
+
+  int capacity_;
+  std::vector<Binding> slots_;  // capacity is single-digit: linear scan wins
+  SlotStats stats_;
+};
+
+}  // namespace nicbar::nic

@@ -64,6 +64,11 @@ struct MulticastToken {
 constexpr std::uint64_t kBarrierMsgTag = 0xB000'0000'0000'0001ull;
 constexpr std::uint64_t kReduceUpMsgTag = 0xB000'0000'0000'0002ull;
 constexpr std::uint64_t kReduceDownMsgTag = 0xB000'0000'0000'0003ull;
+/// Group-lifecycle control messages (coll::GroupMember create/destroy
+/// handshakes) ride ordinary reliable GM sends under this tag.
+constexpr std::uint64_t kGroupCtrlMsgTag = 0xB000'0000'0000'0004ull;
+/// mpi::Communicator::split's (color, key) exchange.
+constexpr std::uint64_t kCommSplitMsgTag = 0xB000'0000'0000'0005ull;
 
 /// Ordinary GM receive token: a pinned host buffer the NIC may fill.
 struct RecvToken {
@@ -77,6 +82,10 @@ struct BarrierToken {
   PortId src_port = 0;
   BarrierAlgorithm algorithm = BarrierAlgorithm::kPairwiseExchange;
   std::uint32_t epoch = 0;  // per-port barrier instance counter
+  /// Fabric-unique barrier-group id stamped on every packet of this barrier.
+  /// 0 = legacy anonymous group (no slot admission, never fenced). Non-zero
+  /// requires a live slot binding at every member NIC; see nic::SlotTable.
+  std::uint64_t group = 0;
 
   std::vector<Endpoint> peers;     // PE
   Endpoint parent;                 // GB (invalid node id at the root)

@@ -81,6 +81,7 @@ FaultPlan parse_fault_plan(std::istream& in) {
       plan.link_down.push_back(std::move(w));
     } else if (verb == "nic-crash") {
       NicCrash c;
+      c.line = line_no;
       if (!(ls >> c.node)) fail(line_no, line, "missing node id");
       c.at = read_time_us(ls, line_no, line, "crash time");
       std::string tok;
@@ -99,6 +100,7 @@ FaultPlan parse_fault_plan(std::istream& in) {
       plan.nic_crashes.push_back(c);
     } else if (verb == "switch-port-down") {
       SwitchPortDown s;
+      s.line = line_no;
       if (!(ls >> s.switch_id >> s.port)) fail(line_no, line, "missing switch/port ids");
       s.from = read_time_us(ls, line_no, line, "from time");
       s.until = read_time_us(ls, line_no, line, "until time");

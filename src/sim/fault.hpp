@@ -43,6 +43,9 @@ struct NicCrash {
   std::uint32_t node = 0;
   SimTime at{0};
   SimTime restart_at = SimTime::max();
+  /// Plan-file line the event came from (0 = built programmatically); used
+  /// by arm-time validation to name the offending line.
+  int line = 0;
 };
 
 /// Output port `port` of switch `switch_id` eats every packet routed to it
@@ -52,6 +55,8 @@ struct SwitchPortDown {
   std::size_t port = 0;
   SimTime from{0};
   SimTime until = SimTime::max();
+  /// Plan-file line the event came from (0 = built programmatically).
+  int line = 0;
 };
 
 /// Gilbert–Elliott two-state loss: each packet advances a good/bad Markov

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "coll/group.hpp"
 #include "mpi/communicator.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
@@ -47,10 +48,12 @@ struct TailCollector {
 
 struct MemberRun {
   std::unique_ptr<gm::Port> port;
-  // Exactly one of the two engines is set, per the class's mix (see
-  // CollectiveMix::barrier_only).
+  // Exactly one of the three engines is set: a bare BarrierMember for a
+  // barrier-only mix (see CollectiveMix::barrier_only), a Communicator for
+  // mixed collectives, or a GroupMember for a managed-lifecycle class.
   std::unique_ptr<coll::BarrierMember> member;
   std::unique_ptr<mpi::Communicator> comm;
+  std::unique_ptr<coll::GroupMember> gmember;
   sim::Rng rng{0};  // compute-skew / start-jitter stream
   sim::SimTime start{0}, end{0};
   bool finished = false;
@@ -66,6 +69,12 @@ struct JobRun {
   std::vector<MemberRun> members;
   std::size_t remaining = 0;
   std::uint64_t failures = 0;
+  // Managed-lifecycle bookkeeping (coordinator = member 0 reports the
+  // group-level events; degraded barriers are counted per process).
+  std::uint64_t degraded = 0;
+  bool group_created = false;
+  bool group_destroyed = false;
+  std::uint64_t group_promotions = 0;
   sim::SimTime end{0};
   std::unique_ptr<TailCollector> latency;
   // SLO bookkeeping (populated only when the class declares an SLO):
@@ -132,9 +141,23 @@ sim::Task member_proc(RunState& st, JobRun& jr, std::size_t m) {
     co_await st.sim->delay(sim::Duration{
         static_cast<std::int64_t>(me.rng.uniform() * static_cast<double>(k.start_skew.ps()))});
   }
+
+  // Managed lifecycle: the group must exist before the first barrier. A
+  // failed create (member died mid-handshake) skips the iteration loop but
+  // still runs the destroy below, so local NIC state is released.
+  bool lifecycle_ok = true;
+  if (me.gmember != nullptr) {
+    const coll::BarrierStatus cst = co_await me.gmember->run_create();
+    if (!coll::is_success(cst)) {
+      ++jr.failures;
+      lifecycle_ok = false;
+    } else if (m == 0) {
+      jr.group_created = true;
+    }
+  }
   me.start = st.sim->now();
 
-  for (int it = 0; it < k.iterations; ++it) {
+  for (int it = 0; lifecycle_ok && it < k.iterations; ++it) {
     if (!k.compute_mean.is_zero()) {
       sim::Duration d = k.compute_mean;
       if (k.compute_imbalance > 0.0) {
@@ -150,7 +173,9 @@ sim::Task member_proc(RunState& st, JobRun& jr, std::size_t m) {
     coll::BarrierStatus status = coll::BarrierStatus::kOk;
     switch (kind) {
       case CollectiveKind::kBarrier:
-        status = me.member ? co_await me.member->run() : co_await me.comm->barrier();
+        status = me.gmember  ? co_await me.gmember->run_barrier()
+                 : me.member ? co_await me.member->run()
+                             : co_await me.comm->barrier();
         break;
       case CollectiveKind::kFuzzyBarrier:
         (void)co_await me.member->run_fuzzy(k.fuzzy_chunk);
@@ -167,12 +192,23 @@ sim::Task member_proc(RunState& st, JobRun& jr, std::size_t m) {
     st.per_kind[static_cast<std::size_t>(kind)]->add(us);
     st.overall->add(us);
     if (!k.slo.is_zero()) jr.slo_samples.push_back(SloSample{st.sim->now().us(), us});
+    if (status == coll::BarrierStatus::kOkDegraded) ++jr.degraded;
 
-    if (status != coll::BarrierStatus::kOk || (me.comm && me.comm->failed())) {
+    if (!coll::is_success(status) || (me.comm && me.comm->failed())) {
       // The group is broken (dead peer or expired deadline): stop looping
       // rather than spinning out `iterations` instant failures.
       ++jr.failures;
       break;
+    }
+  }
+
+  if (me.gmember != nullptr) {
+    // Always destroy — even after a failed create or an aborted barrier —
+    // so NIC slots are released and late packets are fenced, not delivered.
+    const coll::BarrierStatus dst = co_await me.gmember->run_destroy();
+    if (m == 0) {
+      jr.group_destroyed = dst == coll::BarrierStatus::kOk;
+      jr.group_promotions = me.gmember->promotions();
     }
   }
 
@@ -306,7 +342,19 @@ Report Driver::run_impl(SloReport* slo_out) {
           MemberRun& me = jr.members[m];
           me.port = cluster.open_port(jr.node_set[m], job_ports[j][m]);
           me.rng.reseed(substream(substream(spec_.seed, kMemberStream, j), kMemberStream, m));
-          if (klass.mix.barrier_only()) {
+          if (klass.managed) {
+            coll::GroupConfig gc;
+            gc.id = static_cast<std::uint64_t>(j) + 1;  // fabric-unique per job
+            gc.algorithm = klass.algorithm;
+            gc.gb_dimension = klass.gb_dimension;
+            gc.deadline = klass.deadline;
+            // The barrier deadline doubles as the handshake liveness backstop
+            // (a coordinator waiting on a crashed member may have no traffic
+            // in flight to it, so no kPeerDead ever arrives).
+            gc.ctrl_deadline = klass.deadline;
+            gc.promote_every = klass.promote_every;
+            me.gmember = std::make_unique<coll::GroupMember>(*me.port, group, gc);
+          } else if (klass.mix.barrier_only()) {
             coll::BarrierSpec bspec;
             bspec.location = klass.location;
             bspec.algorithm = klass.algorithm;
@@ -356,10 +404,18 @@ Report Driver::run_impl(SloReport* slo_out) {
     j.experiment_mean_us = (end - begin).us() / jr.klass->iterations;
     j.latency = jr.latency->stats();
     j.failures += jr.failures;
+    j.degraded_collectives = jr.degraded;
+    j.group_created = jr.group_created;
+    j.group_destroyed = jr.group_destroyed;
+    j.group_promotions = jr.group_promotions;
     for (const CollectiveKind k : jr.schedule) {
       ++j.collectives[static_cast<std::size_t>(k)];
     }
     rep.total_failures += j.failures;
+    rep.degraded_collectives += j.degraded_collectives;
+    rep.group_promotions += j.group_promotions;
+    if (j.group_created) ++rep.groups_created;
+    if (j.group_destroyed) ++rep.groups_destroyed;
     if (jr.end > makespan) makespan = jr.end;
     if (end > makespan) makespan = end;
     rep.jobs.push_back(std::move(j));
@@ -401,6 +457,13 @@ Report Driver::run_impl(SloReport* slo_out) {
       if (ends_with(".barriers_completed")) rep.barriers_completed += value;
       if (ends_with(".reduces_completed")) rep.reduces_completed += value;
       if (ends_with(".retransmissions")) rep.retransmissions += value;
+      if (ends_with(".slots.allocations")) rep.slot_allocations += value;
+      if (ends_with(".slots.rejections")) rep.slot_rejections += value;
+      if (ends_with(".slots.frees")) rep.slot_frees += value;
+      if (ends_with(".slots.high_water") && value > rep.slot_high_water) {
+        rep.slot_high_water = value;
+      }
+      if (ends_with(".stale_group_fenced")) rep.stale_group_fenced += value;
     }
   }
 

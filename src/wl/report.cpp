@@ -29,7 +29,10 @@ void Report::write_json(std::ostream& os) const {
       os << (k == 0 ? "" : ", ") << '"' << to_string(static_cast<CollectiveKind>(k))
          << "\": " << j.collectives[k];
     }
-    os << "}, \"failures\": " << j.failures << "}";
+    os << "}, \"failures\": " << j.failures << ", \"degraded_collectives\": "
+       << j.degraded_collectives << ", \"group_created\": " << (j.group_created ? 1 : 0)
+       << ", \"group_destroyed\": " << (j.group_destroyed ? 1 : 0)
+       << ", \"group_promotions\": " << j.group_promotions << "}";
     os << (i + 1 < jobs.size() ? ",\n" : "\n");
   }
   os << "  ],\n  \"per_kind\": {";
@@ -48,7 +51,15 @@ void Report::write_json(std::ostream& os) const {
      << ", \"link_stalls\": " << link_stalls << "},\n  \"counters\": {\"barriers_completed\": "
      << barriers_completed << ", \"reduces_completed\": " << reduces_completed
      << ", \"retransmissions\": " << retransmissions
-     << ", \"link_packets_dropped\": " << link_packets_dropped << "}\n}\n";
+     << ", \"link_packets_dropped\": " << link_packets_dropped
+     << "},\n  \"lifecycle\": {\"groups_created\": " << groups_created
+     << ", \"groups_destroyed\": " << groups_destroyed
+     << ", \"degraded_collectives\": " << degraded_collectives
+     << ", \"group_promotions\": " << group_promotions
+     << ", \"slot_allocations\": " << slot_allocations
+     << ", \"slot_rejections\": " << slot_rejections << ", \"slot_frees\": " << slot_frees
+     << ", \"slot_high_water\": " << slot_high_water
+     << ", \"stale_group_fenced\": " << stale_group_fenced << "}\n}\n";
 }
 
 std::string Report::json() const {

@@ -43,6 +43,12 @@ struct JobReport {
   TailStats latency;
   std::array<std::uint64_t, kCollectiveKindCount> collectives{};  // by CollectiveKind
   std::uint64_t failures = 0;  // processes whose collective aborted
+
+  // Managed-lifecycle classes only (all zero otherwise):
+  std::uint64_t degraded_collectives = 0;  // barriers that ran host-fallback
+  bool group_created = false;              // the create handshake succeeded
+  bool group_destroyed = false;            // the destroy handshake succeeded
+  std::uint64_t group_promotions = 0;      // degraded -> NIC re-promotions
 };
 
 struct Report {
@@ -65,6 +71,18 @@ struct Report {
   std::uint64_t reduces_completed = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t link_packets_dropped = 0;
+
+  // Barrier-group lifecycle (managed classes; from the jobs and the NIC
+  // slot tables via snapshot_metrics):
+  std::uint64_t groups_created = 0;
+  std::uint64_t groups_destroyed = 0;
+  std::uint64_t degraded_collectives = 0;
+  std::uint64_t group_promotions = 0;
+  std::uint64_t slot_allocations = 0;
+  std::uint64_t slot_rejections = 0;  // admission rejections (slots full)
+  std::uint64_t slot_frees = 0;
+  std::uint64_t slot_high_water = 0;  // max concurrent slots on any one NIC
+  std::uint64_t stale_group_fenced = 0;  // packets fenced after group destroy
 
   /// One deterministic JSON document (keys ordered, jobs in job order).
   void write_json(std::ostream& os) const;

@@ -62,6 +62,7 @@ void validate(const WorkloadSpec& spec) {
   if (spec.arrival.kind == ArrivalKind::kClosedLoop && spec.arrival.width == 0) {
     bad("closed-loop arrival needs width >= 1");
   }
+  if (spec.cluster.nic.barrier_slots < 0) bad("nic-slots must be non-negative");
   for (const JobClass& c : spec.classes) {
     const std::string who = "class '" + c.name + "': ";
     if (c.nodes == 0) bad(who + "nodes must be positive");
@@ -96,6 +97,18 @@ void validate(const WorkloadSpec& spec) {
     }
     if (c.slo.ps() < 0 || c.slo_window.ps() < 0) {
       bad(who + "slo-us and slo-window-us must be non-negative");
+    }
+    if (c.managed) {
+      // A managed group owns the whole barrier path (NIC slot or host
+      // fallback); reductions and fuzzy barriers bypass that lifecycle.
+      if (!c.mix.barrier_only() || c.mix.fuzzy > 0.0) {
+        bad(who + "lifecycle managed requires a pure-barrier mix");
+      }
+      if (c.location != coll::Location::kNic) {
+        bad(who + "lifecycle managed requires the NIC location (the host "
+                  "path is the group's fallback mode, not a starting mode)");
+      }
+      if (c.promote_every < 0) bad(who + "promote-every must be non-negative");
     }
   }
 }
@@ -298,6 +311,12 @@ WorkloadSpec parse_workload_spec(std::istream& in) {
         } else {
           fail_at(line_no, line, "reliability must be unreliable, shared, or separate");
         }
+      } else if (key == "nic-slots") {
+        // Like `reliability`, this must follow `nic` (which replaces the
+        // whole NIC config).
+        const double v = parse_number(is, line_no, line, "nic-slots");
+        if (v < 0) fail_at(line_no, line, "nic-slots must be non-negative");
+        spec.cluster.nic.barrier_slots = static_cast<int>(v);
       } else if (key == "placement") {
         const std::string v = parse_word(is, line_no, line, "placement");
         if (v == "disjoint") {
@@ -406,6 +425,19 @@ WorkloadSpec parse_workload_spec(std::istream& in) {
       job->slo_target = parse_number(is, line_no, line, "slo-target");
     } else if (key == "slo-window-us") {
       job->slo_window = sim::microseconds(parse_number(is, line_no, line, "slo-window-us"));
+    } else if (key == "lifecycle") {
+      const std::string v = parse_word(is, line_no, line, "lifecycle");
+      if (v == "managed") {
+        job->managed = true;
+      } else if (v == "none") {
+        job->managed = false;
+      } else {
+        fail_at(line_no, line, "lifecycle must be none or managed");
+      }
+    } else if (key == "promote-every") {
+      const double v = parse_number(is, line_no, line, "promote-every");
+      if (v < 0) fail_at(line_no, line, "promote-every must be non-negative");
+      job->promote_every = static_cast<int>(v);
     } else {
       fail_at(line_no, line, "unknown job key '" + key + "'");
     }
@@ -478,6 +510,11 @@ void print_spec(const WorkloadSpec& spec, std::ostream& os) {
   // `nic` replaces the whole NIC config, so `reliability` must follow it.
   os << "nic " << nic_name(spec.cluster) << "\n";
   os << "reliability " << reliability_name(spec.cluster.nic.barrier_reliability) << "\n";
+  // Printed only when it differs from the card default, so pre-lifecycle
+  // specs print byte-identically to the old format.
+  if (spec.cluster.nic.barrier_slots != nic::NicConfig{}.barrier_slots) {
+    os << "nic-slots " << spec.cluster.nic.barrier_slots << "\n";
+  }
   os << "topology " << topology_name(spec.cluster.topology) << "\n";
   os << "placement " << to_string(spec.placement) << "\n";
   switch (spec.arrival.kind) {
@@ -521,6 +558,11 @@ void print_spec(const WorkloadSpec& spec, std::ostream& os) {
       os << "  slo-target " << weight_str(c.slo_target) << "\n";
       os << "  slo-window-us " << us_str(c.slo_window) << "\n";
     }
+    if (c.managed) {
+      // Lifecycle keys ride only on managed classes, for the same reason.
+      os << "  lifecycle managed\n";
+      os << "  promote-every " << c.promote_every << "\n";
+    }
   }
 }
 
@@ -542,6 +584,7 @@ bool spec_equal(const WorkloadSpec& a, const WorkloadSpec& b) {
   if (a.cluster.nic.model != b.cluster.nic.model ||
       a.cluster.nic.clock_mhz != b.cluster.nic.clock_mhz ||
       a.cluster.nic.barrier_reliability != b.cluster.nic.barrier_reliability ||
+      a.cluster.nic.barrier_slots != b.cluster.nic.barrier_slots ||
       a.cluster.topology != b.cluster.topology) {
     return false;
   }
@@ -576,6 +619,9 @@ bool spec_equal(const WorkloadSpec& a, const WorkloadSpec& b) {
         (x.slo_target != y.slo_target || x.slo_window != y.slo_window)) {
       return false;
     }
+    // And the lifecycle keys: printed only on managed classes.
+    if (x.managed != y.managed) return false;
+    if (x.managed && x.promote_every != y.promote_every) return false;
   }
   return true;
 }

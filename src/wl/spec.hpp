@@ -98,6 +98,16 @@ struct JobClass {
   double slo_target = 0.99;
   /// Burn-rate window width; 0 = a single window spanning the whole run.
   sim::Duration slo_window{0};
+  /// Managed barrier-group lifecycle: each instance creates a group
+  /// (coll::GroupMember — NIC slot admission with host fallback), runs its
+  /// iterations through it, and destroys it, so a stream of short instances
+  /// churns the NIC slot tables. Requires a pure-barrier mix and the NIC
+  /// location; under slot exhaustion barriers complete degraded
+  /// (kOkDegraded), which the report counts rather than treating as failure.
+  bool managed = false;
+  /// Managed only: retry NIC-slot admission after every this many degraded
+  /// barriers (0 = never re-promote). See coll::GroupConfig::promote_every.
+  int promote_every = 4;
 };
 
 struct Arrival {
@@ -146,6 +156,8 @@ void validate(const WorkloadSpec& spec);
 ///   reliability shared           # unreliable | shared | separate
 ///                                # (retransmission mode; required with fault
 ///                                # injection when any class uses fuzzy=)
+///   nic-slots 8                  # barrier-state slots per NIC (admission
+///                                # capacity for managed groups; follows `nic`)
 ///   arrival poisson 500          # fixed <gap_us> | poisson <mean_gap_us>
 ///                                # | closed-loop <width> <think_us>
 ///   seed 7
@@ -167,6 +179,10 @@ void validate(const WorkloadSpec& spec);
 ///     slo-us 150                   # per-collective latency SLO (0 = none)
 ///     slo-target 0.99              # compliance target in (0, 1)
 ///     slo-window-us 5000           # burn-rate window (0 = whole run)
+///     lifecycle managed            # none | managed (dynamic group
+///                                  # create/destroy with slot admission)
+///     promote-every 4              # managed: degraded barriers between
+///                                  # re-promotion attempts (0 = never)
 ///
 /// Throws std::runtime_error naming the offending line on malformed input;
 /// the result has already passed validate().

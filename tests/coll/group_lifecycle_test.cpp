@@ -1,0 +1,301 @@
+// coll::GroupMember — the managed barrier-group lifecycle: two-phase
+// create/destroy, NIC-slot admission with host fallback (kOkDegraded),
+// re-promotion, stale-packet fencing, slot reuse under churn, and clean
+// failure (kDeadline) when a member's NIC dies mid-lifecycle.
+#include "coll/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coll/barrier.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar::coll {
+namespace {
+
+using namespace sim::literals;
+
+struct Fixture {
+  explicit Fixture(std::size_t n, host::ClusterParams cp = {}, nic::PortId port_id = 2) {
+    cp.nodes = n;
+    cluster = std::make_unique<host::Cluster>(cp);
+    for (std::size_t i = 0; i < n; ++i) {
+      group.push_back(gm::Endpoint{static_cast<net::NodeId>(i), port_id});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ports.push_back(cluster->open_port(static_cast<net::NodeId>(i), port_id));
+    }
+  }
+
+  std::vector<std::unique_ptr<GroupMember>> make_members(GroupConfig cfg) {
+    std::vector<std::unique_ptr<GroupMember>> ms;
+    for (auto& p : ports) ms.push_back(std::make_unique<GroupMember>(*p, group, cfg));
+    return ms;
+  }
+
+  std::unique_ptr<host::Cluster> cluster;
+  std::vector<gm::Endpoint> group;
+  std::vector<std::unique_ptr<gm::Port>> ports;
+};
+
+GroupConfig config(std::uint64_t id) {
+  GroupConfig c;
+  c.id = id;
+  c.ctrl_deadline = 5_ms;
+  return c;
+}
+
+/// One member's full life: create, `barriers` barrier() calls, destroy.
+/// Records every status in order (create first, destroy last).
+sim::Task member_life(GroupMember& m, int barriers, std::vector<BarrierStatus>* out) {
+  out->push_back(co_await m.run_create());
+  for (int i = 0; i < barriers; ++i) {
+    const BarrierStatus st = co_await m.run_barrier();
+    out->push_back(st);
+    if (!is_success(st)) break;
+  }
+  out->push_back(co_await m.run_destroy());
+}
+
+TEST(GroupLifecycleTest, CreateBarrierDestroyNicOffloaded) {
+  Fixture f(4);
+  auto ms = f.make_members(config(7));
+  std::vector<std::vector<BarrierStatus>> st(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.cluster->sim().spawn(member_life(*ms[i], 3, &st[i]));
+  }
+  f.cluster->sim().run();
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(st[i].size(), 5u) << "member " << i;
+    for (const BarrierStatus s : st[i]) EXPECT_EQ(s, BarrierStatus::kOk) << "member " << i;
+    EXPECT_EQ(ms[i]->state(), GroupState::kFreed);
+    EXPECT_EQ(ms[i]->barriers_run(), 3u);
+    EXPECT_EQ(ms[i]->degraded_barriers(), 0u);
+  }
+  for (net::NodeId n = 0; n < 4; ++n) {
+    const nic::SlotStats& s = f.cluster->nic(n).slots().stats();
+    EXPECT_EQ(s.allocations, 1u) << "nic " << n;
+    EXPECT_EQ(s.frees, 1u) << "nic " << n;
+    EXPECT_EQ(f.cluster->nic(n).slots().in_use(), 0) << "nic " << n;
+    EXPECT_EQ(f.cluster->nic(n).stats().stale_group_fenced, 0u) << "nic " << n;
+  }
+}
+
+TEST(GroupLifecycleTest, SlotExhaustionFallsBackDegraded) {
+  host::ClusterParams cp;
+  cp.nic.barrier_slots = 0;  // no NIC barrier state at all
+  Fixture f(4, cp);
+  auto ms = f.make_members(config(7));
+  std::vector<std::vector<BarrierStatus>> st(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.cluster->sim().spawn(member_life(*ms[i], 2, &st[i]));
+  }
+  f.cluster->sim().run();
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(st[i].size(), 4u) << "member " << i;
+    EXPECT_EQ(st[i][0], BarrierStatus::kOkDegraded);  // create: admission rejected
+    EXPECT_EQ(st[i][1], BarrierStatus::kOkDegraded);  // barriers complete, host-driven
+    EXPECT_EQ(st[i][2], BarrierStatus::kOkDegraded);
+    EXPECT_EQ(st[i][3], BarrierStatus::kOk);  // destroy
+    EXPECT_EQ(ms[i]->state(), GroupState::kFreed);
+    EXPECT_EQ(ms[i]->degraded_barriers(), 2u);
+  }
+  for (net::NodeId n = 0; n < 4; ++n) {
+    EXPECT_GT(f.cluster->nic(n).slots().stats().rejections, 0u) << "nic " << n;
+    EXPECT_EQ(f.cluster->nic(n).slots().stats().allocations, 0u) << "nic " << n;
+  }
+}
+
+TEST(GroupLifecycleTest, DegradedGroupRepromotesWhenSlotsFree) {
+  // One slot per NIC. Group A takes it; group B (separate GM ports, same
+  // nodes) comes up degraded. Destroying A frees the slot, and B's periodic
+  // re-promotion handshake switches it back to NIC offload.
+  host::ClusterParams cp;
+  cp.nodes = 3;
+  cp.nic.barrier_slots = 1;
+  auto cluster = std::make_unique<host::Cluster>(cp);
+  std::vector<gm::Endpoint> ga, gb;
+  std::vector<std::unique_ptr<gm::Port>> pa, pb;
+  for (net::NodeId i = 0; i < 3; ++i) {
+    ga.push_back(gm::Endpoint{i, 2});
+    gb.push_back(gm::Endpoint{i, 3});
+    pa.push_back(cluster->open_port(i, 2));
+    pb.push_back(cluster->open_port(i, 3));
+  }
+  GroupConfig ca = config(1);
+  GroupConfig cb = config(2);
+  cb.promote_every = 2;
+  std::vector<std::unique_ptr<GroupMember>> ma, mb;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ma.push_back(std::make_unique<GroupMember>(*pa[i], ga, ca));
+    mb.push_back(std::make_unique<GroupMember>(*pb[i], gb, cb));
+  }
+  std::vector<std::vector<BarrierStatus>> st(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    cluster->sim().spawn([](GroupMember& a, GroupMember& b,
+                            std::vector<BarrierStatus>* out) -> sim::Task {
+      out->push_back(co_await a.run_create());  // A takes the slot
+      out->push_back(co_await b.run_create());  // B is rejected -> degraded
+      out->push_back(co_await a.run_destroy());  // slot freed everywhere
+      // promote_every = 2: barriers 1-2 degraded, the 2nd triggers a
+      // re-promotion handshake that now finds slots free on every NIC.
+      for (int k = 0; k < 3; ++k) out->push_back(co_await b.run_barrier());
+      out->push_back(co_await b.run_destroy());
+    }(*ma[i], *mb[i], &st[i]));
+  }
+  cluster->sim().run();
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(st[i].size(), 7u) << "member " << i;
+    EXPECT_EQ(st[i][0], BarrierStatus::kOk);          // A create
+    EXPECT_EQ(st[i][1], BarrierStatus::kOkDegraded);  // B create, rejected
+    EXPECT_EQ(st[i][2], BarrierStatus::kOk);          // A destroy
+    EXPECT_EQ(st[i][3], BarrierStatus::kOkDegraded);  // B barrier 1
+    EXPECT_EQ(st[i][4], BarrierStatus::kOkDegraded);  // B barrier 2 (+ promote)
+    EXPECT_EQ(st[i][5], BarrierStatus::kOk);          // B barrier 3: NIC again
+    EXPECT_EQ(st[i][6], BarrierStatus::kOk);          // B destroy
+    EXPECT_EQ(mb[i]->promotions(), 1u);
+    EXPECT_EQ(mb[i]->state(), GroupState::kFreed);
+  }
+  for (net::NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster->nic(n).slots().in_use(), 0) << "nic " << n;
+  }
+}
+
+TEST(GroupLifecycleTest, StalePacketFromUnboundGroupIsFenced) {
+  // Node 0 holds a slot binding for group 42; node 1 never allocated one.
+  // Node 0's barrier packet reaches node 1's firmware carrying group 42 and
+  // must be fenced (counted, dropped) — the cross-incarnation safety net for
+  // packets that outlive their group. Node 0's barrier can then only end by
+  // deadline.
+  Fixture f(2);
+  ASSERT_TRUE(f.cluster->nic(0).slot_allocate(42, 2));
+  BarrierSpec spec;
+  spec.location = Location::kNic;
+  spec.group = 42;
+  spec.deadline = 300_us;
+  BarrierMember m(*f.ports[0], f.group, spec);
+  BarrierStatus st = BarrierStatus::kOk;
+  f.cluster->sim().spawn([](BarrierMember& bm, BarrierStatus* out) -> sim::Task {
+    *out = co_await bm.run();
+  }(m, &st));
+  f.cluster->sim().run();
+  EXPECT_EQ(st, BarrierStatus::kDeadline);
+  EXPECT_EQ(f.cluster->nic(1).stats().stale_group_fenced, 1u);
+  EXPECT_EQ(f.cluster->nic(0).stats().stale_group_fenced, 0u);
+}
+
+TEST(GroupLifecycleTest, ChurnReusesSlots) {
+  // 40 sequential create/barrier/destroy cycles through one slot table.
+  // Reuse accounting must show recycling: the high-water mark stays at 1
+  // (never 40), and generations count the reuses.
+  Fixture f(4);
+  std::vector<std::vector<BarrierStatus>> st(4);
+  constexpr int kCycles = 40;
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.cluster->sim().spawn([](Fixture& fx, std::size_t me,
+                              std::vector<BarrierStatus>* out) -> sim::Task {
+      for (int c = 0; c < kCycles; ++c) {
+        GroupMember m(*fx.ports[me], fx.group, config(static_cast<std::uint64_t>(c + 1)));
+        out->push_back(co_await m.run_create());
+        out->push_back(co_await m.run_barrier());
+        out->push_back(co_await m.run_destroy());
+      }
+    }(f, i, &st[i]));
+  }
+  f.cluster->sim().run();
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(st[i].size(), 3u * kCycles) << "member " << i;
+    for (const BarrierStatus s : st[i]) EXPECT_EQ(s, BarrierStatus::kOk) << "member " << i;
+  }
+  for (net::NodeId n = 0; n < 4; ++n) {
+    const nic::SlotStats& s = f.cluster->nic(n).slots().stats();
+    EXPECT_EQ(s.allocations, static_cast<std::uint64_t>(kCycles)) << "nic " << n;
+    EXPECT_EQ(s.frees, static_cast<std::uint64_t>(kCycles)) << "nic " << n;
+    EXPECT_EQ(s.high_water, 1u) << "nic " << n;  // slots recycled, not hoarded
+    EXPECT_GE(s.generations, static_cast<std::uint64_t>(kCycles - 1)) << "nic " << n;
+    EXPECT_EQ(f.cluster->nic(n).slots().in_use(), 0) << "nic " << n;
+    EXPECT_EQ(f.cluster->nic(n).stats().stale_group_fenced, 0u) << "nic " << n;
+  }
+}
+
+TEST(GroupLifecycleTest, MemberCrashDuringBarriersFailsCleanlyByDeadline) {
+  // Node 3's NIC dies at t=300us and never restarts. The fabric is
+  // unreliable (no kPeerDead ever fires), so the per-barrier deadline is the
+  // only exit: every survivor must abort with kDeadline — never hang — and
+  // destroy() must still release local slots.
+  host::ClusterParams cp;
+  sim::fault::NicCrash crash;
+  crash.node = 3;
+  crash.at = sim::SimTime{0} + 300_us;
+  cp.faults.nic_crashes.push_back(crash);
+  Fixture f(4, cp);
+  GroupConfig cfg = config(9);
+  cfg.deadline = 400_us;
+  cfg.ctrl_deadline = 400_us;
+  auto ms = f.make_members(cfg);
+  std::vector<std::vector<BarrierStatus>> st(4);
+  // All four members run — node 3's host process outlives its NIC and keeps
+  // issuing calls against dead hardware; assertions cover the survivors.
+  for (std::size_t i = 0; i < 4; ++i) {
+    f.cluster->sim().spawn([](sim::Simulator& sim, GroupMember& m,
+                              std::vector<BarrierStatus>* out) -> sim::Task {
+      out->push_back(co_await m.run_create());
+      for (int k = 0; k < 50; ++k) {
+        co_await sim.delay(40_us);  // compute phase between barriers
+        const BarrierStatus s = co_await m.run_barrier();
+        out->push_back(s);
+        if (!is_success(s)) break;
+      }
+      out->push_back(co_await m.run_destroy());
+    }(f.cluster->sim(), *ms[i], &st[i]));
+  }
+  f.cluster->sim().run();  // termination IS the no-hang assertion
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_GE(st[i].size(), 3u) << "member " << i;
+    EXPECT_EQ(st[i].front(), BarrierStatus::kOk) << "create ran before the crash";
+    // Some barriers may have completed; the last one before destroy failed.
+    EXPECT_EQ(st[i][st[i].size() - 2], BarrierStatus::kDeadline) << "member " << i;
+    EXPECT_EQ(st[i].back(), BarrierStatus::kOk) << "destroy still succeeds locally";
+    EXPECT_EQ(ms[i]->state(), GroupState::kFreed);
+  }
+  for (net::NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(f.cluster->nic(n).slots().in_use(), 0) << "slots must not leak, nic " << n;
+  }
+}
+
+TEST(GroupLifecycleTest, MemberCrashDuringCreateFailsCleanlyByCtrlDeadline) {
+  // Node 3's NIC is dead from t=0, so the create handshake can never
+  // complete. There is no in-flight traffic to the dead node (unreliable
+  // fabric), hence no kPeerDead — only ctrl_deadline ends the wait.
+  host::ClusterParams cp;
+  sim::fault::NicCrash crash;
+  crash.node = 3;
+  crash.at = sim::SimTime{0};
+  cp.faults.nic_crashes.push_back(crash);
+  Fixture f(4, cp);
+  GroupConfig cfg = config(9);
+  cfg.ctrl_deadline = 500_us;
+  auto ms = f.make_members(cfg);
+  std::vector<std::vector<BarrierStatus>> st(4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    f.cluster->sim().spawn([](GroupMember& m, std::vector<BarrierStatus>* out) -> sim::Task {
+      out->push_back(co_await m.run_create());
+      out->push_back(co_await m.run_destroy());
+    }(*ms[i], &st[i]));
+  }
+  f.cluster->sim().run();
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(st[i].size(), 2u) << "member " << i;
+    EXPECT_EQ(st[i][0], BarrierStatus::kDeadline) << "member " << i;
+    EXPECT_EQ(st[i][1], BarrierStatus::kOk) << "destroy releases local state";
+    EXPECT_EQ(ms[i]->state(), GroupState::kFreed);
+  }
+  for (net::NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(f.cluster->nic(n).slots().in_use(), 0) << "slots must not leak, nic " << n;
+  }
+}
+
+}  // namespace
+}  // namespace nicbar::coll

@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "coll/barrier.hpp"
 #include "host/cluster.hpp"
 
 namespace nicbar::gm {
@@ -161,6 +162,48 @@ TEST(PortTest, ComputeOccupiesCpu) {
   }(cluster.sim(), *p, &end));
   cluster.sim().run();
   EXPECT_EQ(end.ps(), (250_us).ps());
+}
+
+TEST(PortTest, StaleCompletionCounterAccumulates) {
+  host::Cluster cluster(two_nodes());
+  auto p = cluster.open_port(0, 2);
+  EXPECT_EQ(p->stale_completions(), 0u);
+  p->count_stale_completion();
+  p->count_stale_completion();
+  EXPECT_EQ(p->stale_completions(), 2u);
+}
+
+TEST(PortTest, InjectedStaleEpochCompletionIsFilteredNotDelivered) {
+  // A completion from an earlier, aborted epoch surfaces after a new barrier
+  // starts (the NIC delivered it late). The epoch-aware consumer
+  // (coll::BarrierMember) must filter it — count it on the port, keep
+  // waiting — and still finish on the genuine completion.
+  host::Cluster cluster(two_nodes());
+  auto p0 = cluster.open_port(0, 2);
+  auto p1 = cluster.open_port(1, 2);
+  // The upcoming barrier will run as epoch 0; epoch 99 is stale by construction.
+  nic::GmEvent stale;
+  stale.type = nic::GmEventType::kBarrierComplete;
+  stale.barrier_epoch = 99;
+  cluster.nic(0).inject_event(2, stale);
+
+  std::vector<gm::Endpoint> group{Endpoint{0, 2}, Endpoint{1, 2}};
+  coll::BarrierSpec spec;
+  spec.location = coll::Location::kNic;
+  std::vector<coll::BarrierStatus> st(2, coll::BarrierStatus::kPeerDead);
+  coll::BarrierMember m0(*p0, group, spec);
+  coll::BarrierMember m1(*p1, group, spec);
+  cluster.sim().spawn([](coll::BarrierMember& m, coll::BarrierStatus* out) -> sim::Task {
+    *out = co_await m.run();
+  }(m0, &st[0]));
+  cluster.sim().spawn([](coll::BarrierMember& m, coll::BarrierStatus* out) -> sim::Task {
+    *out = co_await m.run();
+  }(m1, &st[1]));
+  cluster.sim().run();
+  EXPECT_EQ(st[0], coll::BarrierStatus::kOk);
+  EXPECT_EQ(st[1], coll::BarrierStatus::kOk);
+  EXPECT_EQ(p0->stale_completions(), 1u) << "the epoch-99 ghost was filtered";
+  EXPECT_EQ(p1->stale_completions(), 0u);
 }
 
 }  // namespace

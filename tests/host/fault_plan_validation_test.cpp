@@ -1,0 +1,66 @@
+// Arm-time fault-plan validation: a plan naming a node or switch that the
+// cluster does not have must fail loudly at Cluster construction — naming
+// the offending plan line — instead of silently arming nothing (which would
+// turn a typo'd node id into a fault-free run that "passes").
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "host/cluster.hpp"
+#include "sim/fault.hpp"
+
+namespace nicbar::host {
+namespace {
+
+ClusterParams four_nodes(sim::fault::FaultPlan plan) {
+  ClusterParams p;
+  p.nodes = 4;
+  p.faults = std::move(plan);
+  return p;
+}
+
+std::string construction_error(ClusterParams p) {
+  try {
+    Cluster cluster(std::move(p));
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(FaultPlanValidationTest, CrashOnMissingNodeThrowsNamingPlanLine) {
+  const auto plan = sim::fault::parse_fault_plan("# comment\n"
+                                                 "loss 0.01\n"
+                                                 "nic-crash 99 100\n");
+  const std::string err = construction_error(four_nodes(plan));
+  EXPECT_NE(err.find("nic-crash node 99"), std::string::npos) << err;
+  EXPECT_NE(err.find("cluster has 4 nodes"), std::string::npos) << err;
+  EXPECT_NE(err.find("fault-plan line 3"), std::string::npos) << err;
+}
+
+TEST(FaultPlanValidationTest, SwitchPortDownOnMissingSwitchThrows) {
+  const auto plan = sim::fault::parse_fault_plan("switch-port-down 7 0 100 200\n");
+  const std::string err = construction_error(four_nodes(plan));
+  EXPECT_NE(err.find("switch 7 does not exist"), std::string::npos) << err;
+  EXPECT_NE(err.find("fault-plan line 1"), std::string::npos) << err;
+}
+
+TEST(FaultPlanValidationTest, ProgrammaticPlanOmitsLineSuffix) {
+  sim::fault::FaultPlan plan;
+  sim::fault::NicCrash c;
+  c.node = 99;  // built in code: line stays 0
+  plan.nic_crashes.push_back(c);
+  const std::string err = construction_error(four_nodes(std::move(plan)));
+  EXPECT_NE(err.find("nic-crash node 99"), std::string::npos) << err;
+  EXPECT_EQ(err.find("fault-plan line"), std::string::npos) << err;
+}
+
+TEST(FaultPlanValidationTest, ValidPlanStillArms) {
+  const auto plan = sim::fault::parse_fault_plan("nic-crash 3 100 -\n");
+  Cluster cluster(four_nodes(plan));  // no throw
+  EXPECT_EQ(cluster.size(), 4u);
+}
+
+}  // namespace
+}  // namespace nicbar::host

@@ -1,0 +1,143 @@
+// Churn soak: barrier-group lifecycle at scale. 64 nodes partitioned into
+// eight 8-member groups, each churning create / barrier / destroy cycles —
+// more than 1000 full cycles per run — while a fault plan kills two member
+// NICs mid-soak. Invariant checking (sim::check, on by default) turns any
+// protocol violation into a test failure; termination of sim().run() is the
+// no-hang assertion; the slot tables must show full recycling at the end.
+//
+// The CI churn job sweeps NICBAR_SOAK_SEED to vary crash times and member
+// start skew; unset, the run is bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "coll/group.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar {
+namespace {
+
+using namespace sim::literals;
+using coll::BarrierStatus;
+using coll::GroupConfig;
+using coll::GroupMember;
+using coll::GroupState;
+
+constexpr std::size_t kNodes = 64;
+constexpr std::size_t kGroups = 8;
+constexpr std::size_t kGroupSize = 8;
+constexpr int kCyclesPerGroup = 175;  // 6 untouched groups alone exceed 1000
+
+std::uint64_t soak_seed() {
+  const char* env = std::getenv("NICBAR_SOAK_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 0u;
+}
+
+/// Deterministic per-(group, member) jitter in [0, 97) microseconds.
+sim::Duration skew(std::uint64_t seed, std::size_t g, std::size_t m) {
+  std::uint64_t x = seed * 6364136223846793005ull + g * 1442695040888963407ull + m + 1;
+  x ^= x >> 33;
+  return sim::microseconds(static_cast<double>(x % 97));
+}
+
+struct GroupRun {
+  std::vector<gm::Endpoint> endpoints;
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  /// Per cycle: how many members completed the full create/barrier/destroy
+  /// cycle with success statuses.
+  std::vector<int> cycle_ok = std::vector<int>(kCyclesPerGroup, 0);
+};
+
+sim::Task churn_member(sim::Simulator& sim, GroupRun& gr, std::size_t g, std::size_t m,
+                       std::uint64_t seed) {
+  co_await sim.delay(skew(seed, g, m));
+  for (int c = 0; c < kCyclesPerGroup; ++c) {
+    // Pace the churn so the soak spans ~60ms of simulated time and the
+    // scheduled crashes (20ms, 45ms) land mid-lifecycle, not after the fact.
+    co_await sim.delay(350_us);
+    GroupConfig cfg;
+    // Fabric-unique and fresh every cycle, so a stale binding from a buggy
+    // destroy could never be mistaken for the new incarnation.
+    cfg.id = (static_cast<std::uint64_t>(g) << 24) | static_cast<std::uint64_t>(c + 1);
+    cfg.deadline = 2_ms;
+    cfg.ctrl_deadline = 2_ms;
+    GroupMember member(*gr.ports[m], gr.endpoints, cfg);
+    const BarrierStatus created = co_await member.run_create();
+    bool ok = is_success(created);
+    if (ok) {
+      const BarrierStatus b = co_await member.run_barrier();
+      ok = is_success(b);
+    }
+    const BarrierStatus destroyed = co_await member.run_destroy();
+    EXPECT_EQ(member.state(), GroupState::kFreed);
+    if (ok && destroyed == BarrierStatus::kOk) ++gr.cycle_ok[static_cast<std::size_t>(c)];
+    // A failure here means a member NIC died: the group is permanently
+    // broken (the node never comes back), so stop churning it. Continuing
+    // would only accumulate deadline waits.
+    if (!ok) break;
+  }
+}
+
+TEST(ChurnSoakTest, ThousandCycleChurnWithMemberCrashes) {
+  host::ClusterParams cp;
+  cp.nodes = kNodes;
+  const std::uint64_t seed = soak_seed();
+  // Two member NICs die mid-soak, in groups 6 and 7 (nodes 48..63); the
+  // crash instants move with the seed so different sweeps cut the lifecycle
+  // at different points (create, barrier, destroy, idle).
+  sim::fault::NicCrash crash_a;
+  crash_a.node = 50;
+  crash_a.at = sim::SimTime{0} + sim::microseconds(20000.0 + static_cast<double>(seed % 7) * 731.0);
+  sim::fault::NicCrash crash_b;
+  crash_b.node = 61;
+  crash_b.at = sim::SimTime{0} + sim::microseconds(45000.0 + static_cast<double>(seed % 11) * 509.0);
+  cp.faults.nic_crashes.push_back(crash_a);
+  cp.faults.nic_crashes.push_back(crash_b);
+
+  host::Cluster cluster(cp);
+  std::vector<GroupRun> runs(kGroups);
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    for (std::size_t m = 0; m < kGroupSize; ++m) {
+      const net::NodeId node = static_cast<net::NodeId>(g * kGroupSize + m);
+      runs[g].endpoints.push_back(gm::Endpoint{node, 2});
+      runs[g].ports.push_back(cluster.open_port(node, 2));
+    }
+  }
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    for (std::size_t m = 0; m < kGroupSize; ++m) {
+      cluster.sim().spawn(churn_member(cluster.sim(), runs[g], g, m, seed));
+    }
+  }
+  cluster.sim().run();  // termination = nothing hung
+
+  // >= 1000 fully-successful cycles across the population.
+  std::uint64_t full_cycles = 0;
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    for (const int n : runs[g].cycle_ok) {
+      full_cycles += (n == static_cast<int>(kGroupSize)) ? 1u : 0u;
+    }
+  }
+  EXPECT_GE(full_cycles, 1000u);
+
+  // The six untouched groups must churn to the very end.
+  for (std::size_t g = 0; g < 6; ++g) {
+    EXPECT_EQ(runs[g].cycle_ok.back(), static_cast<int>(kGroupSize)) << "group " << g;
+  }
+
+  // Slot hygiene on every surviving NIC: everything allocated was freed,
+  // slots were recycled (high-water far below total groups created), and
+  // the fence never fired on the disjoint, lossless-fabric groups 0..5.
+  for (net::NodeId n = 0; n < kNodes; ++n) {
+    if (n == crash_a.node || n == crash_b.node) continue;
+    const nic::SlotStats& s = cluster.nic(n).slots().stats();
+    EXPECT_EQ(cluster.nic(n).slots().in_use(), 0) << "nic " << n;
+    EXPECT_EQ(s.allocations, s.frees) << "nic " << n;
+    EXPECT_LE(s.high_water, 1u) << "nic " << n;
+    EXPECT_LT(s.high_water, s.allocations) << "slots must be reused, nic " << n;
+  }
+}
+
+}  // namespace
+}  // namespace nicbar

@@ -1,0 +1,195 @@
+// MPI_Comm_split / MPI_Comm_free over managed barrier groups: child
+// communicators get their own dynamically created group (NIC slot admission
+// included), barriers on them work, and free() returns the slots.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "host/cluster.hpp"
+#include "mpi/communicator.hpp"
+
+namespace nicbar::mpi {
+namespace {
+
+using namespace sim::literals;
+using coll::BarrierStatus;
+
+struct World {
+  explicit World(std::size_t n, host::ClusterParams cp = {}) {
+    cp.nodes = n;
+    cluster = std::make_unique<host::Cluster>(cp);
+    std::vector<gm::Endpoint> group;
+    for (std::size_t i = 0; i < n; ++i) {
+      group.push_back(gm::Endpoint{static_cast<net::NodeId>(i), 2});
+    }
+    CommConfig cfg;
+    for (std::size_t i = 0; i < n; ++i) {
+      ports.push_back(cluster->open_port(static_cast<net::NodeId>(i), 2));
+      comms.push_back(std::make_unique<Communicator>(*ports.back(), group, cfg));
+    }
+  }
+  std::unique_ptr<host::Cluster> cluster;
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<Communicator>> comms;
+};
+
+TEST(SplitFreeTest, SplitByParityBarriersAndFrees) {
+  World w(4);
+  struct Out {
+    int child_rank = -1;
+    int child_size = 0;
+    BarrierStatus barrier = BarrierStatus::kPeerDead;
+    BarrierStatus freed = BarrierStatus::kPeerDead;
+  };
+  std::vector<Out> out(4);
+  for (int r = 0; r < 4; ++r) {
+    w.cluster->sim().spawn([](Communicator& c, int rank, Out* o) -> sim::Task {
+      std::unique_ptr<Communicator> child = co_await c.split(rank % 2, rank);
+      EXPECT_NE(child, nullptr);
+      if (!child) co_return;
+      EXPECT_FALSE(child->failed());
+      o->child_rank = child->rank();
+      o->child_size = child->size();
+      o->barrier = co_await child->barrier();
+      o->freed = co_await child->free();
+    }(*w.comms[static_cast<std::size_t>(r)], r, &out[static_cast<std::size_t>(r)]));
+  }
+  w.cluster->sim().run();
+  for (int r = 0; r < 4; ++r) {
+    const Out& o = out[static_cast<std::size_t>(r)];
+    EXPECT_EQ(o.child_size, 2) << "rank " << r;
+    EXPECT_EQ(o.child_rank, r / 2) << "rank " << r;  // keys ascend within a color
+    EXPECT_EQ(o.barrier, BarrierStatus::kOk) << "rank " << r;
+    EXPECT_EQ(o.freed, BarrierStatus::kOk) << "rank " << r;
+  }
+  for (net::NodeId n = 0; n < 4; ++n) {
+    EXPECT_GT(w.cluster->nic(n).slots().stats().allocations, 0u) << "nic " << n;
+    EXPECT_EQ(w.cluster->nic(n).slots().in_use(), 0) << "free() must return slots, nic " << n;
+  }
+}
+
+TEST(SplitFreeTest, KeyControlsRankOrder) {
+  // One color, keys descending with world rank: child ranks reverse.
+  World w(3);
+  std::vector<int> child_rank(3, -1);
+  for (int r = 0; r < 3; ++r) {
+    w.cluster->sim().spawn([](Communicator& c, int rank, int* out) -> sim::Task {
+      std::unique_ptr<Communicator> child = co_await c.split(0, 100 - rank);
+      EXPECT_NE(child, nullptr);
+      if (!child) co_return;
+      *out = child->rank();
+      (void)co_await child->free();
+    }(*w.comms[static_cast<std::size_t>(r)], r, &child_rank[static_cast<std::size_t>(r)]));
+  }
+  w.cluster->sim().run();
+  EXPECT_EQ(child_rank, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(SplitFreeTest, NegativeColorGetsNoCommunicator) {
+  // MPI_UNDEFINED: rank 2 opts out but still participates in the collective
+  // split call; the others form a two-rank child that works.
+  World w(3);
+  std::vector<int> sizes(3, -1);
+  std::vector<BarrierStatus> st(3, BarrierStatus::kPeerDead);
+  for (int r = 0; r < 3; ++r) {
+    w.cluster->sim().spawn([](Communicator& c, int rank, int* size, BarrierStatus* s)
+                               -> sim::Task {
+      std::unique_ptr<Communicator> child = co_await c.split(rank == 2 ? -1 : 0, rank);
+      if (rank == 2) {
+        EXPECT_EQ(child, nullptr);
+        co_return;
+      }
+      EXPECT_NE(child, nullptr);
+      if (!child) co_return;
+      *size = child->size();
+      *s = co_await child->barrier();
+      (void)co_await child->free();
+    }(*w.comms[static_cast<std::size_t>(r)], r, &sizes[static_cast<std::size_t>(r)],
+      &st[static_cast<std::size_t>(r)]));
+  }
+  w.cluster->sim().run();
+  EXPECT_EQ(sizes[0], 2);
+  EXPECT_EQ(sizes[1], 2);
+  EXPECT_EQ(st[0], BarrierStatus::kOk);
+  EXPECT_EQ(st[1], BarrierStatus::kOk);
+}
+
+TEST(SplitFreeTest, SequentialSplitsCoexist) {
+  // Two live children per rank at once (distinct generated group ids);
+  // barriers on both interleave through the shared world event stream.
+  World w(4);
+  std::vector<int> ok(4, 0);
+  for (int r = 0; r < 4; ++r) {
+    w.cluster->sim().spawn([](Communicator& c, int rank, int* out) -> sim::Task {
+      std::unique_ptr<Communicator> a = co_await c.split(0, rank);       // all four
+      std::unique_ptr<Communicator> b = co_await c.split(rank / 2, rank);  // pairs
+      EXPECT_NE(a, nullptr);
+      EXPECT_NE(b, nullptr);
+      if (!a || !b) co_return;
+      int good = 0;
+      good += (co_await a->barrier()) == BarrierStatus::kOk;
+      good += (co_await b->barrier()) == BarrierStatus::kOk;
+      good += (co_await a->barrier()) == BarrierStatus::kOk;
+      good += (co_await b->free()) == BarrierStatus::kOk;
+      good += (co_await a->free()) == BarrierStatus::kOk;
+      *out = good;
+    }(*w.comms[static_cast<std::size_t>(r)], r, &ok[static_cast<std::size_t>(r)]));
+  }
+  w.cluster->sim().run();
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(ok[static_cast<std::size_t>(r)], 5) << "rank " << r;
+  for (net::NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(w.cluster->nic(n).slots().in_use(), 0) << "nic " << n;
+  }
+}
+
+TEST(SplitFreeTest, SlotExhaustionDegradesChildBarriers) {
+  // With zero NIC slots the child still forms — barriers run host-driven
+  // and report kOkDegraded, which is a success, not a failure.
+  host::ClusterParams cp;
+  cp.nic.barrier_slots = 0;
+  World w(2, cp);
+  std::vector<BarrierStatus> st(2, BarrierStatus::kPeerDead);
+  for (int r = 0; r < 2; ++r) {
+    w.cluster->sim().spawn([](Communicator& c, int rank, BarrierStatus* out) -> sim::Task {
+      std::unique_ptr<Communicator> child = co_await c.split(0, rank);
+      EXPECT_NE(child, nullptr);
+      if (!child) co_return;
+      EXPECT_FALSE(child->failed());
+      *out = co_await child->barrier();
+      (void)co_await child->free();
+    }(*w.comms[static_cast<std::size_t>(r)], r, &st[static_cast<std::size_t>(r)]));
+  }
+  w.cluster->sim().run();
+  EXPECT_EQ(st[0], BarrierStatus::kOkDegraded);
+  EXPECT_EQ(st[1], BarrierStatus::kOkDegraded);
+  EXPECT_GT(w.cluster->nic(0).slots().stats().rejections, 0u);
+}
+
+TEST(SplitFreeTest, PointToPointStillWorksAcrossSplit) {
+  // World-level sends interleaved with child barriers: the event funnel must
+  // route app traffic to the world and group traffic to the child.
+  World w(2);
+  std::vector<std::uint64_t> tags;
+  w.cluster->sim().spawn([](Communicator& c, std::vector<std::uint64_t>* out) -> sim::Task {
+    std::unique_ptr<Communicator> child = co_await c.split(0, 0);
+    co_await c.send(1, 64, 7);
+    (void)co_await child->barrier();
+    const Message m = co_await c.recv(1);
+    out->push_back(m.tag);
+    (void)co_await child->free();
+  }(*w.comms[0], &tags));
+  w.cluster->sim().spawn([](Communicator& c) -> sim::Task {
+    std::unique_ptr<Communicator> child = co_await c.split(0, 1);
+    const Message m = co_await c.recv(0);
+    (void)co_await child->barrier();
+    co_await c.send(0, 64, m.tag + 1);
+    (void)co_await child->free();
+  }(*w.comms[1]));
+  w.cluster->sim().run();
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0], 8u);
+}
+
+}  // namespace
+}  // namespace nicbar::mpi

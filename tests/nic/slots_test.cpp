@@ -1,0 +1,115 @@
+// nic::SlotTable — admission control, fencing predicate, reuse accounting.
+#include "nic/slots.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nicbar::nic {
+namespace {
+
+TEST(SlotTableTest, AllocateUpToCapacity) {
+  SlotTable t(2);
+  EXPECT_EQ(t.capacity(), 2);
+  EXPECT_EQ(t.in_use(), 0);
+  EXPECT_TRUE(t.allocate(1, 2));
+  EXPECT_TRUE(t.allocate(2, 2));
+  EXPECT_EQ(t.in_use(), 2);
+  EXPECT_EQ(t.stats().allocations, 2u);
+  EXPECT_EQ(t.stats().rejections, 0u);
+}
+
+TEST(SlotTableTest, FullTableRejectsAndCounts) {
+  SlotTable t(1);
+  EXPECT_TRUE(t.allocate(1, 2));
+  EXPECT_FALSE(t.allocate(2, 2));
+  EXPECT_FALSE(t.allocate(3, 5));
+  EXPECT_EQ(t.stats().rejections, 2u);
+  EXPECT_EQ(t.in_use(), 1);
+}
+
+TEST(SlotTableTest, DoubleAllocateSameBindingIsIdempotent) {
+  SlotTable t(1);
+  EXPECT_TRUE(t.allocate(1, 2));
+  EXPECT_TRUE(t.allocate(1, 2));  // same (group, port): success, no new slot
+  EXPECT_EQ(t.in_use(), 1);
+  EXPECT_EQ(t.stats().rejections, 0u);
+}
+
+TEST(SlotTableTest, SameGroupOnTwoPortsNeedsTwoSlots) {
+  // Co-located members of one group each bind their own port.
+  SlotTable t(2);
+  EXPECT_TRUE(t.allocate(1, 2));
+  EXPECT_TRUE(t.allocate(1, 3));
+  EXPECT_EQ(t.in_use(), 2);
+  EXPECT_TRUE(t.bound(1, 2));
+  EXPECT_TRUE(t.bound(1, 3));
+  t.release(1, 2);
+  EXPECT_FALSE(t.bound(1, 2));
+  EXPECT_TRUE(t.bound(1, 3));
+}
+
+TEST(SlotTableTest, BoundIsTheFencePredicate) {
+  SlotTable t(4);
+  EXPECT_FALSE(t.bound(1, 2));
+  EXPECT_TRUE(t.allocate(1, 2));
+  EXPECT_TRUE(t.bound(1, 2));
+  EXPECT_FALSE(t.bound(1, 3));  // same group, different port: not bound
+  EXPECT_FALSE(t.bound(2, 2));  // different group: not bound
+  t.release(1, 2);
+  EXPECT_FALSE(t.bound(1, 2));
+}
+
+TEST(SlotTableTest, ReleaseUnknownBindingIsIgnored) {
+  SlotTable t(2);
+  t.release(99, 7);  // no throw, no count
+  EXPECT_EQ(t.stats().frees, 0u);
+  EXPECT_TRUE(t.allocate(1, 2));
+  t.release(1, 3);  // wrong port: still ignored
+  EXPECT_EQ(t.in_use(), 1);
+}
+
+TEST(SlotTableTest, ReleasePortDropsEveryBindingOfThatPort) {
+  SlotTable t(4);
+  EXPECT_TRUE(t.allocate(1, 2));
+  EXPECT_TRUE(t.allocate(2, 2));
+  EXPECT_TRUE(t.allocate(3, 5));
+  t.release_port(2);
+  EXPECT_EQ(t.in_use(), 1);
+  EXPECT_FALSE(t.bound(1, 2));
+  EXPECT_FALSE(t.bound(2, 2));
+  EXPECT_TRUE(t.bound(3, 5));
+}
+
+TEST(SlotTableTest, GenerationsCountSlotReuse) {
+  SlotTable t(1);
+  EXPECT_TRUE(t.allocate(1, 2));
+  t.release(1, 2);
+  EXPECT_TRUE(t.allocate(2, 2));  // reuses the freed slot
+  t.release(2, 2);
+  EXPECT_TRUE(t.allocate(3, 2));
+  EXPECT_GE(t.stats().generations, 2u);
+  EXPECT_EQ(t.stats().frees, 2u);
+  EXPECT_EQ(t.stats().allocations, 3u);
+}
+
+TEST(SlotTableTest, HighWaterTracksPeakNotCurrent) {
+  SlotTable t(4);
+  EXPECT_TRUE(t.allocate(1, 2));
+  EXPECT_TRUE(t.allocate(2, 2));
+  EXPECT_TRUE(t.allocate(3, 2));
+  t.release(1, 2);
+  t.release(2, 2);
+  EXPECT_EQ(t.in_use(), 1);
+  EXPECT_EQ(t.stats().high_water, 3u);
+}
+
+TEST(SlotTableTest, ZeroCapacityRejectsEverything) {
+  SlotTable t(0);
+  EXPECT_FALSE(t.allocate(1, 2));
+  EXPECT_EQ(t.stats().rejections, 1u);
+  SlotTable neg(-3);  // negative clamps to zero
+  EXPECT_EQ(neg.capacity(), 0);
+  EXPECT_FALSE(neg.allocate(1, 2));
+}
+
+}  // namespace
+}  // namespace nicbar::nic

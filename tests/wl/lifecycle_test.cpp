@@ -1,0 +1,179 @@
+// Managed barrier-group lifecycle through the workload layer: spec
+// round-trip for the new keys, group create/destroy accounting in reports,
+// degraded operation under slot exhaustion, and failure reporting when a
+// fault plan kills a member's NIC mid-job.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "wl/driver.hpp"
+
+namespace nicbar::wl {
+namespace {
+
+using namespace sim::literals;
+
+// --- Spec format --------------------------------------------------------------
+
+TEST(LifecycleSpecTest, ParsesManagedKeysAndNicSlots) {
+  const WorkloadSpec s = parse_workload_spec(R"(
+    cluster-nodes 8
+    nic lanai43
+    nic-slots 3
+    job churn
+      count 2
+      nodes 4
+      iters 10
+      lifecycle managed
+      promote-every 2
+  )");
+  EXPECT_EQ(s.cluster.nic.barrier_slots, 3);
+  ASSERT_EQ(s.classes.size(), 1u);
+  EXPECT_TRUE(s.classes[0].managed);
+  EXPECT_EQ(s.classes[0].promote_every, 2);
+}
+
+TEST(LifecycleSpecTest, ManagedKeysRoundTripThroughPrint) {
+  const WorkloadSpec a = parse_workload_spec(
+      "cluster-nodes 8\nnic-slots 2\n"
+      "job churn\n  count 2\n  nodes 4\n  iters 5\n  lifecycle managed\n  promote-every 3\n");
+  const WorkloadSpec b = parse_workload_spec(print_spec(a));
+  EXPECT_TRUE(spec_equal(a, b)) << print_spec(a);
+}
+
+TEST(LifecycleSpecTest, UnmanagedSpecPrintsNoLifecycleKeys) {
+  // Old specs must keep printing byte-identically: the new keys only appear
+  // when they deviate from the defaults.
+  const WorkloadSpec s = parse_workload_spec("cluster-nodes 8\njob j\n  nodes 4\n  iters 5\n");
+  const std::string text = print_spec(s);
+  EXPECT_EQ(text.find("lifecycle"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nic-slots"), std::string::npos) << text;
+  EXPECT_EQ(text.find("promote-every"), std::string::npos) << text;
+}
+
+TEST(LifecycleSpecTest, ManagedRequiresBarrierOnlyNicClass) {
+  // The parser wraps validate()'s complaint in its own runtime_error.
+  EXPECT_THROW((void)parse_workload_spec("cluster-nodes 8\njob j\n  nodes 4\n"
+                                         "  mix barrier=0.5 allreduce=0.5\n"
+                                         "  lifecycle managed\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_workload_spec("cluster-nodes 8\njob j\n  nodes 4\n"
+                                         "  location host\n  lifecycle managed\n"),
+               std::runtime_error);
+}
+
+// --- Driver -------------------------------------------------------------------
+
+TEST(LifecycleDriverTest, ManagedJobsCreateAndDestroyGroups) {
+  const WorkloadSpec s = parse_workload_spec(R"(
+    cluster-nodes 16
+    arrival fixed 200
+    job churn
+      count 4
+      nodes 4
+      iters 6
+      lifecycle managed
+  )");
+  const Report r = run_workload(s);
+  EXPECT_EQ(r.total_failures, 0u);
+  EXPECT_EQ(r.groups_created, 4u);
+  EXPECT_EQ(r.groups_destroyed, 4u);
+  EXPECT_GT(r.slot_allocations, 0u);
+  EXPECT_EQ(r.slot_allocations, r.slot_frees) << "every allocated slot must be freed";
+  EXPECT_EQ(r.stale_group_fenced, 0u);
+  for (const JobReport& j : r.jobs) {
+    EXPECT_TRUE(j.group_created) << "job " << j.job;
+    EXPECT_TRUE(j.group_destroyed) << "job " << j.job;
+    EXPECT_EQ(j.failures, 0u) << "job " << j.job;
+  }
+}
+
+TEST(LifecycleDriverTest, SlotExhaustionDegradesButCompletes) {
+  const WorkloadSpec s = parse_workload_spec(R"(
+    cluster-nodes 8
+    nic-slots 0
+    job churn
+      count 2
+      nodes 4
+      iters 5
+      lifecycle managed
+      promote-every 0
+  )");
+  const Report r = run_workload(s);
+  EXPECT_EQ(r.total_failures, 0u) << "degraded is a success, not a failure";
+  EXPECT_EQ(r.groups_created, 2u);
+  EXPECT_EQ(r.groups_destroyed, 2u);
+  EXPECT_GT(r.slot_rejections, 0u);
+  // Degraded barriers are counted per process: 2 jobs x 4 members x 5 iters.
+  EXPECT_EQ(r.degraded_collectives, 2u * 4u * 5u) << "every barrier ran host-driven";
+}
+
+TEST(LifecycleDriverTest, ManagedAndLegacyReportsAreDeterministic) {
+  const WorkloadSpec s = parse_workload_spec(R"(
+    cluster-nodes 32
+    nic-slots 1
+    arrival poisson 300
+    seed 11
+    job churn
+      count 4
+      nodes 4
+      iters 8
+      compute-us 20
+      imbalance 0.2
+      lifecycle managed
+      promote-every 2
+    job legacy
+      count 2
+      nodes 8
+      iters 8
+  )");
+  const Report a = run_workload(s);
+  const Report b = run_workload(s);
+  EXPECT_EQ(a.json(), b.json()) << "same spec+seed must reproduce bit-identically";
+  EXPECT_EQ(a.groups_created, 4u) << "only the managed class creates groups";
+}
+
+TEST(LifecycleDriverTest, NicCrashMidJobRecordsFailuresForThatTenant) {
+  // Two disjoint 4-node tenants; node 1 (inside job 0's node-set) dies at
+  // t=2ms, mid-iterations. The fabric is unreliable, so no kPeerDead ever
+  // fires: the per-collective deadline (which doubles as the lifecycle
+  // ctrl_deadline) is what aborts the survivors — exercising
+  // BarrierStatus::kDeadline. Job 1 never touches the dead node and must
+  // finish clean.
+  WorkloadSpec s = parse_workload_spec(R"(
+    cluster-nodes 8
+    arrival fixed 0
+    job victim
+      count 1
+      nodes 4
+      iters 400
+      compute-us 30
+      deadline-us 500
+      lifecycle managed
+    job bystander
+      count 1
+      nodes 4
+      iters 40
+      compute-us 10
+      lifecycle managed
+  )");
+  sim::fault::NicCrash crash;
+  crash.node = 1;
+  crash.at = sim::SimTime{0} + 2_ms;
+  s.cluster.faults.nic_crashes.push_back(crash);
+
+  const Report r = run_workload(s);
+  ASSERT_EQ(r.jobs.size(), 2u);
+  const JobReport& victim = r.jobs[0];
+  const JobReport& bystander = r.jobs[1];
+  EXPECT_GT(victim.failures, 0u) << "survivors must record the aborted barriers";
+  EXPECT_TRUE(victim.group_created) << "the group came up before the crash";
+  EXPECT_EQ(bystander.failures, 0u) << "the other tenant is untouched";
+  EXPECT_TRUE(bystander.group_created);
+  EXPECT_TRUE(bystander.group_destroyed);
+  EXPECT_EQ(r.total_failures, victim.failures);
+}
+
+}  // namespace
+}  // namespace nicbar::wl

@@ -31,6 +31,15 @@ Every bench emits one document via bench::BenchSummary with the shape
       ]
     }
 
+bench/churn emits a lifecycle-counter variant (schema "nicbar-churn-v1"):
+the same bench/rows/label/metrics shape plus a top-level "cluster_nodes",
+where every row's metrics must carry the lifecycle keys (groups_created,
+groups_destroyed, groups_per_sec, fallback_fraction, slot_rejections,
+slot_high_water, promotions, stale_fenced, failures) with
+fallback_fraction in [0, 1], groups_created == groups_destroyed (no group
+may leak across a run), and failures == 0 (admission pressure degrades,
+it must never fail a job).
+
 The checker dispatches on the "schema" field. CI runs it over the artifacts
 so a refactor that silently changes the serialisation (renamed keys,
 string-typed numbers, empty row sets) fails the build instead of producing
@@ -45,6 +54,14 @@ import sys
 
 SCHEMA = "nicbar-bench-v1"
 SLO_SCHEMA = "nicbar-slo-v1"
+CHURN_SCHEMA = "nicbar-churn-v1"
+
+# Every churn row must carry exactly these lifecycle counters.
+CHURN_METRICS = [
+    "slots", "groups_created", "groups_destroyed", "groups_per_sec",
+    "fallback_fraction", "slot_rejections", "slot_high_water", "promotions",
+    "stale_fenced", "failures",
+]
 
 # The eight sim::causal segments, in enum order.
 SEGMENTS = ["host", "sdma", "send", "wire", "switch", "recv", "firmware", "rdma"]
@@ -140,6 +157,55 @@ def check_slo_doc(doc, where=""):
     return problems
 
 
+def check_churn_doc(doc):
+    """Validates one nicbar-churn-v1 document. Returns a list of problems."""
+    problems = []
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+    if not is_number(doc.get("cluster_nodes")) or doc.get("cluster_nodes") <= 0:
+        problems.append("cluster_nodes must be a positive number")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty array")
+        return problems
+    for i, row in enumerate(rows):
+        where = "rows[%d]" % i
+        if not isinstance(row, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        if not isinstance(row.get("label"), str) or not row.get("label"):
+            problems.append("%s.label must be a non-empty string" % where)
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append("%s.metrics must be an object" % where)
+            continue
+        missing = [k for k in CHURN_METRICS if not is_number(metrics.get(k))]
+        if missing:
+            problems.append(
+                "%s.metrics missing finite numbers for %s" % (where, missing)
+            )
+            continue
+        if not 0.0 <= metrics["fallback_fraction"] <= 1.0:
+            problems.append(
+                "%s.metrics.fallback_fraction must be in [0, 1], got %r"
+                % (where, metrics["fallback_fraction"])
+            )
+        if metrics["groups_created"] != metrics["groups_destroyed"]:
+            problems.append(
+                "%s: %s groups created but %s destroyed (a group leaked)"
+                % (where, metrics["groups_created"], metrics["groups_destroyed"])
+            )
+        if metrics["failures"] != 0:
+            problems.append(
+                "%s: churn must degrade gracefully, but %s collectives failed"
+                % (where, metrics["failures"])
+            )
+    labels = [r.get("label") for r in rows if isinstance(r, dict)]
+    if len(labels) != len(set(labels)):
+        problems.append("row labels must be unique")
+    return problems
+
+
 def check(path):
     """Returns a list of problems (empty = conforming)."""
     problems = []
@@ -163,6 +229,8 @@ def check(path):
         return ["top level must be an object"]
     if doc.get("schema") == SLO_SCHEMA:
         return check_slo_doc(doc)
+    if doc.get("schema") == CHURN_SCHEMA:
+        return check_churn_doc(doc)
     if doc.get("schema") != SCHEMA:
         problems.append("schema must be %r, got %r" % (SCHEMA, doc.get("schema")))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):

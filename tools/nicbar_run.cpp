@@ -77,7 +77,13 @@ int run_seed_sweep(const cli::Options& o) {
     opts.instrument = true;
     opts.sink = sink.get();
   }
-  const coll::SweepResult r = plan.run(opts);
+  coll::SweepResult r;
+  try {
+    r = plan.run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("seed sweep: %zu seeds from %llu, nodes=%zu reps=%d %s-%s nic=%s, jobs=%u\n",
               o.seeds, static_cast<unsigned long long>(o.params.seed), o.params.nodes,
@@ -471,7 +477,13 @@ int main(int argc, char** argv) {
     p.cluster.telemetry = &telemetry;
   }
 
-  const coll::ExperimentResult r = coll::run_barrier_experiment(p);
+  coll::ExperimentResult r;
+  try {
+    r = coll::run_barrier_experiment(p);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   if (mean_us == 0.0) mean_us = r.mean_us;
 
   std::printf("nodes=%zu reps=%d %s-%s dim=%zu nic=%s @%.0fMHz\n", p.nodes, p.reps,
