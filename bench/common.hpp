@@ -123,7 +123,11 @@ inline void print_header(const std::string& title) {
 /// set) or the current directory.
 class BenchSummary {
  public:
-  explicit BenchSummary(std::string name) : name_(std::move(name)) {}
+  /// `schema` names the row contract check_bench_json.py validates against;
+  /// benches whose rows carry a different metric set (e.g. the rma_barrier
+  /// crossover study) pass their own identifier.
+  explicit BenchSummary(std::string name, std::string schema = "nicbar-bench-v1")
+      : name_(std::move(name)), schema_(std::move(schema)) {}
 
   /// Appends one labelled row. Metric keys should be stable identifiers
   /// (snake_case, unit-suffixed: "mean_us", "p99_us", "improvement").
@@ -145,8 +149,8 @@ class BenchSummary {
       return false;
     }
     using sim::telemetry::json_escape;
-    out << "{\n  \"schema\": \"nicbar-bench-v1\",\n  \"bench\": \"" << json_escape(name_)
-        << "\",\n  \"rows\": [\n";
+    out << "{\n  \"schema\": \"" << json_escape(schema_) << "\",\n  \"bench\": \""
+        << json_escape(name_) << "\",\n  \"rows\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       out << "    {\"label\": \"" << json_escape(r.label) << "\", \"metrics\": {";
@@ -166,6 +170,7 @@ class BenchSummary {
     std::vector<std::pair<std::string, double>> metrics;
   };
   std::string name_;
+  std::string schema_;
   std::vector<Row> rows_;
 };
 

@@ -1,0 +1,52 @@
+# Mixed barrier-family tenancy: half the tenants synchronize through the
+# NIC firmware (PE / GB), half through the host-driven rma:: one-sided
+# layer (dissemination and tree-put over rput flags). All four classes
+# share NICs via overlapping placement, so the host-RDMA tenants' put
+# streams contend with the NIC-resident barriers' token traffic on the
+# same send/recv engines — the interference the crossover study in
+# EXPERIMENTS.md measures in isolation.
+#
+#   nicbar_run workload examples/workloads/rma_mix.wl
+#   nicbar_run workload examples/workloads/rma_mix.wl --seeds 3 --jobs 3
+cluster-nodes 16
+nic lanai43
+topology switch
+placement overlapping
+arrival poisson 400
+seed 11
+hist-max-us 8000
+
+job nic-pe
+  count 2
+  nodes 8
+  iters 100
+  mix barrier=1
+  compute-us 40
+  imbalance 0.3
+
+job nic-gb
+  count 1
+  nodes 8
+  iters 100
+  mix barrier=1
+  compute-us 40
+  imbalance 0.3
+  algorithm gb 2
+
+job rdma-dissem
+  count 2
+  nodes 8
+  iters 100
+  mix barrier=1
+  compute-us 40
+  imbalance 0.3
+  algorithm host-dissem
+
+job rdma-tree
+  count 1
+  nodes 8
+  iters 100
+  mix barrier=1
+  compute-us 40
+  imbalance 0.3
+  algorithm host-tree 2

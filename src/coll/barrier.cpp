@@ -1,5 +1,7 @@
 #include "coll/barrier.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -8,16 +10,6 @@ namespace nicbar::coll {
 using nic::BarrierAlgorithm;
 using nic::GmEvent;
 using nic::GmEventType;
-
-const char* to_string(BarrierStatus s) {
-  switch (s) {
-    case BarrierStatus::kOk: return "ok";
-    case BarrierStatus::kPeerDead: return "peer-dead";
-    case BarrierStatus::kDeadline: return "deadline";
-    case BarrierStatus::kOkDegraded: return "ok-degraded";
-  }
-  return "?";
-}
 
 BarrierMember::BarrierMember(gm::Port& port, std::vector<Endpoint> group, BarrierSpec spec)
     : port_(port), group_(std::move(group)), spec_(spec) {
@@ -30,6 +22,28 @@ BarrierMember::BarrierMember(gm::Port& port, std::vector<Endpoint> group, Barrie
     }
   }
   if (!found) throw std::invalid_argument("port's endpoint is not in the barrier group");
+  if (spec_.rdma != RdmaAlgorithm::kNone) {
+    if (spec_.group != 0) {
+      throw std::invalid_argument("host-RDMA barriers cannot join a managed group");
+    }
+    // The port must already be open: registration and the sink binding live
+    // in the NIC's per-port state, which opening resets.
+    rdma_domain_ = std::make_unique<rma::Domain>(port_);
+    if (spec_.rdma == RdmaAlgorithm::kDissemination) {
+      const std::uint64_t words =
+          std::max<std::uint64_t>(1, rma::DisseminationBarrier::rounds_for(group_.size()));
+      rma::Segment& seg = rdma_domain_->register_segment(words);
+      rdma_barrier_ =
+          std::make_unique<rma::DisseminationBarrier>(*rdma_domain_, seg, group_, my_index_);
+    } else {
+      const std::size_t radix = std::max<std::size_t>(1, spec_.gb_dimension);
+      rma::Segment& seg =
+          rdma_domain_->register_segment(rma::TreePutBarrier::words_for(radix));
+      rdma_barrier_ =
+          std::make_unique<rma::TreePutBarrier>(*rdma_domain_, seg, group_, my_index_, radix);
+    }
+    return;
+  }
   if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
     pe_peers_ = pe_schedule(group_, my_index_);
   } else {
@@ -48,6 +62,11 @@ sim::ValueTask<BarrierStatus> BarrierMember::run() {
   if (peer_dead_) co_return BarrierStatus::kPeerDead;
   deadline_at_ = spec_.deadline.is_zero() ? sim::SimTime::max()
                                           : port_.simulator().now() + spec_.deadline;
+  if (spec_.rdma != RdmaAlgorithm::kNone) {
+    const BarrierStatus st = co_await rdma_barrier_->run(deadline_at_);
+    if (st == BarrierStatus::kPeerDead) peer_dead_ = true;
+    co_return st;
+  }
   if (spec_.location == Location::kHost) {
     BarrierStatus st;
     if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
@@ -57,7 +76,7 @@ sim::ValueTask<BarrierStatus> BarrierMember::run() {
     }
     co_return st;
   }
-  const std::uint32_t epoch = co_await start_nic_barrier();
+  const gm::Epoch epoch = co_await start_nic_barrier();
   const BarrierStatus st = co_await wait_barrier_complete(epoch);
   if (st != BarrierStatus::kOk) port_.barrier_cancel();
   co_return st;
@@ -169,7 +188,7 @@ sim::ValueTask<BarrierStatus> BarrierMember::run_host_gb() {
 
 // --- NIC-based barriers -----------------------------------------------------------
 
-sim::ValueTask<std::uint32_t> BarrierMember::start_nic_barrier() {
+sim::ValueTask<gm::Epoch> BarrierMember::start_nic_barrier() {
   nic::BarrierToken token;
   token.algorithm = spec_.algorithm;
   token.group = spec_.group;
@@ -183,7 +202,7 @@ sim::ValueTask<std::uint32_t> BarrierMember::start_nic_barrier() {
   co_return co_await port_.barrier_send(std::move(token));
 }
 
-sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(std::uint32_t epoch) {
+sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(gm::Epoch epoch) {
   if (pending_completions_ > 0) {
     --pending_completions_;
     co_return BarrierStatus::kOk;
@@ -197,7 +216,7 @@ sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(std::uint32_t
       case GmEventType::kBarrierComplete:
         // A completion from an earlier, aborted epoch can still surface if
         // the fabric healed after we cancelled; only ours ends this wait.
-        if (ev.barrier_epoch == epoch) co_return BarrierStatus::kOk;
+        if (epoch.matches(ev.barrier_epoch)) co_return BarrierStatus::kOk;
         port_.count_stale_completion();
         break;
       case GmEventType::kRecv:
@@ -224,14 +243,14 @@ sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(std::uint32_t
 
 sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy(sim::Duration chunk) {
   // Validate eagerly: a lazy coroutine would defer the throw until awaited.
-  if (spec_.location != Location::kNic) {
+  if (spec_.location != Location::kNic || spec_.rdma != RdmaAlgorithm::kNone) {
     throw std::logic_error("fuzzy barrier requires the NIC-based implementation");
   }
   return run_fuzzy_impl(chunk);
 }
 
 sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy_impl(sim::Duration chunk) {
-  const std::uint32_t epoch = co_await start_nic_barrier();
+  const gm::Epoch epoch = co_await start_nic_barrier();
   std::uint64_t chunks = 0;
   if (pending_completions_ > 0) {
     --pending_completions_;
@@ -246,7 +265,7 @@ sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy_impl(sim::Duration chunk)
     }
     switch (ev->type) {
       case GmEventType::kBarrierComplete:
-        if (ev->barrier_epoch == epoch) co_return chunks;
+        if (epoch.matches(ev->barrier_epoch)) co_return chunks;
         port_.count_stale_completion();
         break;
       case GmEventType::kRecv:

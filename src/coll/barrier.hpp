@@ -18,8 +18,13 @@
 #include <map>
 #include <vector>
 
+#include <memory>
+
 #include "coll/schedule.hpp"
+#include "coll/status.hpp"
 #include "gm/port.hpp"
+#include "rma/barrier.hpp"
+#include "rma/domain.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -27,27 +32,26 @@ namespace nicbar::coll {
 
 enum class Location : std::uint8_t { kHost, kNic };
 
-/// How one barrier invocation ended. Any failure status means the barrier
-/// did NOT complete and the group must be considered broken: a member that
-/// aborted may still hold stale unexpected-record bits at its peers, so
-/// reusing the group without tearing it down is undefined (see DESIGN.md,
-/// "Failure semantics"). kOkDegraded is a *success*: the barrier completed,
-/// but over the host-driven fallback path because NIC slot admission was
-/// rejected (see coll::GroupMember) — callers that only care whether the
-/// rendezvous happened should test is_success(), not == kOk.
-enum class BarrierStatus : std::uint8_t {
-  kOk = 0,
-  kPeerDead,    // a group member's connection was declared dead (give-up)
-  kDeadline,    // the configured deadline expired before completion
-  kOkDegraded,  // completed, but host-driven: NIC slots were exhausted
-};
+/// The third algorithm family: host-driven barriers over the rma:: one-sided
+/// layer (rput + flag words; see src/rma/barrier.hpp). kNone selects the
+/// classic location/algorithm pair below; any other value overrides it.
+enum class RdmaAlgorithm : std::uint8_t { kNone = 0, kDissemination, kTreePut };
 
-[[nodiscard]] const char* to_string(BarrierStatus s);
-
-/// True for the statuses that mean the rendezvous actually happened.
-[[nodiscard]] constexpr bool is_success(BarrierStatus s) {
-  return s == BarrierStatus::kOk || s == BarrierStatus::kOkDegraded;
+[[nodiscard]] constexpr const char* to_string(RdmaAlgorithm a) {
+  switch (a) {
+    case RdmaAlgorithm::kNone:
+      return "none";
+    case RdmaAlgorithm::kDissemination:
+      return "host-dissem";
+    case RdmaAlgorithm::kTreePut:
+      return "host-tree";
+  }
+  return "?";
 }
+
+/// The status vocabulary lives in coll/status.hpp (shared with mpi::, wl::
+/// and the rma:: one-sided layer); BarrierStatus is the historical name.
+using BarrierStatus = Status;
 
 struct BarrierSpec {
   Location location = Location::kNic;
@@ -64,6 +68,11 @@ struct BarrierSpec {
   /// legacy anonymous group). Set by coll::GroupMember, which owns the
   /// matching NIC slot bindings; see nic::SlotTable.
   std::uint64_t group = 0;
+  /// When not kNone, the barrier runs on the host-RDMA family instead of
+  /// `location`/`algorithm` (which are then ignored). kTreePut reuses
+  /// `gb_dimension` as the tree radix. Incompatible with managed groups
+  /// (`group` must stay 0) and with run_fuzzy().
+  RdmaAlgorithm rdma = RdmaAlgorithm::kNone;
 };
 
 class BarrierMember {
@@ -114,12 +123,16 @@ class BarrierMember {
   /// subsequent run() returns kPeerDead immediately.
   [[nodiscard]] bool peer_failed() const { return peer_dead_; }
 
+  /// Host-RDMA family only: the one-sided domain backing this member (null
+  /// for the classic families). Exposed for stats (inflight, stale replies).
+  [[nodiscard]] rma::Domain* rdma_domain() { return rdma_domain_.get(); }
+
  private:
   sim::ValueTask<std::uint64_t> run_fuzzy_impl(sim::Duration chunk);
   sim::ValueTask<BarrierStatus> run_host_pe();
   sim::ValueTask<BarrierStatus> run_host_gb();
-  sim::ValueTask<std::uint32_t> start_nic_barrier();  // returns the epoch
-  sim::ValueTask<BarrierStatus> wait_barrier_complete(std::uint32_t epoch);
+  sim::ValueTask<gm::Epoch> start_nic_barrier();  // returns the epoch
+  sim::ValueTask<BarrierStatus> wait_barrier_complete(gm::Epoch epoch);
   sim::ValueTask<BarrierStatus> wait_msg_from(Endpoint peer);
   /// Next port event, bounded by the current deadline (nullopt = expired).
   sim::ValueTask<std::optional<nic::GmEvent>> next_event();
@@ -139,6 +152,12 @@ class BarrierMember {
   bool provisioned_ = false;
   std::int64_t msg_bytes_ = 8;
   std::function<void(const nic::GmEvent&)> sink_;
+
+  // Host-RDMA family state (null unless spec.rdma != kNone). The Domain
+  // installs itself as the port's RmaSink, so at most one rdma-family member
+  // may exist per port.
+  std::unique_ptr<rma::Domain> rdma_domain_;
+  std::unique_ptr<rma::HostBarrier> rdma_barrier_;
 
   // Failure bookkeeping.
   sim::SimTime deadline_at_ = sim::SimTime::max();

@@ -1,0 +1,53 @@
+// The one collective-outcome vocabulary, shared by every layer.
+//
+// Historically BarrierStatus lived in coll/barrier.hpp and its semantics
+// were re-described at each consumer (mpi:: surfaced it through failed(),
+// wl:: reports counted it, and the rma:: one-sided layer needs the same
+// kPeerDead/kDeadline error paths for rput give-up). This header is the
+// single definition; coll/barrier.hpp aliases `BarrierStatus = Status` for
+// backward compatibility, so existing call sites compile unchanged.
+//
+// Header-only on purpose: rma:: links below coll:: (gm:: only) and must be
+// able to name these statuses without a library edge.
+#pragma once
+
+#include <cstdint>
+
+namespace nicbar::coll {
+
+/// How one collective (or one-sided operation) ended. Any failure status
+/// means the operation did NOT complete and the group must be considered
+/// broken: a member that aborted may still hold stale unexpected-record
+/// bits at its peers, so reusing the group without tearing it down is
+/// undefined (see DESIGN.md, "Failure semantics"). kOkDegraded is a
+/// *success*: the collective completed, but over the host-driven fallback
+/// path because NIC slot admission was rejected (see coll::GroupMember) —
+/// callers that only care whether the rendezvous happened should test
+/// is_success(), not == kOk.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kPeerDead,    // a group member's connection was declared dead (give-up)
+  kDeadline,    // the configured deadline expired before completion
+  kOkDegraded,  // completed, but host-driven: NIC slots were exhausted
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kPeerDead:
+      return "peer-dead";
+    case Status::kDeadline:
+      return "deadline";
+    case Status::kOkDegraded:
+      return "ok-degraded";
+  }
+  return "?";
+}
+
+/// True for the statuses that mean the rendezvous actually happened.
+[[nodiscard]] constexpr bool is_success(Status s) {
+  return s == Status::kOk || s == Status::kOkDegraded;
+}
+
+}  // namespace nicbar::coll

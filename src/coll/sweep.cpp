@@ -215,7 +215,19 @@ BarrierSpec spec(Location loc, nic::BarrierAlgorithm alg, std::size_t dim) {
   return s;
 }
 
+BarrierSpec rdma_spec(RdmaAlgorithm alg, std::size_t radix) {
+  BarrierSpec s;
+  s.rdma = alg;
+  s.gb_dimension = radix;
+  return s;
+}
+
 std::string variant_label(const ExperimentParams& p) {
+  if (p.spec.rdma != RdmaAlgorithm::kNone) {
+    return std::string("rdma-") +
+           (p.spec.rdma == RdmaAlgorithm::kDissemination ? "dissem" : "tree") + "-n" +
+           std::to_string(p.nodes) + "-" + p.cluster.nic.model;
+  }
   return std::string(p.spec.location == Location::kNic ? "nic" : "host") + "-" +
          (p.spec.algorithm == nic::BarrierAlgorithm::kPairwiseExchange ? "pe" : "gb") + "-n" +
          std::to_string(p.nodes) + "-" + p.cluster.nic.model;

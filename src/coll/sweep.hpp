@@ -144,8 +144,13 @@ class SweepPlan {
                                           int reps = 500);
 [[nodiscard]] BarrierSpec spec(Location loc, nic::BarrierAlgorithm alg, std::size_t dim = 2);
 
+/// Spec for the host-RDMA family (`alg` must not be kNone); `radix` is the
+/// tree radix for kTreePut, ignored for kDissemination.
+[[nodiscard]] BarrierSpec rdma_spec(RdmaAlgorithm alg, std::size_t radix = 2);
+
 /// Canonical case label: "<nic|host>-<pe|gb>-n<N>-<model>" — the naming the
-/// metrics JSON has always used.
+/// metrics JSON has always used — or "rdma-<dissem|tree>-n<N>-<model>" for
+/// the host-RDMA family.
 [[nodiscard]] std::string variant_label(const ExperimentParams& p);
 
 }  // namespace nicbar::coll

@@ -1,0 +1,38 @@
+// Typed collective epoch.
+//
+// gm::Port stamps every posted collective (barrier or reduction) with a
+// monotonically increasing per-port epoch, and completion events carry the
+// epoch back so a waiter can tell its own completion from a stale one (a
+// completion from an earlier, aborted epoch can still surface after a
+// cancel if the event was already in flight through RDMA/PCI). Callers used
+// to juggle raw std::uint32_t values and hand-write the comparison; Epoch
+// makes the stale filter a named predicate instead.
+#pragma once
+
+#include <cstdint>
+
+namespace nicbar::gm {
+
+class Epoch {
+ public:
+  constexpr Epoch() = default;
+  constexpr explicit Epoch(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// The stale filter: true iff a completion event stamped `event_epoch`
+  /// belongs to the collective this epoch was issued for. A false result on
+  /// a completion event means the event is a leftover from an aborted
+  /// earlier collective and must be dropped (and counted through
+  /// Port::count_stale_completion so the defence stays observable).
+  [[nodiscard]] constexpr bool matches(std::uint32_t event_epoch) const {
+    return value_ == event_epoch;
+  }
+
+  [[nodiscard]] constexpr bool operator==(const Epoch&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace nicbar::gm

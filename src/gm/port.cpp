@@ -101,6 +101,12 @@ void Port::note_event_received(const GmEvent& ev) {
   }
 }
 
+sim::Task Port::post_rma(nic::RmaToken token) {
+  co_await cpu_.use(config_.host_send_overhead + config_.layer_overhead);
+  token.src_port = id_;
+  nic_.post_rma_token(std::move(token));
+}
+
 sim::Task Port::provide_barrier_buffer() {
   co_await cpu_.use(config_.host_provide_overhead);
   nic_.provide_barrier_buffer(id_);
@@ -108,7 +114,7 @@ sim::Task Port::provide_barrier_buffer() {
 
 sim::Task Port::compute(sim::Duration d) { co_await cpu_.use(d); }
 
-sim::ValueTask<std::uint32_t> Port::reduce_send(nic::ReduceToken token) {
+sim::ValueTask<Epoch> Port::reduce_send(nic::ReduceToken token) {
   const sim::SimTime t0 = sim_.now();
   co_await cpu_.use(config_.host_barrier_overhead + config_.layer_overhead);
   token.src_port = id_;
@@ -119,10 +125,10 @@ sim::ValueTask<std::uint32_t> Port::reduce_send(nic::ReduceToken token) {
                           config_.host_barrier_overhead + config_.layer_overhead);
   }
   nic_.post_reduce_token(std::move(token));
-  co_return epoch;
+  co_return Epoch{epoch};
 }
 
-sim::ValueTask<std::uint32_t> Port::barrier_send(nic::BarrierToken token) {
+sim::ValueTask<Epoch> Port::barrier_send(nic::BarrierToken token) {
   const sim::SimTime t0 = sim_.now();
   co_await cpu_.use(config_.host_barrier_overhead + config_.layer_overhead);
   token.src_port = id_;
@@ -140,7 +146,7 @@ sim::ValueTask<std::uint32_t> Port::barrier_send(nic::BarrierToken token) {
                                   sim_.now());
   }
   nic_.post_barrier_token(std::move(token));
-  co_return epoch;
+  co_return Epoch{epoch};
 }
 
 }  // namespace nicbar::gm

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "gm/config.hpp"
+#include "gm/epoch.hpp"
 #include "nic/nic.hpp"
 #include "nic/tokens.hpp"
 #include "sim/sync.hpp"
@@ -84,15 +85,32 @@ class Port {
   [[nodiscard]] sim::Task provide_barrier_buffer();
 
   /// gm_barrier_send_with_callback: posts the barrier token; the epoch is
-  /// assigned by the port. Returns the epoch used.
-  [[nodiscard]] sim::ValueTask<std::uint32_t> barrier_send(nic::BarrierToken token);
+  /// assigned by the port. Returns the epoch used — the waiter filters stale
+  /// completions with Epoch::matches(event.barrier_epoch).
+  [[nodiscard]] sim::ValueTask<Epoch> barrier_send(nic::BarrierToken token);
 
   /// Posts a reduction token (NIC-based allreduce, the §8 extension); the
   /// epoch is assigned by the port. Returns the epoch used.
-  [[nodiscard]] sim::ValueTask<std::uint32_t> reduce_send(nic::ReduceToken token);
+  [[nodiscard]] sim::ValueTask<Epoch> reduce_send(nic::ReduceToken token);
 
   /// Number of collectives (barriers + reductions) initiated so far.
   [[nodiscard]] std::uint32_t barrier_epoch() const { return next_epoch_; }
+
+  // --- One-sided RMA (the rma:: layer) ------------------------------------------
+
+  /// Posts a one-sided operation; completion arrives at the port's RmaSink
+  /// (rma::Domain), not on the event stream. Charges the host-side posting
+  /// cost like send().
+  [[nodiscard]] sim::Task post_rma(nic::RmaToken token);
+
+  /// Registers host memory as RMA segment `segment` of this port. Host-side
+  /// instantaneous (the registration word rides the port-open handshake).
+  void rma_register(std::uint64_t segment, nic::RmaMemory* mem) {
+    nic_.rma_register(id_, segment, mem);
+  }
+
+  /// Installs the initiator-side completion surface (nullptr detaches).
+  void set_rma_sink(nic::RmaSink* sink) { nic_.set_rma_sink(id_, sink); }
 
   /// Completions from an earlier, aborted epoch can still surface after a
   /// cancel if the event was already in flight through RDMA/PCI; the waiting

@@ -16,6 +16,10 @@ const char* to_string(PacketType t) {
     case PacketType::kBarrierNack: return "BAR_NACK";
     case PacketType::kReduceUp: return "RED_UP";
     case PacketType::kReduceDown: return "RED_DOWN";
+    case PacketType::kRmaPut: return "RMA_PUT";
+    case PacketType::kRmaGet: return "RMA_GET";
+    case PacketType::kRmaCas: return "RMA_CAS";
+    case PacketType::kRmaReply: return "RMA_REPLY";
   }
   return "?";
 }

@@ -30,6 +30,10 @@ enum class PacketType : std::uint8_t {
   kBarrierNack,    // reject: barrier message arrived for a closed port
   kReduceUp,       // NIC-based reduction: partial value toward the root
   kReduceDown,     // NIC-based reduction: result broadcast down the tree
+  kRmaPut,         // one-sided put into a registered remote segment
+  kRmaGet,         // one-sided read request from a registered remote segment
+  kRmaCas,         // one-sided compare-and-swap (applied by the NIC firmware)
+  kRmaReply,       // remote completion / fetched value back to the initiator
 };
 
 [[nodiscard]] constexpr bool is_barrier_payload(PacketType t) {
@@ -41,6 +45,17 @@ enum class PacketType : std::uint8_t {
 /// by the firmware, never DMAed to a host receive buffer.
 [[nodiscard]] constexpr bool is_collective_payload(PacketType t) {
   return is_barrier_payload(t) || t == PacketType::kReduceUp || t == PacketType::kReduceDown;
+}
+
+/// One-sided RMA payloads. Deliberately NOT collective payloads: they ride
+/// the ordinary sequenced kData connection stream (per-(source,target)
+/// in-order, exactly-once via duplicate suppression — the ordering guarantee
+/// rma:: exposes), but like collectives they terminate in the NIC firmware
+/// instead of a host receive buffer, so the no-receive-token NACK path must
+/// exempt them.
+[[nodiscard]] constexpr bool is_rma_payload(PacketType t) {
+  return t == PacketType::kRmaPut || t == PacketType::kRmaGet || t == PacketType::kRmaCas ||
+         t == PacketType::kRmaReply;
 }
 
 [[nodiscard]] constexpr bool is_control(PacketType t) {
@@ -89,6 +104,17 @@ struct Packet {
   std::uint16_t frag_index = 0;
   std::uint16_t frag_count = 1;
   std::int64_t message_bytes = 0;  // total size of the original message
+
+  // One-sided RMA (kRmaPut/kRmaGet/kRmaCas/kRmaReply). The segment/index
+  // pair addresses one 64-bit word of a registered segment; `value` above
+  // doubles as the put payload, CAS desired value, and reply result.
+  std::uint64_t rma_segment = 0;  // registration id at the target port
+  std::uint64_t rma_index = 0;    // word offset within the segment
+  std::uint64_t rma_op = 0;       // initiator-chosen op id echoed by kRmaReply
+  std::int64_t rma_expected = 0;  // kRmaCas: the compare value
+  /// kRmaReply: false when the target could not apply the op (segment never
+  /// registered within the park budget, or index out of range).
+  bool rma_ok = true;
 
   // Source route: output port to take at each switch, plus the hop cursor.
   std::vector<std::uint8_t> route;

@@ -70,6 +70,21 @@ struct NicConfig {
   std::int64_t barrier_gb_init_cycles = 800;
   std::int64_t barrier_send_cycles = 60;    // prepare one outgoing barrier packet
 
+  // --- One-sided RMA firmware costs (the rma:: layer, src/rma/) -------------
+  // RMA ops ride the ordinary sequenced connection stream but terminate in
+  // firmware at the target: a put pays rma_put_cycles plus the NIC->host DMA
+  // of its word; a get pays rma_get_cycles plus a host-memory read over PCI;
+  // a CAS is the modeled on-NIC atomic — firmware cycles only, applied on
+  // the single LANai processor (hence linearizable across initiators).
+  std::int64_t rma_prepare_cycles = 100;    // SDMA: build an outgoing RMA packet
+  std::int64_t rma_put_cycles = 120;        // target firmware: apply a put
+  std::int64_t rma_get_cycles = 140;        // target firmware: serve a get
+  std::int64_t rma_cas_cycles = 160;        // target firmware: on-NIC CAS
+  std::int64_t rma_reply_cycles = 60;       // initiator firmware: absorb a reply
+
+  /// Wire payload of an RMA packet (segment/index/word + op header).
+  std::int64_t rma_payload_bytes = 16;
+
   /// Maximum payload per wire packet; larger messages are segmented by the
   /// SDMA engine and reassembled by RDMA (GM's MTU is 4 KB on Myrinet LAN).
   std::int64_t mtu_bytes = 4096;

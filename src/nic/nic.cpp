@@ -155,6 +155,9 @@ void Nic::open_port(PortId p, sim::Mailbox<GmEvent>* events) {
   ps.active_reduce.reset();
   ps.last_reduce.reset();
   ps.last_completed_epoch = -1;  // a fresh endpoint restarts its epoch sequence
+  ps.rma_segments.clear();
+  ps.rma_sink = nullptr;
+  ps.rma_parked.clear();
   flush_closed_port_records(p);
 }
 
@@ -175,6 +178,10 @@ void Nic::close_port(PortId p) {
   // (or crashes) mid-lifecycle must not pin NIC state forever, and packets
   // from its groups are fenced from now on.
   slots_.release_port(p);
+  // RMA registrations and parked ops die with the endpoint too.
+  ps.rma_segments.clear();
+  ps.rma_sink = nullptr;
+  ps.rma_parked.clear();
 }
 
 bool Nic::is_port_open(PortId p) const { return port(p).open; }
@@ -375,6 +382,14 @@ void Nic::rx_packet(Packet p) {
   }
   auto packet = std::make_shared<Packet>(std::move(p));
   switch (packet->type) {
+    // RMA payloads share the kData receive path end-to-end: same RECV
+    // occupancy, same sequence check, same go-back-N — the stream is where
+    // their ordering guarantee comes from. They fork off only at
+    // accept_in_order, into the firmware instead of a host buffer.
+    case PacketType::kRmaPut:
+    case PacketType::kRmaGet:
+    case PacketType::kRmaCas:
+    case PacketType::kRmaReply:
     case PacketType::kData: {
       const sim::SimTime end =
           engine_submit(McpEngine::kRecv, "rx_data", config_.recv_cycles,
@@ -455,7 +470,8 @@ void Nic::recv_data(Packet p) {
     // sender's retransmission redelivers it later. Collective payloads
     // (shared-stream mode) are consumed by the NIC itself, no host buffer;
     // non-leading fragments use the buffer claimed by fragment 0.
-    if (!net::is_collective_payload(p.type) && p.frag_index == 0 &&
+    if (!net::is_collective_payload(p.type) && !net::is_rma_payload(p.type) &&
+        p.frag_index == 0 &&
         port(p.dst_port).open && port(p.dst_port).recv_tokens.empty()) {
       ++stats_.no_token_drops;
       send_nack(p.src_node);
@@ -494,6 +510,11 @@ void Nic::accept_in_order(Packet p) {
       packet->causal = causal_engine_span(sim::causal::Segment::kFirmware, "barrier_advance",
                                           end, cost, packet->causal);
     }
+    return;
+  }
+  if (net::is_rma_payload(p.type)) {
+    // One-sided ops terminate in the firmware, never in a host buffer.
+    rma_rx_in_order(std::move(p));
     return;
   }
   ++stats_.data_received;
@@ -636,7 +657,11 @@ void Nic::declare_peer_dead(NodeId remote) {
   ev.type = GmEventType::kPeerDead;
   ev.peer = Endpoint{remote, 0};
   for (std::size_t p = 0; p < ports_.size(); ++p) {
-    if (ports_[p].open) push_event(static_cast<PortId>(p), ev);
+    if (!ports_[p].open) continue;
+    push_event(static_cast<PortId>(p), ev);
+    // One-sided ops in flight to the dead peer will never see their reply;
+    // the rma:: layer fails them with kPeerDead.
+    if (ports_[p].rma_sink != nullptr) ports_[p].rma_sink->rma_peer_dead(remote);
   }
 }
 

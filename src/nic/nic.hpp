@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "net/packet.hpp"
 #include "nic/config.hpp"
 #include "nic/connection.hpp"
+#include "nic/rma.hpp"
 #include "nic/slots.hpp"
 #include "nic/tokens.hpp"
 #include "sim/causal.hpp"
@@ -106,6 +108,14 @@ struct NicStats {
   std::uint64_t barriers_cancelled = 0;   // host aborted an in-flight barrier
   // Group lifecycle (slot admission + stale fencing):
   std::uint64_t stale_group_fenced = 0;   // packets fenced: group had no live slot
+  // One-sided RMA firmware:
+  std::uint64_t rma_ops_posted = 0;       // host posted an RmaToken
+  std::uint64_t rma_puts_applied = 0;     // target applied a put
+  std::uint64_t rma_gets_served = 0;      // target served a get
+  std::uint64_t rma_cas_applied = 0;      // target ran an on-NIC CAS
+  std::uint64_t rma_replies = 0;          // initiator absorbed a remote completion
+  std::uint64_t rma_parked = 0;           // op arrived before its segment registered
+  std::uint64_t rma_rejected = 0;         // op addressed a bad segment/index
 };
 
 class Nic {
@@ -146,6 +156,23 @@ class Nic {
   /// then the NIC replicates the packet to every destination. Throws
   /// std::invalid_argument if the payload exceeds the MTU.
   void post_multicast_token(MulticastToken token);
+
+  // --- One-sided RMA (the rma:: layer, src/rma/) -----------------------------
+
+  /// Queues a one-sided operation (put / get / on-NIC CAS). The op rides the
+  /// sequenced connection stream to token.dst and its remote completion
+  /// returns on the reverse stream to this port's RmaSink.
+  void post_rma_token(RmaToken token);
+
+  /// Registers host memory as RMA segment `segment` of `port`: incoming ops
+  /// addressed to (port, segment) are applied to `mem`. Ops that arrived
+  /// before registration were parked and are flushed now, in arrival order.
+  /// Instantaneous host-side call (the registration word itself is written
+  /// during the port-open PCI handshake, like slot_allocate).
+  void rma_register(PortId port, std::uint64_t segment, RmaMemory* mem);
+
+  /// Installs the initiator-side completion surface for `port`.
+  void set_rma_sink(PortId port, RmaSink* sink);
 
   // --- Network-facing interface -------------------------------------------------
 
@@ -229,6 +256,11 @@ class Nic {
     /// Highest barrier epoch completed on this port since it was opened; a
     /// completion at an epoch at or below this violates epoch monotonicity.
     std::int64_t last_completed_epoch = -1;
+    /// One-sided RMA: registered segments, completion sink, and ops that
+    /// arrived before their segment registered (flushed on rma_register).
+    std::map<std::uint64_t, RmaMemory*> rma_segments;
+    RmaSink* rma_sink = nullptr;
+    std::deque<net::Packet> rma_parked;
   };
 
   Connection& conn(NodeId remote);
@@ -308,6 +340,12 @@ class Nic {
   void barrier_recv_barrier_ack(const net::Packet& p);
   void arm_barrier_retransmit(NodeId remote);
   void barrier_retransmit_all(NodeId remote);
+
+  // --- One-sided RMA firmware (nic_rma.cpp) -----------------------------------------
+  void rma_rx_in_order(net::Packet p);       // target/initiator, after seq check
+  void rma_apply(net::Packet p);             // target: put/get/cas at the firmware
+  void rma_reply(const net::Packet& request, std::int64_t value, bool ok);
+  void rma_absorb_reply(net::Packet p);      // initiator: notify the sink
 
   // --- Reduction firmware (nic_reduce.cpp) ------------------------------------------
   void reduce_start(ReduceToken token);

@@ -1,0 +1,81 @@
+// NIC-side one-sided RMA vocabulary.
+//
+// The rma:: layer (src/rma/) talks to the NIC through three small types so
+// nic:: never depends on the higher layer:
+//
+//   RmaToken  — a host-posted one-sided operation (put / get / cas), the
+//               SDMA-side analogue of SendToken.
+//   RmaMemory — the host-registered segment the target NIC applies puts and
+//               serves gets/CAS from. CAS is applied *by the firmware* on
+//               the single LANai processor (the modeled on-NIC atomic), so
+//               concurrent CAS from many initiators serialise on the
+//               processor and are linearizable by construction.
+//   RmaSink   — the initiator-side completion surface: the NIC calls it when
+//               a kRmaReply arrives (remote completion) or when the target
+//               connection is declared dead.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "nic/tokens.hpp"
+
+namespace nicbar::nic {
+
+enum class RmaOpKind : std::uint8_t { kPut = 0, kGet, kCas };
+
+[[nodiscard]] constexpr const char* to_string(RmaOpKind k) {
+  switch (k) {
+    case RmaOpKind::kPut:
+      return "put";
+    case RmaOpKind::kGet:
+      return "get";
+    case RmaOpKind::kCas:
+      return "cas";
+  }
+  return "?";
+}
+
+/// One one-sided operation, posted by the host (gm::Port::post_rma). The
+/// (segment, index) pair addresses one 64-bit word of a segment registered
+/// at the destination port; op_id is echoed back in the remote completion.
+struct RmaToken {
+  PortId src_port = 0;
+  Endpoint dst;
+  RmaOpKind kind = RmaOpKind::kPut;
+  std::uint64_t segment = 0;
+  std::uint64_t index = 0;
+  std::int64_t value = 0;     // put payload / CAS desired value
+  std::int64_t expected = 0;  // CAS compare value
+  std::uint64_t op_id = 0;    // initiator-chosen completion correlator
+};
+
+/// Host memory a target NIC applies one-sided ops to. Implemented by
+/// rma::Segment; the NIC calls these at the firmware instant the op is
+/// applied (after the modeled DMA for puts, processor-only for CAS).
+class RmaMemory {
+ public:
+  virtual ~RmaMemory() = default;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+  [[nodiscard]] virtual std::int64_t read(std::uint64_t index) const = 0;
+  virtual void write(std::uint64_t index, std::int64_t value) = 0;
+  /// Applies compare-and-swap and returns the *prior* value (the op's
+  /// result whether or not the swap happened).
+  virtual std::int64_t compare_exchange(std::uint64_t index, std::int64_t expected,
+                                        std::int64_t desired) = 0;
+};
+
+/// Initiator-side completion surface (implemented by rma::Domain).
+class RmaSink {
+ public:
+  virtual ~RmaSink() = default;
+  /// A kRmaReply for op_id arrived: `value` is the fetched word (gets, CAS
+  /// prior value; for puts it echoes the put payload), `ok` is false when
+  /// the target could not apply the op.
+  virtual void rma_complete(std::uint64_t op_id, std::int64_t value, bool ok) = 0;
+  /// The connection to `node` was declared dead; every in-flight op to it
+  /// will never complete.
+  virtual void rma_peer_dead(net::NodeId node) = 0;
+};
+
+}  // namespace nicbar::nic

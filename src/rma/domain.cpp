@@ -1,0 +1,223 @@
+#include "rma/domain.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace nicbar::rma {
+
+// --- Segment -----------------------------------------------------------------
+
+Segment::Segment(Domain& domain, std::uint64_t id, std::uint64_t words)
+    : domain_(domain), id_(id), words_(words, 0) {}
+
+void Segment::write(std::uint64_t index, std::int64_t value) {
+  words_[index] = value;
+  notify(index);
+}
+
+std::int64_t Segment::compare_exchange(std::uint64_t index, std::int64_t expected,
+                                       std::int64_t desired) {
+  const std::int64_t prior = words_[index];
+  if (prior == expected) {
+    words_[index] = desired;
+    notify(index);
+  }
+  return prior;
+}
+
+void Segment::notify(std::uint64_t index) {
+  if (waiters_.empty()) return;
+  // Claim matching waiters first, resume via schedule_now second: writes
+  // arrive from NIC firmware context and must not re-enter host coroutines
+  // (the sync.hpp convention).
+  std::vector<std::coroutine_handle<>> woken;
+  std::erase_if(waiters_, [&](Waiter* w) {
+    if (w->index != index) return false;
+    w->notified = true;
+    woken.push_back(w->handle);
+    return true;
+  });
+  for (std::coroutine_handle<> h : woken) {
+    domain_.simulator().schedule_now([h] { h.resume(); });
+  }
+}
+
+void Segment::notify_all() {
+  if (waiters_.empty()) return;
+  std::vector<Waiter*> batch = std::move(waiters_);
+  waiters_.clear();
+  for (Waiter* w : batch) {
+    w->notified = true;
+    const std::coroutine_handle<> h = w->handle;
+    domain_.simulator().schedule_now([h] { h.resume(); });
+  }
+}
+
+sim::ValueTask<coll::Status> Segment::wait_ge(std::uint64_t index, std::int64_t target,
+                                              sim::SimTime deadline_at) {
+  struct WaitAwaiter : Waiter {
+    Segment& seg;
+    sim::SimTime deadline_at;
+    sim::EventId timer{};
+    bool timer_armed = false;
+
+    WaitAwaiter(Segment& s, std::uint64_t idx, sim::SimTime d) : seg(s), deadline_at(d) {
+      index = idx;
+    }
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      seg.waiters_.push_back(this);
+      if (deadline_at != sim::SimTime::max()) {
+        timer_armed = true;
+        timer = seg.domain_.simulator().schedule_at(deadline_at, [this] {
+          // A notify at this same instant may have already claimed us (its
+          // resume is queued behind this event); notified set means it won.
+          if (notified) return;
+          std::erase(seg.waiters_, static_cast<Waiter*>(this));
+          handle.resume();
+        });
+      }
+    }
+    /// true when the deadline timer fired first.
+    bool await_resume() {
+      if (timer_armed) seg.domain_.simulator().cancel(timer);
+      return !notified;
+    }
+  };
+
+  const std::uint64_t deaths_at_entry = domain_.death_count();
+  for (;;) {
+    if (words_[index] >= target) co_return coll::Status::kOk;
+    if (domain_.death_count() != deaths_at_entry) co_return coll::Status::kPeerDead;
+    if (deadline_at != sim::SimTime::max() && domain_.simulator().now() >= deadline_at) {
+      co_return coll::Status::kDeadline;
+    }
+    const bool timed_out = co_await WaitAwaiter{*this, index, deadline_at};
+    if (timed_out) co_return coll::Status::kDeadline;
+  }
+}
+
+// --- Domain ------------------------------------------------------------------
+
+Domain::Domain(gm::Port& port) : port_(port) { port_.set_rma_sink(this); }
+
+Domain::~Domain() { port_.set_rma_sink(nullptr); }
+
+Segment& Domain::register_segment(std::uint64_t words) {
+  const std::uint64_t id = segments_.size();
+  segments_.push_back(std::unique_ptr<Segment>(new Segment(*this, id, words)));
+  port_.rma_register(id, segments_.back().get());
+  return *segments_.back();
+}
+
+void Domain::post(nic::RmaToken token, sim::Duration timeout,
+                  std::function<void(std::int64_t, coll::Status)> fulfil) {
+  if (is_dead(token.dst.node)) {
+    // Poisoned target: the reliable stream would silently drop the packet
+    // and the op would hang. Fail fast, inline (callers get a ready future).
+    fulfil(0, coll::Status::kPeerDead);
+    return;
+  }
+  const std::uint64_t id = next_op_++;
+  token.op_id = id;
+  Pending p;
+  p.target = token.dst.node;
+  p.fulfil = std::move(fulfil);
+  if (timeout.ps() > 0) {
+    p.timer_armed = true;
+    p.timer = simulator().schedule_in(timeout, [this, id] {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;
+      auto f = std::move(it->second.fulfil);
+      pending_.erase(it);
+      f(0, coll::Status::kDeadline);
+    });
+  }
+  pending_.emplace(id, std::move(p));
+  simulator().spawn(port_.post_rma(token));
+}
+
+future<coll::Status> Domain::rput(nic::Endpoint dst, std::uint64_t segment, std::uint64_t index,
+                                  std::int64_t value, sim::Duration timeout) {
+  promise<coll::Status> pr;
+  nic::RmaToken t;
+  t.dst = dst;
+  t.kind = nic::RmaOpKind::kPut;
+  t.segment = segment;
+  t.index = index;
+  t.value = value;
+  // Value and status agree: awaiting an rput future yields its outcome.
+  post(std::move(t), timeout, [pr](std::int64_t, coll::Status st) { pr.settle(st, st); });
+  return pr.get_future();
+}
+
+future<std::int64_t> Domain::rget(nic::Endpoint dst, std::uint64_t segment, std::uint64_t index,
+                                  sim::Duration timeout) {
+  promise<std::int64_t> pr;
+  nic::RmaToken t;
+  t.dst = dst;
+  t.kind = nic::RmaOpKind::kGet;
+  t.segment = segment;
+  t.index = index;
+  post(std::move(t), timeout, [pr](std::int64_t v, coll::Status st) { pr.settle(v, st); });
+  return pr.get_future();
+}
+
+future<std::int64_t> Domain::remote_cas(nic::Endpoint dst, std::uint64_t segment,
+                                        std::uint64_t index, std::int64_t expected,
+                                        std::int64_t desired, sim::Duration timeout) {
+  promise<std::int64_t> pr;
+  nic::RmaToken t;
+  t.dst = dst;
+  t.kind = nic::RmaOpKind::kCas;
+  t.segment = segment;
+  t.index = index;
+  t.expected = expected;
+  t.value = desired;
+  post(std::move(t), timeout, [pr](std::int64_t v, coll::Status st) { pr.settle(v, st); });
+  return pr.get_future();
+}
+
+void Domain::rma_complete(std::uint64_t op_id, std::int64_t value, bool ok) {
+  auto it = pending_.find(op_id);
+  if (it == pending_.end()) {
+    // Deadline fired (or peer death raced the reply through RDMA/PCI) before
+    // the reply landed; the future is already settled.
+    ++stale_replies_;
+    return;
+  }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (p.timer_armed) simulator().cancel(p.timer);
+  // Settle at the current instant but outside firmware context, so resumed
+  // host coroutines never re-enter the NIC mid-update. A target-side reject
+  // (closed port, out-of-range index) surfaces as kPeerDead: the window is
+  // gone from the initiator's point of view.
+  simulator().schedule_now([f = std::move(p.fulfil), value, ok] {
+    f(value, ok ? coll::Status::kOk : coll::Status::kPeerDead);
+  });
+}
+
+void Domain::rma_peer_dead(net::NodeId node) {
+  if (!dead_.insert(node).second) return;
+  std::vector<std::function<void(std::int64_t, coll::Status)>> failed;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.target == node) {
+      if (it->second.timer_armed) simulator().cancel(it->second.timer);
+      failed.push_back(std::move(it->second.fulfil));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& f : failed) {
+    simulator().schedule_now([g = std::move(f)] { g(0, coll::Status::kPeerDead); });
+  }
+  // Flag waiters re-check and abort with kPeerDead if the death matters to
+  // them (Segment::wait_ge contract).
+  for (auto& seg : segments_) seg->notify_all();
+}
+
+}  // namespace nicbar::rma

@@ -1,0 +1,182 @@
+// rma::Domain — the one-sided communication surface of a process.
+//
+// A Domain wraps an open gm::Port and exposes:
+//   * register_segment(words) — carve out a remotely-accessible window of
+//     64-bit words. Segment ids are assigned in registration order, so every
+//     node must register its segments in the same order (the symmetric-heap
+//     convention of SHMEM / UPC++ dist_object). Remote nodes address a
+//     window as (segment id, word index).
+//   * rput / rget / remote_cas — asynchronous one-sided ops returning
+//     rma::future handles. The future settles when the *remote completion*
+//     (kRmaReply) comes back — i.e. rput completion means the value is
+//     committed at the target, not merely on the wire.
+//   * Segment::wait_ge — suspend until a local word reaches a value: the
+//     target-side half of the put-to-flag idiom every host-driven barrier is
+//     built from. The wait charges no host CPU (it models polling a pinned
+//     word from user space, which needs no port activity).
+//
+// Failure semantics: a peer declared dead fails every in-flight op to it
+// with coll::Status::kPeerDead and poisons the node for later ops (the
+// reliable stream silently drops traffic to dead peers, so without the
+// poison a later op would hang). A per-op timeout settles the future with
+// kDeadline; a reply that arrives after its deadline fired is counted in
+// stale_replies() and otherwise ignored. Target-side rejects (closed port,
+// out-of-range index) surface as kPeerDead — from the initiator's point of
+// view the window is gone.
+//
+// Ordering: two puts from the same Domain to the same target commit in
+// posting order (they ride the sequenced reliable stream and FIFO PCI DMA).
+// There is NO ordering between ops to different targets, and none between
+// CAS and puts addressing the same word — keep atomics and flag words
+// separate (nic_rma.cpp documents the firmware side of this).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coll/status.hpp"
+#include "gm/port.hpp"
+#include "nic/rma.hpp"
+#include "rma/future.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace nicbar::rma {
+
+class Domain;
+
+/// A registered window of 64-bit words, remotely addressable as
+/// (segment id, index). Implements the NIC-facing RmaMemory surface; local
+/// code uses load()/store() and the flag-wait wait_ge().
+class Segment : public nic::RmaMemory {
+ public:
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  // --- nic::RmaMemory (called by the target NIC at the firmware instant) ---
+  [[nodiscard]] std::uint64_t size() const override { return words_.size(); }
+  [[nodiscard]] std::int64_t read(std::uint64_t index) const override { return words_[index]; }
+  void write(std::uint64_t index, std::int64_t value) override;
+  std::int64_t compare_exchange(std::uint64_t index, std::int64_t expected,
+                                std::int64_t desired) override;
+
+  // --- local access --------------------------------------------------------
+  [[nodiscard]] std::int64_t load(std::uint64_t index) const { return words_[index]; }
+  /// Local store through the same notify path as a remote put.
+  void store(std::uint64_t index, std::int64_t value) { write(index, value); }
+
+  /// Suspends until words[index] >= target. Returns:
+  ///   kOk       — condition met;
+  ///   kDeadline — deadline_at passed first (SimTime::max() = wait forever);
+  ///   kPeerDead — a peer of the owning Domain died while waiting. The
+  ///               condition may still be satisfiable: callers for whom the
+  ///               dead node is irrelevant check Domain::is_dead() and
+  ///               re-issue the wait.
+  /// Flag waits charge no host CPU (one-sided polling; see file comment).
+  [[nodiscard]] sim::ValueTask<coll::Status> wait_ge(
+      std::uint64_t index, std::int64_t target,
+      sim::SimTime deadline_at = sim::SimTime::max());
+
+ private:
+  friend class Domain;
+
+  Segment(Domain& domain, std::uint64_t id, std::uint64_t words);
+
+  struct Waiter {
+    std::uint64_t index = 0;
+    std::coroutine_handle<> handle;
+    bool notified = false;
+  };
+
+  /// Wakes waiters on `index` (schedule_now, never inline — writes come from
+  /// NIC firmware context).
+  void notify(std::uint64_t index);
+  /// Wakes every waiter regardless of index (peer-death re-check).
+  void notify_all();
+
+  Domain& domain_;
+  std::uint64_t id_;
+  std::vector<std::int64_t> words_;
+  std::vector<Waiter*> waiters_;
+};
+
+class Domain : public nic::RmaSink {
+ public:
+  /// Installs this Domain as the port's RmaSink. The port must already be
+  /// open; the Domain must outlive every in-flight op (keep it alive as long
+  /// as the port).
+  explicit Domain(gm::Port& port);
+  ~Domain() override;
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Registers the next segment (ids assigned in call order — see file
+  /// comment on the symmetric-registration convention).
+  Segment& register_segment(std::uint64_t words);
+
+  /// One-sided put of `value` into (segment, index) at dst. The future's
+  /// value and status agree: awaiting yields kOk / kPeerDead / kDeadline.
+  /// `timeout` <= 0 means no deadline.
+  [[nodiscard]] future<coll::Status> rput(nic::Endpoint dst, std::uint64_t segment,
+                                          std::uint64_t index, std::int64_t value,
+                                          sim::Duration timeout = sim::Duration{0});
+
+  /// One-sided fetch of (segment, index) at dst; future value is the word
+  /// (0 on error — check status()).
+  [[nodiscard]] future<std::int64_t> rget(nic::Endpoint dst, std::uint64_t segment,
+                                          std::uint64_t index,
+                                          sim::Duration timeout = sim::Duration{0});
+
+  /// Remote compare-and-swap on (segment, index) at dst; future value is the
+  /// *prior* word (the swap happened iff prior == expected). Applied on the
+  /// target's single firmware processor, so concurrent CAS linearise.
+  [[nodiscard]] future<std::int64_t> remote_cas(nic::Endpoint dst, std::uint64_t segment,
+                                                std::uint64_t index, std::int64_t expected,
+                                                std::int64_t desired,
+                                                sim::Duration timeout = sim::Duration{0});
+
+  [[nodiscard]] bool is_dead(net::NodeId node) const { return dead_.contains(node); }
+  /// Monotonic count of peer deaths observed — Segment waits snapshot it to
+  /// detect deaths that happen mid-wait.
+  [[nodiscard]] std::uint64_t death_count() const { return dead_.size(); }
+
+  [[nodiscard]] std::uint64_t inflight() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t stale_replies() const { return stale_replies_; }
+
+  [[nodiscard]] gm::Port& port() { return port_; }
+  [[nodiscard]] sim::Simulator& simulator() { return port_.simulator(); }
+
+  // --- nic::RmaSink (called from NIC firmware context) ---------------------
+  void rma_complete(std::uint64_t op_id, std::int64_t value, bool ok) override;
+  void rma_peer_dead(net::NodeId node) override;
+
+ private:
+  struct Pending {
+    net::NodeId target = 0;
+    std::function<void(std::int64_t value, coll::Status status)> fulfil;
+    sim::EventId timer{};
+    bool timer_armed = false;
+  };
+
+  /// Common post path: allocates the op id, handles dead targets and the
+  /// optional deadline, spawns the host-side posting coroutine.
+  void post(nic::RmaToken token, sim::Duration timeout,
+            std::function<void(std::int64_t, coll::Status)> fulfil);
+
+  gm::Port& port_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_set<net::NodeId> dead_;
+  std::uint64_t next_op_ = 1;
+  std::uint64_t stale_replies_ = 0;
+};
+
+}  // namespace nicbar::rma

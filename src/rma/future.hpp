@@ -1,0 +1,215 @@
+// rma::future<T> / rma::promise<T> — the completion layer of the one-sided
+// API.
+//
+// Design points (deliberately different from std::future):
+//   * copyable shared-future semantics — a future is a handle onto shared
+//     state; any copy can be awaited, chained, or polled;
+//   * scheduler-free — settling a promise runs callbacks and resumes
+//     coroutine waiters inline, so the layer works with no Simulator running
+//     (unit tests exercise this). Producers that must not re-enter (the NIC
+//     firmware path) wrap their settle in Simulator::schedule_now themselves
+//     (rma::Domain does);
+//   * errors are values — a future settles exactly once with a value AND a
+//     coll::Status. On error the value is T{} and status() carries the
+//     reason; `co_await f` returns the value, callers check f.status().
+//     This avoids exceptions on the simulated fast path;
+//   * `.then(f)` chains a continuation that runs only on success; a failed
+//     antecedent propagates its status to the derived future without
+//     invoking f;
+//   * `when_all(futures)` joins a batch: settles once every input settled,
+//     value is the vector of input values (T{} for failed slots), status is
+//     the first non-success status in *index* order (deterministic under any
+//     completion order), kOk when all succeeded.
+//
+// T must be default-constructible (the error-path value); the layer is used
+// with coll::Status and std::int64_t.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "coll/status.hpp"
+
+namespace nicbar::rma {
+
+template <typename T>
+class future;
+template <typename T>
+class promise;
+template <typename T>
+future<std::vector<T>> when_all(std::vector<future<T>> futures);
+
+namespace detail {
+
+template <typename T>
+struct SharedState {
+  std::optional<T> value;
+  coll::Status status = coll::Status::kOk;
+  bool ready = false;
+  std::vector<std::function<void(SharedState&)>> callbacks;
+  std::vector<std::coroutine_handle<>> waiters;
+
+  /// First settle wins; later settles are ignored (a deadline racing the
+  /// real completion is the expected shape of a double settle).
+  void settle(T v, coll::Status s) {
+    if (ready) return;
+    value.emplace(std::move(v));
+    status = s;
+    ready = true;
+    // Snapshot both lists: a callback or resumed waiter may attach new work
+    // to *other* futures, and (pathologically) even to this one — anything
+    // attached after this point sees ready==true and runs inline instead.
+    std::vector<std::function<void(SharedState&)>> cbs = std::move(callbacks);
+    callbacks.clear();
+    for (auto& cb : cbs) cb(*this);
+    std::vector<std::coroutine_handle<>> ws = std::move(waiters);
+    waiters.clear();
+    for (std::coroutine_handle<> h : ws) h.resume();
+  }
+};
+
+}  // namespace detail
+
+/// Copyable handle onto a one-shot asynchronous result. Default-constructed
+/// futures are invalid (valid() == false); awaiting one is undefined.
+template <typename T>
+class future {
+ public:
+  future() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const { return state_ != nullptr && state_->ready; }
+
+  /// Status of the settled result; only meaningful once ready().
+  [[nodiscard]] coll::Status status() const { return state_->status; }
+
+  /// The settled value (T{} if the future settled with an error). Only
+  /// callable once ready().
+  [[nodiscard]] const T& value() const { return *state_->value; }
+
+  /// Awaiting suspends until settled, then yields the value (T{} on error —
+  /// check status()). Ready futures resume immediately.
+  [[nodiscard]] auto operator co_await() const {
+    struct Awaiter {
+      std::shared_ptr<detail::SharedState<T>> s;
+      bool await_ready() const noexcept { return s->ready; }
+      void await_suspend(std::coroutine_handle<> h) { s->waiters.push_back(h); }
+      T await_resume() const { return *s->value; }
+    };
+    return Awaiter{state_};
+  }
+
+  /// Chains `f(const T&) -> U` to run when this future settles successfully;
+  /// returns the future of f's result. A non-success status propagates to
+  /// the returned future without invoking f. If this future is already
+  /// settled, f runs inline before then() returns.
+  template <typename F>
+  [[nodiscard]] auto then(F f) const {
+    using U = std::invoke_result_t<F, const T&>;
+    auto next = std::make_shared<detail::SharedState<U>>();
+    auto link = [next, fn = std::move(f)](detail::SharedState<T>& s) {
+      if (coll::is_success(s.status)) {
+        next->settle(fn(*s.value), s.status);
+      } else {
+        next->settle(U{}, s.status);
+      }
+    };
+    if (state_->ready) {
+      link(*state_);
+    } else {
+      state_->callbacks.push_back(std::move(link));
+    }
+    return future<U>{next};
+  }
+
+ private:
+  friend class promise<T>;
+  template <typename U>
+  friend class future;  // then() constructs the derived future
+  template <typename U>
+  friend future<std::vector<U>> when_all(std::vector<future<U>> futures);
+
+  explicit future(std::shared_ptr<detail::SharedState<T>> s) : state_(std::move(s)) {}
+
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+/// Producer side. Copyable (all copies share the state) so it can be
+/// captured by value in completion lambdas. Settle-once: the first
+/// set_value/set_error wins, later calls are ignored.
+template <typename T>
+class promise {
+ public:
+  promise() : state_(std::make_shared<detail::SharedState<T>>()) {}
+
+  [[nodiscard]] future<T> get_future() const { return future<T>{state_}; }
+  [[nodiscard]] bool settled() const { return state_->ready; }
+
+  void set_value(T v) const { state_->settle(std::move(v), coll::Status::kOk); }
+  void set_error(coll::Status s) const { state_->settle(T{}, s); }
+
+  /// Settles with an explicit (value, status) pair — used by futures whose
+  /// value *is* a status (rput), so awaiting and status() agree.
+  void settle(T v, coll::Status s) const { state_->settle(std::move(v), s); }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+/// Joins a batch of futures (see file comment for value/status semantics).
+/// An empty batch yields an immediately-ready empty vector.
+template <typename T>
+future<std::vector<T>> when_all(std::vector<future<T>> futures) {
+  struct Ctrl {
+    std::vector<T> values;
+    std::vector<coll::Status> statuses;
+    std::size_t remaining = 0;
+    std::shared_ptr<detail::SharedState<std::vector<T>>> out;
+
+    void finish() {
+      coll::Status agg = coll::Status::kOk;
+      for (coll::Status s : statuses) {
+        if (!coll::is_success(s)) {
+          agg = s;
+          break;
+        }
+      }
+      out->settle(std::move(values), agg);
+    }
+  };
+
+  auto out = std::make_shared<detail::SharedState<std::vector<T>>>();
+  auto ctrl = std::make_shared<Ctrl>();
+  ctrl->values.resize(futures.size());
+  ctrl->statuses.assign(futures.size(), coll::Status::kOk);
+  ctrl->remaining = futures.size();
+  ctrl->out = out;
+
+  if (futures.empty()) {
+    out->settle({}, coll::Status::kOk);
+    return future<std::vector<T>>{out};
+  }
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto link = [ctrl, i](detail::SharedState<T>& s) {
+      ctrl->values[i] = *s.value;
+      ctrl->statuses[i] = s.status;
+      if (--ctrl->remaining == 0) ctrl->finish();
+    };
+    auto& st = futures[i].state_;
+    if (st->ready) {
+      link(*st);
+    } else {
+      st->callbacks.push_back(std::move(link));
+    }
+  }
+  return future<std::vector<T>>{out};
+}
+
+}  // namespace nicbar::rma

@@ -359,6 +359,8 @@ Report Driver::run_impl(SloReport* slo_out) {
             bspec.location = klass.location;
             bspec.algorithm = klass.algorithm;
             bspec.gb_dimension = klass.gb_dimension;
+            bspec.rdma = klass.rdma;  // host-RDMA family (validate() confines
+                                      // it to this barrier-only branch)
             bspec.deadline = klass.deadline;
             me.member = std::make_unique<coll::BarrierMember>(*me.port, group, bspec);
           } else {

@@ -92,6 +92,17 @@ void validate(const WorkloadSpec& spec) {
     if (c.algorithm == nic::BarrierAlgorithm::kGatherBroadcast && c.gb_dimension == 0) {
       bad(who + "GB needs a positive tree dimension");
     }
+    if (c.rdma != coll::RdmaAlgorithm::kNone) {
+      // The host-RDMA family runs on bare rma::Domains; reductions, fuzzy
+      // barriers, and managed groups all live on other code paths.
+      if (!c.mix.barrier_only() || c.mix.fuzzy > 0.0) {
+        bad(who + "host-RDMA barriers require a pure-barrier mix");
+      }
+      if (c.managed) bad(who + "host-RDMA barriers cannot use a managed lifecycle");
+      if (c.rdma == coll::RdmaAlgorithm::kTreePut && c.gb_dimension == 0) {
+        bad(who + "host-tree needs a positive radix");
+      }
+    }
     if (!c.slo.is_zero() && (c.slo_target <= 0.0 || c.slo_target >= 1.0)) {
       bad(who + "slo-target must be in (0, 1)");
     }
@@ -410,8 +421,15 @@ WorkloadSpec parse_workload_spec(std::istream& in) {
         job->algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
         job->gb_dimension =
             static_cast<std::size_t>(parse_number(is, line_no, line, "gb dimension"));
+      } else if (v == "host-dissem") {
+        job->rdma = coll::RdmaAlgorithm::kDissemination;
+      } else if (v == "host-tree") {
+        job->rdma = coll::RdmaAlgorithm::kTreePut;
+        job->gb_dimension =
+            static_cast<std::size_t>(parse_number(is, line_no, line, "host-tree radix"));
       } else {
-        fail_at(line_no, line, "algorithm must be pe or gb <dim>");
+        fail_at(line_no, line, "algorithm must be pe, gb <dim>, host-dissem, or "
+                               "host-tree <radix>");
       }
     } else if (key == "fuzzy-chunk-us") {
       job->fuzzy_chunk = sim::microseconds(parse_number(is, line_no, line, "fuzzy-chunk-us"));
@@ -543,7 +561,11 @@ void print_spec(const WorkloadSpec& spec, std::ostream& os) {
     os << "  imbalance " << weight_str(c.compute_imbalance) << "\n";
     os << "  skew-us " << us_str(c.start_skew) << "\n";
     os << "  location " << (c.location == coll::Location::kNic ? "nic" : "host") << "\n";
-    if (c.algorithm == nic::BarrierAlgorithm::kGatherBroadcast) {
+    if (c.rdma == coll::RdmaAlgorithm::kDissemination) {
+      os << "  algorithm host-dissem\n";
+    } else if (c.rdma == coll::RdmaAlgorithm::kTreePut) {
+      os << "  algorithm host-tree " << c.gb_dimension << "\n";
+    } else if (c.algorithm == nic::BarrierAlgorithm::kGatherBroadcast) {
       os << "  algorithm gb " << c.gb_dimension << "\n";
     } else {
       os << "  algorithm pe\n";
@@ -606,9 +628,12 @@ bool spec_equal(const WorkloadSpec& a, const WorkloadSpec& b) {
         x.layer_overhead != y.layer_overhead) {
       return false;
     }
-    // The format only carries the dimension for GB ("algorithm gb <dim>");
-    // for PE the field is meaningless and not compared.
-    if (x.algorithm == nic::BarrierAlgorithm::kGatherBroadcast &&
+    // The format only carries the dimension for GB ("algorithm gb <dim>")
+    // and host-tree ("algorithm host-tree <radix>"); for PE and
+    // host-dissem the field is meaningless and not compared.
+    if (x.rdma != y.rdma) return false;
+    if ((x.algorithm == nic::BarrierAlgorithm::kGatherBroadcast ||
+         x.rdma == coll::RdmaAlgorithm::kTreePut) &&
         x.gb_dimension != y.gb_dimension) {
       return false;
     }

@@ -85,6 +85,11 @@ struct JobClass {
   coll::Location location = coll::Location::kNic;
   nic::BarrierAlgorithm algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
   std::size_t gb_dimension = 2;
+  /// Host-RDMA barrier family (`algorithm host-dissem | host-tree <radix>`):
+  /// barriers run over the rma:: one-sided layer instead of the NIC firmware
+  /// or host message loops. Requires a pure-barrier, non-managed,
+  /// non-fuzzy class; gb_dimension doubles as the tree radix.
+  coll::RdmaAlgorithm rdma = coll::RdmaAlgorithm::kNone;
   sim::Duration deadline{0};  // per-collective abort deadline (0 = none)
   /// Per-call software-layer overhead (only the communicator path pays it;
   /// a barrier-only class models raw GM and must leave this at 0).
@@ -172,7 +177,8 @@ void validate(const WorkloadSpec& spec);
 ///     imbalance 0.3
 ///     skew-us 10
 ///     location nic               # nic | host
-///     algorithm pe               # pe | gb <dim>
+///     algorithm pe               # pe | gb <dim> | host-dissem
+///                                # | host-tree <radix> (host-* = rma::)
 ///     fuzzy-chunk-us 5
 ///     deadline-us 0
 ///     layer-us 0

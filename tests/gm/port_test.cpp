@@ -140,8 +140,8 @@ TEST(PortTest, BarrierEpochsIncrement) {
       tok.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
       tok.peers = {peer};
       co_await port.provide_barrier_buffer();
-      const std::uint32_t e = co_await port.barrier_send(std::move(tok));
-      if (out != nullptr) out->push_back(e);
+      const gm::Epoch e = co_await port.barrier_send(std::move(tok));
+      if (out != nullptr) out->push_back(e.value());
       (void)co_await port.receive();
     }
   };

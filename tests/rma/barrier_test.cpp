@@ -1,0 +1,192 @@
+// Host-driven RDMA barriers (dissemination, tree-put) through the coll::
+// dispatch: synchronization semantics, repetition with monotonic flags,
+// failure/deadline abort, and bit-identical determinism across worker
+// counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "coll/runner.hpp"
+#include "coll/sweep.hpp"
+#include "host/cluster.hpp"
+
+namespace nicbar {
+namespace {
+
+using namespace sim::literals;
+using coll::BarrierMember;
+using coll::BarrierSpec;
+using coll::BarrierStatus;
+using coll::RdmaAlgorithm;
+
+struct Fixture {
+  explicit Fixture(std::size_t n, host::ClusterParams cp = {}) {
+    cp.nodes = n;
+    cluster = std::make_unique<host::Cluster>(cp);
+    for (std::size_t i = 0; i < n; ++i) {
+      group.push_back(gm::Endpoint{static_cast<net::NodeId>(i), 2});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ports.push_back(cluster->open_port(static_cast<net::NodeId>(i), 2));
+    }
+  }
+  std::unique_ptr<host::Cluster> cluster;
+  std::vector<gm::Endpoint> group;
+  std::vector<std::unique_ptr<gm::Port>> ports;
+};
+
+sim::Task barrier_loop(sim::Simulator& sim, BarrierMember& m, sim::Duration entry_delay,
+                       int reps, sim::SimTime* entered, sim::SimTime* exited,
+                       BarrierStatus* last) {
+  if (!entry_delay.is_zero()) co_await sim.delay(entry_delay);
+  *entered = sim.now();
+  for (int r = 0; r < reps; ++r) {
+    *last = co_await m.run();
+    if (*last != BarrierStatus::kOk) break;
+  }
+  *exited = sim.now();
+}
+
+void check_synchronizes(std::size_t n, BarrierSpec spec, std::vector<sim::Duration> delays,
+                        int reps = 1) {
+  Fixture f(n);
+  std::vector<std::unique_ptr<BarrierMember>> members;
+  std::vector<sim::SimTime> entered(n), exited(n);
+  std::vector<BarrierStatus> last(n, BarrierStatus::kOk);
+  for (std::size_t i = 0; i < n; ++i) {
+    members.push_back(std::make_unique<BarrierMember>(*f.ports[i], f.group, spec));
+    f.cluster->sim().spawn(barrier_loop(f.cluster->sim(), *members[i], delays[i], reps,
+                                        &entered[i], &exited[i], &last[i]));
+  }
+  f.cluster->sim().run();
+  const sim::SimTime last_entry = *std::max_element(entered.begin(), entered.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(last[i], BarrierStatus::kOk) << "member " << i;
+    EXPECT_GE(exited[i].ps(), last_entry.ps())
+        << "member " << i << " exited before every member entered";
+    EXPECT_GT(exited[i].ps(), 0) << "member " << i << " never completed";
+  }
+}
+
+std::vector<sim::Duration> no_delays(std::size_t n) { return std::vector<sim::Duration>(n); }
+
+std::vector<sim::Duration> staggered(std::size_t n) {
+  std::vector<sim::Duration> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = sim::microseconds(41.0 * static_cast<double>(i));
+  return d;
+}
+
+class RdmaBarrierVariants
+    : public ::testing::TestWithParam<std::tuple<RdmaAlgorithm, std::size_t, std::size_t>> {};
+
+TEST_P(RdmaBarrierVariants, SynchronizesSimultaneousEntry) {
+  auto [alg, radix, n] = GetParam();
+  check_synchronizes(n, coll::rdma_spec(alg, radix), no_delays(n));
+}
+
+TEST_P(RdmaBarrierVariants, SynchronizesStaggeredEntry) {
+  auto [alg, radix, n] = GetParam();
+  check_synchronizes(n, coll::rdma_spec(alg, radix), staggered(n));
+}
+
+TEST_P(RdmaBarrierVariants, RepeatsWithMonotonicFlags) {
+  auto [alg, radix, n] = GetParam();
+  // 25 back-to-back instances with no flag resets: instance separation must
+  // come from the monotonic instance numbers alone.
+  check_synchronizes(n, coll::rdma_spec(alg, radix), staggered(n), /*reps=*/25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndSizes, RdmaBarrierVariants,
+    ::testing::Values(std::tuple{RdmaAlgorithm::kDissemination, std::size_t{2}, std::size_t{2}},
+                      std::tuple{RdmaAlgorithm::kDissemination, std::size_t{2}, std::size_t{3}},
+                      std::tuple{RdmaAlgorithm::kDissemination, std::size_t{2}, std::size_t{8}},
+                      std::tuple{RdmaAlgorithm::kTreePut, std::size_t{2}, std::size_t{2}},
+                      std::tuple{RdmaAlgorithm::kTreePut, std::size_t{2}, std::size_t{8}},
+                      std::tuple{RdmaAlgorithm::kTreePut, std::size_t{3}, std::size_t{7}},
+                      std::tuple{RdmaAlgorithm::kTreePut, std::size_t{4}, std::size_t{16}}));
+
+TEST(RdmaBarrier, MemberDeathAbortsEveryMember) {
+  host::ClusterParams cp;
+  cp.nic.max_retransmissions = 3;
+  Fixture f(4, cp);
+  // Members not adjacent to the dead node in the put graph cannot observe
+  // the death directly; the deadline is their backstop (the same doctrine as
+  // the NIC families).
+  BarrierSpec spec = coll::rdma_spec(RdmaAlgorithm::kDissemination);
+  spec.deadline = sim::milliseconds(50.0);
+  f.cluster->nic(3).crash();
+  std::vector<std::unique_ptr<BarrierMember>> members;
+  std::vector<sim::SimTime> entered(3), exited(3);
+  std::vector<BarrierStatus> last(3, BarrierStatus::kOk);
+  for (std::size_t i = 0; i < 3; ++i) {
+    members.push_back(std::make_unique<BarrierMember>(*f.ports[i], f.group, spec));
+    f.cluster->sim().spawn(barrier_loop(f.cluster->sim(), *members[i], sim::Duration{0}, 1,
+                                        &entered[i], &exited[i], &last[i]));
+  }
+  f.cluster->sim().run();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NE(last[i], BarrierStatus::kOk) << "member " << i << " completed a broken barrier";
+    EXPECT_TRUE(last[i] == BarrierStatus::kPeerDead || last[i] == BarrierStatus::kDeadline)
+        << "member " << i;
+  }
+  // Once aborted with kPeerDead the member is poisoned for later runs.
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (last[i] == BarrierStatus::kPeerDead) {
+      EXPECT_TRUE(members[i]->peer_failed());
+    }
+  }
+}
+
+TEST(RdmaBarrier, DeadlineAbortsWhenAMemberNeverArrives) {
+  Fixture f(2);
+  BarrierSpec spec = coll::rdma_spec(RdmaAlgorithm::kTreePut);
+  spec.deadline = sim::microseconds(500.0);
+  BarrierMember m0(*f.ports[0], f.group, spec);
+  BarrierMember m1(*f.ports[1], f.group, spec);  // constructed but never run
+  sim::SimTime entered{0}, exited{0};
+  BarrierStatus last = BarrierStatus::kOk;
+  f.cluster->sim().spawn(
+      barrier_loop(f.cluster->sim(), m0, sim::Duration{0}, 1, &entered, &exited, &last));
+  f.cluster->sim().run();
+  EXPECT_EQ(last, BarrierStatus::kDeadline);
+  EXPECT_GE((exited - entered).us(), 500.0);
+}
+
+TEST(RdmaBarrier, RunFuzzyRejectsRdmaFamily) {
+  Fixture f(2);
+  BarrierMember m(*f.ports[0], f.group, coll::rdma_spec(RdmaAlgorithm::kDissemination));
+  EXPECT_THROW((void)m.run_fuzzy(sim::microseconds(1.0)), std::logic_error);
+}
+
+TEST(RdmaBarrier, ManagedGroupIsRejected) {
+  Fixture f(2);
+  BarrierSpec spec = coll::rdma_spec(RdmaAlgorithm::kDissemination);
+  spec.group = 5;
+  EXPECT_THROW(BarrierMember(*f.ports[0], f.group, spec), std::invalid_argument);
+}
+
+// The determinism contract extends to the new family: the same plan must
+// produce bit-identical simulated times for any worker count.
+TEST(RdmaBarrier, BitIdenticalAcrossWorkerCounts) {
+  coll::SweepPlan plan;
+  for (const RdmaAlgorithm alg : {RdmaAlgorithm::kDissemination, RdmaAlgorithm::kTreePut}) {
+    coll::ExperimentParams p = coll::experiment(nic::lanai43(), 8, /*reps=*/40);
+    p.spec = coll::rdma_spec(alg, 2);
+    plan.add(coll::variant_label(p), p);
+  }
+  const coll::SweepResult serial = plan.run({.workers = 1});
+  const coll::SweepResult parallel = plan.run({.workers = 4});
+  ASSERT_EQ(serial.cases.size(), parallel.cases.size());
+  for (std::size_t i = 0; i < serial.cases.size(); ++i) {
+    EXPECT_EQ(serial.cases[i].result.total.ps(), parallel.cases[i].result.total.ps())
+        << serial.cases[i].label;
+    EXPECT_EQ(serial.cases[i].result.barrier_failures, 0u) << serial.cases[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace nicbar

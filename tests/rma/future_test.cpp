@@ -1,0 +1,194 @@
+// rma::future / promise / when_all semantics. The layer is scheduler-free:
+// most of these tests run with no Simulator at all; the await tests spin one
+// up only to host the coroutine frames.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rma/future.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace nicbar {
+namespace {
+
+using coll::Status;
+using rma::future;
+using rma::promise;
+using rma::when_all;
+
+TEST(RmaFuture, StartsUnsettledAndSettlesWithValue) {
+  promise<std::int64_t> p;
+  future<std::int64_t> f = p.get_future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.ready());
+  p.set_value(42);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.value(), 42);
+  EXPECT_EQ(f.status(), Status::kOk);
+}
+
+TEST(RmaFuture, DefaultConstructedIsInvalid) {
+  future<std::int64_t> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_FALSE(f.ready());
+}
+
+TEST(RmaFuture, FirstSettleWins) {
+  promise<std::int64_t> p;
+  future<std::int64_t> f = p.get_future();
+  p.set_value(7);
+  p.set_error(Status::kDeadline);  // ignored: already settled
+  EXPECT_EQ(f.value(), 7);
+  EXPECT_EQ(f.status(), Status::kOk);
+
+  promise<std::int64_t> q;
+  future<std::int64_t> g = q.get_future();
+  q.set_error(Status::kPeerDead);
+  q.set_value(9);  // ignored
+  EXPECT_EQ(g.status(), Status::kPeerDead);
+  EXPECT_EQ(g.value(), 0);  // error value is T{}
+}
+
+TEST(RmaFuture, CopiesShareState) {
+  promise<std::int64_t> p;
+  future<std::int64_t> a = p.get_future();
+  future<std::int64_t> b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  p.set_value(5);
+  EXPECT_TRUE(a.ready());
+  EXPECT_TRUE(b.ready());
+  EXPECT_EQ(b.value(), 5);
+}
+
+TEST(RmaFuture, ThenRunsAfterSettle) {
+  promise<std::int64_t> p;
+  future<std::int64_t> doubled = p.get_future().then([](const std::int64_t& v) { return 2 * v; });
+  EXPECT_FALSE(doubled.ready());
+  p.set_value(21);
+  ASSERT_TRUE(doubled.ready());
+  EXPECT_EQ(doubled.value(), 42);
+}
+
+TEST(RmaFuture, ThenOnReadyFutureRunsInline) {
+  promise<std::int64_t> p;
+  p.set_value(10);
+  future<std::int64_t> f = p.get_future().then([](const std::int64_t& v) { return v + 1; });
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.value(), 11);
+}
+
+TEST(RmaFuture, ThenPropagatesErrorWithoutRunning) {
+  promise<std::int64_t> p;
+  bool ran = false;
+  future<std::int64_t> f = p.get_future().then([&ran](const std::int64_t& v) {
+    ran = true;
+    return v;
+  });
+  p.set_error(Status::kPeerDead);
+  ASSERT_TRUE(f.ready());
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(f.status(), Status::kPeerDead);
+  EXPECT_EQ(f.value(), 0);
+}
+
+TEST(RmaFuture, ThenChainsAcrossTypes) {
+  promise<std::int64_t> p;
+  future<Status> f = p.get_future().then([](const std::int64_t&) { return Status::kOk; });
+  p.set_value(1);
+  ASSERT_TRUE(f.ready());
+  EXPECT_EQ(f.value(), Status::kOk);
+}
+
+TEST(RmaWhenAll, CollectsValuesInIndexOrder) {
+  std::vector<promise<std::int64_t>> ps(3);
+  std::vector<future<std::int64_t>> fs;
+  for (auto& p : ps) fs.push_back(p.get_future());
+  future<std::vector<std::int64_t>> all = when_all(fs);
+  // Settle out of order: values must still land by index.
+  ps[2].set_value(30);
+  EXPECT_FALSE(all.ready());
+  ps[0].set_value(10);
+  ps[1].set_value(20);
+  ASSERT_TRUE(all.ready());
+  EXPECT_EQ(all.status(), Status::kOk);
+  EXPECT_EQ(all.value(), (std::vector<std::int64_t>{10, 20, 30}));
+}
+
+TEST(RmaWhenAll, FirstErrorByIndexWinsRegardlessOfSettleOrder) {
+  std::vector<promise<std::int64_t>> ps(3);
+  std::vector<future<std::int64_t>> fs;
+  for (auto& p : ps) fs.push_back(p.get_future());
+  future<std::vector<std::int64_t>> all = when_all(fs);
+  // Index 2 fails first in time with kDeadline, index 1 later with
+  // kPeerDead; index order is the deterministic tiebreak, so kPeerDead wins.
+  ps[2].set_error(Status::kDeadline);
+  ps[0].set_value(1);
+  ps[1].set_error(Status::kPeerDead);
+  ASSERT_TRUE(all.ready());
+  EXPECT_EQ(all.status(), Status::kPeerDead);
+  // Failed slots carry T{}; successful slots their value.
+  EXPECT_EQ(all.value(), (std::vector<std::int64_t>{1, 0, 0}));
+}
+
+TEST(RmaWhenAll, EmptyBatchIsImmediatelyReady) {
+  future<std::vector<std::int64_t>> all = when_all(std::vector<future<std::int64_t>>{});
+  ASSERT_TRUE(all.ready());
+  EXPECT_EQ(all.status(), Status::kOk);
+  EXPECT_TRUE(all.value().empty());
+}
+
+sim::Task await_future(future<std::int64_t> f, std::int64_t* out, sim::SimTime* when,
+                       sim::Simulator& sim) {
+  *out = co_await f;
+  *when = sim.now();
+}
+
+TEST(RmaFuture, AwaitSuspendsUntilSettled) {
+  sim::Simulator sim;
+  promise<std::int64_t> p;
+  std::int64_t got = -1;
+  sim::SimTime when{0};
+  sim.spawn(await_future(p.get_future(), &got, &when, sim));
+  sim.schedule_at(sim::SimTime{1000}, [p] { p.set_value(99); });
+  sim.run();
+  EXPECT_EQ(got, 99);
+  EXPECT_EQ(when.ps(), 1000);
+}
+
+TEST(RmaFuture, AwaitReadyFutureResumesImmediately) {
+  sim::Simulator sim;
+  promise<std::int64_t> p;
+  p.set_value(3);
+  std::int64_t got = -1;
+  sim::SimTime when{0};
+  sim.spawn(await_future(p.get_future(), &got, &when, sim));
+  sim.run();
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(when.ps(), 0);
+}
+
+sim::Task await_all(std::vector<future<std::int64_t>> fs, std::vector<std::int64_t>* out,
+                    Status* st) {
+  future<std::vector<std::int64_t>> all = when_all(std::move(fs));
+  *out = co_await all;
+  *st = all.status();
+}
+
+TEST(RmaWhenAll, AwaitableFromCoroutine) {
+  sim::Simulator sim;
+  std::vector<promise<std::int64_t>> ps(2);
+  std::vector<future<std::int64_t>> fs;
+  for (auto& p : ps) fs.push_back(p.get_future());
+  std::vector<std::int64_t> got;
+  Status st = Status::kPeerDead;
+  sim.spawn(await_all(std::move(fs), &got, &st));
+  sim.schedule_at(sim::SimTime{10}, [p = ps[1]] { p.set_value(2); });
+  sim.schedule_at(sim::SimTime{20}, [p = ps[0]] { p.set_value(1); });
+  sim.run();
+  EXPECT_EQ(st, Status::kOk);
+  EXPECT_EQ(got, (std::vector<std::int64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace nicbar

@@ -1,0 +1,222 @@
+// One-sided rput/rget/remote_cas over the simulated NIC: remote completion
+// semantics, per-target put ordering, CAS linearizability under racing
+// initiators, registration-race parking, and failure surfacing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "host/cluster.hpp"
+#include "rma/domain.hpp"
+#include "sim/time.hpp"
+
+namespace nicbar {
+namespace {
+
+using namespace sim::literals;
+using coll::Status;
+using gm::Endpoint;
+
+struct Fixture {
+  explicit Fixture(std::size_t n, host::ClusterParams cp = {}) {
+    cp.nodes = n;
+    cluster = std::make_unique<host::Cluster>(cp);
+    for (std::size_t i = 0; i < n; ++i) {
+      ports.push_back(cluster->open_port(static_cast<net::NodeId>(i), 2));
+      domains.push_back(std::make_unique<rma::Domain>(*ports.back()));
+    }
+  }
+  [[nodiscard]] Endpoint ep(std::size_t i) const {
+    return Endpoint{static_cast<net::NodeId>(i), 2};
+  }
+  std::unique_ptr<host::Cluster> cluster;
+  std::vector<std::unique_ptr<gm::Port>> ports;
+  std::vector<std::unique_ptr<rma::Domain>> domains;
+};
+
+sim::Task run_put(rma::Domain& d, Endpoint dst, std::uint64_t seg, std::uint64_t idx,
+                  std::int64_t value, Status* out) {
+  rma::future<Status> f = d.rput(dst, seg, idx, value);
+  *out = co_await f;
+}
+
+TEST(RmaOneSided, RputCommitsAtTargetBeforeCompleting) {
+  Fixture f(2);
+  rma::Segment& target = f.domains[1]->register_segment(8);
+  Status st = Status::kPeerDead;
+  f.cluster->sim().spawn(run_put(*f.domains[0], f.ep(1), target.id(), 3, 42, &st));
+  f.cluster->sim().run();
+  EXPECT_EQ(st, Status::kOk);
+  EXPECT_EQ(target.load(3), 42);
+  EXPECT_EQ(f.cluster->nic(1).stats().rma_puts_applied, 1u);
+  EXPECT_EQ(f.cluster->nic(0).stats().rma_ops_posted, 1u);
+  EXPECT_EQ(f.cluster->nic(0).stats().rma_replies, 1u);
+}
+
+sim::Task run_get(rma::Domain& d, Endpoint dst, std::uint64_t seg, std::uint64_t idx,
+                  std::int64_t* out, Status* st) {
+  rma::future<std::int64_t> f = d.rget(dst, seg, idx);
+  *out = co_await f;
+  *st = f.status();
+}
+
+TEST(RmaOneSided, RgetFetchesRemoteWord) {
+  Fixture f(2);
+  rma::Segment& target = f.domains[1]->register_segment(4);
+  target.store(0, 7);
+  std::int64_t got = -1;
+  Status st = Status::kPeerDead;
+  f.cluster->sim().spawn(run_get(*f.domains[0], f.ep(1), target.id(), 0, &got, &st));
+  f.cluster->sim().run();
+  EXPECT_EQ(st, Status::kOk);
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(f.cluster->nic(1).stats().rma_gets_served, 1u);
+}
+
+// Per-target ordering: data puts posted before a flag put must be visible at
+// the target when the flag is. kRounds rounds of (8 data words, then flag).
+constexpr std::int64_t kRounds = 12;
+
+sim::Task ordered_producer(rma::Domain& d, Endpoint dst, std::uint64_t seg) {
+  for (std::int64_t round = 1; round <= kRounds; ++round) {
+    for (std::uint64_t w = 1; w <= 8; ++w) {
+      (void)d.rput(dst, seg, w, round * 100 + static_cast<std::int64_t>(w));
+    }
+    (void)d.rput(dst, seg, 0, round);  // flag: all 8 data words of this round
+  }
+  co_return;
+}
+
+sim::Task ordered_consumer(rma::Segment& seg, int* violations) {
+  for (std::int64_t round = 1; round <= kRounds; ++round) {
+    (void)co_await seg.wait_ge(0, round);
+    for (std::uint64_t w = 1; w <= 8; ++w) {
+      // The flag put was posted after the data puts, same initiator, same
+      // target: delivery order pins the data (of this round or newer).
+      if (seg.load(w) < round * 100 + static_cast<std::int64_t>(w)) ++*violations;
+    }
+  }
+}
+
+TEST(RmaOneSided, PutsToOneTargetCommitInPostingOrder) {
+  Fixture f(2);
+  rma::Segment& target = f.domains[1]->register_segment(16);
+  int violations = 0;
+  f.cluster->sim().spawn(ordered_consumer(target, &violations));
+  f.cluster->sim().spawn(ordered_producer(*f.domains[0], f.ep(1), target.id()));
+  f.cluster->sim().run();
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(target.load(0), kRounds);
+}
+
+// Two initiators race CAS increments on one word. Linearizability: each
+// successful CAS observes a unique prior, and the union of priors is exactly
+// {0 .. 2K-1} with the final value 2K.
+constexpr int kIncrementsPerNode = 20;
+
+sim::Task cas_incrementer(rma::Domain& d, Endpoint dst, std::uint64_t seg,
+                          std::vector<std::int64_t>* priors, bool* failed) {
+  std::int64_t expected = 0;
+  int done = 0;
+  while (done < kIncrementsPerNode) {
+    rma::future<std::int64_t> f = d.remote_cas(dst, seg, 0, expected, expected + 1);
+    const std::int64_t prior = co_await f;
+    if (f.status() != Status::kOk) {
+      *failed = true;
+      co_return;
+    }
+    if (prior == expected) {
+      priors->push_back(prior);
+      ++done;
+      expected = prior + 1;
+    } else {
+      expected = prior;  // lost the race: retry against the observed value
+    }
+  }
+}
+
+TEST(RmaOneSided, RacingCasIncrementsAreLinearizable) {
+  Fixture f(3);
+  rma::Segment& target = f.domains[0]->register_segment(1);
+  std::vector<std::int64_t> priors1, priors2;
+  bool failed = false;
+  f.cluster->sim().spawn(
+      cas_incrementer(*f.domains[1], f.ep(0), target.id(), &priors1, &failed));
+  f.cluster->sim().spawn(
+      cas_incrementer(*f.domains[2], f.ep(0), target.id(), &priors2, &failed));
+  f.cluster->sim().run();
+  ASSERT_FALSE(failed);
+  EXPECT_EQ(target.load(0), 2 * kIncrementsPerNode);
+  std::vector<std::int64_t> all = priors1;
+  all.insert(all.end(), priors2.begin(), priors2.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * kIncrementsPerNode));
+  for (std::int64_t i = 0; i < 2 * kIncrementsPerNode; ++i) {
+    EXPECT_EQ(all[static_cast<std::size_t>(i)], i) << "prior " << i << " missing or duplicated";
+  }
+  EXPECT_GE(f.cluster->nic(0).stats().rma_cas_applied, static_cast<std::uint64_t>(
+                                                           2 * kIncrementsPerNode));
+}
+
+TEST(RmaOneSided, OpsArrivingBeforeRegistrationParkAndFlush) {
+  Fixture f(2);
+  Status st = Status::kPeerDead;
+  rma::Segment* target = nullptr;
+  // The put launches at t=0; the target registers segment 0 only at t=200us,
+  // so the op must park on arrival and flush at registration.
+  f.cluster->sim().spawn(run_put(*f.domains[0], f.ep(1), 0, 2, 11, &st));
+  f.cluster->sim().schedule_at(sim::SimTime{sim::microseconds(200.0).ps()},
+                               [&f, &target] { target = &f.domains[1]->register_segment(4); });
+  f.cluster->sim().run();
+  EXPECT_EQ(st, Status::kOk);
+  ASSERT_NE(target, nullptr);
+  EXPECT_EQ(target->load(2), 11);
+  EXPECT_GE(f.cluster->nic(1).stats().rma_parked, 1u);
+}
+
+sim::Task two_puts_to_dead_peer(rma::Domain& d, Endpoint dst, Status* first, Status* second,
+                                bool* second_ready_at_once) {
+  rma::future<Status> f1 = d.rput(dst, 0, 0, 1);
+  *first = co_await f1;
+  rma::future<Status> f2 = d.rput(dst, 0, 0, 2);
+  *second_ready_at_once = f2.ready();  // poisoned target: fails synchronously
+  *second = co_await f2;
+}
+
+TEST(RmaOneSided, DeadPeerFailsInFlightThenFastFails) {
+  host::ClusterParams cp;
+  cp.nic.max_retransmissions = 3;  // give up quickly
+  Fixture f(2, cp);
+  f.cluster->nic(1).crash();  // target NIC never acks
+  Status st1 = Status::kOk;
+  Status st2 = Status::kOk;
+  bool fast = false;
+  f.cluster->sim().spawn(two_puts_to_dead_peer(*f.domains[0], f.ep(1), &st1, &st2, &fast));
+  f.cluster->sim().run();
+  EXPECT_EQ(st1, Status::kPeerDead);
+  EXPECT_EQ(st2, Status::kPeerDead);
+  EXPECT_TRUE(fast);
+  EXPECT_TRUE(f.domains[0]->is_dead(1));
+  EXPECT_EQ(f.domains[0]->inflight(), 0u);
+}
+
+sim::Task put_with_timeout(rma::Domain& d, Endpoint dst, Status* out) {
+  rma::future<Status> f = d.rput(dst, /*segment=*/7, 0, 1, /*timeout=*/sim::microseconds(100.0));
+  *out = co_await f;
+}
+
+TEST(RmaOneSided, PerOpDeadlineSettlesWithKDeadline) {
+  Fixture f(2);
+  // Segment 7 is never registered at the target: the op parks forever and
+  // only the initiator-side timeout can settle the future.
+  Status st = Status::kOk;
+  f.cluster->sim().spawn(put_with_timeout(*f.domains[0], f.ep(1), &st));
+  f.cluster->sim().run();
+  EXPECT_EQ(st, Status::kDeadline);
+  EXPECT_EQ(f.domains[0]->inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace nicbar

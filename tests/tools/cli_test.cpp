@@ -99,6 +99,25 @@ TEST(CliTest, EnumValuesParse) {
   EXPECT_FALSE(o->params.cluster.nic.adaptive_rto);
 }
 
+TEST(CliTest, HostRdmaAlgorithmsParse) {
+  std::string err;
+  auto o = parse_args({"--algorithm", "host-dissem"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->params.spec.rdma, coll::RdmaAlgorithm::kDissemination);
+
+  o = parse_args({"--algorithm", "host-tree", "--dim", "4"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->params.spec.rdma, coll::RdmaAlgorithm::kTreePut);
+  EXPECT_EQ(o->params.spec.gb_dimension, 4u);  // --dim = tree radix
+}
+
+TEST(CliTest, HostRdmaRejectsDimSweepAndPredict) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--algorithm", "host-tree", "--dim", "0"}, err).has_value());
+  EXPECT_NE(err.find("radix"), std::string::npos);
+  EXPECT_FALSE(parse_args({"--algorithm", "host-dissem", "--predict"}, err).has_value());
+}
+
 TEST(CliTest, BadEnumValueReportsTheFlag) {
   std::string err;
   EXPECT_FALSE(parse_args({"--location", "gpu"}, err).has_value());

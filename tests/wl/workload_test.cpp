@@ -154,6 +154,47 @@ TEST(WorkloadSpecTest, ValidateRejectsEmptyAndDegenerateSpecs) {
   EXPECT_THROW(validate(s), std::invalid_argument);  // GB without a dimension
 }
 
+TEST(WorkloadSpecTest, HostRdmaAlgorithmKeyParsesAndRoundTrips) {
+  const WorkloadSpec s = parse_workload_spec(
+      "job a\n  nodes 4\n  algorithm host-dissem\n"
+      "job b\n  nodes 4\n  algorithm host-tree 3\n");
+  ASSERT_EQ(s.classes.size(), 2u);
+  EXPECT_EQ(s.classes[0].rdma, coll::RdmaAlgorithm::kDissemination);
+  EXPECT_EQ(s.classes[1].rdma, coll::RdmaAlgorithm::kTreePut);
+  EXPECT_EQ(s.classes[1].gb_dimension, 3u);  // host-tree radix
+  EXPECT_TRUE(spec_equal(s, parse_workload_spec(print_spec(s))));
+}
+
+TEST(WorkloadSpecTest, HostRdmaRejectsMixedManagedAndZeroRadix) {
+  WorkloadSpec s;
+  s.classes.push_back(JobClass{});
+  s.classes[0].rdma = coll::RdmaAlgorithm::kDissemination;
+  EXPECT_NO_THROW(validate(s));
+
+  s.classes[0].mix.allreduce = 0.5;  // reductions need the communicator path
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s.classes[0].mix = CollectiveMix{};
+
+  s.classes[0].managed = true;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s.classes[0].managed = false;
+
+  s.classes[0].rdma = coll::RdmaAlgorithm::kTreePut;
+  s.classes[0].gb_dimension = 0;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+}
+
+TEST(WorkloadDriverTest, HostRdmaClassesCompleteAlongsideNicClasses) {
+  const WorkloadSpec s = parse_workload_spec(
+      "cluster-nodes 8\n"
+      "job nic\n  nodes 4\n  iters 20\n"
+      "job rdma\n  nodes 4\n  iters 20\n  algorithm host-dissem\n");
+  const Report rep = run_workload(s);
+  EXPECT_EQ(rep.total_failures, 0u);
+  ASSERT_EQ(rep.jobs.size(), 2u);
+  for (const JobReport& jr : rep.jobs) EXPECT_GT(jr.latency.count, 0u);
+}
+
 // --- Placement ----------------------------------------------------------------
 
 WorkloadSpec two_jobs(Placement placement, std::size_t cluster, std::size_t width) {

@@ -31,6 +31,13 @@ Every bench emits one document via bench::BenchSummary with the shape
       ]
     }
 
+bench/rma_barrier emits a crossover-study variant (schema "nicbar-rma-v1"):
+the same bench/rows/label/metrics shape where every row must carry finite
+positive latencies for all four families on the same axes (nic_pe_us,
+nic_gb_us, host_dissem_us, host_tree_us) plus exact_match == 1 (the
+contention-free NIC-PE column re-measured through an independent plan must
+agree to the last bit).
+
 bench/churn emits a lifecycle-counter variant (schema "nicbar-churn-v1"):
 the same bench/rows/label/metrics shape plus a top-level "cluster_nodes",
 where every row's metrics must carry the lifecycle keys (groups_created,
@@ -55,6 +62,12 @@ import sys
 SCHEMA = "nicbar-bench-v1"
 SLO_SCHEMA = "nicbar-slo-v1"
 CHURN_SCHEMA = "nicbar-churn-v1"
+RMA_SCHEMA = "nicbar-rma-v1"
+
+# Every rma_barrier row puts all four barrier families on the same axes.
+RMA_METRICS = [
+    "nic_pe_us", "nic_gb_us", "host_dissem_us", "host_tree_us", "exact_match",
+]
 
 # Every churn row must carry exactly these lifecycle counters.
 CHURN_METRICS = [
@@ -206,6 +219,50 @@ def check_churn_doc(doc):
     return problems
 
 
+def check_rma_doc(doc):
+    """Validates one nicbar-rma-v1 document. Returns a list of problems."""
+    problems = []
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty array")
+        return problems
+    for i, row in enumerate(rows):
+        where = "rows[%d]" % i
+        if not isinstance(row, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        if not isinstance(row.get("label"), str) or not row.get("label"):
+            problems.append("%s.label must be a non-empty string" % where)
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append("%s.metrics must be an object" % where)
+            continue
+        missing = [k for k in RMA_METRICS if not is_number(metrics.get(k))]
+        if missing:
+            problems.append(
+                "%s.metrics missing finite numbers for %s" % (where, missing)
+            )
+            continue
+        for key in RMA_METRICS[:-1]:
+            if metrics[key] <= 0.0:
+                problems.append(
+                    "%s.metrics[%r] must be a positive latency, got %r"
+                    % (where, key, metrics[key])
+                )
+        if metrics["exact_match"] != 1:
+            problems.append(
+                "%s: NIC-PE re-measurement diverged from the fig5a grid "
+                "(exact_match=%r; determinism regression)"
+                % (where, metrics["exact_match"])
+            )
+    labels = [r.get("label") for r in rows if isinstance(r, dict)]
+    if len(labels) != len(set(labels)):
+        problems.append("row labels must be unique")
+    return problems
+
+
 def check(path):
     """Returns a list of problems (empty = conforming)."""
     problems = []
@@ -231,6 +288,8 @@ def check(path):
         return check_slo_doc(doc)
     if doc.get("schema") == CHURN_SCHEMA:
         return check_churn_doc(doc)
+    if doc.get("schema") == RMA_SCHEMA:
+        return check_rma_doc(doc)
     if doc.get("schema") != SCHEMA:
         problems.append("schema must be %r, got %r" % (SCHEMA, doc.get("schema")))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):

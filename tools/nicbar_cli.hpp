@@ -88,8 +88,11 @@ inline const char* usage_text() {
       "  --nodes N          group size (default 8)\n"
       "  --reps R           consecutive barriers to average (default 500)\n"
       "  --location L       nic | host (default nic)\n"
-      "  --algorithm A      pe | gb (default pe)\n"
-      "  --dim D            GB tree dimension (default 2; 0 = sweep for best)\n"
+      "  --algorithm A      pe | gb | host-dissem | host-tree (default pe;\n"
+      "                     host-* run on the rma:: one-sided layer and\n"
+      "                     ignore --location)\n"
+      "  --dim D            GB tree dimension / host-tree radix (default 2;\n"
+      "                     0 = sweep for best, GB only)\n"
       "  --nic MODEL        lanai43 | lanai72 (default lanai43)\n"
       "  --clock MHZ        override NIC clock\n"
       "  --topology T       switch | chain | tree (default switch)\n"
@@ -261,8 +264,13 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
         o.params.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
       } else if (s == "gb") {
         o.params.spec.algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
+      } else if (s == "host-dissem") {
+        o.params.spec.rdma = coll::RdmaAlgorithm::kDissemination;
+      } else if (s == "host-tree") {
+        // --dim doubles as the tree radix for this family.
+        o.params.spec.rdma = coll::RdmaAlgorithm::kTreePut;
       } else {
-        return fail("--algorithm must be pe or gb");
+        return fail("--algorithm must be pe, gb, host-dissem, or host-tree");
       }
     } else if (a == "--dim") {
       const char* v = value("--dim");
@@ -377,6 +385,17 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
     }
   }
   o.params.spec.gb_dimension = o.dim;
+
+  if (o.params.spec.rdma != coll::RdmaAlgorithm::kNone) {
+    if (o.sweep_dim) {
+      return fail("--dim 0 sweeps the GB tree dimension; host-tree needs an "
+                  "explicit radix (--dim >= 1)");
+    }
+    if (o.predict) {
+      return fail("--predict evaluates the paper's Eq. 1-2 NIC/host models; "
+                  "no closed form is fitted for the host-RDMA family");
+    }
+  }
 
   if (o.seeds > 1 && (o.breakdown || !o.trace_path.empty() || o.critical_path)) {
     return fail("--breakdown/--trace-json/--critical-path describe a single run; "

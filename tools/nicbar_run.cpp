@@ -36,6 +36,22 @@ namespace {
 
 using namespace nicbar;
 
+/// "NIC"/"host" engine label; the host-RDMA family runs on the host no
+/// matter what --location said.
+const char* engine_label(const coll::BarrierSpec& spec) {
+  if (spec.rdma != coll::RdmaAlgorithm::kNone) return "host";
+  return spec.location == coll::Location::kNic ? "NIC" : "host";
+}
+
+const char* algorithm_label(const coll::BarrierSpec& spec) {
+  switch (spec.rdma) {
+    case coll::RdmaAlgorithm::kDissemination: return "RDMA-dissem";
+    case coll::RdmaAlgorithm::kTreePut: return "RDMA-tree";
+    case coll::RdmaAlgorithm::kNone: break;
+  }
+  return spec.algorithm == nic::BarrierAlgorithm::kPairwiseExchange ? "PE" : "GB";
+}
+
 template <typename Writer>
 bool write_file(const std::string& path, Writer&& writer) {
   std::ofstream out(path);
@@ -87,8 +103,7 @@ int run_seed_sweep(const cli::Options& o) {
 
   std::printf("seed sweep: %zu seeds from %llu, nodes=%zu reps=%d %s-%s nic=%s, jobs=%u\n",
               o.seeds, static_cast<unsigned long long>(o.params.seed), o.params.nodes,
-              o.params.reps, o.params.spec.location == coll::Location::kNic ? "NIC" : "host",
-              o.params.spec.algorithm == nic::BarrierAlgorithm::kPairwiseExchange ? "PE" : "GB",
+              o.params.reps, engine_label(o.params.spec), algorithm_label(o.params.spec),
               o.params.cluster.nic.model.c_str(), o.jobs);
   std::printf("%8s %6s %12s %10s %10s %10s %9s\n", "seed", gb_sweep ? "dim" : "", "mean_us",
               "retrans", "drops", "timeouts", "failures");
@@ -487,9 +502,8 @@ int main(int argc, char** argv) {
   if (mean_us == 0.0) mean_us = r.mean_us;
 
   std::printf("nodes=%zu reps=%d %s-%s dim=%zu nic=%s @%.0fMHz\n", p.nodes, p.reps,
-              p.spec.location == coll::Location::kNic ? "NIC" : "host",
-              p.spec.algorithm == nic::BarrierAlgorithm::kPairwiseExchange ? "PE" : "GB",
-              p.spec.gb_dimension, p.cluster.nic.model.c_str(), p.cluster.nic.clock_mhz);
+              engine_label(p.spec), algorithm_label(p.spec), p.spec.gb_dimension,
+              p.cluster.nic.model.c_str(), p.cluster.nic.clock_mhz);
   if (r.stalled_members > 0) {
     // An unreliable barrier on a lossy fabric hangs when a barrier packet is
     // dropped (the paper's measured config assumes a lossless fabric) — the
