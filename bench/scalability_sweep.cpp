@@ -29,12 +29,19 @@ int main() {
 
   bench::print_header("Scalability: PE barrier on a 16-port switch tree, LANai 4.3");
   std::printf("%6s %12s %12s %12s\n", "nodes", "host(us)", "NIC(us)", "improvement");
+  bench::BenchSummary summary("scalability_sweep");
   for (std::size_t i = 0; i < node_counts.size(); ++i) {
     const double host_us = r.cases[2 * i].result.mean_us;
     const double nic_us = r.cases[2 * i + 1].result.mean_us;
     std::printf("%6zu %12.2f %12.2f %12.2f\n", node_counts[i], host_us, nic_us,
                 host_us / nic_us);
+    summary.add("n" + std::to_string(node_counts[i]),
+                {{"nodes", static_cast<double>(node_counts[i])},
+                 {"host_us", host_us},
+                 {"nic_us", nic_us},
+                 {"improvement", host_us / nic_us}});
   }
+  summary.write();
   std::printf(
       "\nexpected: both grow ~log2(N); improvement keeps rising with N (Eq. 3).\n"
       "note: the switch tree has constant bisection bandwidth, so at >=512\n"

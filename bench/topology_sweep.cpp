@@ -30,12 +30,17 @@ int main() {
 
   bench::print_header("Topology sweep: 16-node PE barrier, LANai 4.3 (us)");
   std::printf("%16s %12s %12s %12s\n", "topology", "host", "NIC", "improvement");
+  bench::BenchSummary summary("topology_sweep");
   for (std::size_t i = 0; i < std::size(rows); ++i) {
     const double host_us = r.cases[2 * i].result.mean_us;
     const double nic_us = r.cases[2 * i + 1].result.mean_us;
     std::printf("%16s %12.2f %12.2f %12.2f\n", rows[i].name, host_us, nic_us,
                 host_us / nic_us);
+    summary.add(rows[i].name, {{"host_us", host_us},
+                               {"nic_us", nic_us},
+                               {"improvement", host_us / nic_us}});
   }
+  summary.write();
   std::printf("\nexpected: deeper fabrics add Network time to both variants; the NIC\n"
               "advantage persists since Recv processing, not the wire, dominates\n");
   return 0;

@@ -1,0 +1,30 @@
+# Hierarchical fabric workload: a 96-node radix-8 fat-tree at 3:1 leaf
+# oversubscription (6 hosts per leaf), with one big BSP job running the
+# two-level hierarchical barrier next to a flat-PE job that keeps the
+# oversubscribed trunk busy — the contention regime where the hierarchical
+# family earns its keep (see EXPERIMENTS.md, hierarchical crossover).
+cluster-nodes 96
+nic lanai43
+topology fat-tree 8 3
+placement disjoint
+reliability shared
+arrival poisson 250
+seed 3
+hist-max-us 10000
+
+job bsp                # leaf-local gather/release; reps cross the core
+  count 1
+  nodes 48
+  iters 60
+  mix barrier=1
+  compute-us 30
+  imbalance 0.2
+  algorithm hier 2
+
+job trunkload          # flat PE: every round crosses the oversubscribed trunk
+  count 2
+  nodes 24
+  iters 40
+  mix barrier=0.8 allreduce=0.2
+  compute-us 25
+  algorithm pe

@@ -44,6 +44,37 @@ BarrierMember::BarrierMember(gm::Port& port, std::vector<Endpoint> group, Barrie
     }
     return;
   }
+  if (spec_.hierarchical) {
+    if (spec_.location != Location::kNic) {
+      throw std::invalid_argument("hierarchical barriers require the NIC-based location");
+    }
+    const std::size_t n = group_.size();
+    const std::size_t block =
+        (spec_.hier_block == 0 || spec_.hier_block > n) ? n : spec_.hier_block;
+    const std::size_t b = my_index_ / block;
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(lo + block, n);
+    hier_block_size_ = hi - lo;
+    hier_num_blocks_ = (n + block - 1) / block;
+    hier_is_rep_ = my_index_ == lo;
+    const std::vector<Endpoint> mates(group_.begin() + static_cast<std::ptrdiff_t>(lo),
+                                      group_.begin() + static_cast<std::ptrdiff_t>(hi));
+    hier_gb_ = gb_tree(mates, my_index_ - lo, spec_.gb_dimension);
+    if (hier_is_rep_) {
+      // Multidestination release fan-out: every block mate, directly.
+      hier_release_.assign(mates.begin() + 1, mates.end());
+    } else {
+      // Where our release will come from.
+      hier_release_.assign(1, mates.front());
+    }
+    if (hier_is_rep_ && hier_num_blocks_ > 1) {
+      std::vector<Endpoint> reps;
+      reps.reserve(hier_num_blocks_);
+      for (std::size_t r = 0; r < hier_num_blocks_; ++r) reps.push_back(group_[r * block]);
+      hier_rep_peers_ = pe_schedule(reps, b);
+    }
+    return;
+  }
   if (spec_.algorithm == BarrierAlgorithm::kPairwiseExchange) {
     pe_peers_ = pe_schedule(group_, my_index_);
   } else {
@@ -65,6 +96,10 @@ sim::ValueTask<BarrierStatus> BarrierMember::run() {
   if (spec_.rdma != RdmaAlgorithm::kNone) {
     const BarrierStatus st = co_await rdma_barrier_->run(deadline_at_);
     if (st == BarrierStatus::kPeerDead) peer_dead_ = true;
+    co_return st;
+  }
+  if (spec_.hierarchical) {
+    const BarrierStatus st = co_await run_hier();
     co_return st;
   }
   if (spec_.location == Location::kHost) {
@@ -188,6 +223,37 @@ sim::ValueTask<BarrierStatus> BarrierMember::run_host_gb() {
 
 // --- NIC-based barriers -----------------------------------------------------------
 
+// --- Hierarchical barrier (two-level: intra-block gather, rep PE, release) --------
+
+sim::ValueTask<gm::Epoch> BarrierMember::start_hier() {
+  // Every member posts exactly one kHierarchical token per barrier. The
+  // representative's is firmware-resident across all three phases: the NIC
+  // advances gather -> inter-representative exchange -> multidestination
+  // release with zero host hand-offs — the same philosophy the paper
+  // applies to the flat algorithms (§4.2). Everyone else gathers up the
+  // block tree and completes on the representative's direct release.
+  nic::BarrierToken token;
+  token.group = spec_.group;
+  token.algorithm = BarrierAlgorithm::kHierarchical;
+  token.children = hier_gb_.children;
+  token.release = hier_release_;
+  if (hier_is_rep_) {
+    token.peers = hier_rep_peers_;
+    // parent stays invalid: the representative roots its block tree.
+  } else {
+    token.parent = hier_gb_.parent;
+  }
+  co_await port_.provide_barrier_buffer();
+  co_return co_await port_.barrier_send(std::move(token));
+}
+
+sim::ValueTask<BarrierStatus> BarrierMember::run_hier() {
+  const gm::Epoch epoch = co_await start_hier();
+  const BarrierStatus st = co_await wait_barrier_complete(epoch);
+  if (st != BarrierStatus::kOk) port_.barrier_cancel();
+  co_return st;
+}
+
 sim::ValueTask<gm::Epoch> BarrierMember::start_nic_barrier() {
   nic::BarrierToken token;
   token.algorithm = spec_.algorithm;
@@ -204,7 +270,10 @@ sim::ValueTask<gm::Epoch> BarrierMember::start_nic_barrier() {
 
 sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(gm::Epoch epoch) {
   if (pending_completions_ > 0) {
+    // Drained by a sharing layer; the event's causal id is gone, so a
+    // representative hand-off starting here has no provenance parent.
     --pending_completions_;
+    last_completion_causal_ = 0;
     co_return BarrierStatus::kOk;
   }
   for (;;) {
@@ -216,7 +285,11 @@ sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(gm::Epoch epo
       case GmEventType::kBarrierComplete:
         // A completion from an earlier, aborted epoch can still surface if
         // the fabric healed after we cancelled; only ours ends this wait.
-        if (epoch.matches(ev.barrier_epoch)) co_return BarrierStatus::kOk;
+        if (epoch.matches(ev.barrier_epoch)) {
+          last_completion_causal_ = ev.causal;
+          last_completion_at_ = port_.simulator().now();
+          co_return BarrierStatus::kOk;
+        }
         port_.count_stale_completion();
         break;
       case GmEventType::kRecv:
@@ -243,8 +316,9 @@ sim::ValueTask<BarrierStatus> BarrierMember::wait_barrier_complete(gm::Epoch epo
 
 sim::ValueTask<std::uint64_t> BarrierMember::run_fuzzy(sim::Duration chunk) {
   // Validate eagerly: a lazy coroutine would defer the throw until awaited.
-  if (spec_.location != Location::kNic || spec_.rdma != RdmaAlgorithm::kNone) {
-    throw std::logic_error("fuzzy barrier requires the NIC-based implementation");
+  if (spec_.location != Location::kNic || spec_.rdma != RdmaAlgorithm::kNone ||
+      spec_.hierarchical) {
+    throw std::logic_error("fuzzy barrier requires the flat NIC-based implementation");
   }
   return run_fuzzy_impl(chunk);
 }

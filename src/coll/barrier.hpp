@@ -73,6 +73,24 @@ struct BarrierSpec {
   /// `gb_dimension` as the tree radix. Incompatible with managed groups
   /// (`group` must stay 0) and with run_fuzzy().
   RdmaAlgorithm rdma = RdmaAlgorithm::kNone;
+  /// The hierarchical NIC family for multi-switch fabrics: members are cut
+  /// into blocks of `hier_block` consecutive indices (one block per leaf
+  /// switch under the in-order placement the runners use). Each barrier is
+  /// (A) an intra-block gather up the block tree, (B) pairwise exchange
+  /// among the block representatives (member 0 of each block), (C) a
+  /// multidestination release sent by the representative straight to every
+  /// block mate (SEND-side replication — one packet hop, no tree descent).
+  /// Phases A/C stay leaf-local — one switch hop, no fabric contention — so
+  /// only the R = N/hier_block representatives cross the core; and every
+  /// phase transition happens *inside the NIC firmware* (one kHierarchical
+  /// token per member, no host hand-offs between phases). Requires
+  /// Location::kNic and rdma == kNone; `algorithm` is ignored;
+  /// `gb_dimension` shapes the intra-block trees. Degenerate shapes
+  /// collapse cleanly: one block -> a flat gather tree with a star release,
+  /// one-member blocks -> flat PE among representatives.
+  bool hierarchical = false;
+  /// Members per block. 0 = one block spanning the whole group.
+  std::size_t hier_block = 0;
 };
 
 class BarrierMember {
@@ -96,6 +114,12 @@ class BarrierMember {
   [[nodiscard]] const GbTreeSlice& gb_slice() const { return gb_; }
   [[nodiscard]] std::size_t my_index() const { return my_index_; }
   [[nodiscard]] const BarrierSpec& spec() const { return spec_; }
+
+  /// Hierarchical family only: is this member its block's representative,
+  /// and what are the resolved sub-schedules (for tests/introspection).
+  [[nodiscard]] bool is_representative() const { return hier_is_rep_; }
+  [[nodiscard]] const GbTreeSlice& hier_intra_slice() const { return hier_gb_; }
+  [[nodiscard]] const std::vector<Endpoint>& hier_rep_peers() const { return hier_rep_peers_; }
 
   /// When a higher layer (e.g. mpi::Communicator) shares the port's event
   /// stream, it installs a sink here: events that are not this barrier's
@@ -131,7 +155,12 @@ class BarrierMember {
   sim::ValueTask<std::uint64_t> run_fuzzy_impl(sim::Duration chunk);
   sim::ValueTask<BarrierStatus> run_host_pe();
   sim::ValueTask<BarrierStatus> run_host_gb();
+  sim::ValueTask<BarrierStatus> run_hier();
   sim::ValueTask<gm::Epoch> start_nic_barrier();  // returns the epoch
+  /// Posts this member's single kHierarchical token (representative:
+  /// gather + exchange + multidestination release, all firmware-resident;
+  /// everyone else: gather up the block tree, complete on the release).
+  sim::ValueTask<gm::Epoch> start_hier();
   sim::ValueTask<BarrierStatus> wait_barrier_complete(gm::Epoch epoch);
   sim::ValueTask<BarrierStatus> wait_msg_from(Endpoint peer);
   /// Next port event, bounded by the current deadline (nullopt = expired).
@@ -145,6 +174,20 @@ class BarrierMember {
   std::size_t my_index_ = 0;
   std::vector<Endpoint> pe_peers_;
   GbTreeSlice gb_;
+
+  // Hierarchical family (empty/default unless spec.hierarchical).
+  GbTreeSlice hier_gb_;                  // my slice of the intra-block tree
+  std::vector<Endpoint> hier_rep_peers_; // rep only: PE schedule over reps
+  /// Rep: all block mates (the multidestination release fan-out).
+  /// Non-rep: one entry, the representative (the release source).
+  std::vector<Endpoint> hier_release_;
+  std::size_t hier_block_size_ = 0;      // my block's member count
+  bool hier_is_rep_ = false;
+  std::size_t hier_num_blocks_ = 1;
+  /// Causal id and consumption time of the latest matched completion event
+  /// (0 when unknown); feeds the representative hand-off span between phases.
+  std::uint64_t last_completion_causal_ = 0;
+  sim::SimTime last_completion_at_{};
 
   // Early-arrival bookkeeping (host-based path).
   std::map<Endpoint, int> pending_msgs_;

@@ -74,10 +74,16 @@ GroupMember::GroupMember(gm::Port& port, std::vector<Endpoint> members, GroupCon
   nic_spec.gb_dimension = config_.gb_dimension;
   nic_spec.deadline = config_.deadline;
   nic_spec.group = config_.id;
+  nic_spec.hierarchical = config_.hierarchical;
+  nic_spec.hier_block = config_.hier_block;
   nic_bm_ = std::make_unique<BarrierMember>(port_, members_, nic_spec);
 
   BarrierSpec host_spec = nic_spec;
   host_spec.location = Location::kHost;
+  // The degraded path is host software: it runs the flat algorithm (the
+  // hierarchical composition only pays off on NIC offload).
+  host_spec.hierarchical = false;
+  host_spec.hier_block = 0;
   host_bm_ = std::make_unique<BarrierMember>(port_, members_, host_spec);
 
   // Both barrier paths share the port's event stream with the handshakes:

@@ -74,6 +74,11 @@ struct GroupConfig {
   nic::BarrierAlgorithm algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
   std::size_t gb_dimension = 2;
 
+  /// Run the two-level hierarchical NIC family while offloaded (`algorithm`
+  /// is then ignored; the host fallback stays flat). See BarrierSpec.
+  bool hierarchical = false;
+  std::size_t hier_block = 0;  // members per leaf block; 0 = one block
+
   /// Deadline for each barrier() run (0 = wait forever); see BarrierSpec.
   sim::Duration deadline{0};
 

@@ -65,6 +65,15 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
 
   const std::vector<net::NodeId> order = resolve_node_order(params);
 
+  // The hierarchical family's block size defaults to the fabric's leaf
+  // population, so "one block" really is "one leaf switch" under the
+  // in-order placement below. Explicit hier_block (tests, flat topologies)
+  // wins.
+  BarrierSpec spec = params.spec;
+  if (spec.hierarchical && spec.hier_block == 0) {
+    if (const fabric::Fabric* f = cluster.fabric()) spec.hier_block = f->hosts_per_leaf;
+  }
+
   std::vector<Endpoint> group;
   group.reserve(params.nodes);
   for (std::size_t i = 0; i < params.nodes; ++i) {
@@ -77,7 +86,7 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
   members.reserve(params.nodes);
   for (std::size_t i = 0; i < params.nodes; ++i) {
     ports.push_back(cluster.open_port(order[i], params.port));
-    members.push_back(std::make_unique<BarrierMember>(*ports.back(), group, params.spec));
+    members.push_back(std::make_unique<BarrierMember>(*ports.back(), group, spec));
   }
 
   sim::Rng rng(params.seed);

@@ -222,11 +222,23 @@ BarrierSpec rdma_spec(RdmaAlgorithm alg, std::size_t radix) {
   return s;
 }
 
+BarrierSpec hier_spec(std::size_t intra_dim, std::size_t block) {
+  BarrierSpec s;
+  s.location = Location::kNic;
+  s.hierarchical = true;
+  s.gb_dimension = intra_dim;
+  s.hier_block = block;
+  return s;
+}
+
 std::string variant_label(const ExperimentParams& p) {
   if (p.spec.rdma != RdmaAlgorithm::kNone) {
     return std::string("rdma-") +
            (p.spec.rdma == RdmaAlgorithm::kDissemination ? "dissem" : "tree") + "-n" +
            std::to_string(p.nodes) + "-" + p.cluster.nic.model;
+  }
+  if (p.spec.hierarchical) {
+    return "nic-hier-n" + std::to_string(p.nodes) + "-" + p.cluster.nic.model;
   }
   return std::string(p.spec.location == Location::kNic ? "nic" : "host") + "-" +
          (p.spec.algorithm == nic::BarrierAlgorithm::kPairwiseExchange ? "pe" : "gb") + "-n" +

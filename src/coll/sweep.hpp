@@ -148,9 +148,14 @@ class SweepPlan {
 /// tree radix for kTreePut, ignored for kDissemination.
 [[nodiscard]] BarrierSpec rdma_spec(RdmaAlgorithm alg, std::size_t radix = 2);
 
+/// Spec for the hierarchical NIC family. `intra_dim` shapes the intra-block
+/// GB trees; `block` = 0 lets the runner derive the block size from the
+/// cluster's fabric (hosts per leaf switch).
+[[nodiscard]] BarrierSpec hier_spec(std::size_t intra_dim = 2, std::size_t block = 0);
+
 /// Canonical case label: "<nic|host>-<pe|gb>-n<N>-<model>" — the naming the
-/// metrics JSON has always used — or "rdma-<dissem|tree>-n<N>-<model>" for
-/// the host-RDMA family.
+/// metrics JSON has always used — "rdma-<dissem|tree>-n<N>-<model>" for the
+/// host-RDMA family, or "nic-hier-n<N>-<model>" for the hierarchical family.
 [[nodiscard]] std::string variant_label(const ExperimentParams& p);
 
 }  // namespace nicbar::coll

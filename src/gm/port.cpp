@@ -141,9 +141,12 @@ sim::ValueTask<Epoch> Port::barrier_send(nic::BarrierToken token) {
   }
   if (auto* causal = nic_.causal_tracer()) {
     // Origin span of the barrier's dependency DAG: the Send (+Layer) term of
-    // Eq. 1-2. Spans any host-CPU queueing as well (attributed to kHost).
+    // Eq. 1-2. Spans any host-CPU queueing as well (attributed to kHost). A
+    // caller may pre-seed token.causal with a provenance span (the
+    // hierarchical barrier's representative hand-off); it becomes this
+    // origin's parent, chaining the phases into one DAG.
     token.causal = causal->record(sim::causal::Segment::kHost, node(), "barrier_post", t0,
-                                  sim_.now());
+                                  sim_.now(), token.causal);
   }
   nic_.post_barrier_token(std::move(token));
   co_return Epoch{epoch};

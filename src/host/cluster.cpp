@@ -18,6 +18,14 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
     case Topology::kSwitchTree:
       net::build_switch_tree(*net_, params_.nodes, params_.tree_radix);
       break;
+    case Topology::kFatTree:
+      fabric_ = fabric::build_fat_tree(*net_, params_.nodes, params_.fabric_radix,
+                                       params_.fabric_oversub);
+      break;
+    case Topology::kLeafSpine:
+      fabric_ = fabric::build_leaf_spine(*net_, params_.nodes, params_.fabric_radix,
+                                         params_.fabric_oversub);
+      break;
   }
   nodes_.reserve(params_.nodes);
   for (std::size_t i = 0; i < params_.nodes; ++i) {
@@ -148,6 +156,7 @@ void Cluster::snapshot_metrics() {
     m.counter(pfx + "barrier_pe_rounds") = s.barrier_pe_rounds;
     m.counter(pfx + "barrier_gathers_sent") = s.barrier_gathers_sent;
     m.counter(pfx + "barrier_bcasts_entered") = s.barrier_bcasts_entered;
+    m.counter(pfx + "barrier_hier_gathers") = s.barrier_hier_gathers;
 
     // Fault / recovery counters (PR 2).
     m.counter(pfx + "crc_drops") = s.crc_drops;

@@ -9,6 +9,9 @@
 #include <memory>
 #include <vector>
 
+#include <optional>
+
+#include "fabric/topology.hpp"
 #include "gm/config.hpp"
 #include "gm/port.hpp"
 #include "net/network.hpp"
@@ -26,6 +29,8 @@ enum class Topology {
   kSingleSwitch,  // the paper's testbeds (8/16-port switch)
   kSwitchChain,
   kSwitchTree,
+  kFatTree,    // fabric:: folded Clos, 2-3 levels, closed-form routing
+  kLeafSpine,  // fabric:: strictly two-level variant
 };
 
 struct ClusterParams {
@@ -37,6 +42,8 @@ struct ClusterParams {
   Topology topology = Topology::kSingleSwitch;
   std::size_t tree_radix = 16;       // kSwitchTree
   std::size_t chain_per_switch = 8;  // kSwitchChain
+  std::size_t fabric_radix = 16;     // kFatTree / kLeafSpine switch radix
+  std::size_t fabric_oversub = 1;    // leaf oversubscription ratio q in q:1
   /// The paper's hosts were dual-processor Pentium II machines.
   std::size_t host_cpus = 2;
   /// Optional observability bundle (non-owning; must outlive the Cluster).
@@ -69,6 +76,13 @@ class Cluster {
   [[nodiscard]] nic::Nic& nic(net::NodeId id) { return *nodes_.at(id)->nic; }
   [[nodiscard]] const ClusterParams& params() const { return params_; }
 
+  /// The resolved fabric shape when the topology is kFatTree/kLeafSpine;
+  /// nullptr for the flat `net::` topologies. The hierarchical barrier
+  /// family reads leaf membership from this.
+  [[nodiscard]] const fabric::Fabric* fabric() const {
+    return fabric_.has_value() ? &*fabric_ : nullptr;
+  }
+
   /// Creates and opens a GM port on `node`.
   [[nodiscard]] std::unique_ptr<gm::Port> open_port(net::NodeId node, nic::PortId port);
 
@@ -91,6 +105,7 @@ class Cluster {
   ClusterParams params_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> net_;
+  std::optional<fabric::Fabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

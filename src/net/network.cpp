@@ -70,6 +70,13 @@ void Network::connect_switches(int switch_a, std::size_t port_a, int switch_b,
 }
 
 void Network::finalize() {
+  if (route_provider_) {
+    // Closed-form routing: no all-pairs table. At 4096 terminals the BFS
+    // table alone would hold 16.7M route vectors; the provider computes
+    // each pair on demand and route() memoises the ones actually used.
+    finalized_ = true;
+    return;
+  }
   const std::size_t n = terminals_.size();
   const std::size_t s = switches_.size();
   routes_.assign(n * n, {});
@@ -127,6 +134,16 @@ void Network::set_deliver(NodeId terminal, DeliverFn fn) {
 
 const std::vector<std::uint8_t>& Network::route(NodeId src, NodeId dst) const {
   assert(finalized_);
+  if (route_provider_) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+    auto it = route_cache_.find(key);
+    if (it == route_cache_.end()) {
+      it = route_cache_.emplace(key, route_provider_(src, dst)).first;
+    }
+    const std::vector<std::uint8_t>& r = it->second;
+    if (r.empty() && src != dst) throw std::logic_error("no route between terminals");
+    return r;
+  }
   const std::vector<std::uint8_t>& r = routes_.at(src * terminals_.size() + dst);
   if (r.empty() && src != dst) throw std::logic_error("no route between terminals");
   return r;

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
@@ -39,7 +40,18 @@ class Network {
   void connect_switches(int switch_a, std::size_t port_a, int switch_b, std::size_t port_b);
 
   /// Computes all-pairs source routes. Must follow all connect_* calls.
+  /// When a route provider is installed (hierarchical fabrics), the O(N²)
+  /// all-pairs table is skipped entirely and routes come from the provider.
   void finalize();
+
+  /// Closed-form routing for topologies whose routes are computable from
+  /// (src, dst) alone. Returns the switch output-port sequence, terminal
+  /// exit port included; empty only for src == dst. Install before
+  /// finalize(). Routes are cached per pair on first use, so memory is
+  /// O(pairs actually routed) rather than O(N²).
+  using RouteProviderFn = std::function<std::vector<std::uint8_t>(NodeId, NodeId)>;
+  void set_route_provider(RouteProviderFn fn) { route_provider_ = std::move(fn); }
+  [[nodiscard]] bool has_route_provider() const { return static_cast<bool>(route_provider_); }
 
   // --- Use -------------------------------------------------------------------
 
@@ -120,8 +132,14 @@ class Network {
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Terminal> terminals_;
-  // routes_[src * terminals + dst]
+  // routes_[src * terminals + dst]; empty when a route provider is installed.
   std::vector<std::vector<std::uint8_t>> routes_;
+  RouteProviderFn route_provider_;
+  // Lazy per-pair cache for provider-computed routes. route() hands out
+  // references, so entries must be address-stable once inserted
+  // (unordered_map nodes are). Simulations are single-threaded per
+  // Simulator, so no locking.
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> route_cache_;
   bool finalized_ = false;
   std::uint64_t injected_ = 0;
   std::uint64_t next_packet_id_ = 1;

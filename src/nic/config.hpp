@@ -68,7 +68,20 @@ struct NicConfig {
   /// list and builds its gather bookkeeping. This fixed cost is why the
   /// paper's NIC-GB loses to host-GB at N=2 but wins at N>=4.
   std::int64_t barrier_gb_init_cycles = 800;
+  /// Initiation cost of a hierarchical token, charged *per parked schedule
+  /// entry* (each child/peer/release endpoint plus the parent): copy the
+  /// endpoint, clear its bit, link the bookkeeping — a few tens of LANai
+  /// instructions. Proportional rather than GB's flat worst-case charge, so
+  /// a leaf with two entries pays ~2us of initiation instead of ~24us; the
+  /// flat-GB path keeps its calibrated constant untouched.
+  std::int64_t barrier_hier_init_per_entry_cycles = 30;
   std::int64_t barrier_send_cycles = 60;    // prepare one outgoing barrier packet
+  /// Per-copy SEND cost for a multidestination fan-out (§3.4/§7, Buntinas
+  /// et al.'s multidestination messages): the hierarchical release is
+  /// prepared once (full barrier_send_cycles on the first copy); each
+  /// further replica only rewrites the route header and re-queues the same
+  /// staged bytes.
+  std::int64_t barrier_mcast_send_cycles = 20;
 
   // --- One-sided RMA firmware costs (the rma:: layer, src/rma/) -------------
   // RMA ops ride the ordinary sequenced connection stream but terminate in

@@ -1,0 +1,67 @@
+// Sparse per-peer connection storage.
+//
+// The NIC used to keep `vector<unique_ptr<Connection>>` indexed by remote
+// node id and resized to the largest peer ever contacted — at 4096 nodes
+// that is 4096 pointers per NIC (128 MB of pointer array alone across the
+// cluster) even though a barrier member only ever talks to O(log N) peers.
+// This table stores connections in a stable slab in allocation order with
+// a hash index over remote ids: memory is O(peers actually contacted),
+// references stay valid for the NIC's lifetime (firmware coroutines hold
+// `Connection&` across suspensions), and iteration is by ascending remote
+// id so crash/restart replay order matches the old dense scan exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "nic/connection.hpp"
+
+namespace nicbar::nic {
+
+class ConnectionTable {
+ public:
+  using NodeId = net::NodeId;
+
+  /// The connection to `remote`, allocating it on first contact.
+  Connection& get_or_create(NodeId remote) {
+    auto it = index_.find(remote);
+    if (it == index_.end()) {
+      slab_.emplace_back();
+      it = index_.emplace(remote, slab_.size() - 1).first;
+    }
+    return slab_[it->second];
+  }
+
+  /// The connection to `remote`, or nullptr if never contacted.
+  [[nodiscard]] Connection* find(NodeId remote) {
+    auto it = index_.find(remote);
+    return it == index_.end() ? nullptr : &slab_[it->second];
+  }
+  [[nodiscard]] const Connection* find(NodeId remote) const {
+    auto it = index_.find(remote);
+    return it == index_.end() ? nullptr : &slab_[it->second];
+  }
+
+  /// Applies `fn(remote, connection)` to every allocated connection in
+  /// ascending remote-id order (deterministic regardless of contact order).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    std::vector<NodeId> ids;
+    ids.reserve(index_.size());
+    for (const auto& [remote, _] : index_) ids.push_back(remote);
+    std::sort(ids.begin(), ids.end());
+    for (NodeId remote : ids) fn(remote, slab_[index_.find(remote)->second]);
+  }
+
+  [[nodiscard]] std::size_t allocated() const { return slab_.size(); }
+
+ private:
+  std::deque<Connection> slab_;  // deque: stable addresses under growth
+  std::unordered_map<NodeId, std::size_t> index_;
+};
+
+}  // namespace nicbar::nic

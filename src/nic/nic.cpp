@@ -18,6 +18,7 @@ const char* to_string(BarrierAlgorithm a) {
   switch (a) {
     case BarrierAlgorithm::kPairwiseExchange: return "PE";
     case BarrierAlgorithm::kGatherBroadcast: return "GB";
+    case BarrierAlgorithm::kHierarchical: return "HIER";
   }
   return "?";
 }
@@ -126,14 +127,12 @@ void Nic::breakdown_wire(Endpoint dst, std::uint32_t epoch, sim::Duration d) {
   if (bcoll_ != nullptr) bcoll_->add_wire(dst.node, dst.port, epoch, d);
 }
 
-Connection& Nic::conn(NodeId remote) {
-  if (remote >= conns_.size()) conns_.resize(remote + 1u);
-  if (!conns_[remote]) conns_[remote] = std::make_unique<Connection>();
-  return *conns_[remote];
-}
+Connection& Nic::conn(NodeId remote) { return conns_.get_or_create(remote); }
 
 const Connection& Nic::connection(NodeId remote) const {
-  return *conns_.at(remote);
+  const Connection* c = conns_.find(remote);
+  if (c == nullptr) throw std::out_of_range("no connection to remote " + std::to_string(remote));
+  return *c;
 }
 
 bool Nic::barrier_active(PortId p) const {
@@ -310,7 +309,7 @@ void Nic::enqueue_reliable(Packet p, std::function<void()> on_sent) {
   transmit(std::move(p));
 }
 
-void Nic::transmit(Packet p) {
+void Nic::transmit(Packet p, std::int64_t send_cycles_override) {
   if (crashed_) {
     ++stats_.tx_dropped_crashed;
     return;
@@ -319,7 +318,9 @@ void Nic::transmit(Packet p) {
   // and the SEND-side trace flow event carry it too.
   if (p.id == 0) p.id = net_.allocate_packet_id();
   const std::int64_t cost =
-      net::is_barrier_payload(p.type) ? config_.barrier_send_cycles : config_.send_cycles;
+      send_cycles_override >= 0
+          ? send_cycles_override
+          : (net::is_barrier_payload(p.type) ? config_.barrier_send_cycles : config_.send_cycles);
   if (bcoll_ != nullptr && net::is_barrier_payload(p.type)) {
     // SEND cycles belong to the sender's barrier record; the wire time is on
     // the *destination's* critical path, so it accrues there (Eq. 1-2's
@@ -374,7 +375,7 @@ void Nic::rx_packet(Packet p) {
                   [this] { ++stats_.crc_drops; });
     return;
   }
-  if (p.src_node < conns_.size() && conns_[p.src_node] && conns_[p.src_node]->dead) {
+  if (const Connection* c = conns_.find(p.src_node); c != nullptr && c->dead) {
     // Traffic from a peer we gave up on; the connection state is torn down,
     // so nothing here can be interpreted safely.
     ++stats_.dead_peer_drops;
@@ -657,11 +658,11 @@ void Nic::declare_peer_dead(NodeId remote) {
   ev.type = GmEventType::kPeerDead;
   ev.peer = Endpoint{remote, 0};
   for (std::size_t p = 0; p < ports_.size(); ++p) {
-    if (!ports_[p].open) continue;
+    if (!ports_[p] || !ports_[p]->open) continue;
     push_event(static_cast<PortId>(p), ev);
     // One-sided ops in flight to the dead peer will never see their reply;
     // the rma:: layer fails them with kPeerDead.
-    if (ports_[p].rma_sink != nullptr) ports_[p].rma_sink->rma_peer_dead(remote);
+    if (ports_[p]->rma_sink != nullptr) ports_[p]->rma_sink->rma_peer_dead(remote);
   }
 }
 
@@ -675,11 +676,10 @@ void Nic::crash() {
   if (tsink_ != nullptr) tsink_->instant(fault_track_, "crash", sim_.now(), "fault");
   // The firmware's timers die with the processor; connection bookkeeping
   // survives in host/NIC SRAM and is replayed by restart().
-  for (auto& cp : conns_) {
-    if (!cp) continue;
-    sim_.cancel(cp->retransmit_timer);
-    sim_.cancel(cp->barrier_retransmit_timer);
-  }
+  conns_.for_each([this](NodeId, Connection& c) {
+    sim_.cancel(c.retransmit_timer);
+    sim_.cancel(c.barrier_retransmit_timer);
+  });
 }
 
 void Nic::restart() {
@@ -690,16 +690,14 @@ void Nic::restart() {
   if (tsink_ != nullptr) tsink_->instant(fault_track_, "restart", sim_.now(), "fault");
   // Replay everything unacknowledged on both streams; the receiver's
   // duplicate suppression makes this safe.
-  for (std::size_t r = 0; r < conns_.size(); ++r) {
-    if (!conns_[r] || conns_[r]->dead) continue;
-    Connection& c = *conns_[r];
-    const auto remote = static_cast<NodeId>(r);
+  conns_.for_each([this](NodeId remote, Connection& c) {
+    if (c.dead) return;
     c.retransmissions = 0;
     c.barrier_retransmissions = 0;
     c.backoff = 0;
     if (!c.sent_list.empty()) retransmit_all(remote);
     if (!c.barrier_sent_list.empty()) barrier_retransmit_all(remote);
-  }
+  });
 }
 
 void Nic::send_ack(NodeId remote) {

@@ -31,6 +31,7 @@
 #include "net/packet.hpp"
 #include "nic/config.hpp"
 #include "nic/connection.hpp"
+#include "nic/connection_table.hpp"
 #include "nic/rma.hpp"
 #include "nic/slots.hpp"
 #include "nic/tokens.hpp"
@@ -94,6 +95,7 @@ struct NicStats {
   std::uint64_t barrier_pe_rounds = 0;       // PE: node_index advanced
   std::uint64_t barrier_gathers_sent = 0;    // GB: gather forwarded to parent
   std::uint64_t barrier_bcasts_entered = 0;  // GB: broadcast phase entered
+  std::uint64_t barrier_hier_gathers = 0;    // HIER: rep gather satisfied, exchange begun
   // Fault / recovery accounting:
   std::uint64_t crc_drops = 0;            // corrupted packets caught by the CRC check
   std::uint64_t retransmit_timeouts = 0;  // retransmit timer fired (either stream)
@@ -227,6 +229,9 @@ class Nic {
   [[nodiscard]] const EngineStats& engine_stats() const { return engines_; }
   [[nodiscard]] sim::CycleServer& processor() { return proc_; }
   [[nodiscard]] const Connection& connection(NodeId remote) const;
+  /// How many peers this NIC has actually contacted — the footprint the
+  /// sparse connection table pays for (vs N-1 under a dense table).
+  [[nodiscard]] std::size_t connections_allocated() const { return conns_.allocated(); }
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
   /// Attaches the cluster's telemetry bundle (nullptr detaches). The NIC
@@ -264,8 +269,20 @@ class Nic {
   };
 
   Connection& conn(NodeId remote);
-  PortState& port(PortId p) { return ports_.at(p); }
-  const PortState& port(PortId p) const { return ports_.at(p); }
+  /// Port state is allocated on first touch: a 4096-node cluster where each
+  /// node opens one port pays for one PortState, not max_ports of them.
+  PortState& port(PortId p) {
+    auto& slot = ports_.at(p);
+    if (!slot) slot = std::make_unique<PortState>();
+    return *slot;
+  }
+  /// Const reads of a never-touched port see the default (closed, empty)
+  /// state without allocating it.
+  const PortState& port(PortId p) const {
+    static const PortState kUntouched{};
+    const auto& slot = ports_.at(p);
+    return slot ? *slot : kUntouched;
+  }
 
   // --- Telemetry helpers -----------------------------------------------------
   /// Charges `cycles` on the shared processor, attributed to `engine`; emits
@@ -292,7 +309,10 @@ class Nic {
   void sdma_start(SendToken token);
   void sdma_fragment(SendToken token, std::uint16_t index, std::uint16_t frag_count);
   void enqueue_reliable(net::Packet p, std::function<void()> on_sent);
-  void transmit(net::Packet p);      // SEND engine: cycles, then wire/loopback
+  /// SEND engine: cycles, then wire/loopback. `send_cycles_override` >= 0
+  /// replaces the per-packet SEND charge (multidestination replication pays
+  /// the per-copy header-rewrite cost, not a full packet preparation).
+  void transmit(net::Packet p, std::int64_t send_cycles_override = -1);
   void send_control(net::Packet p);  // acks and nacks (unsequenced)
 
   // --- RECV dispatch -------------------------------------------------------------
@@ -326,16 +346,23 @@ class Nic {
   void barrier_record(const net::Packet& p, bool for_closed_port);
   void barrier_try_advance_pe(PortId local_port);
   void barrier_check_gather(PortId local_port);
+  void barrier_hier_check_gather(PortId local_port);
   void barrier_enter_broadcast(PortId local_port);
+  /// `mcast_copy`: this packet is a replica in a multidestination fan-out
+  /// (the hierarchical release); the SEND engine pays the per-copy
+  /// replication cost instead of a full packet preparation.
   void barrier_send(PortId local_port, Endpoint dst, net::PacketType type,
-                    std::uint32_t epoch);
+                    std::uint32_t epoch, bool mcast_copy = false);
+  /// Firmware cycles to book one in-order barrier arrival (keyed on packet
+  /// type, and for a release on the active token's family).
+  [[nodiscard]] std::int64_t barrier_rx_cost(const net::Packet& p);
   void barrier_complete(PortId local_port);
   void barrier_closed_port_arrival(net::Packet p);
   void barrier_send_nack(const net::Packet& original);
   void barrier_handle_nack(const net::Packet& p);
   void flush_closed_port_records(PortId opened_port);
   // Separate-ack barrier reliability:
-  void barrier_enqueue_separate(net::Packet p);
+  void barrier_enqueue_separate(net::Packet p, std::int64_t tx_cost = -1);
   void barrier_recv_separate(net::Packet p);
   void barrier_recv_barrier_ack(const net::Packet& p);
   void arm_barrier_retransmit(NodeId remote);
@@ -365,8 +392,8 @@ class Nic {
   NicConfig config_;
   sim::CycleServer proc_;
   sim::BusyServer& pci_;
-  std::vector<PortState> ports_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::unique_ptr<PortState>> ports_;  // lazy; see port()
+  ConnectionTable conns_;
   NicStats stats_;
   SlotTable slots_;
   bool crashed_ = false;

@@ -36,7 +36,16 @@ bool contains(const std::vector<Endpoint>& v, Endpoint e) {
 void Nic::post_barrier_token(BarrierToken token) {
   std::int64_t cycles = config_.sdma_detect_cycles + config_.barrier_init_cycles;
   if (token.algorithm == BarrierAlgorithm::kGatherBroadcast) {
+    // A GB token carries a tree slice the firmware must park (flat
+    // worst-case charge, calibrated — see NicConfig).
     cycles += config_.barrier_gb_init_cycles;
+  } else if (token.algorithm == BarrierAlgorithm::kHierarchical) {
+    // Hierarchical tokens pay per parked schedule entry instead: block
+    // leaves park two endpoints, not a worst-case tree.
+    const auto entries = static_cast<std::int64_t>(
+        token.children.size() + token.peers.size() + token.release.size() +
+        (token.is_root() ? 0 : 1));
+    cycles += entries * config_.barrier_hier_init_per_entry_cycles;
   }
   breakdown_nic(token.src_port, token.epoch, cycles);
   auto tok = std::make_shared<BarrierToken>(std::move(token));
@@ -73,22 +82,41 @@ void Nic::barrier_start(BarrierToken token) {
   trace(sim::TraceCategory::kBarrier, "port %u: start %s barrier epoch=%u", p,
         to_string(token.algorithm), token.epoch);
   ps.active_barrier = std::make_unique<BarrierToken>(std::move(token));
-  if (ps.active_barrier->algorithm == BarrierAlgorithm::kPairwiseExchange) {
-    barrier_try_advance_pe(p);
-  } else {
-    barrier_check_gather(p);
+  switch (ps.active_barrier->algorithm) {
+    case BarrierAlgorithm::kPairwiseExchange:
+      barrier_try_advance_pe(p);
+      break;
+    case BarrierAlgorithm::kGatherBroadcast:
+      barrier_check_gather(p);
+      break;
+    case BarrierAlgorithm::kHierarchical:
+      barrier_hier_check_gather(p);
+      break;
   }
 }
 
 // --- Receive path ------------------------------------------------------------------
+
+std::int64_t Nic::barrier_rx_cost(const Packet& p) {
+  if (p.type == PacketType::kBarrierPe) return config_.barrier_pe_cycles;
+  if (p.type == PacketType::kBarrierBcast) {
+    // A hierarchical release terminates at the receiver — match the source,
+    // complete, done; no child scan and no rebroadcast — so it books at
+    // PE-grade cost, not GB's tree-descent charge (which flat GB keeps).
+    const BarrierToken* t = port(p.dst_port).active_barrier.get();
+    if (t != nullptr && t->algorithm == BarrierAlgorithm::kHierarchical) {
+      return config_.barrier_pe_cycles;
+    }
+  }
+  return config_.barrier_gb_cycles;
+}
 
 void Nic::barrier_rx(Packet p) {
   // Runs after the RECV engine's per-packet cycles. Route by the configured
   // reliability mode, then pay the algorithm's bookkeeping cycles.
   switch (config_.barrier_reliability) {
     case BarrierReliability::kUnreliable: {
-      const std::int64_t cost = p.type == PacketType::kBarrierPe ? config_.barrier_pe_cycles
-                                                                 : config_.barrier_gb_cycles;
+      const std::int64_t cost = barrier_rx_cost(p);
       auto packet = std::make_shared<Packet>(std::move(p));
       breakdown_nic(packet->dst_port, packet->barrier_epoch, cost);
       const sim::SimTime end =
@@ -139,8 +167,13 @@ void Nic::barrier_rx_in_order(Packet p) {
 
   switch (p.type) {
     case PacketType::kBarrierPe:
+      // A hierarchical token only exchanges once its gather phase is done;
+      // earlier PE arrivals (a faster block's representative) are recorded
+      // below and consumed when the exchange reaches that round.
       if (tok != nullptr && !tok->completed &&
-          tok->algorithm == BarrierAlgorithm::kPairwiseExchange && tok->awaiting_recv &&
+          (tok->algorithm == BarrierAlgorithm::kPairwiseExchange ||
+           (tok->algorithm == BarrierAlgorithm::kHierarchical && tok->hier_gathered)) &&
+          tok->awaiting_recv &&
           tok->node_index < tok->peers.size() && tok->peers[tok->node_index] == src) {
         // The expected message: advance to the next destination (§5.2).
         ++tok->node_index;
@@ -163,9 +196,12 @@ void Nic::barrier_rx_in_order(Packet p) {
       // runs (§5.2: "the packet is recorded, then ... checks to see if
       // gather packets have been received from all the children").
       barrier_record(p, false);
-      if (tok != nullptr && !tok->completed &&
-          tok->algorithm == BarrierAlgorithm::kGatherBroadcast && !tok->gather_sent) {
-        barrier_check_gather(p.dst_port);
+      if (tok != nullptr && !tok->completed) {
+        if (tok->algorithm == BarrierAlgorithm::kGatherBroadcast && !tok->gather_sent) {
+          barrier_check_gather(p.dst_port);
+        } else if (tok->algorithm == BarrierAlgorithm::kHierarchical) {
+          barrier_hier_check_gather(p.dst_port);  // self-guards on phase
+        }
       }
       break;
 
@@ -179,6 +215,17 @@ void Nic::barrier_rx_in_order(Packet p) {
         }
         barrier_complete(p.dst_port);
         barrier_enter_broadcast(p.dst_port);
+      } else if (tok != nullptr && !tok->completed &&
+                 tok->algorithm == BarrierAlgorithm::kHierarchical && tok->gather_sent &&
+                 !tok->release.empty() && tok->release[0] == src) {
+        // The multidestination release from our representative: complete
+        // without rebroadcasting — the representative reached every block
+        // member directly.
+        if (causal_ != nullptr && p.causal != 0) {
+          causal_->add_parent(p.causal, tok->causal);
+          tok->causal = p.causal;
+        }
+        barrier_complete(p.dst_port);
       } else {
         barrier_record(p, false);
       }
@@ -210,12 +257,39 @@ void Nic::barrier_record(const Packet& p, bool for_closed_port) {
 void Nic::barrier_try_advance_pe(PortId local_port) {
   PortState& ps = port(local_port);
   BarrierToken* tok = ps.active_barrier.get();
-  if (tok == nullptr || tok->completed ||
-      tok->algorithm != BarrierAlgorithm::kPairwiseExchange) {
+  if (tok == nullptr || tok->completed) return;
+  // Also drives the exchange phase of a hierarchical token (same parked
+  // state: peers / node_index / awaiting_recv); it only differs at the end,
+  // where the representative releases its block instead of just completing.
+  const bool hier = tok->algorithm == BarrierAlgorithm::kHierarchical;
+  if (hier ? !tok->hier_gathered : tok->algorithm != BarrierAlgorithm::kPairwiseExchange) {
     return;
   }
   for (;;) {
     if (tok->node_index >= tok->peers.size()) {
+      if (hier) {
+        // Representative hop, downward edge: the instant the last exchange
+        // settles and the release leaves the NIC. Zero-duration — the
+        // hand-off costs nothing here, unlike the host-orchestrated
+        // composition it replaces.
+        if (causal_ != nullptr) {
+          tok->causal = causal_->record(sim::causal::Segment::kRep, node_, "rep_down",
+                                        sim_.now(), sim_.now(), tok->causal);
+        }
+        // Multidestination release, issued *before* our own completion DMA:
+        // the block's wakeups are the latency-critical edge; the host here
+        // can learn a couple of microseconds later. (Deliberate inversion of
+        // §5.2's notify-first root order, which flat GB keeps.)
+        ++stats_.barrier_bcasts_entered;
+        for (std::size_t i = 0; i < tok->release.size(); ++i) {
+          // First copy stages the packet at full cost; the rest are
+          // header-rewrite replicas.
+          barrier_send(local_port, tok->release[i], PacketType::kBarrierBcast, tok->epoch,
+                       /*mcast_copy=*/i > 0);
+        }
+        barrier_complete(local_port);
+        return;
+      }
       barrier_complete(local_port);
       return;
     }
@@ -293,6 +367,67 @@ void Nic::barrier_check_gather(PortId local_port) {
   }
 }
 
+// --- Hierarchical (two-level fabric barrier, representative side) -------------------------
+
+void Nic::barrier_hier_check_gather(PortId local_port) {
+  // Phase one of a hierarchical token: the intra-block gather. At the
+  // representative (the block tree's root) satisfaction flips the token
+  // straight into the inter-representative exchange, all without a host
+  // round-trip. At everyone else it forwards one gather up the block tree
+  // and parks until the representative's release arrives.
+  PortState& ps = port(local_port);
+  BarrierToken* tok = ps.active_barrier.get();
+  if (tok == nullptr || tok->completed ||
+      tok->algorithm != BarrierAlgorithm::kHierarchical ||
+      (tok->is_root() ? tok->hier_gathered : tok->gather_sent)) {
+    return;
+  }
+  for (const Endpoint& child : tok->children) {
+    if (!conn(child.node).bit(child.port)) return;  // still waiting on a child
+  }
+  if (causal_ != nullptr && !tok->children.empty()) {
+    const std::uint64_t join = causal_->record(sim::causal::Segment::kFirmware, node_,
+                                               "gather_ready", sim_.now(), sim_.now(),
+                                               tok->causal);
+    for (const Endpoint& child : tok->children) {
+      causal_->add_parent(join, conn(child.node).bit_info[child.port].causal);
+    }
+    tok->causal = join;
+  }
+  for (const Endpoint& child : tok->children) conn(child.node).clear_bit(child.port);
+
+  if (!tok->is_root()) {
+    barrier_send(local_port, tok->parent, PacketType::kBarrierGather, tok->epoch);
+    tok->gather_sent = true;
+    ++stats_.barrier_gathers_sent;
+    // Robustness: the representative's release may already be recorded
+    // (possible after closed-port flush/resend interleavings).
+    if (!tok->release.empty()) {
+      Connection& rc = conn(tok->release[0].node);
+      if (rc.bit(tok->release[0].port) &&
+          rc.bit_info[tok->release[0].port].type == PacketType::kBarrierBcast) {
+        if (causal_ != nullptr) {
+          tok->causal = causal_->record(sim::causal::Segment::kFirmware, node_, "bcast_seen",
+                                        sim_.now(), sim_.now(),
+                                        rc.bit_info[tok->release[0].port].causal, tok->causal);
+        }
+        rc.clear_bit(tok->release[0].port);
+        barrier_complete(local_port);
+      }
+    }
+    return;
+  }
+
+  tok->hier_gathered = true;
+  // Representative hop, upward edge: the block is in, the exchange begins.
+  if (causal_ != nullptr) {
+    tok->causal = causal_->record(sim::causal::Segment::kRep, node_, "rep_up", sim_.now(),
+                                  sim_.now(), tok->causal);
+  }
+  ++stats_.barrier_hier_gathers;
+  barrier_try_advance_pe(local_port);
+}
+
 void Nic::barrier_enter_broadcast(PortId local_port) {
   // Runs after barrier_complete(): the token has moved to last_barrier.
   PortState& ps = port(local_port);
@@ -306,7 +441,8 @@ void Nic::barrier_enter_broadcast(PortId local_port) {
 
 // --- Sending ---------------------------------------------------------------------------------
 
-void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::uint32_t epoch) {
+void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::uint32_t epoch,
+                       bool mcast_copy) {
   Packet p;
   p.type = type;
   p.src_node = node_;
@@ -347,9 +483,13 @@ void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::ui
     return;
   }
 
+  // A replica in a multidestination fan-out pays the per-copy header
+  // rewrite on the SEND engine, not a full packet preparation. Retransmits
+  // (timer or NACK driven) always pay full cost — they re-stage the packet.
+  const std::int64_t tx_cost = mcast_copy ? config_.barrier_mcast_send_cycles : -1;
   switch (config_.barrier_reliability) {
     case BarrierReliability::kUnreliable:
-      transmit(std::move(p));
+      transmit(std::move(p), tx_cost);
       break;
     case BarrierReliability::kSharedStream: {
       Connection& c = conn(p.dst_node);
@@ -360,11 +500,11 @@ void Nic::barrier_send(PortId local_port, Endpoint dst, PacketType type, std::ui
       p.seq = c.next_send_seq++;
       c.sent_list.push_back(SentRecord{p, nullptr, sim_.now(), false});
       arm_retransmit(p.dst_node);
-      transmit(std::move(p));
+      transmit(std::move(p), tx_cost);
       break;
     }
     case BarrierReliability::kSeparateAcks:
-      barrier_enqueue_separate(std::move(p));
+      barrier_enqueue_separate(std::move(p), tx_cost);
       break;
   }
 }
@@ -455,9 +595,7 @@ void Nic::barrier_send_nack(const Packet& original) {
 }
 
 void Nic::flush_closed_port_records(PortId opened_port) {
-  for (NodeId remote = 0; remote < conns_.size(); ++remote) {
-    if (!conns_[remote]) continue;
-    Connection& c = *conns_[remote];
+  conns_.for_each([&](NodeId remote, Connection& c) {
     for (PortId rp = 0; rp < kMaxPorts; ++rp) {
       if (!c.bit(rp)) continue;
       const BarrierBitInfo& info = c.bit_info[rp];
@@ -483,7 +621,7 @@ void Nic::flush_closed_port_records(PortId opened_port) {
           break;  // rejects happened at arrival; nothing recorded for us
       }
     }
-  }
+  });
 }
 
 void Nic::barrier_handle_nack(const Packet& p) {
@@ -507,7 +645,13 @@ void Nic::barrier_handle_nack(const Packet& p) {
   switch (p.nacked_type) {
     case PacketType::kBarrierPe: member = contains(tok->peers, peer); break;
     case PacketType::kBarrierGather: member = (tok->parent == peer); break;
-    case PacketType::kBarrierBcast: member = contains(tok->children, peer); break;
+    case PacketType::kBarrierBcast:
+      // A hierarchical representative's release goes to `release`, not down
+      // the tree; only the root sends it (non-reps never rebroadcast).
+      member = tok->algorithm == BarrierAlgorithm::kHierarchical
+                   ? (tok->is_root() && contains(tok->release, peer))
+                   : contains(tok->children, peer);
+      break;
     default: break;
   }
   if (!member) return;
@@ -526,7 +670,7 @@ void Nic::barrier_handle_nack(const Packet& p) {
 
 // --- Separate barrier reliability (§3.3 option 2 / §4.4) ---------------------------------------------
 
-void Nic::barrier_enqueue_separate(Packet p) {
+void Nic::barrier_enqueue_separate(Packet p, std::int64_t tx_cost) {
   Connection& c = conn(p.dst_node);
   if (c.dead) {
     ++stats_.dead_peer_drops;
@@ -535,7 +679,7 @@ void Nic::barrier_enqueue_separate(Packet p) {
   p.barrier_seq = c.next_barrier_send_seq++;
   c.barrier_sent_list.push_back(SentRecord{p, nullptr, sim_.now(), false});
   arm_barrier_retransmit(p.dst_node);
-  transmit(std::move(p));
+  transmit(std::move(p), tx_cost);
 }
 
 void Nic::barrier_recv_separate(Packet p) {
@@ -550,8 +694,7 @@ void Nic::barrier_recv_separate(Packet p) {
     c.barrier_nack_outstanding = false;
     ack.ack = c.next_expected_barrier_seq - 1;
     send_control(std::move(ack));
-    const std::int64_t cost = p.type == PacketType::kBarrierPe ? config_.barrier_pe_cycles
-                                                               : config_.barrier_gb_cycles;
+    const std::int64_t cost = barrier_rx_cost(p);
     auto packet = std::make_shared<Packet>(std::move(p));
     breakdown_nic(packet->dst_port, packet->barrier_epoch, cost);
     const sim::SimTime end =

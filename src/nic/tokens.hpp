@@ -30,6 +30,16 @@ struct Endpoint {
 enum class BarrierAlgorithm : std::uint8_t {
   kPairwiseExchange,  // PE: MPICH-style recursive pairing (paper §5.1)
   kGatherBroadcast,   // GB: k-ary tree, gather then broadcast (paper §5.1)
+  /// Two-level hierarchical barrier. Every block member posts one of these.
+  /// The representative's token is firmware-resident across all three
+  /// phases: gather from `children` (its slice of the intra-block tree),
+  /// pairwise exchange over `peers` (the other representatives), then a
+  /// multidestination release straight to every block mate (`release`) —
+  /// SEND-side replication in the spirit of §3.4/§7, so the release costs
+  /// one packet hop regardless of tree depth. A non-representative token
+  /// gathers from `children`, forwards to `parent`, and completes on the
+  /// release from `release[0]` (its representative) — it never rebroadcasts.
+  kHierarchical,
 };
 
 [[nodiscard]] const char* to_string(BarrierAlgorithm a);
@@ -77,7 +87,13 @@ struct RecvToken {
 
 /// Barrier send token (gm_barrier_send_with_callback). For PE, `peers` holds
 /// the exchange schedule in round order. For GB, `parent` is the invalid
-/// endpoint at the root, and `children` lists the node's subtree roots.
+/// endpoint at the root, and `children` lists the node's subtree roots. A
+/// hierarchical representative token uses both: `children` is its slice of
+/// the intra-block tree (parent stays invalid — the representative is the
+/// block root), `peers` is the inter-representative exchange schedule, and
+/// `release` lists every block mate for the multidestination release. A
+/// hierarchical non-representative token has a valid `parent`, empty
+/// `peers`, and `release` = { the representative } (its release source).
 struct BarrierToken {
   PortId src_port = 0;
   BarrierAlgorithm algorithm = BarrierAlgorithm::kPairwiseExchange;
@@ -90,6 +106,10 @@ struct BarrierToken {
   std::vector<Endpoint> peers;     // PE
   Endpoint parent;                 // GB (invalid node id at the root)
   std::vector<Endpoint> children;  // GB
+  /// Hierarchical only. Representative: the full block membership minus
+  /// itself — the multidestination release fan-out. Non-representative: one
+  /// entry, the representative this member's release will come from.
+  std::vector<Endpoint> release;
 
   // --- NIC-resident progress state ---------------------------------------
   std::size_t node_index = 0;    // PE: which peer we expect next
@@ -98,6 +118,9 @@ struct BarrierToken {
   /// parked token is only advanced once its send has been prepared).
   bool awaiting_recv = false;
   bool gather_sent = false;      // GB: sent our gather to the parent yet?
+  /// Hierarchical: the intra-block gather is satisfied and the token has
+  /// advanced to the inter-representative exchange phase.
+  bool hier_gathered = false;
   bool completed = false;
   /// Causal provenance: span id of this member's latest local firmware
   /// decision (sim::causal). 0 when causal tracing is off.

@@ -14,6 +14,7 @@ const char* to_string(Segment s) {
     case Segment::kRecv: return "recv";
     case Segment::kFirmware: return "firmware";
     case Segment::kRdma: return "rdma";
+    case Segment::kRep: return "rep";
   }
   return "?";
 }

@@ -48,8 +48,11 @@ enum class Segment : std::uint8_t {
   kRecv = 5,   // RECV engine: wire -> NIC processing
   kFirmware = 6,  // LANai barrier firmware decisions (init, advance, gather)
   kRdma = 7,   // RDMA engine + completion PCI DMA (NIC -> host)
+  kRep = 8,    // hierarchical barrier: representative hop between levels
+               // (gather satisfied -> exchange begun, exchange settled ->
+               // release broadcast), marked inside the NIC firmware
 };
-inline constexpr std::size_t kSegmentCount = 8;
+inline constexpr std::size_t kSegmentCount = 9;
 
 [[nodiscard]] const char* to_string(Segment s);
 

@@ -342,11 +342,18 @@ Report Driver::run_impl(SloReport* slo_out) {
           MemberRun& me = jr.members[m];
           me.port = cluster.open_port(jr.node_set[m], job_ports[j][m]);
           me.rng.reseed(substream(substream(spec_.seed, kMemberStream, j), kMemberStream, m));
+          // Hierarchical classes block by the fabric's leaf population; on a
+          // flat topology (no fabric) the group degenerates to one block.
+          const std::size_t hier_block =
+              klass.hierarchical && cluster.fabric() != nullptr ? cluster.fabric()->hosts_per_leaf
+                                                                : 0;
           if (klass.managed) {
             coll::GroupConfig gc;
             gc.id = static_cast<std::uint64_t>(j) + 1;  // fabric-unique per job
             gc.algorithm = klass.algorithm;
             gc.gb_dimension = klass.gb_dimension;
+            gc.hierarchical = klass.hierarchical;
+            gc.hier_block = hier_block;
             gc.deadline = klass.deadline;
             // The barrier deadline doubles as the handshake liveness backstop
             // (a coordinator waiting on a crashed member may have no traffic
@@ -361,6 +368,8 @@ Report Driver::run_impl(SloReport* slo_out) {
             bspec.gb_dimension = klass.gb_dimension;
             bspec.rdma = klass.rdma;  // host-RDMA family (validate() confines
                                       // it to this barrier-only branch)
+            bspec.hierarchical = klass.hierarchical;
+            bspec.hier_block = hier_block;
             bspec.deadline = klass.deadline;
             me.member = std::make_unique<coll::BarrierMember>(*me.port, group, bspec);
           } else {

@@ -103,6 +103,17 @@ void validate(const WorkloadSpec& spec) {
         bad(who + "host-tree needs a positive radix");
       }
     }
+    if (c.hierarchical) {
+      // The two-level family composes NIC sub-barriers; it has no host,
+      // fuzzy, or reduction path of its own.
+      if (c.location != coll::Location::kNic) {
+        bad(who + "hierarchical barriers require the NIC-based location");
+      }
+      if (!c.mix.barrier_only() || c.mix.fuzzy > 0.0) {
+        bad(who + "hierarchical barriers require a pure-barrier mix");
+      }
+      if (c.gb_dimension == 0) bad(who + "hier needs a positive intra-block dimension");
+    }
     if (!c.slo.is_zero() && (c.slo_target <= 0.0 || c.slo_target >= 1.0)) {
       bad(who + "slo-target must be in (0, 1)");
     }
@@ -308,8 +319,20 @@ WorkloadSpec parse_workload_spec(std::istream& in) {
           spec.cluster.topology = host::Topology::kSwitchChain;
         } else if (v == "tree") {
           spec.cluster.topology = host::Topology::kSwitchTree;
+        } else if (v == "fat-tree" || v == "leaf-spine") {
+          spec.cluster.topology =
+              v == "fat-tree" ? host::Topology::kFatTree : host::Topology::kLeafSpine;
+          const double radix = parse_number(is, line_no, line, (v + " radix").c_str());
+          const double oversub =
+              parse_number(is, line_no, line, (v + " oversubscription").c_str());
+          if (radix < 3) fail_at(line_no, line, v + " radix must be >= 3");
+          if (oversub < 1) fail_at(line_no, line, v + " oversubscription must be >= 1");
+          spec.cluster.fabric_radix = static_cast<std::size_t>(radix);
+          spec.cluster.fabric_oversub = static_cast<std::size_t>(oversub);
         } else {
-          fail_at(line_no, line, "topology must be switch, chain, or tree");
+          fail_at(line_no, line,
+                  "topology must be switch, chain, tree, fat-tree <radix> <oversub>, "
+                  "or leaf-spine <radix> <oversub>");
         }
       } else if (key == "reliability") {
         const std::string v = parse_word(is, line_no, line, "reliability");
@@ -415,12 +438,20 @@ WorkloadSpec parse_workload_spec(std::istream& in) {
       }
     } else if (key == "algorithm") {
       const std::string v = parse_word(is, line_no, line, "algorithm");
+      // The families are mutually exclusive and the key is last-wins, so
+      // each arm resets the other families' selectors.
+      job->rdma = coll::RdmaAlgorithm::kNone;
+      job->hierarchical = false;
       if (v == "pe") {
         job->algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
       } else if (v == "gb") {
         job->algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
         job->gb_dimension =
             static_cast<std::size_t>(parse_number(is, line_no, line, "gb dimension"));
+      } else if (v == "hier") {
+        job->hierarchical = true;
+        job->gb_dimension =
+            static_cast<std::size_t>(parse_number(is, line_no, line, "hier intra dimension"));
       } else if (v == "host-dissem") {
         job->rdma = coll::RdmaAlgorithm::kDissemination;
       } else if (v == "host-tree") {
@@ -428,8 +459,8 @@ WorkloadSpec parse_workload_spec(std::istream& in) {
         job->gb_dimension =
             static_cast<std::size_t>(parse_number(is, line_no, line, "host-tree radix"));
       } else {
-        fail_at(line_no, line, "algorithm must be pe, gb <dim>, host-dissem, or "
-                               "host-tree <radix>");
+        fail_at(line_no, line, "algorithm must be pe, gb <dim>, hier <dim>, "
+                               "host-dissem, or host-tree <radix>");
       }
     } else if (key == "fuzzy-chunk-us") {
       job->fuzzy_chunk = sim::microseconds(parse_number(is, line_no, line, "fuzzy-chunk-us"));
@@ -508,8 +539,15 @@ const char* topology_name(host::Topology t) {
     case host::Topology::kSingleSwitch: return "switch";
     case host::Topology::kSwitchChain: return "chain";
     case host::Topology::kSwitchTree: return "tree";
+    case host::Topology::kFatTree: return "fat-tree";
+    case host::Topology::kLeafSpine: return "leaf-spine";
   }
   return "switch";
+}
+
+/// The fabric topologies carry their shape parameters on the line.
+bool topology_has_shape(host::Topology t) {
+  return t == host::Topology::kFatTree || t == host::Topology::kLeafSpine;
 }
 
 const char* reliability_name(nic::BarrierReliability r) {
@@ -533,7 +571,11 @@ void print_spec(const WorkloadSpec& spec, std::ostream& os) {
   if (spec.cluster.nic.barrier_slots != nic::NicConfig{}.barrier_slots) {
     os << "nic-slots " << spec.cluster.nic.barrier_slots << "\n";
   }
-  os << "topology " << topology_name(spec.cluster.topology) << "\n";
+  os << "topology " << topology_name(spec.cluster.topology);
+  if (topology_has_shape(spec.cluster.topology)) {
+    os << " " << spec.cluster.fabric_radix << " " << spec.cluster.fabric_oversub;
+  }
+  os << "\n";
   os << "placement " << to_string(spec.placement) << "\n";
   switch (spec.arrival.kind) {
     case ArrivalKind::kFixed:
@@ -565,6 +607,8 @@ void print_spec(const WorkloadSpec& spec, std::ostream& os) {
       os << "  algorithm host-dissem\n";
     } else if (c.rdma == coll::RdmaAlgorithm::kTreePut) {
       os << "  algorithm host-tree " << c.gb_dimension << "\n";
+    } else if (c.hierarchical) {
+      os << "  algorithm hier " << c.gb_dimension << "\n";
     } else if (c.algorithm == nic::BarrierAlgorithm::kGatherBroadcast) {
       os << "  algorithm gb " << c.gb_dimension << "\n";
     } else {
@@ -610,6 +654,13 @@ bool spec_equal(const WorkloadSpec& a, const WorkloadSpec& b) {
       a.cluster.topology != b.cluster.topology) {
     return false;
   }
+  // The fabric shape rides on the topology line for fat-tree/leaf-spine
+  // only, so it is compared (like printed) only there.
+  if (topology_has_shape(a.cluster.topology) &&
+      (a.cluster.fabric_radix != b.cluster.fabric_radix ||
+       a.cluster.fabric_oversub != b.cluster.fabric_oversub)) {
+    return false;
+  }
   if (a.classes.size() != b.classes.size()) return false;
   for (std::size_t i = 0; i < a.classes.size(); ++i) {
     const JobClass& x = a.classes[i];
@@ -632,8 +683,9 @@ bool spec_equal(const WorkloadSpec& a, const WorkloadSpec& b) {
     // and host-tree ("algorithm host-tree <radix>"); for PE and
     // host-dissem the field is meaningless and not compared.
     if (x.rdma != y.rdma) return false;
+    if (x.hierarchical != y.hierarchical) return false;
     if ((x.algorithm == nic::BarrierAlgorithm::kGatherBroadcast ||
-         x.rdma == coll::RdmaAlgorithm::kTreePut) &&
+         x.rdma == coll::RdmaAlgorithm::kTreePut || x.hierarchical) &&
         x.gb_dimension != y.gb_dimension) {
       return false;
     }

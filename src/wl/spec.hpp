@@ -90,6 +90,13 @@ struct JobClass {
   /// or host message loops. Requires a pure-barrier, non-managed,
   /// non-fuzzy class; gb_dimension doubles as the tree radix.
   coll::RdmaAlgorithm rdma = coll::RdmaAlgorithm::kNone;
+  /// Two-level hierarchical NIC family (`algorithm hier <dim>`): intra-block
+  /// GB trees of dimension gb_dimension, pairwise exchange among per-block
+  /// representatives, local release. The block size comes from the cluster
+  /// fabric (hosts per leaf switch) at run time; on a flat topology the
+  /// group degenerates to one block. Requires the NIC location and a
+  /// pure-barrier, non-fuzzy mix.
+  bool hierarchical = false;
   sim::Duration deadline{0};  // per-collective abort deadline (0 = none)
   /// Per-call software-layer overhead (only the communicator path pays it;
   /// a barrier-only class models raw GM and must leave this at 0).
@@ -157,6 +164,8 @@ void validate(const WorkloadSpec& spec);
 ///   cluster-nodes 32
 ///   nic lanai43                  # lanai43 | lanai72
 ///   topology switch              # switch | chain | tree
+///                                # | fat-tree <radix> <oversub>
+///                                # | leaf-spine <radix> <oversub>
 ///   placement overlapping        # disjoint | strided | overlapping
 ///   reliability shared           # unreliable | shared | separate
 ///                                # (retransmission mode; required with fault
@@ -177,7 +186,7 @@ void validate(const WorkloadSpec& spec);
 ///     imbalance 0.3
 ///     skew-us 10
 ///     location nic               # nic | host
-///     algorithm pe               # pe | gb <dim> | host-dissem
+///     algorithm pe               # pe | gb <dim> | hier <dim> | host-dissem
 ///                                # | host-tree <radix> (host-* = rma::)
 ///     fuzzy-chunk-us 5
 ///     deadline-us 0

@@ -38,6 +38,14 @@ nic_gb_us, host_dissem_us, host_tree_us) plus exact_match == 1 (the
 contention-free NIC-PE column re-measured through an independent plan must
 agree to the last bit).
 
+bench/hier_barrier emits a crossover-study variant (schema "nicbar-hier-v1"):
+the same bench/rows/label/metrics shape where every grid row must carry
+finite positive latencies for all four families on the same axes (nodes,
+nic_pe_us, nic_gb_us, host_dissem_us, hier_us, hier_vs_pe_improvement),
+grid rows must ascend in node count, and exactly one "crossover" row must
+report crossover_nodes >= 0 (the smallest N where the hierarchical family
+beats flat NIC-PE; 0 = never on the measured grid).
+
 bench/churn emits a lifecycle-counter variant (schema "nicbar-churn-v1"):
 the same bench/rows/label/metrics shape plus a top-level "cluster_nodes",
 where every row's metrics must carry the lifecycle keys (groups_created,
@@ -63,10 +71,19 @@ SCHEMA = "nicbar-bench-v1"
 SLO_SCHEMA = "nicbar-slo-v1"
 CHURN_SCHEMA = "nicbar-churn-v1"
 RMA_SCHEMA = "nicbar-rma-v1"
+HIER_SCHEMA = "nicbar-hier-v1"
 
 # Every rma_barrier row puts all four barrier families on the same axes.
 RMA_METRICS = [
     "nic_pe_us", "nic_gb_us", "host_dissem_us", "host_tree_us", "exact_match",
+]
+
+# Every hier_barrier grid row puts all four families on the same axes; the
+# final "crossover" row reports where the hierarchical family overtakes
+# flat NIC-PE (0 = never on the measured grid).
+HIER_METRICS = [
+    "nodes", "nic_pe_us", "nic_gb_us", "host_dissem_us", "hier_us",
+    "hier_vs_pe_improvement",
 ]
 
 # Every churn row must carry exactly these lifecycle counters.
@@ -76,8 +93,9 @@ CHURN_METRICS = [
     "stale_fenced", "failures",
 ]
 
-# The eight sim::causal segments, in enum order.
-SEGMENTS = ["host", "sdma", "send", "wire", "switch", "recv", "firmware", "rdma"]
+# The sim::causal segments, in enum order ("rep" marks the hierarchical
+# barrier's representative hop between levels).
+SEGMENTS = ["host", "sdma", "send", "wire", "switch", "recv", "firmware", "rdma", "rep"]
 
 # Benches whose rows are improvement-factor figures (Fig. 5b/5d: host/NIC
 # latency ratios). Each of their rows must carry at least one *improvement*
@@ -263,6 +281,59 @@ def check_rma_doc(doc):
     return problems
 
 
+def check_hier_doc(doc):
+    """Validates one nicbar-hier-v1 document. Returns a list of problems."""
+    problems = []
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty array")
+        return problems
+    grid_nodes = []
+    crossover_rows = 0
+    for i, row in enumerate(rows):
+        where = "rows[%d]" % i
+        if not isinstance(row, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        label = row.get("label")
+        if not isinstance(label, str) or not label:
+            problems.append("%s.label must be a non-empty string" % where)
+            continue
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append("%s.metrics must be an object" % where)
+            continue
+        if label == "crossover":
+            crossover_rows += 1
+            if not is_number(metrics.get("crossover_nodes")) or metrics["crossover_nodes"] < 0:
+                problems.append(
+                    "%s.metrics.crossover_nodes must be a non-negative number" % where
+                )
+            continue
+        missing = [k for k in HIER_METRICS if not is_number(metrics.get(k))]
+        if missing:
+            problems.append("%s.metrics missing finite numbers for %s" % (where, missing))
+            continue
+        for key in HIER_METRICS:
+            if metrics[key] <= 0.0:
+                problems.append(
+                    "%s.metrics[%r] must be positive, got %r" % (where, key, metrics[key])
+                )
+        grid_nodes.append(metrics["nodes"])
+    if crossover_rows != 1:
+        problems.append("exactly one 'crossover' row expected, found %d" % crossover_rows)
+    if not grid_nodes:
+        problems.append("at least one grid row (label 'n<N>') expected")
+    elif grid_nodes != sorted(grid_nodes):
+        problems.append("grid rows must be in ascending node order, got %s" % grid_nodes)
+    labels = [r.get("label") for r in rows if isinstance(r, dict)]
+    if len(labels) != len(set(labels)):
+        problems.append("row labels must be unique")
+    return problems
+
+
 def check(path):
     """Returns a list of problems (empty = conforming)."""
     problems = []
@@ -290,6 +361,8 @@ def check(path):
         return check_churn_doc(doc)
     if doc.get("schema") == RMA_SCHEMA:
         return check_rma_doc(doc)
+    if doc.get("schema") == HIER_SCHEMA:
+        return check_hier_doc(doc)
     if doc.get("schema") != SCHEMA:
         problems.append("schema must be %r, got %r" % (SCHEMA, doc.get("schema")))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):

@@ -88,14 +88,19 @@ inline const char* usage_text() {
       "  --nodes N          group size (default 8)\n"
       "  --reps R           consecutive barriers to average (default 500)\n"
       "  --location L       nic | host (default nic)\n"
-      "  --algorithm A      pe | gb | host-dissem | host-tree (default pe;\n"
-      "                     host-* run on the rma:: one-sided layer and\n"
-      "                     ignore --location)\n"
-      "  --dim D            GB tree dimension / host-tree radix (default 2;\n"
-      "                     0 = sweep for best, GB only)\n"
+      "  --algorithm A      pe | gb | hier | host-dissem | host-tree (default pe;\n"
+      "                     hier runs the two-level NIC family — best on a\n"
+      "                     fat-tree/leaf-spine fabric; host-* run on the rma::\n"
+      "                     one-sided layer and ignore --location)\n"
+      "  --dim D            GB tree dimension / host-tree radix / hier intra-block\n"
+      "                     dimension (default 2; 0 = sweep for best, GB only)\n"
       "  --nic MODEL        lanai43 | lanai72 (default lanai43)\n"
       "  --clock MHZ        override NIC clock\n"
-      "  --topology T       switch | chain | tree (default switch)\n"
+      "  --topology T       switch | chain | tree | fat-tree | leaf-spine\n"
+      "                     (default switch)\n"
+      "  --radix R          fat-tree/leaf-spine switch radix (default 16)\n"
+      "  --oversub Q        fat-tree/leaf-spine oversubscription ratio Q:1\n"
+      "                     (default 1 = non-blocking)\n"
       "  --reliability M    unreliable | shared | separate (default unreliable)\n"
       "  --loss P           i.i.d. drop probability on every link (default 0)\n"
       "  --burst-loss E,X,L Gilbert-Elliott loss on every link: P(enter bad),\n"
@@ -264,13 +269,16 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
         o.params.spec.algorithm = nic::BarrierAlgorithm::kPairwiseExchange;
       } else if (s == "gb") {
         o.params.spec.algorithm = nic::BarrierAlgorithm::kGatherBroadcast;
+      } else if (s == "hier") {
+        // Two-level NIC family; --dim doubles as the intra-block dimension.
+        o.params.spec.hierarchical = true;
       } else if (s == "host-dissem") {
         o.params.spec.rdma = coll::RdmaAlgorithm::kDissemination;
       } else if (s == "host-tree") {
         // --dim doubles as the tree radix for this family.
         o.params.spec.rdma = coll::RdmaAlgorithm::kTreePut;
       } else {
-        return fail("--algorithm must be pe, gb, host-dissem, or host-tree");
+        return fail("--algorithm must be pe, gb, hier, host-dissem, or host-tree");
       }
     } else if (a == "--dim") {
       const char* v = value("--dim");
@@ -303,9 +311,23 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
         o.params.cluster.topology = host::Topology::kSwitchChain;
       } else if (s == "tree") {
         o.params.cluster.topology = host::Topology::kSwitchTree;
+      } else if (s == "fat-tree") {
+        o.params.cluster.topology = host::Topology::kFatTree;
+      } else if (s == "leaf-spine") {
+        o.params.cluster.topology = host::Topology::kLeafSpine;
       } else {
-        return fail("--topology must be switch, chain, or tree");
+        return fail("--topology must be switch, chain, tree, fat-tree, or leaf-spine");
       }
+    } else if (a == "--radix") {
+      const char* v = value("--radix");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n) || n == 0) return fail("--radix needs a positive integer");
+      o.params.cluster.fabric_radix = static_cast<std::size_t>(n);
+    } else if (a == "--oversub") {
+      const char* v = value("--oversub");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n) || n == 0) return fail("--oversub needs a positive integer");
+      o.params.cluster.fabric_oversub = static_cast<std::size_t>(n);
     } else if (a == "--reliability") {
       const char* v = value("--reliability");
       if (v == nullptr) return fail("--reliability needs a value");
@@ -385,6 +407,23 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
     }
   }
   o.params.spec.gb_dimension = o.dim;
+
+  if (o.params.spec.hierarchical) {
+    if (o.params.spec.rdma != coll::RdmaAlgorithm::kNone) {
+      return fail("--algorithm may be given once: hier and host-* are different families");
+    }
+    if (o.params.spec.location != coll::Location::kNic) {
+      return fail("--algorithm hier is the two-level NIC family; it requires --location nic");
+    }
+    if (o.sweep_dim) {
+      return fail("--dim 0 sweeps the flat GB tree dimension; hier needs an "
+                  "explicit intra-block dimension (--dim >= 1)");
+    }
+    if (o.predict) {
+      return fail("--predict evaluates the paper's flat Eq. 1-3 models; "
+                  "no closed form is fitted for the hierarchical family");
+    }
+  }
 
   if (o.params.spec.rdma != coll::RdmaAlgorithm::kNone) {
     if (o.sweep_dim) {

@@ -49,6 +49,7 @@ const char* algorithm_label(const coll::BarrierSpec& spec) {
     case coll::RdmaAlgorithm::kTreePut: return "RDMA-tree";
     case coll::RdmaAlgorithm::kNone: break;
   }
+  if (spec.hierarchical) return "hier";
   return spec.algorithm == nic::BarrierAlgorithm::kPairwiseExchange ? "PE" : "GB";
 }
 
