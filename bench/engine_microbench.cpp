@@ -95,6 +95,72 @@ void BM_MailboxThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxThroughput)->Arg(10000);
 
+// The partition-boundary fast path: a PDES window barrier drains every
+// cross-partition channel into the destination lane's queue in one
+// schedule_batch call. Modeled here exactly as PartitionedSimulator does it —
+// a lane queue already holding `heap` pending events absorbs a `batch`-sized
+// channel drain, then the window runs dry. Compare _Batch against _Single
+// (the same arrivals scheduled one at a time) to see the bottom-up heap
+// rebuild pay off when batch >= heap.
+void BM_PartitionBoundaryDrain(benchmark::State& state, bool batched) {
+  const auto heap = static_cast<int>(state.range(0));
+  const auto batch = static_cast<int>(state.range(1));
+  std::uint64_t sink = 0;
+  std::vector<sim::EventQueue::BatchItem> channel;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < heap; ++i) {
+      q.schedule(sim::SimTime{(i * 7919) % 1000 + 1000}, [&sink] { ++sink; });
+    }
+    channel.clear();
+    for (int i = 0; i < batch; ++i) {
+      // Keyed like a real link delivery: k1 = serialisation-finish ps,
+      // k2 = (link uid << 32) | per-link seq.
+      sim::EventQueue::BatchItem item;
+      item.at = sim::SimTime{(i * 4391) % 1000 + 1000};
+      item.key = sim::EventKey{static_cast<std::uint64_t>(item.at.ps()),
+                               (std::uint64_t{7} << 32) | static_cast<std::uint64_t>(i)};
+      item.action = [&sink] { ++sink; };
+      channel.push_back(std::move(item));
+    }
+    if (batched) {
+      q.schedule_batch(channel);
+    } else {
+      for (auto& item : channel) q.schedule_keyed(item.at, item.key, std::move(item.action));
+    }
+    sim::SimTime at;
+    while (!q.empty()) q.pop(at)();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + state.range(1)));
+}
+void BM_PartitionBoundaryDrain_Batch(benchmark::State& state) {
+  BM_PartitionBoundaryDrain(state, true);
+}
+void BM_PartitionBoundaryDrain_Single(benchmark::State& state) {
+  BM_PartitionBoundaryDrain(state, false);
+}
+BENCHMARK(BM_PartitionBoundaryDrain_Batch)->Args({1000, 10000})->Args({10000, 1000});
+BENCHMARK(BM_PartitionBoundaryDrain_Single)->Args({1000, 10000})->Args({10000, 1000});
+
+// Frame-arena recycling under spawn churn: waves of short-lived coroutines
+// whose frames all land in the same size class, so after the first wave
+// every allocation is a freelist pop. This is the serial-core win the PDES
+// issue pins: before the arena, every spawn was a malloc/free round trip.
+void BM_FrameArenaSpawnChurn(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int wave = 0; wave < 10; ++wave) {
+      for (int i = 0; i < n; ++i) sim.spawn(ping(sim, 1));
+      sim.run();
+    }
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * state.range(0));
+}
+BENCHMARK(BM_FrameArenaSpawnChurn)->Arg(1000);
+
 void BM_BarrierSimulation(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {

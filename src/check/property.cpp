@@ -278,6 +278,29 @@ void run_one_fuzz(std::uint64_t case_seed, PropertyReport& rep, bool recheck_det
                  static_cast<long long>(again.total.ps())));
       }
     }
+    if (p.cluster.pdes_partitions > 1) {
+      // Partitioned case: the serial engine must produce the identical
+      // timeline (total, per-member completions, NIC counters) — the
+      // random partition boundaries above must be unobservable.
+      coll::ExperimentParams serial = p;
+      serial.cluster.pdes_partitions = 1;
+      serial.cluster.pdes_workers = 0;
+      const auto sres = coll::run_barrier_experiment(serial);
+      if (sres.total != res.total || sres.member_end_times != res.member_end_times ||
+          sres.barriers_completed != res.barriers_completed ||
+          sres.retransmissions != res.retransmissions ||
+          sres.link_packets_dropped != res.link_packets_dropped) {
+        fail(rep, "fuzz.pdes-bit-identity", case_seed,
+             fmt("%s: partitioned total %lld ps (%llu retx, %llu drops) != serial %lld ps "
+                 "(%llu retx, %llu drops)",
+                 summary.c_str(), static_cast<long long>(res.total.ps()),
+                 static_cast<unsigned long long>(res.retransmissions),
+                 static_cast<unsigned long long>(res.link_packets_dropped),
+                 static_cast<long long>(sres.total.ps()),
+                 static_cast<unsigned long long>(sres.retransmissions),
+                 static_cast<unsigned long long>(sres.link_packets_dropped)));
+      }
+    }
   } catch (const InvariantViolation& v) {
     fail(rep, "fuzz.invariant-violation", case_seed, fmt("%s: %s", summary.c_str(), v.what()));
   } catch (const std::exception& e) {
@@ -334,13 +357,26 @@ coll::ExperimentParams generate_fuzz_case(std::uint64_t case_seed, std::string* 
                                             : nic::BarrierReliability::kSeparateAcks;
   }
 
+  // Half the cases run on the partitioned engine with a random partition
+  // count (clamped to the node count inside the cluster) and an unrelated
+  // worker count, so the partition boundaries sweep every block shape the
+  // leaf-aligned assignment can produce. The engine's own invariants
+  // (pdes.safe_time horizon monotonicity, pdes.straggler window containment)
+  // throw InvariantViolation, which the harness records as a failure; the
+  // driver additionally re-runs the case serially and diffs the timelines.
+  if (rng.chance(0.5)) {
+    p.cluster.pdes_partitions = 2 + rng.below(7);  // 2..8
+    p.cluster.pdes_workers = 1 + rng.below(4);     // 1..4
+  }
+
   if (summary != nullptr) {
-    *summary = fmt("case %llu: %s-%s n=%zu dim=%zu reps=%d %s topo=%d skew=%lldps faults[%zu loss, "
-                   "%zu burst, %zu corrupt, %zu down]",
+    *summary = fmt("case %llu: %s-%s n=%zu dim=%zu reps=%d %s topo=%d skew=%lldps pdes=%zu/%u "
+                   "faults[%zu loss, %zu burst, %zu corrupt, %zu down]",
                    static_cast<unsigned long long>(case_seed), loc_name(p.spec.location),
                    alg_name(p.spec.algorithm), p.nodes, p.spec.gb_dimension, p.reps,
                    p.cluster.nic.model.c_str(), static_cast<int>(p.cluster.topology),
-                   static_cast<long long>(p.max_start_skew.ps()), fp.loss.size(), fp.bursts.size(),
+                   static_cast<long long>(p.max_start_skew.ps()), p.cluster.pdes_partitions,
+                   p.cluster.pdes_workers, fp.loss.size(), fp.bursts.size(),
                    fp.corruption.size(), fp.link_down.size());
   }
   return p;

@@ -13,9 +13,12 @@ namespace nicbar::coll {
 
 namespace {
 
+// `failed` / `finished` are this member's private slots (summed by the
+// driver after the run): members on different PDES lanes execute
+// concurrently, so a shared counter would be a data race.
 sim::Task member_proc(sim::Simulator& sim, BarrierMember& member, int reps,
                       sim::Duration skew, sim::SimTime* t_start, sim::SimTime* t_end,
-                      std::uint64_t* failures, std::uint64_t* finished,
+                      std::uint8_t* failed, std::uint8_t* finished,
                       sim::check::BarrierSafetyMonitor* monitor, std::size_t member_index) {
   if (!skew.is_zero()) co_await sim.delay(skew);
   if (t_start != nullptr) *t_start = sim.now();
@@ -25,13 +28,13 @@ sim::Task member_proc(sim::Simulator& sim, BarrierMember& member, int reps,
     if (st != BarrierStatus::kOk) {
       // The group is broken (dead peer or expired deadline): stop looping
       // rather than spinning out `reps` instant failures.
-      if (failures != nullptr) ++*failures;
+      if (failed != nullptr) *failed = 1;
       break;
     }
     if (monitor != nullptr) monitor->complete(member_index, sim.now());
   }
   if (t_end != nullptr) *t_end = sim.now();
-  if (finished != nullptr) ++*finished;
+  if (finished != nullptr) *finished = 1;
 }
 
 std::vector<net::NodeId> resolve_node_order(const ExperimentParams& params) {
@@ -91,8 +94,8 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
 
   sim::Rng rng(params.seed);
   std::vector<sim::SimTime> starts(params.nodes), ends(params.nodes);
-  std::uint64_t failures = 0;
-  std::uint64_t finished = 0;
+  std::vector<std::uint8_t> failed(params.nodes, 0);
+  std::vector<std::uint8_t> finished_flags(params.nodes, 0);
   std::unique_ptr<sim::check::BarrierSafetyMonitor> monitor;
   if (params.check_invariants) {
     monitor = std::make_unique<sim::check::BarrierSafetyMonitor>(params.nodes);
@@ -103,12 +106,21 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
       skew = sim::Duration{static_cast<std::int64_t>(
           rng.uniform() * static_cast<double>(params.max_start_skew.ps()))};
     }
-    cluster.sim().spawn(member_proc(cluster.sim(), *members[i], params.reps, skew,
-                                    &starts[i], &ends[i], &failures, &finished, monitor.get(),
-                                    i));
+    // Each member runs on the simulator lane that owns its node — the serial
+    // engine when the cluster is unpartitioned.
+    sim::Simulator& lane = cluster.sim_for(order[i]);
+    lane.spawn(member_proc(lane, *members[i], params.reps, skew, &starts[i], &ends[i],
+                           &failed[i], &finished_flags[i], monitor.get(), i));
   }
-  cluster.sim().run();
+  cluster.run_all();
   cluster.snapshot_metrics();  // no-op unless params.cluster.telemetry is set
+
+  std::uint64_t failures = 0;
+  std::uint64_t finished = 0;
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    failures += failed[i];
+    finished += finished_flags[i];
+  }
 
   if (params.check_invariants) {
     // The event queue is drained, so the fabric is quiescent: every packet
@@ -136,6 +148,7 @@ ExperimentResult run_barrier_experiment(const ExperimentParams& params) {
   res.mean_us = res.total_us / params.reps;
   res.barrier_failures = failures;
   res.stalled_members = params.nodes - finished;
+  res.member_end_times = ends;
   for (std::size_t i = 0; i < params.nodes; ++i) {
     const nic::NicStats& s = cluster.nic(static_cast<net::NodeId>(i)).stats();
     res.barrier_packets_sent += s.barrier_packets_sent;

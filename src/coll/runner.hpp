@@ -64,6 +64,10 @@ struct ExperimentResult {
   std::uint64_t nic_crashes = 0;
   std::uint64_t nic_restarts = 0;
   std::uint64_t link_packets_dropped = 0;
+  /// Exact simulated time each member finished its barrier loop (index =
+  /// member, not node: member i runs on node node_order[i]). The PDES
+  /// bit-identity suite diffs these integers across engine configurations.
+  std::vector<sim::SimTime> member_end_times;
 };
 
 /// Runs the measurement loop; deterministic for fixed params.

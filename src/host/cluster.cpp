@@ -1,5 +1,6 @@
 #include "host/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -7,6 +8,9 @@
 namespace nicbar::host {
 
 Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
+  // The network is always built on the serial simulator; setup_partitions()
+  // rebinds every element onto its lane afterwards, so the build simulator
+  // is never ticked in a partitioned cluster.
   net_ = std::make_unique<net::Network>(sim_, params_.link, params_.sw);
   switch (params_.topology) {
     case Topology::kSingleSwitch:
@@ -27,21 +31,101 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
                                          params_.fabric_oversub);
       break;
   }
+  setup_partitions();
   nodes_.reserve(params_.nodes);
   for (std::size_t i = 0; i < params_.nodes; ++i) {
     const auto id = static_cast<net::NodeId>(i);
-    auto n = std::make_unique<Node>(sim_, params_.host_cpus, id);
-    n->nic = std::make_unique<nic::Nic>(sim_, *net_, id, params_.nic, n->pci);
+    sim::Simulator& lane = sim_for(id);
+    auto n = std::make_unique<Node>(lane, params_.host_cpus, id);
+    n->nic = std::make_unique<nic::Nic>(lane, *net_, id, params_.nic, n->pci);
     nic::Nic* nic_ptr = n->nic.get();
     net_->set_deliver(id, [nic_ptr](net::Packet p) { nic_ptr->rx_packet(std::move(p)); });
     nodes_.push_back(std::move(n));
   }
   if (params_.telemetry != nullptr) {
+    if (pdes_ != nullptr && params_.telemetry->trace() != nullptr) {
+      throw std::invalid_argument(
+          "pdes: the chrome trace sink records in global wall order and is "
+          "not shardable; run traced experiments with pdes_partitions = 1");
+    }
+    if (pdes_ != nullptr && params_.telemetry->breakdown() != nullptr) {
+      throw std::invalid_argument(
+          "pdes: the latency-breakdown collector accumulates into shared "
+          "histograms; run breakdown experiments with pdes_partitions = 1");
+    }
     for (auto& n : nodes_) n->nic->set_telemetry(params_.telemetry);
     net_->set_trace_sink(params_.telemetry->trace());
     net_->set_causal(params_.telemetry->causal());
+    if (pdes_ != nullptr && params_.telemetry->causal() != nullptr) {
+      // One span arena per lane; the worker binds its lane's shard before
+      // every window, and run_all() canonicalizes the shards back into the
+      // exact ids a serial recording would have produced.
+      sim::causal::CausalTracer* tracer = params_.telemetry->causal();
+      tracer->enable_sharding(pdes_->partitions());
+      pdes_->set_lane_prologue(
+          [](std::size_t lane) { sim::causal::CausalTracer::set_current_shard(lane); });
+    }
   }
   arm_faults();
+}
+
+void Cluster::setup_partitions() {
+  std::size_t want = std::max<std::size_t>(1, params_.pdes_partitions);
+  // A partition with no nodes would be a lane that only ever idles; clamp to
+  // the natural grain: one leaf block (fabrics) or one node (flat).
+  want = std::min(want, fabric_ ? fabric_->num_leaves : params_.nodes);
+  if (want <= 1) return;
+
+  node_partition_.assign(params_.nodes, 0);
+  switch_partition_.assign(net_->switch_count(), 0);
+  if (fabric_) {
+    // Leaf-aligned blocks: a node shares a lane with its leaf switch, so the
+    // dense host↔leaf traffic is lane-local and only switch↔switch links
+    // cross partitions. Leaves are switch ids 0..num_leaves-1 (the builders
+    // add them first); spine/agg/core stay on lane 0.
+    const std::size_t leaves = fabric_->num_leaves;
+    for (std::size_t i = 0; i < params_.nodes; ++i) {
+      node_partition_[i] = static_cast<int>(fabric_->leaf_of(static_cast<net::NodeId>(i)) *
+                                            want / leaves);
+    }
+    for (std::size_t s = 0; s < leaves && s < switch_partition_.size(); ++s) {
+      switch_partition_[s] = static_cast<int>(s * want / leaves);
+    }
+  } else {
+    // Flat topologies: contiguous node blocks; the switch column stays on
+    // lane 0, so every terminal link outside block 0 is a partition crossing
+    // and the lookahead is the terminal link's propagation delay.
+    for (std::size_t i = 0; i < params_.nodes; ++i) {
+      node_partition_[i] = static_cast<int>(i * want / params_.nodes);
+    }
+  }
+
+  pdes_ = std::make_unique<sim::pdes::PartitionedSimulator>(want, params_.link.propagation,
+                                                            params_.pdes_workers);
+  net::PartitionMap map;
+  map.terminal_partition = node_partition_;
+  map.switch_partition = switch_partition_;
+  const sim::Duration cross = net_->apply_partitioning(*pdes_, map);
+  // All links share params_.link, so the minimum cross-partition propagation
+  // either matches the lookahead the lanes were built with or no link
+  // crosses at all (single populated partition — still safe, windows just
+  // never exchange messages).
+  if (cross.ps() != 0 && cross != params_.link.propagation) {
+    throw std::logic_error("pdes: cross-partition propagation disagrees with lookahead");
+  }
+}
+
+std::uint64_t Cluster::run_all(sim::SimTime until) {
+  if (pdes_ == nullptr) return sim_.run(until);
+  const std::uint64_t n = pdes_->run(until);
+  if (params_.telemetry != nullptr && params_.telemetry->causal() != nullptr) {
+    sim::causal::CausalTracer* tracer = params_.telemetry->causal();
+    tracer->canonicalize();
+    // Re-shard so a follow-up run keeps recording race-free; the canonical
+    // spans live on in shard 0 and the next canonicalize folds them back in.
+    tracer->enable_sharding(pdes_->partitions());
+  }
+  return n;
 }
 
 void Cluster::arm_faults() {
@@ -80,9 +164,11 @@ void Cluster::arm_faults() {
     net_->for_each_link([&](net::Link& l) {
       if (!matches(f.link, l.name())) return;
       net::Link* lp = &l;
-      sim_.schedule_at(f.from, [lp] { lp->set_down(true); });
+      // l.sim() is the owning lane after partitioning (the serial engine
+      // otherwise), so the transition executes where the link lives.
+      l.sim().schedule_at(f.from, [lp] { lp->set_down(true); });
       if (f.until != sim::SimTime::max()) {
-        sim_.schedule_at(f.until, [lp] { lp->set_down(false); });
+        l.sim().schedule_at(f.until, [lp] { lp->set_down(false); });
       }
     });
   }
@@ -98,9 +184,10 @@ void Cluster::arm_faults() {
                                   std::to_string(nodes_.size()) + " nodes)" + where(f.line));
     }
     nic::Nic* nic_ptr = nodes_[f.node]->nic.get();
-    sim_.schedule_at(f.at, [nic_ptr] { nic_ptr->crash(); });
+    sim::Simulator& lane = sim_for(static_cast<net::NodeId>(f.node));
+    lane.schedule_at(f.at, [nic_ptr] { nic_ptr->crash(); });
     if (f.restart_at != sim::SimTime::max()) {
-      sim_.schedule_at(f.restart_at, [nic_ptr] { nic_ptr->restart(); });
+      lane.schedule_at(f.restart_at, [nic_ptr] { nic_ptr->restart(); });
     }
   }
   for (const sim::fault::SwitchPortDown& f : plan.switch_ports_down) {
@@ -112,9 +199,10 @@ void Cluster::arm_faults() {
     }
     net::Switch* sw = &net_->switch_at(static_cast<int>(f.switch_id));
     const std::size_t port = f.port;
-    sim_.schedule_at(f.from, [sw, port] { sw->set_port_down(port, true); });
+    sim::Simulator& lane = sim_for_switch(f.switch_id);
+    lane.schedule_at(f.from, [sw, port] { sw->set_port_down(port, true); });
     if (f.until != sim::SimTime::max()) {
-      sim_.schedule_at(f.until, [sw, port] { sw->set_port_down(port, false); });
+      lane.schedule_at(f.until, [sw, port] { sw->set_port_down(port, false); });
     }
   }
 }
@@ -232,7 +320,7 @@ void Cluster::snapshot_metrics() {
 
 std::unique_ptr<gm::Port> Cluster::make_port(net::NodeId node_id, nic::PortId port) {
   Node& n = *nodes_.at(node_id);
-  return std::make_unique<gm::Port>(sim_, n.host_cpu, *n.nic, port, params_.gm);
+  return std::make_unique<gm::Port>(sim_for(node_id), n.host_cpu, *n.nic, port, params_.gm);
 }
 
 std::unique_ptr<gm::Port> Cluster::open_port(net::NodeId node_id, nic::PortId port) {

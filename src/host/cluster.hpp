@@ -19,6 +19,7 @@
 #include "nic/config.hpp"
 #include "nic/nic.hpp"
 #include "sim/fault.hpp"
+#include "sim/pdes.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/telemetry.hpp"
@@ -54,6 +55,19 @@ struct ClusterParams {
   /// default) arms nothing and the timeline is bit-identical to a fault-free
   /// build — fault hooks cost zero when no plan is installed.
   sim::fault::FaultPlan faults;
+  /// Conservative PDES (sim::pdes): number of model partitions. 1 — the
+  /// default — uses the classic serial engine, untouched. > 1 splits nodes
+  /// into contiguous blocks (leaf-aligned for kFatTree/kLeafSpine, so
+  /// host↔leaf traffic never crosses a partition), each block on its own
+  /// simulator lane synchronized by lookahead windows; the timeline is
+  /// bit-identical to the serial engine. Clamped to the leaf count
+  /// (fabrics) or node count (flat topologies). Requires
+  /// link.propagation > 0 — that delay is the lookahead.
+  std::size_t pdes_partitions = 1;
+  /// Worker threads for the partitioned run. 0 — the default — uses the
+  /// hardware concurrency; values beyond the partition count are harmless.
+  /// Any worker count produces the same timeline; this knob is speed only.
+  unsigned pdes_workers = 0;
 };
 
 /// One machine: host CPU(s), a PCI bus, and a programmable NIC.
@@ -69,7 +83,32 @@ class Cluster {
  public:
   explicit Cluster(ClusterParams params);
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  /// The build/lane-0 simulator. Serial clusters own exactly one engine and
+  /// this is it; partitioned clusters return lane 0, which is correct for
+  /// global reads (now(), metric denominators) but NOT for spawning node
+  /// work — use sim_for(node) so the process runs on the node's own lane.
+  [[nodiscard]] sim::Simulator& sim() { return pdes_ ? pdes_->lane(0) : sim_; }
+
+  /// The simulator lane that owns `id`'s host CPU, PCI bus, and NIC. Equal
+  /// to sim() when the cluster is not partitioned.
+  [[nodiscard]] sim::Simulator& sim_for(net::NodeId id) {
+    return pdes_ ? pdes_->lane(node_partition_.at(id)) : sim_;
+  }
+
+  /// The partition owning node `id` (0 when not partitioned).
+  [[nodiscard]] std::size_t partition_of(net::NodeId id) const {
+    return node_partition_.empty() ? 0 : node_partition_.at(id);
+  }
+
+  /// The partitioned engine, or nullptr when pdes_partitions resolved to 1.
+  [[nodiscard]] sim::pdes::PartitionedSimulator* pdes() { return pdes_.get(); }
+
+  /// Runs the simulation to completion (or `until`) on whichever engine the
+  /// params selected, and — on the partitioned engine — canonicalizes the
+  /// causal tracer so span ids, critical paths, and completion records read
+  /// identically to a serial run. Returns the number of events executed.
+  std::uint64_t run_all(sim::SimTime until = sim::SimTime::max());
+
   [[nodiscard]] net::Network& network() { return *net_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] Node& node(net::NodeId id) { return *nodes_.at(id); }
@@ -99,13 +138,27 @@ class Cluster {
   /// Translates params_.faults into link/switch/NIC hooks and scheduled
   /// down/up, crash/restart transitions. Each (feature, link) pair gets its
   /// own RNG stream derived from the plan seed, so adding one fault never
-  /// perturbs the draws of another.
+  /// perturbs the draws of another. Under PDES each transition is scheduled
+  /// on the owning element's lane.
   void arm_faults();
+
+  /// Resolves pdes_partitions against the topology (leaf-aligned blocks for
+  /// fabrics, contiguous node blocks otherwise), builds the partition maps,
+  /// creates the lanes, and rebinds the already-built network onto them.
+  /// No-op (serial engine) when the clamped partition count is 1.
+  void setup_partitions();
+
+  [[nodiscard]] sim::Simulator& sim_for_switch(std::size_t id) {
+    return pdes_ ? pdes_->lane(static_cast<std::size_t>(switch_partition_.at(id))) : sim_;
+  }
 
   ClusterParams params_;
   sim::Simulator sim_;
+  std::unique_ptr<sim::pdes::PartitionedSimulator> pdes_;
   std::unique_ptr<net::Network> net_;
   std::optional<fabric::Fabric> fabric_;
+  std::vector<int> node_partition_;    // empty when not partitioned
+  std::vector<int> switch_partition_;  // empty when not partitioned
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

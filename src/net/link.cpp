@@ -12,15 +12,15 @@ void Link::set_down(bool down) {
   if (down == down_) return;
   down_ = down;
   if (down) {
-    down_since_ = sim_.now();
+    down_since_ = sim_->now();
   } else {
-    down_total_ += sim_.now() - down_since_;
+    down_total_ += sim_->now() - down_since_;
   }
 }
 
 sim::Duration Link::down_time_total() const {
   if (!down_) return down_total_;
-  return down_total_ + (sim_.now() - down_since_);
+  return down_total_ + (sim_->now() - down_since_);
 }
 
 sim::SimTime Link::transmit(Packet p) {
@@ -29,7 +29,7 @@ sim::SimTime Link::transmit(Packet p) {
     // Unplugged cable: the packet vanishes without even occupying the wire.
     ++dropped_;
     ++down_drops_;
-    return sim_.now();
+    return sim_->now();
   }
   ++sent_;
   bytes_sent_ += p.wire_bytes(params_.header_bytes);
@@ -53,7 +53,7 @@ sim::SimTime Link::transmit(Packet p) {
       // Terminal span: the packet's chain ends here; a retransmission starts
       // a fresh SEND span from the sender's stored record.
       causal_->record(sim::causal::Segment::kWire, p.dst_node, "wire_drop", done - occupy,
-                      done, p.causal);
+                      done, p.causal, 0, p.id);
     }
     // The wire is still burned for the packet's duration; nothing arrives.
     return done;
@@ -76,28 +76,46 @@ sim::SimTime Link::transmit(Packet p) {
     // wire shows up as the gap between the parent's end and done - occupy.
     packet->causal =
         causal_->record(sim::causal::Segment::kWire, packet->dst_node, "wire",
-                        done - occupy, done + prop, packet->causal);
+                        done - occupy, done + prop, packet->causal, 0, packet->id);
   }
-  ++in_flight_;
-  sim_.schedule_at(done + prop, [this, packet]() mutable {
-    --in_flight_;
-    ++delivered_;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  // Deliveries are *keyed*: at the arrival instant they fire in
+  // (serialisation-finish, link uid, per-link sequence) order, a total order
+  // derived purely from simulation content. A partitioned run inserts
+  // cross-partition deliveries at window barriers — long after a shared
+  // queue would have — so insertion order cannot be the tiebreak; with the
+  // key, serial and partitioned runs pop identically (see sim/pdes.hpp).
+  const sim::EventKey key{static_cast<std::uint64_t>(done.ps()),
+                          (static_cast<std::uint64_t>(uid_) << 32) | delivery_seq_++};
+  const sim::SimTime arrive = done + prop;
+  sim::EventQueue::Action deliver = [this, packet]() mutable {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     deliver_(std::move(*packet));
-  });
+  };
+  if (remote_post_) {
+    // Receiving end lives in another partition: hand off via the channel
+    // matrix rather than scheduling into a foreign lane's queue.
+    remote_post_(arrive, key, std::move(deliver));
+  } else {
+    sim_->schedule_at_keyed(arrive, key, std::move(deliver));
+  }
   return done;
 }
 
 void Link::verify_conservation() const {
-  const sim::SimTime now = sim_.now();
-  NICBAR_CHECK(sent_ == delivered_ + (dropped_ - down_drops_) + in_flight_, "net.link", now,
+  const sim::SimTime now = sim_->now();
+  const std::uint64_t delivered = delivered_.load(std::memory_order_relaxed);
+  const std::uint64_t in_flight = in_flight_.load(std::memory_order_relaxed);
+  NICBAR_CHECK(sent_ == delivered + (dropped_ - down_drops_) + in_flight, "net.link", now,
                "link '%s': sent=%llu != delivered=%llu + wire_drops=%llu + in_flight=%llu",
                name().c_str(), static_cast<unsigned long long>(sent_),
-               static_cast<unsigned long long>(delivered_),
+               static_cast<unsigned long long>(delivered),
                static_cast<unsigned long long>(dropped_ - down_drops_),
-               static_cast<unsigned long long>(in_flight_));
-  NICBAR_CHECK(in_flight_ == 0, "net.link", now,
+               static_cast<unsigned long long>(in_flight));
+  NICBAR_CHECK(in_flight == 0, "net.link", now,
                "link '%s': %llu packet(s) still in flight at quiescence", name().c_str(),
-               static_cast<unsigned long long>(in_flight_));
+               static_cast<unsigned long long>(in_flight));
 }
 
 }  // namespace nicbar::net

@@ -10,6 +10,7 @@
 // (as on real hardware, where a corrupted packet still burned the slot).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -32,12 +33,37 @@ struct LinkParams {
 class Link {
  public:
   using DeliverFn = std::function<void(Packet)>;
+  /// Cross-partition delivery hook: (arrival time, ordering key, delivery
+  /// closure) is posted to the PDES channel matrix instead of this lane's
+  /// queue. See sim/sync.hpp for the handoff convention.
+  using RemotePostFn =
+      std::function<void(sim::SimTime, sim::EventKey, sim::EventQueue::Action)>;
 
   Link(sim::Simulator& sim, LinkParams params, std::string name)
-      : sim_(sim), params_(params), wire_(sim, std::move(name)) {}
+      : sim_(&sim), params_(params), wire_(sim, std::move(name)) {}
 
   /// Sets the receiver; must be called before any transmit.
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Re-points the link (and its wire server) at the Simulator lane that
+  /// owns its transmitting end. Only legal before the simulation runs.
+  void rebind_sim(sim::Simulator& sim) {
+    sim_ = &sim;
+    wire_.rebind_sim(sim);
+  }
+
+  [[nodiscard]] sim::Simulator& sim() const { return *sim_; }
+
+  /// Stable fabric-wide id (assigned by Network at construction); the
+  /// second word of every delivery's ordering key, so two links finishing
+  /// serialisation at the same picosecond still deliver in a fixed order.
+  void set_uid(std::uint32_t uid) { uid_ = uid; }
+  [[nodiscard]] std::uint32_t uid() const { return uid_; }
+
+  /// Routes deliveries into another partition's lane via `fn` instead of
+  /// scheduling locally. Set by Network::apply_partitioning for links whose
+  /// receiving end lives in a different partition than the transmitting end.
+  void set_remote_post(RemotePostFn fn) { remote_post_ = std::move(fn); }
 
   /// Queues `p` for transmission. Returns the time serialisation finishes
   /// (the sender's transmit channel frees up); delivery happens one
@@ -99,8 +125,12 @@ class Link {
   [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t packets_corrupted() const { return corrupted_; }
   [[nodiscard]] std::uint64_t drops_while_down() const { return down_drops_; }
-  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t packets_in_flight() const { return in_flight_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t packets_in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
 
   /// Packet conservation: every packet serialised onto the wire is either
@@ -122,10 +152,13 @@ class Link {
   void set_causal(sim::causal::CausalTracer* causal) { causal_ = causal; }
 
  private:
-  sim::Simulator& sim_;
+  sim::Simulator* sim_;
   LinkParams params_;
   sim::BusyServer wire_;
   DeliverFn deliver_;
+  RemotePostFn remote_post_;
+  std::uint32_t uid_ = 0;
+  std::uint32_t delivery_seq_ = 0;  // per-link, deterministic by transmit order
   double drop_prob_ = 0.0;
   std::function<bool(const Packet&)> drop_pred_;
   sim::Rng rng_{12345};
@@ -145,8 +178,13 @@ class Link {
   std::uint64_t dropped_ = 0;
   std::uint64_t corrupted_ = 0;
   std::uint64_t down_drops_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t in_flight_ = 0;
+  // Transmit-side counters above are touched only by the owning lane; these
+  // two are also decremented/incremented by the *delivery* closure, which
+  // for a cross-partition link runs on the receiving lane — concurrently
+  // with later transmits here. Relaxed atomics suffice: each run's sums are
+  // deterministic, and reads happen post-run (after the pool join).
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
   std::int64_t bytes_sent_ = 0;
   sim::telemetry::TraceEventSink* trace_sink_ = nullptr;
   int trace_track_ = 0;

@@ -6,14 +6,21 @@
 
 namespace nicbar::net {
 
-Link* Network::new_link(std::string name) {
+Link* Network::new_link(std::string name, LinkEnd tail, LinkEnd head) {
   links_.push_back(std::make_unique<Link>(sim_, link_params_, std::move(name)));
-  return links_.back().get();
+  Link* l = links_.back().get();
+  // The uid doubles as the delivery ordering key's second word, so it must
+  // be a pure function of construction order (which is deterministic).
+  l->set_uid(static_cast<std::uint32_t>(links_.size() - 1));
+  link_tail_.push_back(tail);
+  link_head_.push_back(head);
+  return l;
 }
 
 NodeId Network::add_terminal() {
   assert(!finalized_);
   terminals_.push_back(Terminal{});
+  packet_seq_.push_back(0);
   return static_cast<NodeId>(terminals_.size() - 1);
 }
 
@@ -33,8 +40,12 @@ void Network::connect_terminal(NodeId terminal, int switch_id, std::size_t port)
 
   t.attached_switch = switch_id;
   t.attached_port = port;
-  t.up = new_link("t" + std::to_string(terminal) + "->sw" + std::to_string(switch_id));
-  t.down = new_link("sw" + std::to_string(switch_id) + "->t" + std::to_string(terminal));
+  const LinkEnd term_end{false, static_cast<std::int64_t>(terminal)};
+  const LinkEnd sw_end{true, switch_id};
+  t.up = new_link("t" + std::to_string(terminal) + "->sw" + std::to_string(switch_id),
+                  term_end, sw_end);
+  t.down = new_link("sw" + std::to_string(switch_id) + "->t" + std::to_string(terminal),
+                    sw_end, term_end);
 
   // Uplink delivers into the switch; downlink hangs off the switch port.
   Switch* swp = &sw;
@@ -54,8 +65,12 @@ void Network::connect_switches(int switch_a, std::size_t port_a, int switch_b,
   Switch& a = *switches_.at(static_cast<std::size_t>(switch_a));
   Switch& b = *switches_.at(static_cast<std::size_t>(switch_b));
 
-  Link* ab = new_link("sw" + std::to_string(switch_a) + "->sw" + std::to_string(switch_b));
-  Link* ba = new_link("sw" + std::to_string(switch_b) + "->sw" + std::to_string(switch_a));
+  const LinkEnd a_end{true, switch_a};
+  const LinkEnd b_end{true, switch_b};
+  Link* ab = new_link("sw" + std::to_string(switch_a) + "->sw" + std::to_string(switch_b),
+                      a_end, b_end);
+  Link* ba = new_link("sw" + std::to_string(switch_b) + "->sw" + std::to_string(switch_a),
+                      b_end, a_end);
   a.attach_out(port_a, ab);
   b.attach_out(port_b, ba);
   Switch* bp = &b;
@@ -136,6 +151,9 @@ const std::vector<std::uint8_t>& Network::route(NodeId src, NodeId dst) const {
   assert(finalized_);
   if (route_provider_) {
     const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+    // Serialize cache insertion (lanes of a partitioned run route
+    // concurrently); the node-stable reference outlives the lock.
+    const std::lock_guard<std::mutex> lock(route_mu_);
     auto it = route_cache_.find(key);
     if (it == route_cache_.end()) {
       it = route_cache_.emplace(key, route_provider_(src, dst)).first;
@@ -169,10 +187,43 @@ sim::SimTime Network::inject(Packet p) {
   Terminal& t = terminals_.at(p.src_node);
   p.route = route(p.src_node, p.dst_node);
   p.hop = 0;
-  p.injected_at = sim_.now();
-  if (p.id == 0) p.id = next_packet_id_++;
-  ++injected_;
+  // The uplink is bound to the injecting node's lane, so its clock — not
+  // the build lane's — is the packet's entry timestamp.
+  p.injected_at = t.up->sim().now();
+  if (p.id == 0) p.id = allocate_packet_id(p.src_node);
+  injected_.fetch_add(1, std::memory_order_relaxed);
   return t.up->transmit(std::move(p));
+}
+
+sim::Duration Network::apply_partitioning(sim::pdes::PartitionedSimulator& pdes,
+                                          const PartitionMap& map) {
+  assert(finalized_);
+  for (std::size_t s = 0; s < switches_.size(); ++s) {
+    switches_[s]->rebind_sim(pdes.lane(
+        static_cast<std::size_t>(map.switch_partition.at(s))));
+  }
+  sim::Duration min_cross{0};
+  bool any_cross = false;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    Link* l = links_[i].get();
+    const int tail = link_tail_[i].partition(map);
+    const int head = link_head_[i].partition(map);
+    // A link belongs to its *transmitting* element's lane: transmit() and
+    // the wire server run there. Only the delivery crosses over.
+    l->rebind_sim(pdes.lane(static_cast<std::size_t>(tail)));
+    if (tail == head) continue;
+    sim::pdes::PartitionedSimulator* p = &pdes;
+    l->set_remote_post([p, tail, head](sim::SimTime at, sim::EventKey key,
+                                       sim::EventQueue::Action action) {
+      p->post(static_cast<std::size_t>(tail), static_cast<std::size_t>(head), at, key,
+              std::move(action));
+    });
+    if (!any_cross || l->params().propagation < min_cross) {
+      min_cross = l->params().propagation;
+      any_cross = true;
+    }
+  }
+  return min_cross;
 }
 
 }  // namespace nicbar::net

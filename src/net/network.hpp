@@ -10,9 +10,11 @@
 // Every cable is full duplex and is modelled as two directed Links.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,9 +22,17 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/xswitch.hpp"
+#include "sim/pdes.hpp"
 #include "sim/simulator.hpp"
 
 namespace nicbar::net {
+
+/// Assignment of every fabric element to a PDES partition. Terminals are
+/// indexed by NodeId, switches by switch id; values are lane indices.
+struct PartitionMap {
+  std::vector<int> terminal_partition;
+  std::vector<int> switch_partition;
+};
 
 class Network {
  public:
@@ -91,10 +101,26 @@ class Network {
     for (auto& s : switches_) s->set_causal(causal);
   }
 
-  /// Reserves a fabric-unique packet id. NICs stamp ids at the SEND engine
-  /// (before injection) so loopback packets and trace flow events share the
-  /// same id space; inject() only stamps packets that don't have one yet.
-  [[nodiscard]] std::uint64_t allocate_packet_id() { return next_packet_id_++; }
+  /// Reserves a fabric-unique packet id for traffic originating at `node`.
+  /// NICs stamp ids at the SEND engine (before injection) so loopback
+  /// packets and trace flow events share the same id space; inject() only
+  /// stamps packets that don't have one yet. Ids are striped per node
+  /// (seq * N + node + 1) rather than drawn from a global counter: each
+  /// node allocates only from its own stripe, so the id of a packet depends
+  /// only on that node's deterministic send order — never on how sends from
+  /// different nodes (different PDES lanes) interleave in wall-clock time.
+  [[nodiscard]] std::uint64_t allocate_packet_id(NodeId node) {
+    return packet_seq_[node]++ * terminals_.size() + node + 1;
+  }
+
+  /// Binds every fabric element to its partition's lane and converts every
+  /// link whose receiving end lives in a different partition than its
+  /// transmitting end into a channel post (Link::set_remote_post). Call
+  /// after the topology is fully built. Returns the minimum propagation
+  /// delay among cross-partition links — the PDES lookahead — or
+  /// Duration{0} when no link crosses a boundary.
+  sim::Duration apply_partitioning(sim::pdes::PartitionedSimulator& pdes,
+                                   const PartitionMap& map);
 
   // --- Introspection / fault injection ----------------------------------------
 
@@ -113,7 +139,9 @@ class Network {
     for (auto& l : links_) fn(*l);
   }
 
-  [[nodiscard]] std::uint64_t packets_injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t packets_injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Terminal {
@@ -124,7 +152,17 @@ class Network {
     DeliverFn deliver;
   };
 
-  Link* new_link(std::string name);
+  /// One end of a directed link: a terminal (NodeId) or a switch (id).
+  struct LinkEnd {
+    bool is_switch = false;
+    std::int64_t id = 0;
+    [[nodiscard]] int partition(const PartitionMap& map) const {
+      return is_switch ? map.switch_partition.at(static_cast<std::size_t>(id))
+                       : map.terminal_partition.at(static_cast<std::size_t>(id));
+    }
+  };
+
+  Link* new_link(std::string name, LinkEnd tail, LinkEnd head);
 
   sim::Simulator& sim_;
   LinkParams link_params_;
@@ -137,12 +175,16 @@ class Network {
   RouteProviderFn route_provider_;
   // Lazy per-pair cache for provider-computed routes. route() hands out
   // references, so entries must be address-stable once inserted
-  // (unordered_map nodes are). Simulations are single-threaded per
-  // Simulator, so no locking.
+  // (unordered_map nodes are). Partitioned runs call route() from several
+  // lanes at once, so insertion is serialized by route_mu_; the returned
+  // references stay valid after unlock.
   mutable std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> route_cache_;
+  mutable std::mutex route_mu_;
   bool finalized_ = false;
-  std::uint64_t injected_ = 0;
-  std::uint64_t next_packet_id_ = 1;
+  std::atomic<std::uint64_t> injected_{0};  // bumped by every lane's sends
+  std::vector<std::uint64_t> packet_seq_;   // per-node id stripes (one writer each)
+  std::vector<LinkEnd> link_tail_;          // per link, transmitting element
+  std::vector<LinkEnd> link_head_;          // per link, receiving element
 
   // Switch-level adjacency: for each switch, (port -> peer switch) entries.
   struct SwitchEdge {

@@ -28,17 +28,18 @@ void Switch::accept(Packet p) {
   if (causal_ != nullptr) {
     packet->causal =
         causal_->record(sim::causal::Segment::kSwitch, packet->dst_node, "route",
-                        sim_.now(), sim_.now() + params_.routing_latency, packet->causal);
+                        sim_->now(), sim_->now() + params_.routing_latency, packet->causal,
+                        0, packet->id);
   }
   ++in_pipeline_;
-  sim_.schedule_in(params_.routing_latency, [this, link, packet]() mutable {
+  sim_->schedule_in(params_.routing_latency, [this, link, packet]() mutable {
     --in_pipeline_;
     link->transmit(std::move(*packet));
   });
 }
 
 void Switch::verify_conservation() const {
-  const sim::SimTime now = sim_.now();
+  const sim::SimTime now = sim_->now();
   NICBAR_CHECK(accepted_ == forwarded_ + misrouted_ + port_down_drops_, "net.switch", now,
                "switch %d: accepted=%llu != forwarded=%llu + misrouted=%llu + port_down=%llu",
                id_, static_cast<unsigned long long>(accepted_),

@@ -30,8 +30,12 @@ struct SwitchParams {
 class Switch {
  public:
   Switch(sim::Simulator& sim, int id, std::size_t num_ports, SwitchParams params)
-      : sim_(sim), id_(id), params_(params), out_(num_ports, nullptr),
+      : sim_(&sim), id_(id), params_(params), out_(num_ports, nullptr),
         port_down_(num_ports, false) {}
+
+  /// Re-points the switch at the Simulator lane of its partition (PDES).
+  /// Only legal before the simulation runs.
+  void rebind_sim(sim::Simulator& sim) { sim_ = &sim; }
 
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] std::size_t num_ports() const { return out_.size(); }
@@ -65,7 +69,7 @@ class Switch {
   void verify_conservation() const;
 
  private:
-  sim::Simulator& sim_;
+  sim::Simulator* sim_;
   int id_;
   SwitchParams params_;
   std::vector<Link*> out_;

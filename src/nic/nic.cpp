@@ -316,7 +316,7 @@ void Nic::transmit(Packet p, std::int64_t send_cycles_override) {
   }
   // Stamp the fabric-unique id here (not at injection) so loopback packets
   // and the SEND-side trace flow event carry it too.
-  if (p.id == 0) p.id = net_.allocate_packet_id();
+  if (p.id == 0) p.id = net_.allocate_packet_id(node_);
   const std::int64_t cost =
       send_cycles_override >= 0
           ? send_cycles_override

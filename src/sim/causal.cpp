@@ -1,8 +1,21 @@
 #include "sim/causal.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "sim/check.hpp"
 
 namespace nicbar::sim::causal {
+
+namespace {
+
+// The recording thread's arena. A plain thread_local (not a member) so the
+// hot record() path costs one TLS read; only consulted while the tracer has
+// more than one shard, so legacy single-threaded users never depend on it.
+thread_local std::size_t t_current_shard = 0;
+
+}  // namespace
 
 const char* to_string(Segment s) {
   switch (s) {
@@ -19,62 +32,102 @@ const char* to_string(Segment s) {
   return "?";
 }
 
+void CausalTracer::enable_sharding(std::size_t shards) {
+  // resize, not assign: shard 0 — where a previous canonicalize() collapsed
+  // everything — survives, so sharding can be re-enabled between runs.
+  shard_spans_.resize(shards >= 1 ? shards : 1);
+  shard_completed_.resize(shards >= 1 ? shards : 1);
+}
+
+void CausalTracer::set_current_shard(std::size_t shard) { t_current_shard = shard; }
+
+std::size_t CausalTracer::record_shard() const {
+  return shard_spans_.size() > 1 ? t_current_shard : 0;
+}
+
 SpanId CausalTracer::record(Segment seg, std::uint32_t node, const char* label,
-                            SimTime start, SimTime end, SpanId parent, SpanId parent2) {
+                            SimTime start, SimTime end, SpanId parent, SpanId parent2,
+                            std::uint64_t key) {
+  const std::size_t shard = record_shard();
+  std::vector<Span>& arena = shard_spans_[shard];
   Span s;
-  s.id = spans_.size() + 1;
+  s.id = (static_cast<std::uint64_t>(shard) << kShardShift) | (arena.size() + 1);
   s.seg = seg;
   s.node = node;
   s.label = label;
   s.start = start;
   s.end = end;
-  if (parent != 0 && parent < s.id) s.parents.push_back(parent);
-  if (parent2 != 0 && parent2 < s.id && parent2 != parent) s.parents.push_back(parent2);
-  spans_.push_back(std::move(s));
-  return spans_.back().id;
+  s.key = key;
+  // Single arena: edges must point to already-recorded spans (smaller ids),
+  // which keeps the graph trivially acyclic. With shards, a parent may live
+  // in another arena where id order says nothing — canonicalize() restores
+  // the invariant and drops anything dangling.
+  const bool sharded = shard_spans_.size() > 1;
+  if (parent != 0 && (sharded ? parent != s.id : parent < s.id)) s.parents.push_back(parent);
+  if (parent2 != 0 && (sharded ? parent2 != s.id : parent2 < s.id) && parent2 != parent) {
+    s.parents.push_back(parent2);
+  }
+  arena.push_back(std::move(s));
+  return arena.back().id;
 }
 
 void CausalTracer::add_parent(SpanId span, SpanId parent) {
-  // Edges must point backwards (parent recorded first) to keep the graph
-  // trivially acyclic; anything else is a call-site bug we tolerate silently
-  // so tracing can never crash a run.
-  if (span == 0 || parent == 0 || parent >= span || span > spans_.size()) return;
-  std::vector<SpanId>& ps = spans_[span - 1].parents;
+  // Only the arena that recorded a span may grow its parent list (true at
+  // every call site: joins are attached by the consuming element's own
+  // lane). Cross-arena *references* are fine; cross-arena writes are not.
+  if (span == 0 || parent == 0 || parent == span) return;
+  const Span* s = this->span(span);
+  if (s == nullptr) return;
+  // Ordering guard: an edge whose parent was recorded *after* its child is a
+  // forward reference (the engine retroactively claiming an earlier span —
+  // e.g. a pe_advance pointing back at a barrier_advance it superseded).
+  // Within one arena the idx field is record order, so the raw comparison
+  // detects it; cross-shard edges always flow through a link delivery whose
+  // parent span predates the child, so they are never forward references.
+  if ((span >> kShardShift) == (parent >> kShardShift) && parent >= span) return;
+  std::vector<SpanId>& ps = const_cast<Span*>(s)->parents;
   if (std::find(ps.begin(), ps.end(), parent) == ps.end()) ps.push_back(parent);
 }
 
 void CausalTracer::complete_barrier(std::uint32_t node, std::uint16_t port,
                                     std::uint32_t epoch, SpanId sink) {
-  if (sink == 0 || sink > spans_.size()) return;
+  if (span(sink) == nullptr) return;
   CompletedBarrier b;
   b.node = node;
   b.port = port;
   b.epoch = epoch;
   b.sink = sink;
-  b.total = critical_path(sink).total;
-  completed_.push_back(b);
+  if (shard_spans_.size() == 1) {
+    b.total = critical_path(sink).total;
+  }
+  // Sharded: the sink's ancestors may still be foreign arenas mid-run, so
+  // walking them here would race — canonicalize() fills the total in.
+  shard_completed_[record_shard()].push_back(b);
 }
 
 CriticalPath CausalTracer::critical_path(SpanId sink) const {
   CriticalPath path;
-  if (sink == 0 || sink > spans_.size()) return path;
+  const Span* sink_span = span(sink);
+  if (sink_span == nullptr) return path;
 
-  // Walk back from the sink, always following the latest-ending parent.
-  SpanId cur = sink;
-  while (cur != 0) {
-    const Span& s = spans_[cur - 1];
-    SpanId crit = 0;
-    for (const SpanId p : s.parents) {
-      if (p == 0 || p > spans_.size()) continue;
-      if (crit == 0 || spans_[p - 1].end > spans_[crit - 1].end) crit = p;
+  // Walk back from the sink, always following the latest-ending parent
+  // (ties keep the first-listed parent; parent list order is preserved by
+  // canonicalize(), so the walk is canonical too).
+  const Span* cur = sink_span;
+  while (cur != nullptr) {
+    const Span* crit = nullptr;
+    for (const SpanId p : cur->parents) {
+      const Span* ps = span(p);
+      if (ps == nullptr) continue;
+      if (crit == nullptr || ps->end > crit->end) crit = ps;
     }
     PathStep step;
-    step.span = s.id;
-    step.seg = s.seg;
-    step.node = s.node;
-    step.label = s.label;
-    step.self = s.end - s.start;
-    step.queue = crit != 0 ? s.start - spans_[crit - 1].end : Duration{0};
+    step.span = cur->id;
+    step.seg = cur->seg;
+    step.node = cur->node;
+    step.label = cur->label;
+    step.self = cur->end - cur->start;
+    step.queue = crit != nullptr ? cur->start - crit->end : Duration{0};
     path.steps.push_back(step);
     cur = crit;
   }
@@ -86,7 +139,7 @@ CriticalPath CausalTracer::critical_path(SpanId sink) const {
     path.queue[seg] += step.queue;
   }
   // total telescopes: end(sink) - start(origin) == sum(self) + sum(queue).
-  path.total = spans_[sink - 1].end - spans_[path.steps.front().span - 1].start;
+  path.total = sink_span->end - span(path.steps.front().span)->start;
   return path;
 }
 
@@ -104,17 +157,18 @@ void CausalTracer::fold(const CriticalPath& path, PathProfile& out) const {
 }
 
 PathProfile CausalTracer::profile(double min_percentile) const {
-  if (min_percentile <= 0.0) return profile_of(completed_);
+  const std::vector<CompletedBarrier>& all = completed();
+  if (min_percentile <= 0.0) return profile_of(all);
   std::vector<std::int64_t> totals;
-  totals.reserve(completed_.size());
-  for (const CompletedBarrier& b : completed_) totals.push_back(b.total.ps());
+  totals.reserve(all.size());
+  for (const CompletedBarrier& b : all) totals.push_back(b.total.ps());
   if (totals.empty()) return PathProfile{};
   std::sort(totals.begin(), totals.end());
   const double rank = min_percentile / 100.0 * static_cast<double>(totals.size() - 1);
   const std::size_t idx = std::min(totals.size() - 1, static_cast<std::size_t>(rank));
   const std::int64_t threshold = totals[idx];
   std::vector<CompletedBarrier> picked;
-  for (const CompletedBarrier& b : completed_) {
+  for (const CompletedBarrier& b : all) {
     if (b.total.ps() >= threshold) picked.push_back(b);
   }
   return profile_of(picked);
@@ -127,7 +181,14 @@ PathProfile CausalTracer::profile_of(const std::vector<CompletedBarrier>& barrie
 }
 
 bool CausalTracer::verify_acyclic() const {
-  for (const Span& s : spans_) {
+  // Cross-shard ids are not order-comparable, so the invariant is only
+  // checkable once everything lives in arena 0 — the serial case, or a
+  // canonicalized tracer that was re-sharded for a follow-up run (arenas
+  // 1..P-1 empty).
+  for (std::size_t s = 1; s < shard_spans_.size(); ++s) {
+    if (!shard_spans_[s].empty()) return false;  // canonicalize first
+  }
+  for (const Span& s : shard_spans_[0]) {
     for (const SpanId p : s.parents) {
       if (p == 0 || p >= s.id) return false;
     }
@@ -135,9 +196,128 @@ bool CausalTracer::verify_acyclic() const {
   return true;
 }
 
+void CausalTracer::canonicalize() {
+  const std::size_t num_shards = shard_spans_.size();
+
+  // Flatten. A span's flat index is (shard offset + local index), so old
+  // encoded ids decode straight into flat indices.
+  std::vector<std::size_t> offset(num_shards + 1, 0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    offset[s + 1] = offset[s] + shard_spans_[s].size();
+  }
+  const std::size_t n = offset[num_shards];
+  std::vector<Span> all;
+  all.reserve(n);
+  for (std::vector<Span>& arena : shard_spans_) {
+    for (Span& s : arena) all.push_back(std::move(s));
+    arena.clear();
+  }
+  auto flat_of = [&](SpanId id) -> std::ptrdiff_t {
+    const std::size_t shard = static_cast<std::size_t>(id >> kShardShift);
+    const std::uint64_t idx = id & kIdxMask;
+    if (shard >= num_shards || idx == 0 ||
+        offset[shard] + idx > offset[shard + 1]) {
+      return -1;
+    }
+    return static_cast<std::ptrdiff_t>(offset[shard] + idx - 1);
+  };
+
+  // Content order: ends first (causality flows toward later ends), then
+  // start/segment/node/label/key. The flat-index fallback only breaks ties
+  // between spans of one arena (identical content on different lanes always
+  // differs in node or packet-id key), where it equals that lane's record
+  // order — the same relative order a serial run records them in.
+  auto content_less = [&](std::size_t a, std::size_t b) {
+    const Span& x = all[a];
+    const Span& y = all[b];
+    if (x.end != y.end) return x.end < y.end;
+    if (x.start != y.start) return x.start < y.start;
+    if (x.seg != y.seg) return x.seg < y.seg;
+    if (x.node != y.node) return x.node < y.node;
+    const int c = std::strcmp(x.label, y.label);
+    if (c != 0) return c < 0;
+    if (x.key != y.key) return x.key < y.key;
+    return a < b;
+  };
+
+  // Kahn's algorithm with a content-ordered ready set: pop the smallest
+  // ready span, number it, release its children. Numbering therefore
+  // depends only on span content and edges — never on arena layout — and
+  // satisfies parent-id < span-id by construction.
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<std::uint32_t>> children(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const SpanId p : all[f].parents) {
+      const std::ptrdiff_t pf = flat_of(p);
+      if (pf < 0 || static_cast<std::size_t>(pf) == f) continue;
+      children[static_cast<std::size_t>(pf)].push_back(static_cast<std::uint32_t>(f));
+      ++indegree[f];
+    }
+  }
+  auto ready_greater = [&](std::size_t a, std::size_t b) { return content_less(b, a); };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(ready_greater)> ready(
+      ready_greater);
+  for (std::size_t f = 0; f < n; ++f) {
+    if (indegree[f] == 0) ready.push(f);
+  }
+  std::vector<SpanId> new_id(n, 0);
+  SpanId next = 1;
+  while (!ready.empty()) {
+    const std::size_t f = ready.top();
+    ready.pop();
+    new_id[f] = next++;
+    for (const std::uint32_t c : children[f]) {
+      if (--indegree[c] == 0) ready.push(c);
+    }
+  }
+  NICBAR_CHECK(next == n + 1, "causal.cycle", SimTime::zero(),
+               "%zu span(s) unreachable in topological renumbering: the span "
+               "graph has a cycle",
+               n + 1 - static_cast<std::size_t>(next));
+
+  std::vector<Span> canon(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    Span s = std::move(all[f]);
+    s.id = new_id[f];
+    std::vector<SpanId> parents;
+    parents.reserve(s.parents.size());
+    for (const SpanId p : s.parents) {
+      const std::ptrdiff_t pf = flat_of(p);
+      if (pf < 0 || static_cast<std::size_t>(pf) == f) continue;  // dangling
+      parents.push_back(new_id[static_cast<std::size_t>(pf)]);
+    }
+    s.parents = std::move(parents);
+    canon[s.id - 1] = std::move(s);
+  }
+  shard_spans_.assign(1, std::move(canon));
+
+  // Merge completions, remap sinks, and fill in (or refresh) totals now
+  // that the whole DAG is visible. The sort gives one canonical order; two
+  // barriers never share a sink span, so it is total.
+  std::vector<CompletedBarrier> merged;
+  for (std::vector<CompletedBarrier>& arena : shard_completed_) {
+    for (CompletedBarrier& b : arena) {
+      const std::ptrdiff_t f = flat_of(b.sink);
+      if (f < 0) continue;
+      b.sink = new_id[static_cast<std::size_t>(f)];
+      merged.push_back(b);
+    }
+    arena.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const CompletedBarrier& a, const CompletedBarrier& b) {
+              if (a.sink != b.sink) return a.sink < b.sink;
+              if (a.node != b.node) return a.node < b.node;
+              if (a.port != b.port) return a.port < b.port;
+              return a.epoch < b.epoch;
+            });
+  for (CompletedBarrier& b : merged) b.total = critical_path(b.sink).total;
+  shard_completed_.assign(1, std::move(merged));
+}
+
 void CausalTracer::clear() {
-  spans_.clear();
-  completed_.clear();
+  for (std::vector<Span>& arena : shard_spans_) arena.clear();
+  for (std::vector<CompletedBarrier>& arena : shard_completed_) arena.clear();
 }
 
 }  // namespace nicbar::sim::causal

@@ -26,8 +26,21 @@
 // raw pointer that is null by default; every hook is one branch; recording
 // never reads or perturbs simulation state, so results are bit-identical
 // with tracing on or off.
+//
+// Partitioned (PDES) runs: enable_sharding(K) gives each lane a private
+// span arena (selected via a thread-local shard index that the partitioned
+// run sets before executing each lane), so recording stays lock-free. Ids
+// are then (shard, local index) encodings, cross-shard parents are legal,
+// and complete_barrier defers its total. After the run, canonicalize()
+// merges the shards and renumbers every span by *content* (a deterministic
+// topological order keyed on end/start/segment/node/label/packet-id), which
+// yields the exact same ids, parents, and totals as a canonicalized serial
+// run — the causal half of the PDES bit-identity guarantee. Serial runs that
+// want to diff against partitioned ones must call canonicalize() too;
+// legacy callers that never touch it see the original record-order ids.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -67,6 +80,11 @@ struct Span {
   const char* label = "";  // static strings only (call sites use literals)
   SimTime start{0};
   SimTime end{0};
+  // Content tiebreak for canonical ordering: the fabric-unique packet id for
+  // wire/switch spans (two packets can occupy different links over identical
+  // windows), 0 for node-local spans (which the (node, shard) pairing
+  // already orders deterministically).
+  std::uint64_t key = 0;
   std::vector<SpanId> parents;
 };
 
@@ -123,11 +141,34 @@ struct PathProfile {
 
 class CausalTracer {
  public:
+  CausalTracer() : shard_spans_(1), shard_completed_(1) {}
+
+  /// Grows to `shards` private span arenas (>= 1); existing arenas — in
+  /// particular shard 0, where canonicalize() collapsed a previous run —
+  /// are preserved. Each recording thread must announce its arena with
+  /// set_current_shard before recording; a partitioned run does this per
+  /// lane per window.
+  void enable_sharding(std::size_t shards);
+
+  /// Binds this thread's subsequent record/complete_barrier calls to arena
+  /// `shard`. Thread-local; irrelevant while only one shard exists.
+  static void set_current_shard(std::size_t shard);
+
+  /// Merges shards and renumbers every span into the canonical content
+  /// order: a topological numbering that prefers the smallest
+  /// (end, start, segment, node, label, key) among ready spans. Deferred
+  /// barrier totals are computed, completions sorted by sink. After this
+  /// the tracer is single-arena with dense 1-based ids and
+  /// verify_acyclic()'s parent-id < span-id invariant restored. Two runs of
+  /// the same model canonicalize to bit-identical state regardless of
+  /// partition or worker count.
+  void canonicalize();
+
   /// Records a completed span [start, end] and returns its id. `label` must
   /// be a string literal. Up to two parents at record time; later joins go
-  /// through add_parent.
+  /// through add_parent. `key` is the content tiebreak (see Span::key).
   SpanId record(Segment seg, std::uint32_t node, const char* label, SimTime start,
-                SimTime end, SpanId parent = 0, SpanId parent2 = 0);
+                SimTime end, SpanId parent = 0, SpanId parent2 = 0, std::uint64_t key = 0);
 
   /// Attaches another causal parent to an existing span (a join discovered
   /// after the span was recorded, e.g. the firmware consuming a previously
@@ -139,11 +180,24 @@ class CausalTracer {
   void complete_barrier(std::uint32_t node, std::uint16_t port, std::uint32_t epoch,
                         SpanId sink);
 
-  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
-  [[nodiscard]] const Span* span(SpanId id) const {
-    return id >= 1 && id <= spans_.size() ? &spans_[id - 1] : nullptr;
+  [[nodiscard]] std::size_t span_count() const {
+    std::size_t n = 0;
+    for (const std::vector<Span>& s : shard_spans_) n += s.size();
+    return n;
   }
-  [[nodiscard]] const std::vector<CompletedBarrier>& completed() const { return completed_; }
+  [[nodiscard]] const Span* span(SpanId id) const {
+    const std::size_t shard = static_cast<std::size_t>(id >> kShardShift);
+    const std::uint64_t idx = id & kIdxMask;
+    if (shard >= shard_spans_.size() || idx == 0 || idx > shard_spans_[shard].size()) {
+      return nullptr;
+    }
+    return &shard_spans_[shard][idx - 1];
+  }
+  /// Completed barriers. While multiple shards exist this is shard 0's view
+  /// only — canonicalize() merges (and sorts) the rest.
+  [[nodiscard]] const std::vector<CompletedBarrier>& completed() const {
+    return shard_completed_[0];
+  }
 
   /// Exact critical path from `sink` back to its origin.
   [[nodiscard]] CriticalPath critical_path(SpanId sink) const;
@@ -163,10 +217,17 @@ class CausalTracer {
   void clear();
 
  private:
-  void fold(const CriticalPath& path, PathProfile& out) const;
+  // Span ids encode (shard, 1-based local index); shard 0 ids are therefore
+  // plain 1..n, which keeps single-arena (legacy and post-canonicalize)
+  // behaviour byte-compatible with the original sequential scheme.
+  static constexpr std::uint64_t kShardShift = 40;
+  static constexpr std::uint64_t kIdxMask = (std::uint64_t{1} << kShardShift) - 1;
 
-  std::vector<Span> spans_;
-  std::vector<CompletedBarrier> completed_;
+  void fold(const CriticalPath& path, PathProfile& out) const;
+  [[nodiscard]] std::size_t record_shard() const;
+
+  std::vector<std::vector<Span>> shard_spans_;
+  std::vector<std::vector<CompletedBarrier>> shard_completed_;
 };
 
 }  // namespace nicbar::sim::causal

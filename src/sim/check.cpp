@@ -53,20 +53,25 @@ void fail(const char* subsystem, SimTime when, const char* condition, std::strin
 
 void BarrierSafetyMonitor::arrive(std::size_t m, SimTime when) {
   (void)when;
-  ++arrivals_.at(m);
+  arrivals_.at(m).fetch_add(1, std::memory_order_relaxed);
 }
 
 void BarrierSafetyMonitor::complete(std::size_t m, SimTime when) {
-  const std::uint64_t k = completions_.at(m) + 1;  // the barrier being completed
+  // the barrier being completed
+  const std::uint64_t k = completions_.at(m).load(std::memory_order_relaxed) + 1;
   for (std::size_t j = 0; j < arrivals_.size(); ++j) {
-    NICBAR_CHECK(arrivals_[j] >= k, "coll.barrier-safety", when,
+    const std::uint64_t a = arrivals_[j].load(std::memory_order_relaxed);
+    NICBAR_CHECK(a >= k, "coll.barrier-safety", when,
                  "member %zu observed completion of barrier %llu before member %zu arrived "
                  "(arrivals=%llu)",
                  m, static_cast<unsigned long long>(k), j,
-                 static_cast<unsigned long long>(arrivals_[j]));
+                 static_cast<unsigned long long>(a));
   }
-  completions_[m] = k;
-  if (k > barriers_checked_) barriers_checked_ = k;
+  completions_[m].store(k, std::memory_order_relaxed);
+  std::uint64_t cur = barriers_checked_.load(std::memory_order_relaxed);
+  while (k > cur &&
+         !barriers_checked_.compare_exchange_weak(cur, k, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace nicbar::sim::check

@@ -22,6 +22,7 @@
 // barrier, checked over the host-visible arrive/complete events.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -112,7 +113,7 @@ namespace nicbar::sim::check {
 class BarrierSafetyMonitor {
  public:
   explicit BarrierSafetyMonitor(std::size_t members)
-      : arrivals_(members, 0), completions_(members, 0) {}
+      : arrivals_(members), completions_(members) {}
 
   /// Member `m` entered its next barrier at simulated time `when`.
   void arrive(std::size_t m, SimTime when);
@@ -122,15 +123,26 @@ class BarrierSafetyMonitor {
   void complete(std::size_t m, SimTime when);
 
   [[nodiscard]] std::size_t members() const { return arrivals_.size(); }
-  [[nodiscard]] std::uint64_t arrivals(std::size_t m) const { return arrivals_.at(m); }
-  [[nodiscard]] std::uint64_t completions(std::size_t m) const { return completions_.at(m); }
+  [[nodiscard]] std::uint64_t arrivals(std::size_t m) const {
+    return arrivals_.at(m).load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t completions(std::size_t m) const {
+    return completions_.at(m).load(std::memory_order_relaxed);
+  }
   /// Barriers whose completion has been observed by at least one member.
-  [[nodiscard]] std::uint64_t barriers_checked() const { return barriers_checked_; }
+  [[nodiscard]] std::uint64_t barriers_checked() const {
+    return barriers_checked_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::vector<std::uint64_t> arrivals_;
-  std::vector<std::uint64_t> completions_;
-  std::uint64_t barriers_checked_ = 0;
+  // Atomic so one monitor can watch members spread across PDES lanes.
+  // Relaxed suffices: a completion is causally downstream of every arrival
+  // it checks (the barrier packets carried the dependency), and any
+  // cross-lane dependency passes a window barrier whose fork/join edges
+  // publish the arrival counts before the completing lane runs.
+  std::vector<std::atomic<std::uint64_t>> arrivals_;
+  std::vector<std::atomic<std::uint64_t>> completions_;
+  std::atomic<std::uint64_t> barriers_checked_{0};
 };
 
 }  // namespace nicbar::sim::check

@@ -75,7 +75,7 @@ void EventQueue::pop_heap_top() {
 
 void EventQueue::compact() {
   // One linear pass dropping dead entries, then a bottom-up heapify. The
-  // (time, order) key still totally orders the survivors, so rebuild order
+  // (time, k1, k2) key still totally orders the survivors, so rebuild order
   // cannot affect pop order — determinism is untouched.
   std::size_t kept = 0;
   for (const HeapEntry& e : heap_) {
@@ -85,7 +85,8 @@ void EventQueue::compact() {
   for (std::size_t i = kept / 2; i-- > 0;) sift_down(i);
 }
 
-EventId EventQueue::schedule(SimTime at, Action action) {
+EventId EventQueue::schedule_entry(SimTime at, std::uint64_t k1, std::uint64_t k2,
+                                   Action action) {
   // Cancel-heavy phases can leave the heap mostly dead; compact before it
   // grows past 4x the live count (the threshold keeps small queues exempt).
   if (heap_.size() >= 64 && heap_.size() > 4 * (live_ + 1)) compact();
@@ -93,11 +94,47 @@ EventId EventQueue::schedule(SimTime at, Action action) {
   Slot& s = slots_[slot];
   s.action = std::move(action);
   s.live = true;
-  heap_.push_back(HeapEntry{at.ps(), next_order_++, slot, s.gen});
+  heap_.push_back(HeapEntry{at.ps(), k1, k2, slot, s.gen});
   sift_up(heap_.size() - 1);
   ++live_;
   ++scheduled_;
   return EventId{pack_id(slot, s.gen)};
+}
+
+EventId EventQueue::schedule(SimTime at, Action action) {
+  return schedule_entry(at, kUnkeyedBit | next_order_++, 0, std::move(action));
+}
+
+EventId EventQueue::schedule_keyed(SimTime at, EventKey key, Action action) {
+  assert((key.k1 & kUnkeyedBit) == 0 && "keyed events must leave k1's top bit clear");
+  return schedule_entry(at, key.k1, key.k2, std::move(action));
+}
+
+void EventQueue::schedule_batch(std::vector<BatchItem>& items) {
+  if (items.empty()) return;
+  // Below the rebuild threshold, per-item sift-up on an almost-sorted heap
+  // is cheaper than touching every entry; above it, append everything and
+  // heapify bottom-up in one O(n + m) pass. Either way the (time, key)
+  // comparator totally orders the result, so pop order — and therefore the
+  // simulation — is identical.
+  const bool rebuild = items.size() >= heap_.size();
+  for (BatchItem& it : items) {
+    if (!rebuild) {
+      schedule_keyed(it.at, it.key, std::move(it.action));
+      continue;
+    }
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.action = std::move(it.action);
+    s.live = true;
+    heap_.push_back(HeapEntry{it.at.ps(), it.key.k1, it.key.k2, slot, s.gen});
+    ++live_;
+    ++scheduled_;
+  }
+  if (rebuild) {
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  }
+  items.clear();
 }
 
 bool EventQueue::cancel(EventId id) {

@@ -35,12 +35,32 @@ struct EventId {
   friend bool operator==(EventId, EventId) = default;
 };
 
+/// Explicit same-instant ordering key for events whose relative order must
+/// not depend on *when* they were inserted. Ordinary events at the same
+/// timestamp fire in insertion order — fine for a single queue, but a
+/// partitioned (PDES) run inserts cross-partition deliveries at window
+/// barriers, long after the serial path would have inserted them, so
+/// insertion order is no longer reproducible across engine configurations.
+/// A keyed event instead fires in (time, k1, k2) order, where the caller
+/// derives (k1, k2) from simulation content (for a link delivery: the
+/// serialisation-finish time, the link's stable id, and a per-link sequence
+/// number). Keyed events sort before all unkeyed events at the same instant,
+/// and the caller must make (k1, k2) unique per (time). See sim/pdes.hpp.
+struct EventKey {
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+};
+
 class EventQueue {
  public:
   using Action = SmallFn;
 
   /// Schedules `action` at absolute time `at`. Returns a cancellation handle.
   EventId schedule(SimTime at, Action action);
+
+  /// Schedules `action` at `at` with an explicit same-instant ordering key
+  /// (see EventKey). `key.k1` must have its top bit clear.
+  EventId schedule_keyed(SimTime at, EventKey key, Action action);
 
   /// Marks an event dead. Safe to call with an already-fired, cleared, or
   /// invalid id (it becomes a no-op). Returns true if the event was still
@@ -64,6 +84,21 @@ class EventQueue {
   /// Total events ever scheduled (diagnostic).
   [[nodiscard]] std::uint64_t total_scheduled() const { return scheduled_; }
 
+  /// One element of a schedule_batch() call.
+  struct BatchItem {
+    SimTime at;
+    EventKey key;
+    Action action;
+  };
+
+  /// Schedules `items.size()` keyed events in one pass. Equivalent to
+  /// calling schedule_keyed per item but amortises heap maintenance: when
+  /// the batch is at least as large as the existing heap the queue rebuilds
+  /// bottom-up in O(n + m) instead of m * O(log n) sift-ups. This is the
+  /// partition-boundary fast path: a PDES window barrier drains every
+  /// channel into the destination queue in one call.
+  void schedule_batch(std::vector<BatchItem>& items);
+
  private:
   struct Slot {
     Action action;
@@ -73,21 +108,29 @@ class EventQueue {
   };
   struct HeapEntry {  // trivially copyable: sifts are plain moves
     std::int64_t at_ps;
-    std::uint64_t order;
+    // Same-instant order: keyed events carry (k1, k2) from the caller with
+    // k1's top bit clear; unkeyed events carry k1 = kUnkeyedBit | counter,
+    // k2 = 0, so every keyed event at an instant precedes every unkeyed one
+    // and unkeyed events keep their insertion order.
+    std::uint64_t k1;
+    std::uint64_t k2;
     std::uint32_t slot;
     std::uint32_t gen;
   };
   static constexpr std::uint32_t kNilSlot = UINT32_MAX;
+  static constexpr std::uint64_t kUnkeyedBit = 1ULL << 63;
 
   [[nodiscard]] bool before(const HeapEntry& a, const HeapEntry& b) const {
     if (a.at_ps != b.at_ps) return a.at_ps < b.at_ps;
-    return a.order < b.order;
+    if (a.k1 != b.k1) return a.k1 < b.k1;
+    return a.k2 < b.k2;
   }
   [[nodiscard]] bool entry_live(const HeapEntry& e) const {
     const Slot& s = slots_[e.slot];
     return s.live && s.gen == e.gen;
   }
 
+  EventId schedule_entry(SimTime at, std::uint64_t k1, std::uint64_t k2, Action action);
   std::uint32_t acquire_slot();
   void retire_slot(std::uint32_t slot);
   void sift_up(std::size_t i);

@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace nicbar::sim::exec {
@@ -49,6 +50,84 @@ void parallel_for(std::size_t count, unsigned workers,
   for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+LanePool::LanePool(unsigned workers) : workers_(resolve_workers(workers)) {
+  errors_.resize(workers_);
+  threads_.reserve(workers_ > 0 ? workers_ - 1 : 0);
+  for (unsigned w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+LanePool::~LanePool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void LanePool::run_shard(unsigned self) noexcept {
+  // Static assignment: this worker owns lanes {self, self+W, self+2W, ...}.
+  // A throwing lane abandons the rest of the shard; the round still reaches
+  // its barrier so the coordinator can rethrow with every thread quiescent.
+  try {
+    for (std::size_t i = self; i < lanes_; i += workers_) (*job_)(i);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    errors_[self] = std::current_exception();
+  }
+}
+
+void LanePool::worker_main(unsigned self) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    run_shard(self);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void LanePool::run(std::size_t lanes, const std::function<void(std::size_t)>& job) {
+  if (workers_ <= 1 || lanes <= 1) {
+    // Inline: the serial baseline that parallel rounds are asserted
+    // bit-identical against uses no thread machinery at all.
+    for (std::size_t i = 0; i < lanes; ++i) job(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    lanes_ = lanes;
+    job_ = &job;
+    outstanding_ = workers_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_shard(0);  // the coordinator works its own shard instead of idling
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return outstanding_ == 0; });
+    job_ = nullptr;
+    for (std::exception_ptr& e : errors_) {
+      if (e) {
+        std::exception_ptr first = std::exchange(e, nullptr);
+        for (std::exception_ptr& rest : errors_) rest = nullptr;
+        lock.unlock();
+        std::rethrow_exception(first);
+      }
+    }
+  }
 }
 
 }  // namespace nicbar::sim::exec

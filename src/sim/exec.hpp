@@ -11,8 +11,14 @@
 // changes. This is the engine under coll::SweepPlan and every figure bench.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace nicbar::sim::exec {
 
@@ -31,5 +37,52 @@ namespace nicbar::sim::exec {
 /// that parallel runs are asserted bit-identical against.
 void parallel_for(std::size_t count, unsigned workers,
                   const std::function<void(std::size_t)>& job);
+
+/// Persistent worker pool with a *static* lane-to-thread assignment: lane i
+/// always runs on worker (i mod workers), and worker 0 is the calling
+/// (coordinator) thread itself. parallel_for spawns and joins threads per
+/// call, which is fine for a parameter sweep but far too heavy for a
+/// partitioned simulation that dispatches thousands of short windows; this
+/// pool parks its threads on a condition variable between rounds. The static
+/// assignment is deliberate: a partition's Simulator is touched by the same
+/// thread every window (so debug ownership stays simple and thread-local
+/// frame-arena freelists keep their hit rate), and it needs no work-stealing
+/// atomics on the dispatch path. Each run() is a barrier: it returns only
+/// after every lane's job finished, with the mutex handoffs providing the
+/// happens-before edges a window-synchronized PDES run relies on. Jobs that
+/// throw abandon the rest of that worker's shard; the first exception (by
+/// worker rank) is rethrown on the coordinator after the barrier.
+class LanePool {
+ public:
+  /// `workers` is resolved via resolve_workers; `workers - 1` threads are
+  /// spawned (the coordinator contributes the remaining shard).
+  explicit LanePool(unsigned workers);
+  ~LanePool();
+
+  LanePool(const LanePool&) = delete;
+  LanePool& operator=(const LanePool&) = delete;
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Runs job(i) for every i in [0, lanes), lane i on worker (i mod
+  /// workers). Blocks until all lanes finish. Not reentrant.
+  void run(std::size_t lanes, const std::function<void(std::size_t)>& job);
+
+ private:
+  void worker_main(unsigned self);
+  void run_shard(unsigned self) noexcept;
+
+  unsigned workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;   // bumped per run(); workers wait on changes
+  std::size_t lanes_ = 0;          // round state, valid while outstanding_ > 0
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  unsigned outstanding_ = 0;       // helper workers still in the current round
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;  // slot per worker, first by rank rethrown
+};
 
 }  // namespace nicbar::sim::exec

@@ -1,0 +1,90 @@
+// Size-class freelist arena for coroutine frames.
+//
+// Every simulated process and every awaited sub-task allocates a coroutine
+// frame; a barrier run creates and destroys them at event rate (one
+// ValueTask frame per port receive, one per barrier rep per member). The
+// general-purpose allocator handles that churn correctly but pays its full
+// bookkeeping on every round trip. Frames, however, recur in a handful of
+// fixed sizes — the same coroutine bodies are instantiated over and over —
+// which is exactly the shape a size-class freelist serves best: free pushes
+// the block onto the class's list, allocate pops it back, both O(1) with no
+// header scans or synchronization.
+//
+// Lists are thread_local, so lanes of a partitioned run never contend. A
+// block may be freed on a different thread than allocated it (a frame built
+// by a worker lane can be destroyed by the coordinator at teardown); it
+// simply joins the freeing thread's list and is recycled there. Blocks are
+// returned to the system when the owning thread exits.
+//
+// Task and ValueTask route their promise operator new/delete here, so the
+// arena is transparent to every coroutine in the repository.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace nicbar::sim::frame_arena {
+
+// 16 size classes of 64-byte granularity cover frames up to 1 KiB; larger
+// frames (rare: deeply-nested coroutines with big locals) fall through to
+// the global allocator, marked by class index kOversize.
+inline constexpr std::size_t kGranularity = 64;
+inline constexpr std::size_t kClasses = 16;
+inline constexpr std::size_t kMaxPooled = kGranularity * kClasses;
+inline constexpr std::size_t kOversize = kClasses;
+
+// Each block is prefixed by one max-aligned header word holding its class
+// index, so deallocate() needs no size argument from the caller.
+inline constexpr std::size_t kHeader = alignof(std::max_align_t);
+
+struct FreeList {
+  void* head[kClasses] = {};
+
+  ~FreeList() {
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      void* p = head[c];
+      while (p != nullptr) {
+        void* next = *static_cast<void**>(p);
+        std::free(p);
+        p = next;
+      }
+    }
+  }
+};
+
+inline FreeList& lists() {
+  thread_local FreeList tl;
+  return tl;
+}
+
+[[nodiscard]] inline void* allocate(std::size_t size) {
+  const std::size_t cls = size <= kMaxPooled ? (size + kGranularity - 1) / kGranularity - 1
+                                             : kOversize;
+  void* block;
+  if (cls != kOversize && lists().head[cls] != nullptr) {
+    block = lists().head[cls];
+    lists().head[cls] = *static_cast<void**>(block);
+  } else {
+    const std::size_t bytes =
+        kHeader + (cls == kOversize ? size : (cls + 1) * kGranularity);
+    block = std::malloc(bytes);
+    if (block == nullptr) throw std::bad_alloc{};
+  }
+  *static_cast<std::size_t*>(block) = cls;
+  return static_cast<char*>(block) + kHeader;
+}
+
+inline void deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  void* block = static_cast<char*>(p) - kHeader;
+  const std::size_t cls = *static_cast<std::size_t*>(block);
+  if (cls == kOversize) {
+    std::free(block);
+    return;
+  }
+  *static_cast<void**>(block) = lists().head[cls];
+  lists().head[cls] = block;
+}
+
+}  // namespace nicbar::sim::frame_arena

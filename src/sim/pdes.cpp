@@ -1,0 +1,130 @@
+#include "sim/pdes.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/check.hpp"
+
+namespace nicbar::sim::pdes {
+
+namespace {
+
+// Horizon arithmetic must not wrap: an idle-lane sentinel (SimTime::max())
+// or a caller-supplied `until` near the end of representable time plus the
+// lookahead would overflow a plain add.
+SimTime sat_add(SimTime t, Duration d) {
+  if (t.ps() > SimTime::max().ps() - d.ps()) return SimTime::max();
+  return t + d;
+}
+
+}  // namespace
+
+PartitionedSimulator::PartitionedSimulator(std::size_t partitions, Duration lookahead,
+                                           unsigned workers)
+    : lookahead_(lookahead), pool_(workers) {
+  NICBAR_CHECK(partitions >= 1, "pdes.config", SimTime::zero(),
+               "a partitioned simulation needs at least one partition");
+  NICBAR_CHECK(partitions == 1 || lookahead.ps() > 0, "pdes.config", SimTime::zero(),
+               "conservative synchronization requires positive lookahead "
+               "(got %lld ps for %zu partitions): some cross-partition link "
+               "has zero propagation delay",
+               static_cast<long long>(lookahead.ps()), partitions);
+  lanes_.reserve(partitions);
+  for (std::size_t i = 0; i < partitions; ++i) lanes_.push_back(std::make_unique<Simulator>());
+  channels_.resize(partitions * partitions);
+  lane_events_.resize(partitions, 0);
+}
+
+PartitionedSimulator::~PartitionedSimulator() = default;
+
+void PartitionedSimulator::post(std::size_t from, std::size_t to, SimTime at, EventKey key,
+                                EventQueue::Action action) {
+  channel(from, to).push_back(EventQueue::BatchItem{at, key, std::move(action)});
+}
+
+SimTime PartitionedSimulator::now() const {
+  SimTime t = SimTime::zero();
+  for (const std::unique_ptr<Simulator>& l : lanes_) t = std::max(t, l->now());
+  return t;
+}
+
+std::uint64_t PartitionedSimulator::run(SimTime until) {
+  const std::size_t k = lanes_.size();
+  if (k == 1) {
+    // One partition degenerates to the serial engine verbatim (same clock
+    // advancement, same rethrow point) — the baseline the tests diff against.
+    const std::uint64_t n = lanes_[0]->run(until);
+    stats_.events += n;
+    return n;
+  }
+
+  const SimTime cap = until == SimTime::max() ? SimTime::max() : sat_add(until, Duration{1});
+  std::uint64_t executed = 0;
+  SimTime last_horizon{INT64_MIN};
+
+  for (;;) {
+    SimTime earliest = SimTime::max();
+    for (const std::unique_ptr<Simulator>& l : lanes_) {
+      earliest = std::min(earliest, l->next_event_time());
+    }
+    if (earliest == SimTime::max() || earliest > until) break;
+
+    const SimTime horizon = std::min(sat_add(earliest, lookahead_), cap);
+    // Safe-time monotonicity: every drained arrival lands at or beyond the
+    // previous horizon, so the global earliest event — and with it the
+    // horizon — must strictly advance. A violation means lost lookahead.
+    NICBAR_CHECK(horizon > last_horizon, "pdes.safe_time", earliest,
+                 "window horizon did not advance (%lld ps after %lld ps)",
+                 static_cast<long long>(horizon.ps()),
+                 static_cast<long long>(last_horizon.ps()));
+    last_horizon = horizon;
+
+    pool_.run(k, [&](std::size_t i) {
+      if (lane_prologue_) lane_prologue_(i);
+      lane_events_[i] = lanes_[i]->run_window(horizon);
+    });
+    for (std::size_t i = 0; i < k; ++i) executed += lane_events_[i];
+    for (const std::unique_ptr<Simulator>& l : lanes_) l->rethrow_pending();
+
+    // Barrier drain: only the coordinator runs here, so it may touch every
+    // lane's queue. Source-lane order inside the merged batch is irrelevant —
+    // the EventKeys totally order same-instant deliveries in the heap.
+    for (std::size_t to = 0; to < k; ++to) {
+      drain_scratch_.clear();
+      for (std::size_t from = 0; from < k; ++from) {
+        std::vector<EventQueue::BatchItem>& ch = channel(from, to);
+        for (EventQueue::BatchItem& it : ch) {
+          NICBAR_CHECK(it.at >= horizon, "pdes.straggler", it.at,
+                       "cross-partition delivery at %lld ps is inside the just-"
+                       "completed window (horizon %lld ps): the posting link's "
+                       "propagation undercuts the lookahead",
+                       static_cast<long long>(it.at.ps()),
+                       static_cast<long long>(horizon.ps()));
+          drain_scratch_.push_back(std::move(it));
+        }
+        ch.clear();
+      }
+      if (drain_scratch_.empty()) continue;
+      stats_.channel_messages += drain_scratch_.size();
+      stats_.max_drain_batch = std::max(stats_.max_drain_batch,
+                                        static_cast<std::uint64_t>(drain_scratch_.size()));
+      lanes_[to]->drain_batch(drain_scratch_);
+    }
+    ++stats_.windows;
+  }
+
+  // Land every lane on the same end-of-run clock (Simulator::run advances to
+  // a finite `until` when it drains early; mirror that globally).
+  bool all_idle = true;
+  for (const std::unique_ptr<Simulator>& l : lanes_) all_idle &= l->idle();
+  SimTime end = now();
+  if (until != SimTime::max() && all_idle) end = std::max(end, until);
+  for (const std::unique_ptr<Simulator>& l : lanes_) {
+    if (l->idle()) l->advance_to(end);
+  }
+
+  stats_.events += executed;
+  return executed;
+}
+
+}  // namespace nicbar::sim::pdes

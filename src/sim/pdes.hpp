@@ -1,0 +1,122 @@
+// sim::pdes — conservative parallel discrete-event simulation.
+//
+// A PartitionedSimulator runs K independent Simulators ("lanes"), one per
+// partition of the modelled cluster, synchronized by barrier-delimited
+// windows instead of null messages:
+//
+//   1. The coordinator computes the global earliest pending event time E
+//      (min over lanes) and sets the window horizon H = E + L, where L is
+//      the *lookahead*: the minimum propagation delay of any link that
+//      crosses a partition boundary.
+//   2. Every lane, in parallel on an exec::LanePool, executes all of its
+//      events with time strictly below H (Simulator::run_window). A lane
+//      never schedules into another lane; a cross-partition delivery is
+//      posted to this object's channel matrix instead (see sim/sync.hpp for
+//      the handoff convention).
+//   3. At the barrier the coordinator drains every channel into its
+//      destination lane's queue and the loop repeats.
+//
+// Safety (why no lane ever receives an event in its past): a message posted
+// during a window originates from an event at time t >= E and arrives at
+// t_serialised + prop >= t + L >= E + L = H, while the receiving lane only
+// simulated times < H. The same bound makes the horizon strictly monotone
+// (E_next >= H, so H_next >= H + L > H); both properties are asserted every
+// window ("pdes.safe_time", "pdes.straggler"). L must be positive when K > 1
+// — a zero-lookahead topology cannot be conservatively parallelized.
+//
+// Determinism: lanes only interact through the channels, every channel
+// message carries an EventKey derived from simulation content, and keyed
+// events fire in (time, key) order regardless of insertion time (see
+// EventQueue). The result is a timeline bit-identical to the serial engine
+// for ANY worker or partition count — the property pinned by the
+// tier1_pdes integration tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/exec.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace nicbar::sim::pdes {
+
+/// Counters describing a partitioned run (all coordinator-side; stable for
+/// a given model regardless of worker count).
+struct WindowStats {
+  std::uint64_t windows = 0;           // barrier rounds executed
+  std::uint64_t events = 0;            // events executed across all lanes
+  std::uint64_t channel_messages = 0;  // cross-partition deliveries drained
+  std::uint64_t max_drain_batch = 0;   // largest single-lane drain (events)
+};
+
+class PartitionedSimulator {
+ public:
+  /// `partitions` lanes synchronized with lookahead `lookahead`, windows
+  /// executed on `workers` threads (resolved via exec::resolve_workers;
+  /// more workers than partitions is allowed and harmless). `lookahead`
+  /// must be positive when `partitions` > 1.
+  PartitionedSimulator(std::size_t partitions, Duration lookahead, unsigned workers);
+  ~PartitionedSimulator();
+
+  PartitionedSimulator(const PartitionedSimulator&) = delete;
+  PartitionedSimulator& operator=(const PartitionedSimulator&) = delete;
+
+  [[nodiscard]] std::size_t partitions() const { return lanes_.size(); }
+  [[nodiscard]] unsigned workers() const { return pool_.workers(); }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  [[nodiscard]] Simulator& lane(std::size_t i) { return *lanes_[i]; }
+
+  /// Posts a delivery into another lane. Callable only from the thread
+  /// currently executing lane `from` (each channel cell has exactly one
+  /// writer per window). `at` must be at or beyond the current window's
+  /// horizon — guaranteed by construction when the entry is a link delivery
+  /// whose propagation is >= the lookahead; asserted at the drain.
+  void post(std::size_t from, std::size_t to, SimTime at, EventKey key,
+            EventQueue::Action action);
+
+  /// Invoked on the executing thread immediately before each lane's window
+  /// (lane index as argument). Used to bind thread-local recording context
+  /// — e.g. the causal tracer's shard — to the lane about to run.
+  void set_lane_prologue(std::function<void(std::size_t)> fn) {
+    lane_prologue_ = std::move(fn);
+  }
+
+  /// Runs the window loop until every lane is idle and every channel is
+  /// empty, or until the earliest pending event lies beyond `until`
+  /// (mirroring Simulator::run, events at exactly `until` still execute and
+  /// idle lanes land on `until`). Afterwards every lane's clock is advanced
+  /// to the global end time, so post-run reads (utilisation denominators,
+  /// monitor snapshots) see the same clock a single shared simulator would
+  /// show. Returns the total number of events executed; rethrows the first
+  /// pending process exception.
+  std::uint64_t run(SimTime until = SimTime::max());
+
+  /// Global clock: the maximum lane time.
+  [[nodiscard]] SimTime now() const;
+
+  [[nodiscard]] const WindowStats& stats() const { return stats_; }
+
+ private:
+  std::vector<EventQueue::BatchItem>& channel(std::size_t from, std::size_t to) {
+    return channels_[from * lanes_.size() + to];
+  }
+
+  std::vector<std::unique_ptr<Simulator>> lanes_;
+  // K*K matrix, row-major by source lane: cell (f, t) is written only by the
+  // worker running lane f during a window and read only by the coordinator
+  // at the barrier (the pool's dispatch/join edges order the two).
+  std::vector<std::vector<EventQueue::BatchItem>> channels_;
+  std::vector<EventQueue::BatchItem> drain_scratch_;
+  std::vector<std::uint64_t> lane_events_;  // per-lane window counts (no sharing)
+  std::function<void(std::size_t)> lane_prologue_;
+  Duration lookahead_;
+  exec::LanePool pool_;
+  WindowStats stats_;
+};
+
+}  // namespace nicbar::sim::pdes

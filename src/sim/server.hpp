@@ -55,6 +55,11 @@ class BusyServer {
     return free_at_;
   }
 
+  /// Re-points the server at another Simulator (PDES partitioning: fabric
+  /// elements are constructed on the build lane, then bound to their
+  /// partition's lane). Only legal while no simulation is running.
+  void rebind_sim(Simulator& sim) { sim_ = &sim; }
+
   /// Completion time of the last submitted job (server idle before any job).
   [[nodiscard]] SimTime free_at() const { return free_at_; }
   [[nodiscard]] bool busy() const { return free_at_ > sim_->now(); }

@@ -31,16 +31,41 @@ Simulator::~Simulator() {
   }
 }
 
+void Simulator::assert_owner() const {
+#ifndef NDEBUG
+  // First touch from any thread binds lazily (construction-time scheduling,
+  // e.g. fault arming, happens before any run). After a bind, scheduling
+  // from a different thread is a cross-lane handoff bug: the only legal way
+  // to reach another lane is the PDES channel protocol (sim/sync.hpp).
+  if (owner_ == std::thread::id{}) {
+    const_cast<Simulator*>(this)->owner_ = std::this_thread::get_id();
+    return;
+  }
+  NICBAR_CHECK(owner_ == std::this_thread::get_id(), "sim.owner", now_,
+               "event scheduled from a thread that does not own this simulator "
+               "(cross-lane scheduling must go through the PDES channel handoff)");
+#endif
+}
+
 EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
+  assert_owner();
   NICBAR_CHECK(at >= now_, "sim.queue", now_, "event scheduled %lld ps into the past",
                static_cast<long long>((now_ - at).ps()));
   return queue_.schedule(at < now_ ? now_ : at, std::move(action));
 }
 
 EventId Simulator::schedule_in(Duration d, EventQueue::Action action) {
+  assert_owner();
   NICBAR_CHECK(!d.is_negative(), "sim.queue", now_, "negative delay %lld ps",
                static_cast<long long>(d.ps()));
   return queue_.schedule(now_ + (d.is_negative() ? Duration{0} : d), std::move(action));
+}
+
+EventId Simulator::schedule_at_keyed(SimTime at, EventKey key, EventQueue::Action action) {
+  assert_owner();
+  NICBAR_CHECK(at >= now_, "sim.queue", now_, "keyed event scheduled %lld ps into the past",
+               static_cast<long long>((now_ - at).ps()));
+  return queue_.schedule_keyed(at < now_ ? now_ : at, key, std::move(action));
 }
 
 void Simulator::spawn(Task task) {
@@ -65,6 +90,7 @@ bool Simulator::step() {
 }
 
 std::uint64_t Simulator::run(SimTime until) {
+  bind_owner();
   stop_requested_ = false;
   std::uint64_t n = 0;
   while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= until) {
@@ -74,11 +100,32 @@ std::uint64_t Simulator::run(SimTime until) {
   // Advance the clock to the horizon if we drained early and a finite
   // horizon was requested; callers treat `until` as "simulate this long".
   if (until != SimTime::max() && now_ < until && queue_.empty()) now_ = until;
+  rethrow_pending();
+  return n;
+}
+
+std::uint64_t Simulator::run_window(SimTime until_exclusive) {
+  bind_owner();
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() < until_exclusive) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+void Simulator::rethrow_pending() {
   if (pending_error_) {
     std::exception_ptr e = std::exchange(pending_error_, nullptr);
     std::rethrow_exception(e);
   }
-  return n;
+}
+
+void Simulator::advance_to(SimTime t) {
+  NICBAR_CHECK(queue_.empty(), "sim.queue", now_,
+               "advance_to() requires an idle simulator (events are still pending)");
+  if (t > now_) now_ = t;
 }
 
 }  // namespace nicbar::sim

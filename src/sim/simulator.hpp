@@ -5,12 +5,26 @@
 // determinism is a core requirement (every benchmark in this repository
 // reports *simulated* time, which must be exactly reproducible), so there is
 // no hidden concurrency anywhere in the engine.
+//
+// Thread-ownership contract: every event in a Simulator is scheduled *and*
+// executed by the thread that owns it. In a plain run that is trivially the
+// calling thread. In a partitioned (PDES) run each partition has its own
+// Simulator ("lane"), a worker thread owns one lane at a time, and the only
+// way state crosses lanes is the channel handoff described in sim/sync.hpp —
+// never a direct schedule into a foreign lane. bind_owner()/assert_owner()
+// enforce this in debug builds: run()/run_window() bind the executing
+// thread, and every schedule_* call asserts the binding.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <unordered_set>
+#include <vector>
+
+#ifndef NDEBUG
+#include <thread>
+#endif
 
 #include "sim/event_queue.hpp"
 #include "sim/task.hpp"
@@ -38,6 +52,13 @@ class Simulator {
 
   /// Runs `action` after `delay` (>= 0) of simulated time.
   EventId schedule_in(Duration delay, EventQueue::Action action);
+
+  /// Runs `action` at `at` with an explicit same-instant ordering key (see
+  /// EventKey): the event fires in (time, key) order regardless of when it
+  /// was scheduled. Link deliveries use this so a partitioned run, which
+  /// inserts cross-partition deliveries at window barriers, pops them in
+  /// exactly the order a single-queue run would.
+  EventId schedule_at_keyed(SimTime at, EventKey key, EventQueue::Action action);
 
   /// Runs `action` at the current time, after all already-scheduled
   /// events for this instant.
@@ -78,11 +99,49 @@ class Simulator {
   /// detached process (after stopping).
   std::uint64_t run(SimTime until = SimTime::max());
 
+  /// Runs every event with time strictly below `until_exclusive`, then
+  /// returns the number executed. Unlike run(), the clock is left at the
+  /// last executed event (never artificially advanced) and escaped process
+  /// exceptions stay pending until the coordinator calls rethrow_pending() —
+  /// a PDES window must never throw across a worker-thread boundary.
+  std::uint64_t run_window(SimTime until_exclusive);
+
+  /// Rethrows an exception captured from a detached process, if any.
+  void rethrow_pending();
+
+  /// Coordinator-only (PDES window barrier): bulk-inserts keyed cross-lane
+  /// deliveries into this lane's queue and consumes `items`. Re-binds debug
+  /// ownership to the caller; the next run_window() re-binds to its worker.
+  void drain_batch(std::vector<EventQueue::BatchItem>& items) {
+    bind_owner();
+    queue_.schedule_batch(items);
+  }
+
   /// Executes exactly one event if one is pending; returns false otherwise.
   bool step();
 
   /// Requests that `run()` return after the current event.
   void request_stop() { stop_requested_ = true; }
+
+  /// Advances an idle simulator's clock to `t` (no-op when `t` is in the
+  /// past). A partitioned run uses this to land every lane on the global
+  /// end time so post-run reads (utilisation denominators, open fault
+  /// windows) match the single-queue run exactly.
+  void advance_to(SimTime t);
+
+  /// Earliest pending event time; SimTime::max() when idle.
+  [[nodiscard]] SimTime next_event_time() {
+    return queue_.empty() ? SimTime::max() : queue_.next_time();
+  }
+
+  /// Re-binds this simulator to the calling thread (debug-only ownership
+  /// tracking; free in release builds). run()/run_window() bind implicitly;
+  /// a PDES coordinator binds explicitly around the drain phase.
+  void bind_owner() {
+#ifndef NDEBUG
+    owner_ = std::this_thread::get_id();
+#endif
+  }
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
@@ -91,12 +150,17 @@ class Simulator {
  private:
   friend void detail::detached_task_done(Simulator*, void*, std::exception_ptr) noexcept;
 
+  void assert_owner() const;
+
   EventQueue queue_;
   SimTime now_{0};
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
   std::unordered_set<void*> live_processes_;  // frames of detached tasks
   std::exception_ptr pending_error_;
+#ifndef NDEBUG
+  std::thread::id owner_{};  // default: unbound, first schedule binds
+#endif
 };
 
 }  // namespace nicbar::sim

@@ -11,6 +11,25 @@
 // All wakeups go through Simulator::schedule_now rather than resuming
 // inline. This keeps notify/send non-reentrant: state updates made by the
 // notifier complete before any waiter observes them.
+//
+// Cross-partition handoff convention (PDES). Every primitive in this file —
+// and every Simulator schedule_* call — is lane-local: it may only be touched
+// by the thread that owns the element's Simulator (asserted in debug builds
+// by Simulator::assert_owner). When a partitioned run needs to move an event
+// across lanes (a packet leaving a link whose endpoint lives in another
+// partition), the *sending* lane must NOT schedule into the destination
+// Simulator. Instead it posts {deliver_at, EventKey, closure} to its own row
+// of the PartitionedSimulator channel matrix (plain vector, no locks: one
+// writer during the window). At the next window barrier the coordinator —
+// which is the only thread running between windows — drains every channel
+// into the destination lane's queue via EventQueue::schedule_batch. The
+// conservative lookahead guarantees deliver_at lies at or beyond the next
+// window's horizon, so the destination lane has not yet simulated past it;
+// the pool's fork/join gives the happens-before edges that make the handoff
+// race-free. The EventKey (serialisation-finish time, link id, per-link
+// sequence) restores the exact pop order a single shared queue would have
+// produced, which is what keeps serial and partitioned timelines
+// bit-identical. See sim/pdes.hpp for the window loop itself.
 #pragma once
 
 #include <coroutine>

@@ -15,9 +15,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <new>
 #include <utility>
+
+#include "sim/frame_arena.hpp"
 
 namespace nicbar::sim {
 
@@ -38,6 +41,10 @@ class [[nodiscard]] Task {
     std::coroutine_handle<> continuation;  // parent awaiting us (nullptr if none)
     Simulator* detached_owner = nullptr;   // non-null once spawned as a process
     std::exception_ptr exception;
+
+    // Coroutine frames churn at event rate; recycle them (sim/frame_arena.hpp).
+    static void* operator new(std::size_t size) { return frame_arena::allocate(size); }
+    static void operator delete(void* p, std::size_t) noexcept { frame_arena::deallocate(p); }
 
     Task get_return_object() { return Task{Handle::from_promise(*this)}; }
     std::suspend_always initial_suspend() noexcept { return {}; }
@@ -132,6 +139,9 @@ class [[nodiscard]] ValueTask {
     std::exception_ptr exception;
     alignas(T) unsigned char storage[sizeof(T)];
     bool has_value = false;
+
+    static void* operator new(std::size_t size) { return frame_arena::allocate(size); }
+    static void operator delete(void* p, std::size_t) noexcept { frame_arena::deallocate(p); }
 
     ValueTask get_return_object() { return ValueTask{Handle::from_promise(*this)}; }
     std::suspend_always initial_suspend() noexcept { return {}; }

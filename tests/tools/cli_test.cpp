@@ -325,5 +325,46 @@ TEST(CliTest, BurstLossParsesTriple) {
   EXPECT_FALSE(parse_args({"--burst-loss", "0.01,0.5"}, err).has_value());
 }
 
+TEST(CliTest, PdesWorkersParses) {
+  std::string err;
+  const auto o = parse_args({"--pdes-workers", "4"}, err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->pdes_given);
+  EXPECT_EQ(o->params.cluster.pdes_partitions, 4u);
+  EXPECT_EQ(o->params.cluster.pdes_workers, 4u);
+
+  // Default: serial engine, flag not given.
+  const auto d = parse_args({}, err);
+  ASSERT_TRUE(d.has_value()) << err;
+  EXPECT_FALSE(d->pdes_given);
+  EXPECT_EQ(d->params.cluster.pdes_partitions, 1u);
+}
+
+TEST(CliTest, PdesWorkersRejectsZeroAndGarbage) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--pdes-workers", "0"}, err).has_value());
+  EXPECT_NE(err.find("--pdes-workers"), std::string::npos);
+  EXPECT_FALSE(parse_args({"--pdes-workers", "lots"}, err).has_value());
+  EXPECT_FALSE(parse_args({"--pdes-workers"}, err).has_value());
+}
+
+TEST(CliTest, PdesWorkersExcludesSingleLaneCollectors) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"--pdes-workers", "4", "--breakdown"}, err).has_value());
+  EXPECT_NE(err.find("--pdes-workers"), std::string::npos);
+  EXPECT_FALSE(parse_args({"--pdes-workers", "4", "--trace-json", "t.json"}, err).has_value());
+  // --pdes-workers 1 keeps the serial engine, so the collectors stay legal.
+  EXPECT_TRUE(parse_args({"--pdes-workers", "1", "--breakdown"}, err).has_value()) << err;
+  // The sharded causal tracer works under PDES.
+  EXPECT_TRUE(parse_args({"--pdes-workers", "4", "--critical-path"}, err).has_value()) << err;
+}
+
+TEST(CliTest, PdesWorkersIsExperimentOnly) {
+  std::string err;
+  EXPECT_FALSE(parse_args({"workload", "spec.wl", "--pdes-workers", "2"}, err).has_value());
+  EXPECT_NE(err.find("--pdes-workers"), std::string::npos);
+  EXPECT_FALSE(parse_args({"check", "--pdes-workers", "2"}, err).has_value());
+}
+
 }  // namespace
 }  // namespace nicbar::cli

@@ -46,6 +46,17 @@ grid rows must ascend in node count, and exactly one "crossover" row must
 report crossover_nodes >= 0 (the smallest N where the hierarchical family
 beats flat NIC-PE; 0 = never on the measured grid).
 
+bench/pdes_speedup emits an engine-scaling variant (schema "nicbar-pdes-v1"):
+the same bench/rows/label/metrics shape with exactly one "host" row carrying
+hw_threads >= 1, and grid rows (label "n<N>_w<W>") each carrying nodes,
+workers, partitions, sim_total_us, wall_ms, speedup, bit_identical. Every
+row must have bit_identical == 1 (the partitioned engine reproduced the
+serial timeline exactly); within one node count, all sim_total_us must be
+equal; and the speedup claim is conditional on the host: with hw_threads
+>= 4, some row with workers >= 4 must show speedup > 1, while on smaller
+hosts (CI containers) the rows only document partition-count overhead and
+no speedup is required.
+
 bench/churn emits a lifecycle-counter variant (schema "nicbar-churn-v1"):
 the same bench/rows/label/metrics shape plus a top-level "cluster_nodes",
 where every row's metrics must carry the lifecycle keys (groups_created,
@@ -72,6 +83,7 @@ SLO_SCHEMA = "nicbar-slo-v1"
 CHURN_SCHEMA = "nicbar-churn-v1"
 RMA_SCHEMA = "nicbar-rma-v1"
 HIER_SCHEMA = "nicbar-hier-v1"
+PDES_SCHEMA = "nicbar-pdes-v1"
 
 # Every rma_barrier row puts all four barrier families on the same axes.
 RMA_METRICS = [
@@ -84,6 +96,13 @@ RMA_METRICS = [
 HIER_METRICS = [
     "nodes", "nic_pe_us", "nic_gb_us", "host_dissem_us", "hier_us",
     "hier_vs_pe_improvement",
+]
+
+# Every pdes_speedup grid row puts one (nodes, workers) engine point on
+# common axes; "host" rows carry hw_threads only.
+PDES_METRICS = [
+    "nodes", "workers", "partitions", "sim_total_us", "wall_ms", "speedup",
+    "bit_identical",
 ]
 
 # Every churn row must carry exactly these lifecycle counters.
@@ -334,6 +353,76 @@ def check_hier_doc(doc):
     return problems
 
 
+def check_pdes_doc(doc):
+    """Validates one nicbar-pdes-v1 document. Returns a list of problems."""
+    problems = []
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        problems.append("bench must be a non-empty string")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty array")
+        return problems
+    hw_threads = None
+    host_rows = 0
+    sim_total_by_nodes = {}
+    best_speedup_4w = 0.0
+    grid_rows = 0
+    for i, row in enumerate(rows):
+        where = "rows[%d]" % i
+        if not isinstance(row, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        label = row.get("label")
+        if not isinstance(label, str) or not label:
+            problems.append("%s.label must be a non-empty string" % where)
+            continue
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append("%s.metrics must be an object" % where)
+            continue
+        if label == "host":
+            host_rows += 1
+            if not is_number(metrics.get("hw_threads")) or metrics["hw_threads"] < 1:
+                problems.append("%s.metrics.hw_threads must be >= 1" % where)
+            else:
+                hw_threads = metrics["hw_threads"]
+            continue
+        grid_rows += 1
+        missing = [k for k in PDES_METRICS if not is_number(metrics.get(k))]
+        if missing:
+            problems.append("%s.metrics missing finite numbers for %s" % (where, missing))
+            continue
+        if metrics["bit_identical"] != 1:
+            problems.append(
+                "%s: the partitioned engine diverged from the serial timeline "
+                "(bit_identical=%r; determinism regression)" % (where, metrics["bit_identical"])
+            )
+        n = metrics["nodes"]
+        if n in sim_total_by_nodes and sim_total_by_nodes[n] != metrics["sim_total_us"]:
+            problems.append(
+                "%s: sim_total_us %r differs from an earlier n=%s row's %r "
+                "(the simulated timeline must not depend on the engine)"
+                % (where, metrics["sim_total_us"], n, sim_total_by_nodes[n])
+            )
+        sim_total_by_nodes.setdefault(n, metrics["sim_total_us"])
+        if metrics["workers"] >= 4 and metrics["speedup"] > best_speedup_4w:
+            best_speedup_4w = metrics["speedup"]
+    if host_rows != 1:
+        problems.append("exactly one 'host' row expected, found %d" % host_rows)
+    if grid_rows == 0:
+        problems.append("at least one grid row (label 'n<N>_w<W>') expected")
+    # The speedup claim only binds on hosts that can express it.
+    if hw_threads is not None and hw_threads >= 4 and best_speedup_4w <= 1.0:
+        problems.append(
+            "host has %g threads but no row with workers >= 4 shows speedup > 1 "
+            "(best %g)" % (hw_threads, best_speedup_4w)
+        )
+    labels = [r.get("label") for r in rows if isinstance(r, dict)]
+    if len(labels) != len(set(labels)):
+        problems.append("row labels must be unique")
+    return problems
+
+
 def check(path):
     """Returns a list of problems (empty = conforming)."""
     problems = []
@@ -363,6 +452,8 @@ def check(path):
         return check_rma_doc(doc)
     if doc.get("schema") == HIER_SCHEMA:
         return check_hier_doc(doc)
+    if doc.get("schema") == PDES_SCHEMA:
+        return check_pdes_doc(doc)
     if doc.get("schema") != SCHEMA:
         problems.append("schema must be %r, got %r" % (SCHEMA, doc.get("schema")))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):

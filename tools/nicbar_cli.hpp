@@ -48,6 +48,10 @@ struct Options {
   unsigned jobs = 1;
   /// Number of consecutive seeds to run (--seeds), starting at --seed.
   std::size_t seeds = 1;
+  /// --pdes-workers was given (the value lives in params.cluster): run the
+  /// experiment on the partitioned engine. Needed to distinguish an explicit
+  /// `--pdes-workers 1` (serial engine, no partitioning) from the default.
+  bool pdes_given = false;
 
   /// `nicbar_run workload SPEC` — run a wl:: multi-tenant workload instead
   /// of a single barrier experiment. The spec file provides the cluster and
@@ -113,6 +117,13 @@ inline const char* usage_text() {
       "  --seed S           RNG seed (default 1)\n"
       "  --seeds K          run K consecutive seeds as one sweep (default 1)\n"
       "  --jobs N           worker threads for sweeps (default 1; 0 = all cores)\n"
+      "  --pdes-workers N   run the single experiment on the conservative PDES\n"
+      "                     engine: N leaf-aligned partitions on N worker threads\n"
+      "                     (default 1 = serial). The timeline, counters, and\n"
+      "                     causal record are bit-identical for every N; only\n"
+      "                     wall-clock time changes. Not available with\n"
+      "                     --breakdown/--trace-json (those collectors are\n"
+      "                     single-lane) or the workload/check subcommands\n"
       "  --predict          also print the Eq. 1-3 analytic prediction\n"
       "  --breakdown        print the per-barrier Eq. 1-2 cost breakdown\n"
       "  --metrics-json F   write hardware counters/gauges as JSON to F\n"
@@ -245,6 +256,13 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
       unsigned long n = 0;
       if (!parse_unsigned(v, n)) return fail("--jobs needs a non-negative integer");
       o.jobs = static_cast<unsigned>(n);
+    } else if (a == "--pdes-workers") {
+      const char* v = value("--pdes-workers");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, n) || n == 0) return fail("--pdes-workers needs a positive integer");
+      o.params.cluster.pdes_partitions = static_cast<std::size_t>(n);
+      o.params.cluster.pdes_workers = static_cast<unsigned>(n);
+      o.pdes_given = true;
     } else if (a == "--seeds") {
       const char* v = value("--seeds");
       unsigned long n = 0;
@@ -436,6 +454,15 @@ inline std::optional<Options> parse(int argc, char** argv, std::string& error) {
     }
   }
 
+  if (o.pdes_given && o.params.cluster.pdes_partitions > 1 &&
+      (o.breakdown || !o.trace_path.empty())) {
+    return fail("--breakdown/--trace-json collectors are single-lane; not available "
+                "with --pdes-workers > 1 (--critical-path and --metrics-json are)");
+  }
+  if (o.pdes_given && (o.workload || o.check)) {
+    return fail("--pdes-workers applies to a single barrier experiment; not "
+                "available with the workload/check subcommands");
+  }
   if (o.seeds > 1 && (o.breakdown || !o.trace_path.empty() || o.critical_path)) {
     return fail("--breakdown/--trace-json/--critical-path describe a single run; "
                 "not available with --seeds");
